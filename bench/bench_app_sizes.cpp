@@ -1,0 +1,131 @@
+// E7 -- Application code sizes (analogue of the paper's application-effort
+// table). The paper reports lines of code for Rover Exmh, Rover Ical, and
+// the Web browser proxy, arguing that porting applications onto the
+// toolkit is cheap because the toolkit supplies caching, queueing, and
+// reconciliation.
+//
+// This harness counts real lines in this repository at run time: the
+// toolkit layers vs. each application module vs. the example programs.
+// The shape to check: each application is a small fraction of the toolkit
+// it rides on.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace fs = std::filesystem;
+using namespace rover;
+
+namespace {
+
+struct Count {
+  size_t files = 0;
+  size_t lines = 0;      // non-blank
+  size_t code_lines = 0; // non-blank, non-comment
+};
+
+Count CountPath(const fs::path& root, const std::vector<std::string>& names) {
+  Count total;
+  for (const std::string& name : names) {
+    const fs::path path = root / name;
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+      continue;
+    }
+    std::vector<fs::path> files;
+    if (fs::is_directory(path, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file()) {
+          const auto ext = entry.path().extension();
+          if (ext == ".cc" || ext == ".h" || ext == ".cpp") {
+            files.push_back(entry.path());
+          }
+        }
+      }
+    } else {
+      files.push_back(path);
+    }
+    for (const fs::path& file : files) {
+      std::ifstream in(file);
+      std::string line;
+      ++total.files;
+      while (std::getline(in, line)) {
+        size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos) {
+          continue;
+        }
+        ++total.lines;
+        if (line.compare(start, 2, "//") != 0) {
+          ++total.code_lines;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E7: application code sizes (paper's application-effort table)\n");
+  const fs::path root = ROVER_SOURCE_DIR;
+  std::printf("counting sources under %s\n", root.c_str());
+
+  struct Row {
+    const char* label;
+    std::vector<std::string> paths;
+  };
+  const Row toolkit_rows[] = {
+      {"util + sim substrate", {"src/util", "src/sim"}},
+      {"transport + QRPC", {"src/transport", "src/qrpc"}},
+      {"TcLite interpreter", {"src/tclite"}},
+      {"RDO + store + cache + core", {"src/rdo", "src/store", "src/cache", "src/core"}},
+  };
+  const Row app_rows[] = {
+      {"Rover mail reader (Exmh)", {"src/apps/mail.h", "src/apps/mail.cc"}},
+      {"Rover calendar (Ical)", {"src/apps/calendar.h", "src/apps/calendar.cc"}},
+      {"Web browser proxy", {"src/apps/web.h", "src/apps/web.cc"}},
+  };
+  const Row example_rows[] = {
+      {"quickstart example", {"examples/quickstart.cpp"}},
+      {"disconnected_mail example", {"examples/disconnected_mail.cpp"}},
+      {"shared_calendar example", {"examples/shared_calendar.cpp"}},
+      {"web_clickahead example", {"examples/web_clickahead.cpp"}},
+      {"code_shipping example", {"examples/code_shipping.cpp"}},
+  };
+
+  size_t toolkit_code = 0;
+  BenchTable table("Lines of code (non-blank / code-only)",
+                   {"component", "files", "lines", "code lines", "vs toolkit"});
+  for (const Row& row : toolkit_rows) {
+    Count c = CountPath(root, row.paths);
+    toolkit_code += c.code_lines;
+    table.AddRow({row.label, FmtCount(c.files), FmtCount(c.lines),
+                  FmtCount(c.code_lines), "-"});
+  }
+  for (const Row& row : app_rows) {
+    Count c = CountPath(root, row.paths);
+    table.AddRow({row.label, FmtCount(c.files), FmtCount(c.lines),
+                  FmtCount(c.code_lines),
+                  FmtPercent(static_cast<double>(c.code_lines) /
+                             static_cast<double>(toolkit_code))});
+  }
+  for (const Row& row : example_rows) {
+    Count c = CountPath(root, row.paths);
+    table.AddRow({row.label, FmtCount(c.files), FmtCount(c.lines),
+                  FmtCount(c.code_lines),
+                  FmtPercent(static_cast<double>(c.code_lines) /
+                             static_cast<double>(toolkit_code))});
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape check: as in the paper, each full application is a few\n"
+      "percent of the toolkit's size -- caching, queued RPC, conflict\n"
+      "resolution, and notification come from the toolkit, not the app.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// E8 -- Import latency vs. object size, with compression and batching
+// ablations.
+//
+// Paper context: Rover imports whole objects; the evaluation measures
+// object fetches across the four networks, and §5 notes the prototype
+// "does not perform any compression on the log" -- leaving an obvious
+// optimization on the table for slow links. This harness measures:
+//   * import latency for object sizes 256 B .. 256 KiB per network,
+//   * the effect of payload compression (text-like compressible data),
+//   * the effect of request batching when importing many small objects.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/toolkit.h"
+
+using namespace rover;
+
+namespace {
+
+constexpr char kDocCode[] = "proc content {} { global state; return $state }";
+
+std::string TextPayload(size_t bytes) {
+  static const char* kWords[] = {"From: rover@lcs ", "Subject: queued rpc ",
+                                 "Content-Type: text/html ", "<a href=page>",
+                                 "the toolkit ", "mobile host "};
+  Rng rng(17);
+  std::string out;
+  out.reserve(bytes + 32);
+  while (out.size() < bytes) {
+    out += kWords[rng.NextBelow(6)];
+  }
+  out.resize(bytes);
+  return out;
+}
+
+double ImportOnce(const LinkProfile& profile, size_t bytes, bool compress) {
+  // Compression must be enabled on both ends: requests compress at the
+  // client's scheduler, responses (the object payload) at the server's.
+  Testbed::Options bed_options;
+  bed_options.server.scheduler.compress = compress;
+  Testbed bed(bed_options);
+  bed.server()->rover()->CreateObject(MakeRdo("doc", "lww", kDocCode,
+                                              TextPayload(bytes)));
+  ClientNodeOptions options;
+  options.scheduler.compress = compress;
+  RoverClientNode* client = bed.AddClient("mobile", profile, nullptr, options);
+  const TimePoint start = bed.loop()->now();
+  auto p = client->access()->Import("doc");
+  p.Wait(bed.loop());
+  return (bed.loop()->now() - start).seconds();
+}
+
+// Time until a burst of `count` QRPCs is durably committed (call-return),
+// with and without group commit [Hagmann 87] -- the log optimization the
+// paper's prototype explicitly skipped (§5.2).
+double CommitBurst(int count, bool group_commit) {
+  Testbed bed;
+  ClientNodeOptions options;
+  options.log_costs.group_commit = group_commit;
+  RoverClientNode* client =
+      bed.AddClient("mobile", LinkProfile::WaveLan2(), nullptr, options);
+  std::vector<QrpcCall> calls;
+  for (int i = 0; i < count; ++i) {
+    calls.push_back(client->qrpc()->Call("server", "noop", {int64_t{i}}));
+  }
+  const TimePoint start = bed.loop()->now();
+  for (auto& call : calls) {
+    call.committed.Wait(bed.loop());
+  }
+  return (bed.loop()->now() - start).seconds();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E8: import latency vs object size; compression & batching ablations\n");
+
+  BenchTable size_table("Import latency by object size (uncompressed)",
+                        {"network", "256 B", "4 KiB", "32 KiB", "256 KiB"});
+  for (const LinkProfile& profile : LinkProfile::PaperNetworks()) {
+    std::vector<std::string> row = {profile.name};
+    for (size_t bytes : {size_t{256}, size_t{4096}, size_t{32768}, size_t{262144}}) {
+      row.push_back(FmtSeconds(ImportOnce(profile, bytes, false)));
+    }
+    size_table.AddRow(row);
+  }
+  size_table.Print();
+
+  BenchTable comp_table("Compression ablation: 32 KiB text-like object",
+                        {"network", "uncompressed", "compressed", "speedup"});
+  for (const LinkProfile& profile : LinkProfile::PaperNetworks()) {
+    const double plain = ImportOnce(profile, 32768, false);
+    const double packed = ImportOnce(profile, 32768, true);
+    comp_table.AddRow({profile.name, FmtSeconds(plain), FmtSeconds(packed),
+                       FmtRatio(plain / packed)});
+  }
+  comp_table.Print();
+
+  BenchTable commit_table(
+      "Group-commit ablation: time to durably queue a burst of QRPCs",
+      {"burst size", "serial flushes", "group commit", "speedup"});
+  for (int burst : {4, 16, 64}) {
+    const double serial = CommitBurst(burst, false);
+    const double grouped = CommitBurst(burst, true);
+    commit_table.AddRow({FmtCount(static_cast<uint64_t>(burst)), FmtSeconds(serial),
+                         FmtSeconds(grouped), FmtRatio(serial / grouped)});
+  }
+  commit_table.Print();
+
+  std::printf(
+      "\nShape check: import time scales with size/bandwidth once past the\n"
+      "fixed RPC cost; compression buys ~the compression ratio on dial-up\n"
+      "links and little on Ethernet. Group commit collapses a burst's N\n"
+      "serial log syncs to ~2, recovering the optimization the paper's\n"
+      "prototype left out (§5.2, citing Hagmann's group commit).\n");
+  return 0;
+}

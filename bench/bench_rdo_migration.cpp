@@ -1,0 +1,149 @@
+// E4 -- RDO migration for interactive applications (paper §7 claim 4).
+//
+// "Migrating RDOs provides Rover applications with excellent performance
+// over moderate bandwidth links (e.g., 14.4 Kbit/s dial-up lines) and in
+// disconnected operation."
+//
+// Workload: an Ical-style interactive session -- 40 calendar operations
+// (70% lookups, 30% bookings) with 500 ms of user think time between
+// operations. Three placements:
+//   * server   : every operation is an RPC (X-over-the-network style);
+//   * client   : the calendar RDO is imported once, operations run
+//                locally, one export commits at the end;
+//   * adaptive : Rover's migration policy decides.
+// The table reports total user-visible wait (excluding think time).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include <optional>
+
+#include "src/apps/calendar.h"
+#include "src/core/toolkit.h"
+
+using namespace rover;
+
+namespace {
+
+struct SessionResult {
+  double wait_s = 0;        // user-visible waiting, excluding think time
+  double import_s = 0;      // one-time import cost (client/adaptive)
+  bool completed = false;   // false when ops blocked forever (disconnected RPC)
+  uint64_t local = 0;
+  uint64_t remote = 0;
+};
+
+SessionResult RunSession(const LinkProfile* profile, MigrationPolicy::Mode mode,
+                         bool disconnect_midway,
+                         std::optional<ExecutionSite> force_site = std::nullopt) {
+  Testbed bed;
+  CreateCalendar(bed.server(), "adj");
+
+  std::unique_ptr<ConnectivitySchedule> schedule;
+  if (disconnect_midway) {
+    schedule = std::make_unique<IntervalConnectivity>(
+        std::vector<IntervalConnectivity::Interval>{
+            {TimePoint::Epoch(), TimePoint::Epoch() + Duration::Seconds(30)}});
+  }
+  ClientNodeOptions options;
+  options.access.migration.mode = mode;
+  RoverClientNode* client = bed.AddClient(
+      "laptop", profile != nullptr ? *profile : LinkProfile::WaveLan2(),
+      std::move(schedule), options);
+  CalendarApp cal(bed.loop(), client, "adj");
+
+  SessionResult result;
+  const TimePoint import_start = bed.loop()->now();
+  auto open = cal.Open();
+  if (!open.Wait(bed.loop())) {
+    return result;
+  }
+  result.import_s = (bed.loop()->now() - import_start).seconds();
+
+  if (disconnect_midway) {
+    bed.loop()->RunUntil(TimePoint::Epoch() + Duration::Seconds(60));
+  }
+
+  Rng rng(11);
+  const int kOps = 40;
+  for (int i = 0; i < kOps; ++i) {
+    const std::string slot = "day" + std::to_string(rng.NextBelow(7)) + "-slot" +
+                             std::to_string(rng.NextBelow(16));
+    const TimePoint start = bed.loop()->now();
+    Promise<InvokeResult> op;
+    if (force_site.has_value()) {
+      InvokeOptions opts;
+      opts.force_site = force_site;
+      op = rng.NextBool(0.7)
+               ? client->access()->Invoke(cal.object_name(), "lookup", {slot}, opts)
+               : client->access()->Invoke(cal.object_name(), "book",
+                                          {slot, "mtg-" + std::to_string(i)}, opts);
+    } else {
+      op = rng.NextBool(0.7) ? cal.Lookup(slot)
+                             : cal.Book(slot, "mtg-" + std::to_string(i));
+    }
+    // An op that cannot complete (RPC while disconnected forever) would
+    // hang; bound the wait.
+    if (!op.WaitUntil(bed.loop(), start + Duration::Seconds(3600))) {
+      return result;  // completed=false
+    }
+    if (!op.ready()) {
+      return result;
+    }
+    result.wait_s += (bed.loop()->now() - start).seconds();
+    bed.loop()->RunFor(Duration::Millis(500));  // think time
+  }
+  // Commit tentative bookings (not charged to interactive wait; it runs in
+  // the background exactly as Rover intends).
+  cal.Sync();
+  bed.loop()->RunFor(Duration::Seconds(5));
+
+  result.local = client->access()->stats().local_invokes;
+  result.remote = client->access()->stats().remote_invokes;
+  result.completed = true;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E4: RDO migration for an interactive calendar (paper §7 claim 4)\n");
+  std::printf("workload: 40 ops (70%% lookup / 30%% book), 500 ms think time\n");
+
+  BenchTable table("Total user-visible wait for the session",
+                   {"network", "exec at server", "exec at client (import+ops)",
+                    "adaptive", "adaptive split (local/remote)"});
+  for (const LinkProfile& profile : LinkProfile::PaperNetworks()) {
+    SessionResult server = RunSession(&profile, MigrationPolicy::Mode::kAlwaysServer, false);
+    SessionResult client = RunSession(&profile, MigrationPolicy::Mode::kAlwaysClient, false);
+    SessionResult adaptive = RunSession(&profile, MigrationPolicy::Mode::kAdaptive, false);
+    char client_cell[64];
+    std::snprintf(client_cell, sizeof(client_cell), "%s (+%s import)",
+                  FmtSeconds(client.wait_s).c_str(), FmtSeconds(client.import_s).c_str());
+    char split[32];
+    std::snprintf(split, sizeof(split), "%llu/%llu",
+                  (unsigned long long)adaptive.local, (unsigned long long)adaptive.remote);
+    table.AddRow({profile.name, FmtSeconds(server.wait_s), client_cell,
+                  FmtSeconds(adaptive.wait_s), split});
+  }
+  table.Print();
+
+  // Disconnection mid-session: import happens while connected, then the
+  // network goes away for good at t=30s.
+  BenchTable offline("Disconnection after 30 s (WaveLAN import window)",
+                     {"placement", "session outcome", "user-visible wait"});
+  for (auto site : {ExecutionSite::kServer, ExecutionSite::kClient}) {
+    SessionResult r = RunSession(nullptr, MigrationPolicy::Mode::kAdaptive, true, site);
+    offline.AddRow({ExecutionSiteName(site),
+                    r.completed ? "completed" : "BLOCKED (ops wait for network)",
+                    r.completed ? FmtSeconds(r.wait_s) : "-"});
+  }
+  offline.Print();
+
+  std::printf(
+      "\nShape check: server execution wins (slightly) on Ethernet; client\n"
+      "execution wins decisively at 14.4/2.4 Kbit/s once the one-time\n"
+      "import is amortized, and is the only placement that works\n"
+      "disconnected. The adaptive policy tracks the better column.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// E10 -- network scheduler ablation: priority queues vs. FIFO.
+//
+// Paper §5.3: "The implementation of the network scheduler has several
+// queues for different priorities and it chooses a network interface based
+// on availability and quality." This harness quantifies both halves:
+//
+//   1. Priorities: a foreground (user-visible) RPC issued while background
+//      prefetch traffic is queued. With priority queues the user request
+//      jumps the queue; in FIFO it waits behind every queued transfer.
+//   2. Interface selection: a host with both a dial-up and a WaveLAN link,
+//      where WaveLAN is intermittently available -- the scheduler should
+//      use the better link whenever it is up.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/toolkit.h"
+
+using namespace rover;
+
+namespace {
+
+// Foreground latency with N queued background messages ahead of it.
+// `use_priorities` false = tag everything foreground (FIFO behaviour).
+double ForegroundLatency(const LinkProfile& profile, int background_messages,
+                         bool use_priorities) {
+  Testbed bed;
+  bed.server()->qrpc()->RegisterHandler(
+      "null", [](const RpcRequestBody&, const Message&, QrpcServer::Responder respond) {
+        respond(RpcResponseBody{});
+      });
+  RoverClientNode* client = bed.AddClient(
+      "mobile", profile,
+      std::make_unique<PeriodicConnectivity>(Duration::Seconds(1e7), Duration::Zero(),
+                                             TimePoint::Epoch() + Duration::Seconds(10)));
+  // While the link is still down, queue background traffic...
+  for (int i = 0; i < background_messages; ++i) {
+    QrpcCallOptions opts;
+    opts.priority = use_priorities ? Priority::kBackground : Priority::kForeground;
+    opts.log_request = false;
+    client->qrpc()->Call("server", "null", {std::string(2048, 'b')}, opts);
+  }
+  // ...the link comes up at t=10 s and the queue starts draining; the
+  // user clicks one second later, mid-drain.
+  bed.loop()->RunUntil(TimePoint::Epoch() + Duration::Seconds(11));
+  // ...then the user acts.
+  QrpcCallOptions fg;
+  fg.priority = Priority::kForeground;
+  fg.log_request = false;
+  const TimePoint start = bed.loop()->now();
+  QrpcCall call = client->qrpc()->Call("server", "null", {std::string("click")}, fg);
+  call.result.Wait(bed.loop());
+  return (bed.loop()->now() - start).seconds();
+}
+
+// Time to move a payload when a second (better) interface flaps in and out.
+double TwoLinkTransfer(bool with_wavelan) {
+  Testbed bed;
+  bed.server()->qrpc()->RegisterHandler(
+      "sink", [](const RpcRequestBody&, const Message&, QrpcServer::Responder respond) {
+        respond(RpcResponseBody{});
+      });
+  RoverClientNode* client = bed.AddClient("mobile", LinkProfile::Cslip144());
+  if (with_wavelan) {
+    // WaveLAN available 30 s out of every 60 s.
+    bed.AddLink("mobile", "server", LinkProfile::WaveLan2(),
+                std::make_unique<PeriodicConnectivity>(Duration::Seconds(30),
+                                                       Duration::Seconds(30)));
+  }
+  std::vector<QrpcCall> calls;
+  for (int i = 0; i < 20; ++i) {
+    QrpcCallOptions opts;
+    opts.log_request = false;
+    calls.push_back(client->qrpc()->Call("server", "sink", {std::string(8192, 'd')}, opts));
+  }
+  const TimePoint start = bed.loop()->now();
+  bed.Run();
+  (void)start;
+  double last = 0;
+  for (auto& call : calls) {
+    if (call.result.ready()) {
+      last = std::max(last, call.result.value().completed_at.seconds());
+    }
+  }
+  return last;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E10: network scheduler ablations (paper §5.3)\n");
+
+  BenchTable prio("Foreground RPC latency behind queued background traffic",
+                  {"network", "bg queued", "priority queues", "FIFO", "win"});
+  for (const LinkProfile& profile : {LinkProfile::Cslip144(), LinkProfile::WaveLan2()}) {
+    for (int bg : {8, 32}) {
+      const double with = ForegroundLatency(profile, bg, true);
+      const double without = ForegroundLatency(profile, bg, false);
+      prio.AddRow({profile.name, FmtCount(static_cast<uint64_t>(bg)), FmtSeconds(with),
+                   FmtSeconds(without), FmtRatio(without / with)});
+    }
+  }
+  prio.Print();
+
+  BenchTable iface("Interface selection: 20 x 8 KiB transfers",
+                   {"links available", "completion time"});
+  iface.AddRow({"CSLIP 14.4 only", FmtSeconds(TwoLinkTransfer(false))});
+  iface.AddRow({"+ WaveLAN (up 50% of the time)", FmtSeconds(TwoLinkTransfer(true))});
+  iface.Print();
+
+  std::printf(
+      "\nShape check: with priority queues, a click waits for at most one\n"
+      "in-flight background message; FIFO makes it wait for the whole\n"
+      "queue. The scheduler opportunistically moves bulk data onto the\n"
+      "faster interface whenever its schedule allows, cutting completion\n"
+      "time by roughly the bandwidth ratio during up-periods.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Shared helpers for the experiment harnesses: fixed-width table output
+// (one bench binary regenerates one paper table/figure) and small stat
+// utilities. Every harness prints its experiment id, the workload
+// parameters, and then rows shaped like the paper's.
+
+#ifndef ROVER_BENCH_BENCH_UTIL_H_
+#define ROVER_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace rover {
+
+class BenchTable {
+ public:
+  BenchTable(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::vector<size_t> widths(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = columns_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) {
+          widths[c] = std::max(widths[c], row[c].size());
+        }
+      }
+    }
+    std::printf("\n%s\n", title_.c_str());
+    PrintRule(widths);
+    PrintRow(columns_, widths);
+    PrintRule(widths);
+    for (const auto& row : rows_) {
+      PrintRow(row, widths);
+    }
+    PrintRule(widths);
+  }
+
+ private:
+  static void PrintRule(const std::vector<size_t>& widths) {
+    std::printf("+");
+    for (size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) {
+        std::printf("-");
+      }
+      std::printf("+");
+    }
+    std::printf("\n");
+  }
+
+  static void PrintRow(const std::vector<std::string>& cells,
+                       const std::vector<size_t>& widths) {
+    std::printf("|");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string FmtSeconds(double s) {
+  char buf[64];
+  if (s >= 10) {
+    std::snprintf(buf, sizeof(buf), "%.1f s", s);
+  } else if (s >= 0.1) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", s * 1e6);
+  }
+  return buf;
+}
+
+inline std::string FmtRatio(double r) {
+  char buf[64];
+  if (r >= 100) {
+    std::snprintf(buf, sizeof(buf), "%.0fx", r);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fx", r);
+  }
+  return buf;
+}
+
+inline std::string FmtPercent(double p) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", p * 100);
+  return buf;
+}
+
+inline std::string FmtBytes(size_t b) {
+  char buf[64];
+  if (b >= 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", static_cast<double>(b) / (1024 * 1024));
+  } else if (b >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", static_cast<double>(b) / 1024);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu B", b);
+  }
+  return buf;
+}
+
+inline std::string FmtCount(uint64_t n) { return std::to_string(n); }
+
+inline double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0;
+  }
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+inline double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) {
+    return 0;
+  }
+  std::sort(xs.begin(), xs.end());
+  const double idx = p * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1 - frac) + xs[hi] * frac;
+}
+
+}  // namespace rover
+
+#endif  // ROVER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,96 @@
+// TcLite script runner: executes RDO-style TcLite code outside the
+// toolkit, for developing and debugging object methods.
+//
+//   $ ./tclite_run script.tcl        # run a file
+//   $ echo 'puts [expr {6*7}]' | ./tclite_run   # or stdin
+//
+// The interpreter runs with the same sandbox limits RDOs get, plus the
+// rover-* host commands stubbed for standalone use. With no input, runs a
+// small self-demonstration.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/tclite/interp.h"
+
+using namespace rover;
+
+namespace {
+
+constexpr char kDemo[] = R"(
+# A taste of TcLite: the language RDOs are written in.
+proc fib {n} {
+  if {$n < 2} { return $n }
+  return [expr {[fib [expr {$n - 1}]] + [fib [expr {$n - 2}]]}]
+}
+puts "fib(15) = [fib 15]"
+
+set calendar [dict set {} mon-10am "design review"]
+set calendar [dict set $calendar tue-2pm "SOSP dry run"]
+foreach slot [dict keys $calendar] {
+  puts "$slot -> [dict get $calendar $slot]"
+}
+
+set msgs {}
+for {set i 0} {$i < 3} {incr i} { lappend msgs "message-$i" }
+puts "inbox: [join $msgs {, }]"
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "tclite_run: cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  } else if (!isatty(0)) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    source = buffer.str();
+  }
+  if (source.empty()) {
+    source = kDemo;
+    std::printf("(no script given; running the built-in demo)\n\n");
+  }
+
+  ExecLimits limits;
+  limits.max_commands = 10'000'000;
+  Interp interp(limits);
+  // Standalone stubs for the host commands RDOs see inside the toolkit.
+  interp.RegisterCommand("rover-host", [](Interp*, const std::vector<std::string>&) {
+    return EvalResult::Ok("standalone");
+  });
+  interp.RegisterCommand("rover-now", [](Interp*, const std::vector<std::string>&) {
+    return EvalResult::Ok("0");
+  });
+  interp.RegisterCommand("rover-log", [](Interp* i, const std::vector<std::string>& args) {
+    for (size_t k = 1; k < args.size(); ++k) {
+      std::fprintf(stderr, "%s%s", k > 1 ? " " : "[rover-log] ", args[k].c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return EvalResult::Ok();
+  });
+
+  auto result = interp.Run(source);
+  std::fputs(interp.TakeOutput().c_str(), stdout);
+  if (!result.ok()) {
+    std::fprintf(stderr, "tclite_run: error: %s\n",
+                 std::string(result.status().message()).c_str());
+    return 1;
+  }
+  if (!result->empty()) {
+    std::printf("=> %s\n", result->c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Non-blocking Web browsing over a slow link (Rover proxy, paper §6.3).
+//
+// Compares three browser configurations over a 14.4 Kbit/s dial-up line on
+// the same scripted browsing session:
+//   1. blocking      -- conventional browser, one request at a time
+//   2. click-ahead   -- Rover proxy queues requests; user keeps clicking
+//   3. + prefetch    -- proxy also prefetches linked pages
+//
+//   $ ./web_clickahead
+
+#include <cstdio>
+
+#include "src/apps/web.h"
+#include "src/core/toolkit.h"
+
+using namespace rover;
+
+namespace {
+
+BrowseSessionResult RunSession(const LinkProfile& profile, bool click_ahead,
+                               bool prefetch) {
+  Testbed bed;
+  SyntheticWebOptions web;
+  web.page_count = 80;
+  web.mean_content_bytes = 4096;
+  BuildSyntheticWeb(bed.server(), web);
+
+  RoverClientNode* node = bed.AddClient("laptop", profile);
+  BrowserProxyOptions popts;
+  popts.click_ahead = click_ahead;
+  popts.prefetch_links = prefetch;
+  popts.prefetch_fanout = 8;
+  BrowserProxy proxy(bed.loop(), node, popts);
+
+  BrowseSessionOptions sopts;
+  sopts.clicks = 25;
+  sopts.think_time_mean = Duration::Seconds(12);
+  sopts.seed = 42;
+  BrowseSession session(bed.loop(), &proxy, sopts);
+  auto done = session.Run("page/0");
+  bed.Run();
+  return done.value();
+}
+
+void Report(const char* label, const BrowseSessionResult& r) {
+  const double avg =
+      r.pages_visited > 0 ? r.total_latency.seconds() / (double)r.pages_visited : 0;
+  std::printf("  %-22s pages=%2zu hits=%2zu  avg user wait=%6.2fs  session=%6.1fs\n",
+              label, r.pages_visited, r.cache_hits, avg, r.session_duration.seconds());
+}
+
+}  // namespace
+
+int main() {
+  for (const LinkProfile& profile :
+       {LinkProfile::WaveLan2(), LinkProfile::Cslip144()}) {
+    std::printf("Browsing 25 clicks over %s:\n", profile.name.c_str());
+    Report("blocking browser", RunSession(profile, false, false));
+    Report("click-ahead proxy", RunSession(profile, true, false));
+    Report("click-ahead+prefetch", RunSession(profile, true, true));
+  }
+  std::printf("\nClick-ahead lets requests overlap instead of blocking the user;\n"
+              "idle-time prefetch turns think time into cache hits. The win\n"
+              "depends on page airtime vs. think time: on WaveLAN a page ships\n"
+              "in milliseconds, so nearly every click hits the cache; at\n"
+              "14.4 Kbit/s (~2.3s per page) prefetch only pays off when users\n"
+              "dwell longer than a page's transfer time -- which is why the\n"
+              "paper's proxy gates prefetching on a user-specified delay\n"
+              "threshold. bench_web_proxy sweeps this trade-off.\n");
+  return 0;
+}

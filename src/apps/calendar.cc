@@ -1,0 +1,122 @@
+#include "src/apps/calendar.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/tclite/value.h"
+
+namespace rover {
+
+const char kCalendarCode[] = R"(
+proc book {slot what} {
+  global state
+  if {[dict exists $state $slot]} { error "slot $slot already booked" }
+  set state [dict set $state $slot $what]
+  return booked
+}
+proc cancel {slot} {
+  global state
+  if {![dict exists $state $slot]} { return 0 }
+  set new {}
+  foreach {k v} $state {
+    if {$k ne $slot} { set new [dict set $new $k $v] }
+  }
+  set state $new
+  return 1
+}
+proc lookup {slot} {
+  global state
+  if {[dict exists $state $slot]} { return [dict get $state $slot] }
+  return ""
+}
+proc slots {} { global state; return [dict keys $state] }
+proc agenda {prefix} {
+  global state
+  set out {}
+  foreach {k v} $state {
+    if {[string match "$prefix*" $k]} { lappend out "$k $v" }
+  }
+  return [join $out "\n"]
+}
+proc free {slot} {
+  global state
+  if {[dict exists $state $slot]} { return 0 }
+  return 1
+}
+)";
+
+std::string CalendarObject(const std::string& name) { return "cal/" + name; }
+
+Status CreateCalendar(RoverServerNode* server, const std::string& name) {
+  return server->store()->Create(
+      MakeRdo(CalendarObject(name), "calendar", kCalendarCode, ""));
+}
+
+CalendarApp::CalendarApp(EventLoop* loop, RoverClientNode* node, std::string calendar_name)
+    : loop_(loop), node_(node), object_(CalendarObject(calendar_name)) {}
+
+Promise<ImportResult> CalendarApp::Open() { return node_->access()->Import(object_); }
+
+Promise<InvokeResult> CalendarApp::Book(const std::string& slot, const std::string& what) {
+  ++stats_.bookings;
+  return node_->access()->Invoke(object_, "book", {slot, what});
+}
+
+Promise<InvokeResult> CalendarApp::Cancel(const std::string& slot) {
+  ++stats_.cancellations;
+  return node_->access()->Invoke(object_, "cancel", {slot});
+}
+
+Promise<InvokeResult> CalendarApp::Lookup(const std::string& slot) {
+  ++stats_.lookups;
+  return node_->access()->Invoke(object_, "lookup", {slot});
+}
+
+Result<std::vector<std::string>> CalendarApp::Slots() const {
+  ROVER_ASSIGN_OR_RETURN(std::string data, node_->access()->ReadData(object_));
+  ROVER_ASSIGN_OR_RETURN(auto kv, TclListSplit(data));
+  std::vector<std::string> slots;
+  for (size_t i = 0; i + 1 < kv.size(); i += 2) {
+    slots.push_back(kv[i]);
+  }
+  return slots;
+}
+
+Promise<ExportResult> CalendarApp::Sync(Priority priority) {
+  Promise<ExportResult> promise = node_->access()->Export(object_, priority);
+  promise.OnReady([this](const ExportResult& r) {
+    if (r.status.code() == StatusCode::kConflict) {
+      ++stats_.sync_conflicts;
+    }
+  });
+  return promise;
+}
+
+Result<std::vector<std::string>> CalendarApp::ConflictingSlots() const {
+  // A failed Sync refreshes the committed view, so "same slot, different
+  // value" between tentative and committed identifies the double-bookings
+  // the resolver could not merge.
+  ROVER_ASSIGN_OR_RETURN(std::string tentative, node_->access()->ReadData(object_));
+  ROVER_ASSIGN_OR_RETURN(std::string committed, node_->access()->ReadCommittedData(object_));
+  ROVER_ASSIGN_OR_RETURN(auto tentative_kv, TclListSplit(tentative));
+  ROVER_ASSIGN_OR_RETURN(auto committed_kv, TclListSplit(committed));
+  std::map<std::string, std::string> committed_map;
+  for (size_t i = 0; i + 1 < committed_kv.size(); i += 2) {
+    committed_map[committed_kv[i]] = committed_kv[i + 1];
+  }
+  std::vector<std::string> slots;
+  for (size_t i = 0; i + 1 < tentative_kv.size(); i += 2) {
+    auto it = committed_map.find(tentative_kv[i]);
+    if (it != committed_map.end() && it->second != tentative_kv[i + 1]) {
+      slots.push_back(tentative_kv[i]);
+    }
+  }
+  return slots;
+}
+
+bool CalendarApp::HasPendingChanges() const {
+  return node_->access()->IsTentative(object_);
+}
+
+}  // namespace rover

@@ -1,0 +1,74 @@
+// Rover Ical analogue (paper §6.2): a distributed calendar whose GUI-side
+// logic is an RDO that migrates to the client. Appointments live in a
+// calendar-typed object (dict slot -> entry) whose resolver merges
+// non-overlapping bookings and reports genuine double-bookings back to the
+// application as tentative data the user must fix.
+
+#ifndef ROVER_SRC_APPS_CALENDAR_H_
+#define ROVER_SRC_APPS_CALENDAR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/toolkit.h"
+
+namespace rover {
+
+// The calendar RDO's TcLite code (book/cancel/lookup/slots/agenda/free).
+extern const char kCalendarCode[];
+
+std::string CalendarObject(const std::string& name);
+
+// Creates a calendar object on the server.
+Status CreateCalendar(RoverServerNode* server, const std::string& name);
+
+class CalendarApp {
+ public:
+  struct Stats {
+    uint64_t bookings = 0;
+    uint64_t cancellations = 0;
+    uint64_t lookups = 0;
+    uint64_t sync_conflicts = 0;  // exports rejected as unresolvable
+  };
+
+  CalendarApp(EventLoop* loop, RoverClientNode* node, std::string calendar_name);
+
+  // Loads the calendar into the cache.
+  Promise<ImportResult> Open();
+
+  // Books `slot` (tentative until Sync). The invocation runs wherever the
+  // migration policy says -- this is experiment E4's knob.
+  Promise<InvokeResult> Book(const std::string& slot, const std::string& what);
+
+  Promise<InvokeResult> Cancel(const std::string& slot);
+
+  // Reads a slot (local when cached; round trip otherwise).
+  Promise<InvokeResult> Lookup(const std::string& slot);
+
+  // All booked slots, from the local replica.
+  Result<std::vector<std::string>> Slots() const;
+
+  // Exports tentative bookings to the home server. On an unresolvable
+  // conflict the local data stays tentative and sync_conflicts increments;
+  // the conflicting slots can be inspected via ConflictingSlots.
+  Promise<ExportResult> Sync(Priority priority = Priority::kDefault);
+
+  // Slots whose local tentative value differs from the server's committed
+  // value (available after a failed Sync refreshed the committed view).
+  Result<std::vector<std::string>> ConflictingSlots() const;
+
+  bool HasPendingChanges() const;
+
+  const Stats& stats() const { return stats_; }
+  const std::string& object_name() const { return object_; }
+
+ private:
+  EventLoop* loop_;
+  RoverClientNode* node_;
+  std::string object_;
+  Stats stats_;
+};
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_APPS_CALENDAR_H_

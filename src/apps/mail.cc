@@ -1,0 +1,288 @@
+#include "src/apps/mail.h"
+
+#include <utility>
+
+#include "src/tclite/value.h"
+
+namespace rover {
+
+const char kMailMessageCode[] = R"(
+proc summary {} {
+  global state
+  set flag " "
+  if {[dict get $state read]} { set flag R }
+  return "$flag [dict get $state from]: [dict get $state subject]"
+}
+proc body {} { global state; return [dict get $state body] }
+proc headers {} {
+  global state
+  return "From: [dict get $state from]\nTo: [dict get $state to]\nDate: [dict get $state date]\nSubject: [dict get $state subject]"
+}
+proc mark-read {} { global state; set state [dict set $state read 1]; return 1 }
+proc is-read {} { global state; return [dict get $state read] }
+)";
+
+std::string EncodeMailState(const MailMessage& message) {
+  return TclListJoin({"id", message.id, "from", message.from, "to", message.to,
+                      "subject", message.subject, "date", message.date, "body",
+                      message.body, "read", message.read ? "1" : "0"});
+}
+
+Result<MailMessage> DecodeMailState(const std::string& state) {
+  ROVER_ASSIGN_OR_RETURN(auto kv, TclListSplit(state));
+  if (kv.size() % 2 != 0) {
+    return InvalidArgumentError("mail state is not a dict");
+  }
+  MailMessage message;
+  for (size_t i = 0; i + 1 < kv.size(); i += 2) {
+    const std::string& key = kv[i];
+    const std::string& value = kv[i + 1];
+    if (key == "id") {
+      message.id = value;
+    } else if (key == "from") {
+      message.from = value;
+    } else if (key == "to") {
+      message.to = value;
+    } else if (key == "subject") {
+      message.subject = value;
+    } else if (key == "date") {
+      message.date = value;
+    } else if (key == "body") {
+      message.body = value;
+    } else if (key == "read") {
+      message.read = value == "1";
+    }
+  }
+  return message;
+}
+
+std::string MailFolderObject(const std::string& folder) { return "mail/" + folder; }
+
+std::string MailMessageObject(const std::string& folder, const std::string& id) {
+  return "mail/" + folder + "/msg/" + id;
+}
+
+namespace {
+
+constexpr char kFolderCode[] = R"(
+proc ids {} { global state; return $state }
+proc count {} { global state; return [llength $state] }
+proc remove {id} {
+  global state
+  set i [lsearch $state $id]
+  if {$i < 0} { return 0 }
+  set state [lreplace $state $i $i]
+  return 1
+}
+proc add {id} {
+  global state
+  if {[lsearch $state $id] >= 0} { return 0 }
+  lappend state $id
+  return 1
+}
+)";
+
+}  // namespace
+
+MailService::MailService(RoverServerNode* server) : server_(server) {
+  server_->qrpc()->RegisterHandler(
+      "mail.deliver",
+      [this](const RpcRequestBody& req, const Message&, QrpcServer::Responder respond) {
+        HandleDeliver(req, std::move(respond));
+      });
+}
+
+Status MailService::CreateFolder(const std::string& folder) {
+  return server_->store()->Create(MakeRdo(MailFolderObject(folder), "set", kFolderCode, ""));
+}
+
+Status MailService::DeliverLocal(const std::string& folder, const MailMessage& message) {
+  ObjectStore* store = server_->store();
+  const std::string folder_object = MailFolderObject(folder);
+  if (!store->Exists(folder_object)) {
+    ROVER_RETURN_IF_ERROR(CreateFolder(folder));
+  }
+  const std::string msg_object = MailMessageObject(folder, message.id);
+  if (store->Exists(msg_object)) {
+    return AlreadyExistsError("message " + msg_object + " already delivered");
+  }
+  ROVER_RETURN_IF_ERROR(
+      store->Create(MakeRdo(msg_object, "lww", kMailMessageCode, EncodeMailState(message))));
+  ROVER_ASSIGN_OR_RETURN(RdoDescriptor index, store->Get(folder_object));
+  ROVER_ASSIGN_OR_RETURN(auto ids, TclListSplit(index.data));
+  ids.push_back(message.id);
+  index.data = TclListJoin(ids);
+  ROVER_RETURN_IF_ERROR(store->Put(index).status());
+  ++delivered_;
+  return Status::Ok();
+}
+
+void MailService::HandleDeliver(const RpcRequestBody& req, QrpcServer::Responder respond) {
+  RpcResponseBody body;
+  if (req.args.size() != 2) {
+    body.code = StatusCode::kInvalidArgument;
+    body.error_message = "mail.deliver expects [folder, state]";
+    respond(body);
+    return;
+  }
+  auto folder = RpcValueAsString(req.args[0]);
+  auto state = RpcValueAsString(req.args[1]);
+  if (!folder.ok() || !state.ok()) {
+    body.code = StatusCode::kInvalidArgument;
+    body.error_message = "mail.deliver: bad argument types";
+    respond(body);
+    return;
+  }
+  auto message = DecodeMailState(*state);
+  if (!message.ok()) {
+    body.code = message.status().code();
+    body.error_message = message.status().message();
+    respond(body);
+    return;
+  }
+  Status status = DeliverLocal(*folder, *message);
+  if (!status.ok()) {
+    body.code = status.code();
+    body.error_message = status.message();
+    respond(body);
+    return;
+  }
+  body.result = std::string(message->id);
+  respond(body);
+}
+
+MailReader::MailReader(EventLoop* loop, RoverClientNode* node) : loop_(loop), node_(node) {}
+
+Promise<Result<std::vector<std::string>>> MailReader::OpenFolder(const std::string& folder,
+                                                                 Priority priority) {
+  Promise<Result<std::vector<std::string>>> promise;
+  ImportOptions options;
+  options.priority = priority;
+  auto import = node_->access()->Import(MailFolderObject(folder), options);
+  import.OnReady([this, folder, promise](const ImportResult& r) mutable {
+    if (!r.status.ok()) {
+      promise.Set(r.status);
+      return;
+    }
+    ++stats_.folders_opened;
+    promise.Set(ListMessages(folder));
+  });
+  return promise;
+}
+
+Result<std::vector<std::string>> MailReader::ListMessages(const std::string& folder) const {
+  ROVER_ASSIGN_OR_RETURN(std::string data,
+                         node_->access()->ReadData(MailFolderObject(folder)));
+  return TclListSplit(data);
+}
+
+Promise<Result<std::string>> MailReader::ReadMessage(const std::string& folder,
+                                                     const std::string& id,
+                                                     Priority priority) {
+  Promise<Result<std::string>> promise;
+  const std::string object = MailMessageObject(folder, id);
+  ImportOptions options;
+  options.priority = priority;
+  auto import = node_->access()->Import(object, options);
+  import.OnReady([this, object, promise](const ImportResult& r) mutable {
+    if (!r.status.ok()) {
+      promise.Set(r.status);
+      return;
+    }
+    InvokeOptions invoke_options;
+    invoke_options.force_site = ExecutionSite::kClient;  // it is cached now
+    auto body = node_->access()->Invoke(object, "body", {}, invoke_options);
+    body.OnReady([this, object, promise](const InvokeResult& b) mutable {
+      if (!b.status.ok()) {
+        promise.Set(b.status);
+        return;
+      }
+      ++stats_.messages_read;
+      // Mark read locally; tentative until SyncReadMarks exports it.
+      InvokeOptions mark_options;
+      mark_options.force_site = ExecutionSite::kClient;
+      node_->access()->Invoke(object, "mark-read", {}, mark_options);
+      promise.Set(Result<std::string>(b.value));
+    });
+  });
+  return promise;
+}
+
+Result<std::string> MailReader::Summary(const std::string& folder, const std::string& id) {
+  const std::string object = MailMessageObject(folder, id);
+  if (!node_->access()->HasCached(object)) {
+    return NotFoundError("message not cached: " + object);
+  }
+  InvokeOptions options;
+  options.force_site = ExecutionSite::kClient;
+  auto p = node_->access()->Invoke(object, "summary", {}, options);
+  if (!p.Wait(loop_)) {
+    return InternalError("summary invocation did not complete");
+  }
+  if (!p.value().status.ok()) {
+    return p.value().status;
+  }
+  return p.value().value;
+}
+
+Status MailReader::PrefetchFolder(const std::string& folder) {
+  ROVER_ASSIGN_OR_RETURN(std::vector<std::string> ids, ListMessages(folder));
+  std::vector<std::string> objects;
+  objects.reserve(ids.size());
+  for (const std::string& id : ids) {
+    objects.push_back(MailMessageObject(folder, id));
+  }
+  stats_.prefetched += objects.size();
+  node_->access()->Prefetch(objects);
+  return Status::Ok();
+}
+
+QrpcCall MailReader::Send(const std::string& to_folder, const MailMessage& message) {
+  ++stats_.messages_sent;
+  QrpcCallOptions options;
+  options.priority = Priority::kDefault;
+  return node_->qrpc()->Call(node_->access()->options().server_host, "mail.deliver",
+                             {std::string(to_folder), EncodeMailState(message)}, options);
+}
+
+Status MailReader::DeleteMessage(const std::string& folder, const std::string& id) {
+  const std::string folder_object = MailFolderObject(folder);
+  if (!node_->access()->HasCached(folder_object)) {
+    return FailedPreconditionError("folder not cached: " + folder);
+  }
+  InvokeOptions options;
+  options.force_site = ExecutionSite::kClient;
+  auto p = node_->access()->Invoke(folder_object, "remove", {id}, options);
+  if (!p.Wait(loop_)) {
+    return InternalError("delete invocation did not complete");
+  }
+  if (!p.value().status.ok()) {
+    return p.value().status;
+  }
+  if (p.value().value == "0") {
+    return NotFoundError("message " + id + " not in folder " + folder);
+  }
+  // Drop the cached message body too; the server-side object is garbage
+  // collected out of band (as in the prototype).
+  node_->access()->Evict(MailMessageObject(folder, id));
+  return Status::Ok();
+}
+
+Promise<ExportResult> MailReader::SyncFolder(const std::string& folder, Priority priority) {
+  return node_->access()->Export(MailFolderObject(folder), priority);
+}
+
+void MailReader::SyncReadMarks(const std::string& folder) {
+  auto ids = ListMessages(folder);
+  if (!ids.ok()) {
+    return;
+  }
+  for (const std::string& id : *ids) {
+    const std::string object = MailMessageObject(folder, id);
+    if (node_->access()->IsTentative(object)) {
+      node_->access()->Export(object, Priority::kBackground);
+    }
+  }
+}
+
+}  // namespace rover

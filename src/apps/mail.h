@@ -1,0 +1,122 @@
+// Rover Exmh analogue (paper §6.1): a mail reader built on the toolkit.
+// Folders are set-typed index objects listing message ids; each message is
+// an RDO whose state is a dict (from/subject/date/body/read) with methods
+// for summaries, bodies, and read-marking. Reading works from the cache
+// while disconnected; sending is a queued QRPC that the scheduler delivers
+// on reconnection ("sent" messages leave the user's hands immediately).
+
+#ifndef ROVER_SRC_APPS_MAIL_H_
+#define ROVER_SRC_APPS_MAIL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/toolkit.h"
+
+namespace rover {
+
+struct MailMessage {
+  std::string id;
+  std::string from;
+  std::string to;
+  std::string subject;
+  std::string date;
+  std::string body;
+  bool read = false;
+};
+
+// Message state <-> TcLite dict.
+std::string EncodeMailState(const MailMessage& message);
+Result<MailMessage> DecodeMailState(const std::string& state);
+
+// The message RDO's TcLite code (summary / body / mark-read / is-read).
+extern const char kMailMessageCode[];
+
+// Object naming scheme.
+std::string MailFolderObject(const std::string& folder);
+std::string MailMessageObject(const std::string& folder, const std::string& id);
+
+// Server side: installs the "mail.deliver" QRPC method (creates the
+// message object and adds it to the destination folder index) and seeds
+// folders with messages.
+class MailService {
+ public:
+  explicit MailService(RoverServerNode* server);
+
+  // Creates an empty folder index.
+  Status CreateFolder(const std::string& folder);
+
+  // Stores a message and links it into the folder (server-local, instant).
+  Status DeliverLocal(const std::string& folder, const MailMessage& message);
+
+  uint64_t delivered_count() const { return delivered_; }
+
+ private:
+  void HandleDeliver(const RpcRequestBody& req, QrpcServer::Responder respond);
+
+  RoverServerNode* server_;
+  uint64_t delivered_ = 0;
+};
+
+// Client side: the reader.
+class MailReader {
+ public:
+  struct Stats {
+    uint64_t folders_opened = 0;
+    uint64_t messages_read = 0;
+    uint64_t messages_sent = 0;
+    uint64_t prefetched = 0;
+  };
+
+  MailReader(EventLoop* loop, RoverClientNode* node);
+
+  // Imports the folder index. Resolves with the list of message ids.
+  Promise<Result<std::vector<std::string>>> OpenFolder(const std::string& folder,
+                                                       Priority priority = Priority::kForeground);
+
+  // Message ids of an already-opened (cached) folder.
+  Result<std::vector<std::string>> ListMessages(const std::string& folder) const;
+
+  // Imports the message (if needed) and returns its body; marks it read
+  // locally (a tentative update, exported by SyncReadMarks).
+  Promise<Result<std::string>> ReadMessage(const std::string& folder,
+                                           const std::string& id,
+                                           Priority priority = Priority::kForeground);
+
+  // One-line summary from the cached message (local invoke only).
+  Result<std::string> Summary(const std::string& folder, const std::string& id);
+
+  // Queues a background import of every message in the folder -- the
+  // "fill the cache before undocking" pattern.
+  Status PrefetchFolder(const std::string& folder);
+
+  // Sends a message: a queued QRPC to mail.deliver. `committed` resolves
+  // once the message is safely in the stable log (what the user waits
+  // for); `result` resolves when the server accepts it, possibly after a
+  // long disconnection.
+  QrpcCall Send(const std::string& to_folder, const MailMessage& message);
+
+  // Deletes a message from the folder's index (a tentative, local change;
+  // SyncFolder commits it). Concurrent deliveries merge: the folder index
+  // is set-typed, so a disconnected delete and a server-side delivery of a
+  // different message reconcile automatically.
+  Status DeleteMessage(const std::string& folder, const std::string& id);
+
+  // Exports a tentative folder-index change (deletes) to the server.
+  Promise<ExportResult> SyncFolder(const std::string& folder,
+                                   Priority priority = Priority::kDefault);
+
+  // Exports tentative read-marks for all cached messages in the folder.
+  void SyncReadMarks(const std::string& folder);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  EventLoop* loop_;
+  RoverClientNode* node_;
+  Stats stats_;
+};
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_APPS_MAIL_H_

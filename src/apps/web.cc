@@ -1,0 +1,250 @@
+#include "src/apps/web.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/tclite/value.h"
+
+namespace rover {
+
+const char kWebDocumentCode[] = R"(
+proc title {} { global state; return [dict get $state title] }
+proc content {} { global state; return [dict get $state content] }
+proc links {} { global state; return [dict get $state links] }
+)";
+
+std::string WebObject(const std::string& url) { return "web/" + url; }
+
+std::string EncodeWebState(const WebPage& page) {
+  return TclListJoin(
+      {"title", page.title, "content", page.content, "links", TclListJoin(page.links)});
+}
+
+Result<WebPage> DecodeWebState(const std::string& url, const std::string& state) {
+  ROVER_ASSIGN_OR_RETURN(auto kv, TclListSplit(state));
+  if (kv.size() % 2 != 0) {
+    return InvalidArgumentError("web state is not a dict");
+  }
+  WebPage page;
+  page.url = url;
+  for (size_t i = 0; i + 1 < kv.size(); i += 2) {
+    if (kv[i] == "title") {
+      page.title = kv[i + 1];
+    } else if (kv[i] == "content") {
+      page.content = kv[i + 1];
+    } else if (kv[i] == "links") {
+      ROVER_ASSIGN_OR_RETURN(page.links, TclListSplit(kv[i + 1]));
+    }
+  }
+  return page;
+}
+
+Status BuildSyntheticWeb(RoverServerNode* server, const SyntheticWebOptions& options) {
+  Rng rng(options.seed);
+  for (size_t i = 0; i < options.page_count; ++i) {
+    WebPage page;
+    page.url = "page/" + std::to_string(i);
+    page.title = "Synthetic page " + std::to_string(i);
+    const size_t bytes = static_cast<size_t>(std::max(
+        64.0, rng.NextExponential(static_cast<double>(options.mean_content_bytes))));
+    page.content.reserve(bytes);
+    // Text-like filler: compressible, as HTML is.
+    static const char* kWords[] = {"mobile ", "information ", "access ", "rover ",
+                                   "queued ", "object ", "<p>",     "<a href>"};
+    while (page.content.size() < bytes) {
+      page.content += kWords[rng.NextBelow(8)];
+    }
+    page.content.resize(bytes);
+    const size_t degree = static_cast<size_t>(
+        std::max(1.0, rng.NextExponential(options.mean_out_degree)));
+    for (size_t k = 0; k < degree; ++k) {
+      page.links.push_back("page/" + std::to_string(rng.NextBelow(options.page_count)));
+    }
+    ROVER_RETURN_IF_ERROR(server->store()->Create(
+        MakeRdo(WebObject(page.url), "lww", kWebDocumentCode, EncodeWebState(page))));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> GenerateBrowsePath(RoverServerNode* server,
+                                                    const std::string& start,
+                                                    size_t clicks, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> path;
+  std::string current = start;
+  for (size_t i = 0; i < clicks; ++i) {
+    path.push_back(current);
+    ROVER_ASSIGN_OR_RETURN(RdoDescriptor doc, server->store()->Get(WebObject(current)));
+    ROVER_ASSIGN_OR_RETURN(WebPage page, DecodeWebState(current, doc.data));
+    if (page.links.empty()) {
+      break;
+    }
+    current = page.links[rng.NextBelow(page.links.size())];
+  }
+  return path;
+}
+
+BrowserProxy::BrowserProxy(EventLoop* loop, RoverClientNode* node,
+                           BrowserProxyOptions options)
+    : loop_(loop), node_(node), options_(options) {}
+
+bool BrowserProxy::IsCached(const std::string& url) const {
+  return node_->access()->HasCached(WebObject(url));
+}
+
+Promise<BrowserProxy::PageResult> BrowserProxy::Request(const std::string& url) {
+  ++stats_.requests;
+  Promise<PageResult> promise;
+  if (!options_.click_ahead && blocking_busy_) {
+    blocking_queue_.push_back(QueuedRequest{url, loop_->now(), promise});
+    return promise;
+  }
+  if (!options_.click_ahead) {
+    blocking_busy_ = true;
+  }
+  Fetch(url, loop_->now(), promise);
+  return promise;
+}
+
+void BrowserProxy::Fetch(const std::string& url, TimePoint requested_at,
+                         Promise<PageResult> promise) {
+  const std::string object = WebObject(url);
+  const bool was_cached = node_->access()->HasCached(object);
+  if (was_cached) {
+    ++stats_.cache_hits;
+  } else {
+    ++stats_.fetches;
+  }
+  ImportOptions options;
+  options.priority = Priority::kForeground;
+  auto import = node_->access()->Import(object, options);
+  import.OnReady([this, url, object, requested_at, was_cached,
+                  promise](const ImportResult& r) mutable {
+    PageResult result;
+    result.from_cache = was_cached;
+    result.latency = loop_->now() - requested_at;
+    if (!r.status.ok()) {
+      result.status = r.status;
+    } else {
+      auto data = node_->access()->ReadData(object);
+      if (!data.ok()) {
+        result.status = data.status();
+      } else {
+        auto page = DecodeWebState(url, *data);
+        if (!page.ok()) {
+          result.status = page.status();
+        } else {
+          result.page = std::move(*page);
+          MaybePrefetch(result.page);
+        }
+      }
+    }
+    if (!options_.click_ahead) {
+      blocking_busy_ = false;
+      // Defer so the current promise's waiters run first.
+      loop_->ScheduleAfter(Duration::Zero(), [this] { PumpBlockingQueue(); });
+    }
+    promise.Set(std::move(result));
+  });
+}
+
+void BrowserProxy::PumpBlockingQueue() {
+  if (blocking_busy_ || blocking_queue_.empty()) {
+    return;
+  }
+  QueuedRequest next = blocking_queue_.front();
+  blocking_queue_.pop_front();
+  blocking_busy_ = true;
+  Fetch(next.url, next.requested_at, next.promise);
+}
+
+void BrowserProxy::MaybePrefetch(const WebPage& page) {
+  if (!options_.prefetch_links) {
+    return;
+  }
+  if (node_->access()->BestBandwidthBps() < options_.min_prefetch_bandwidth_bps) {
+    return;
+  }
+  std::vector<std::string> objects;
+  for (const std::string& link : page.links) {
+    if (objects.size() >= options_.prefetch_fanout) {
+      break;
+    }
+    if (!IsCached(link)) {
+      objects.push_back(WebObject(link));
+    }
+  }
+  stats_.prefetches += objects.size();
+  node_->access()->Prefetch(objects);
+}
+
+BrowseSession::BrowseSession(EventLoop* loop, BrowserProxy* proxy,
+                             BrowseSessionOptions options)
+    : loop_(loop), proxy_(proxy), options_(options), rng_(options.seed) {}
+
+Promise<BrowseSessionResult> BrowseSession::Run(const std::string& start_url) {
+  clicks_left_ = options_.clicks;
+  session_start_ = loop_->now();
+  last_arrival_ = session_start_;
+  current_links_ = {start_url};
+  Step();
+  return done_;
+}
+
+Promise<BrowseSessionResult> BrowseSession::RunPath(std::vector<std::string> path) {
+  fixed_path_ = std::move(path);
+  clicks_left_ = fixed_path_.size();
+  session_start_ = loop_->now();
+  last_arrival_ = session_start_;
+  Step();
+  return done_;
+}
+
+void BrowseSession::Step() {
+  if (clicks_left_ == 0 || (fixed_path_.empty() && current_links_.empty())) {
+    stepping_done_ = true;
+    if (outstanding_ == 0) {
+      Finish();
+    }
+    return;
+  }
+  --clicks_left_;
+  const std::string url =
+      fixed_path_.empty() ? current_links_[rng_.NextBelow(current_links_.size())]
+                          : fixed_path_[path_index_++];
+  ++outstanding_;
+  auto page = proxy_->Request(url);
+  page.OnReady([this](const BrowserProxy::PageResult& r) {
+    --outstanding_;
+    last_arrival_ = loop_->now();
+    if (r.status.ok()) {
+      ++result_.pages_visited;
+      if (r.from_cache) {
+        ++result_.cache_hits;
+      }
+      result_.total_latency += r.latency;
+      result_.latencies_seconds.push_back(r.latency.seconds());
+      if (!r.page.links.empty()) {
+        current_links_ = r.page.links;  // user now sees this page's links
+      }
+    }
+    if (stepping_done_ && outstanding_ == 0) {
+      Finish();
+    }
+  });
+  // Think, then click again. With click-ahead the next click happens even
+  // if this page has not arrived; without it the proxy serializes fetches.
+  const Duration think =
+      Duration::Seconds(rng_.NextExponential(options_.think_time_mean.seconds()));
+  loop_->ScheduleAfter(think, [this] { Step(); });
+}
+
+void BrowseSession::Finish() {
+  if (done_.ready()) {
+    return;
+  }
+  result_.session_duration = last_arrival_ - session_start_;
+  done_.Set(result_);
+}
+
+}  // namespace rover

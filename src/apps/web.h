@@ -1,0 +1,172 @@
+// Rover Web browser proxy (paper §6.3): a non-blocking front end for
+// existing browsers. A page request returns immediately from the cache
+// when possible; on a miss the proxy queues a QRPC and lets the user keep
+// clicking ahead of the arrived data. When a page arrives, pages it links
+// to can be prefetched in the background. Documents are lww-typed RDOs
+// whose state is a dict {title, content, links}.
+//
+// SyntheticWeb builds the workload: a deterministic random site graph with
+// configurable page-size and out-degree distributions, standing in for the
+// real WWW the paper browsed.
+
+#ifndef ROVER_SRC_APPS_WEB_H_
+#define ROVER_SRC_APPS_WEB_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/core/toolkit.h"
+#include "src/util/rng.h"
+
+namespace rover {
+
+extern const char kWebDocumentCode[];
+
+std::string WebObject(const std::string& url);
+
+struct WebPage {
+  std::string url;
+  std::string title;
+  std::string content;
+  std::vector<std::string> links;  // urls
+};
+
+std::string EncodeWebState(const WebPage& page);
+Result<WebPage> DecodeWebState(const std::string& url, const std::string& state);
+
+// Generates a deterministic site: `page_count` pages named page/0..n-1,
+// each with `mean_out_degree` links and exponentially distributed content
+// around `mean_content_bytes`, installed into the server's store.
+struct SyntheticWebOptions {
+  size_t page_count = 100;
+  double mean_out_degree = 6.0;
+  size_t mean_content_bytes = 6 * 1024;
+  uint64_t seed = 1995;
+};
+Status BuildSyntheticWeb(RoverServerNode* server, const SyntheticWebOptions& options);
+
+// Deterministic random walk over the stored site graph (using the server's
+// authoritative link structure), independent of any client's fetch timing.
+// Produces `clicks` URLs starting from `start`.
+Result<std::vector<std::string>> GenerateBrowsePath(RoverServerNode* server,
+                                                    const std::string& start,
+                                                    size_t clicks, uint64_t seed);
+
+struct BrowserProxyOptions {
+  // Click-ahead: allow new requests while earlier ones are outstanding.
+  // When false the proxy behaves like a conventional blocking browser
+  // front end (one request at a time) -- the E6 baseline.
+  bool click_ahead = true;
+  // Prefetch pages linked from each arrived page.
+  bool prefetch_links = false;
+  size_t prefetch_fanout = 4;  // links per page to prefetch
+  // Skip prefetching when the best current link is slower than this: on a
+  // link where one page's airtime exceeds a think gap, prefetch traffic
+  // delays foreground clicks more than the hits it earns (the paper gates
+  // prefetching on a user-specified delay threshold for the same reason).
+  double min_prefetch_bandwidth_bps = 0;
+};
+
+struct BrowserProxyStats {
+  uint64_t requests = 0;
+  uint64_t cache_hits = 0;
+  uint64_t fetches = 0;
+  uint64_t prefetches = 0;
+};
+
+class BrowserProxy {
+ public:
+  struct PageResult {
+    Status status;
+    WebPage page;
+    bool from_cache = false;
+    Duration latency;  // request -> page available
+  };
+
+  BrowserProxy(EventLoop* loop, RoverClientNode* node, BrowserProxyOptions options = {});
+
+  // Requests a page. With click_ahead, returns a promise immediately even
+  // while other requests are outstanding; without it, issuing a request
+  // while one is outstanding queues it behind the first (FIFO), modelling
+  // a blocking browser.
+  Promise<PageResult> Request(const std::string& url);
+
+  bool IsCached(const std::string& url) const;
+
+  const BrowserProxyStats& stats() const { return stats_; }
+
+ private:
+  void Fetch(const std::string& url, TimePoint requested_at, Promise<PageResult> promise);
+  void MaybePrefetch(const WebPage& page);
+  void PumpBlockingQueue();
+
+  EventLoop* loop_;
+  RoverClientNode* node_;
+  BrowserProxyOptions options_;
+  BrowserProxyStats stats_;
+  struct QueuedRequest {
+    std::string url;
+    TimePoint requested_at;  // user-perceived latency starts here
+    Promise<PageResult> promise;
+  };
+  bool blocking_busy_ = false;
+  std::deque<QueuedRequest> blocking_queue_;
+};
+
+// A scripted user: random-walks the link graph with think time between
+// clicks, recording per-click user-perceived latency. The user "perceives"
+// a page as soon as its promise resolves; with click-ahead the user clicks
+// links from the most recent *visible* page without waiting for earlier
+// misses.
+struct BrowseSessionOptions {
+  size_t clicks = 30;
+  Duration think_time_mean = Duration::Seconds(3);
+  uint64_t seed = 7;
+};
+
+struct BrowseSessionResult {
+  size_t pages_visited = 0;
+  size_t cache_hits = 0;
+  Duration total_latency;      // sum of user-perceived waits
+  Duration session_duration;   // first click -> last page arrival
+  std::vector<double> latencies_seconds;
+};
+
+class BrowseSession {
+ public:
+  BrowseSession(EventLoop* loop, BrowserProxy* proxy, BrowseSessionOptions options);
+
+  // Starts at `start_url`; resolves when the scripted session finishes.
+  // The user clicks a random link of the most recently *arrived* page.
+  Promise<BrowseSessionResult> Run(const std::string& start_url);
+
+  // Replays a fixed URL sequence (one request per think gap) instead of a
+  // live random walk. Use this to compare proxy configurations on an
+  // identical workload -- a random walk diverges as soon as arrival
+  // timing differs.
+  Promise<BrowseSessionResult> RunPath(std::vector<std::string> path);
+
+ private:
+  void Step();
+  void Finish();
+
+  EventLoop* loop_;
+  BrowserProxy* proxy_;
+  BrowseSessionOptions options_;
+  Rng rng_;
+  Promise<BrowseSessionResult> done_;
+  BrowseSessionResult result_;
+  std::vector<std::string> current_links_;
+  std::vector<std::string> fixed_path_;  // non-empty in RunPath mode
+  size_t path_index_ = 0;
+  size_t clicks_left_ = 0;
+  size_t outstanding_ = 0;
+  bool stepping_done_ = false;
+  TimePoint session_start_;
+  TimePoint last_arrival_;
+};
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_APPS_WEB_H_

@@ -1,0 +1,77 @@
+#include "src/apps/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rover {
+
+ZipfSampler::ZipfSampler(size_t n, double s, uint64_t seed) : rng_(seed) {
+  cdf_.resize(std::max<size_t>(n, 1));
+  double total = 0;
+  for (size_t r = 0; r < cdf_.size(); ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+}
+
+size_t ZipfSampler::Next() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(std::min<ptrdiff_t>(it - cdf_.begin(),
+                                                 static_cast<ptrdiff_t>(cdf_.size()) - 1));
+}
+
+std::vector<MailMessage> GenerateMailCorpus(const MailCorpusOptions& options) {
+  Rng rng(options.seed);
+  static const char* kSubjects[] = {
+      "status report", "SOSP camera ready", "quals scheduling", "toolkit design",
+      "budget question", "seminar announcement", "code review", "travel plans",
+  };
+  std::vector<MailMessage> corpus;
+  corpus.reserve(static_cast<size_t>(options.message_count));
+  for (int i = 0; i < options.message_count; ++i) {
+    MailMessage m;
+    m.id = std::to_string(i);
+    m.from = "user" + std::to_string(rng.NextBelow(
+                          static_cast<uint64_t>(options.sender_pool))) +
+             "@lcs.mit.edu";
+    m.to = "adj@lcs.mit.edu";
+    m.subject = std::string(kSubjects[rng.NextBelow(8)]) + " (" + m.id + ")";
+    m.date = "1995-12-0" + std::to_string(1 + rng.NextBelow(9));
+    const size_t body_bytes = static_cast<size_t>(std::max(
+        64.0, rng.NextExponential(static_cast<double>(options.mean_body_bytes))));
+    m.body.reserve(body_bytes);
+    static const char* kWords[] = {"the ", "toolkit ", "queued ", "object ",
+                                   "meeting ", "deadline ", "draft ", "results "};
+    while (m.body.size() < body_bytes) {
+      m.body += kWords[rng.NextBelow(8)];
+    }
+    m.body.resize(body_bytes);
+    corpus.push_back(std::move(m));
+  }
+  return corpus;
+}
+
+std::vector<CalendarOp> GenerateCalendarSession(int operations, double booking_fraction,
+                                                uint64_t seed) {
+  Rng rng(seed);
+  static const char* kDays[] = {"mon", "tue", "wed", "thu", "fri"};
+  std::vector<CalendarOp> ops;
+  ops.reserve(static_cast<size_t>(operations));
+  for (int i = 0; i < operations; ++i) {
+    CalendarOp op;
+    op.is_booking = rng.NextBool(booking_fraction);
+    op.slot = std::string(kDays[rng.NextBelow(5)]) + "-" +
+              std::to_string(8 + rng.NextBelow(10)) + "00";
+    if (op.is_booking) {
+      op.description = "meeting-" + std::to_string(i);
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+}  // namespace rover

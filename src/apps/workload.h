@@ -1,0 +1,57 @@
+// Reusable workload generators for experiments and tests (paper §6-7 drive
+// every result with mail sessions, calendar interaction, and Web browsing;
+// these helpers make such workloads reproducible one-liners).
+//
+// All generators are deterministic for a given seed.
+
+#ifndef ROVER_SRC_APPS_WORKLOAD_H_
+#define ROVER_SRC_APPS_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/apps/mail.h"
+#include "src/util/rng.h"
+
+namespace rover {
+
+// Zipf-distributed sampler over {0, ..., n-1}: rank r is drawn with
+// probability proportional to 1/(r+1)^s. Web page popularity and mailbox
+// access patterns are classically Zipfian; the browse/read workloads use
+// this to produce realistic skew (a few hot objects, a long tail).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s, uint64_t seed);
+
+  size_t Next();
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative probabilities
+  Rng rng_;
+};
+
+// Generates a deterministic corpus of mail messages: sender pool, subject
+// threads, exponentially distributed body sizes.
+struct MailCorpusOptions {
+  int message_count = 30;
+  size_t mean_body_bytes = 2048;
+  int sender_pool = 8;
+  uint64_t seed = 1995;
+};
+std::vector<MailMessage> GenerateMailCorpus(const MailCorpusOptions& options);
+
+// An interactive calendar session: a mix of lookups and bookings over a
+// week of slots, as E4's workload uses.
+struct CalendarOp {
+  bool is_booking = false;
+  std::string slot;
+  std::string description;
+};
+std::vector<CalendarOp> GenerateCalendarSession(int operations, double booking_fraction,
+                                                uint64_t seed);
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_APPS_WORKLOAD_H_

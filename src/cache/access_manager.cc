@@ -1,0 +1,720 @@
+#include "src/cache/access_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/tclite/value.h"
+#include "src/util/logging.h"
+
+namespace rover {
+
+std::string FormatQueueStatus(const QueueStatus& status) {
+  std::string out = status.connected ? "connected" : "DISCONNECTED";
+  if (status.queued_qrpcs == 0) {
+    out += " | 0 queued";
+  } else {
+    out += " | " + std::to_string(status.queued_qrpcs) + " ops queued";
+  }
+  if (status.tentative_objects == 0) {
+    out += " | all committed";
+  } else {
+    out += " | " + std::to_string(status.tentative_objects) + " tentative objects";
+  }
+  return out;
+}
+
+AccessManager::AccessManager(EventLoop* loop, TransportManager* transport,
+                             QrpcClient* qrpc, AccessManagerOptions options)
+    : loop_(loop), transport_(transport), qrpc_(qrpc), options_(std::move(options)) {
+  transport_->SetHandler(MessageType::kControl,
+                         [this](const Message& msg) { HandleControl(msg); });
+  transport_->scheduler()->SetQueueObserver([this](size_t) { NotifyStatus(); });
+  if (!options_.poll_interval.is_zero()) {
+    SchedulePoll();
+  }
+}
+
+void AccessManager::SchedulePoll() {
+  loop_->ScheduleAfter(options_.poll_interval, [this] {
+    RunPoll();
+    SchedulePoll();
+  });
+}
+
+void AccessManager::RunPoll() {
+  // Group cached object paths by home server; one rover.poll per server.
+  std::map<std::string, std::vector<std::string>> by_server;   // server -> paths
+  std::map<std::string, std::vector<std::string>> keys_order;  // server -> cache keys
+  for (const auto& [key, entry] : cache_) {
+    if (entry.stale) {
+      continue;  // already known stale
+    }
+    const RoverUrn urn = Resolve(key);
+    if (!ConnectedTo(urn.server)) {
+      continue;  // polling while disconnected would just queue traffic
+    }
+    by_server[urn.server].push_back(urn.path);
+    keys_order[urn.server].push_back(key);
+  }
+  for (const auto& [server, paths] : by_server) {
+    ++stats_.polls_sent;
+    // Best-effort; the next poll repeats it.
+    QrpcCall call = qrpc_->Call(server, "rover.poll", {TclListJoin(paths)},
+                                MakeCallOptions(Priority::kBackground, false));
+    const std::vector<std::string> keys = keys_order[server];
+    call.result.OnReady([this, keys](const QrpcResult& rpc) {
+      if (!rpc.status.ok()) {
+        return;
+      }
+      auto versions_list = RpcValueAsString(rpc.value);
+      if (!versions_list.ok()) {
+        return;
+      }
+      auto versions = TclListSplit(*versions_list);
+      if (!versions.ok() || versions->size() != keys.size()) {
+        return;
+      }
+      for (size_t i = 0; i < keys.size(); ++i) {
+        Entry* entry = FindEntry(keys[i]);
+        if (entry == nullptr) {
+          continue;  // evicted meanwhile
+        }
+        const uint64_t server_version =
+            static_cast<uint64_t>(TclParseInt((*versions)[i]).value_or(0));
+        if (server_version > entry->committed.version) {
+          entry->stale = true;
+          ++stats_.poll_staleness_detected;
+        }
+      }
+    });
+  }
+}
+
+double AccessManager::BestBandwidthBps() const {
+  return BestBandwidthBpsTo(options_.server_host);
+}
+
+double AccessManager::BestBandwidthBpsTo(const std::string& server) const {
+  double best = 0.0;
+  for (Link* link : transport_->host()->LinksTo(server)) {
+    if (link->IsUp()) {
+      best = std::max(best, link->profile().bandwidth_bps);
+    }
+  }
+  return best;
+}
+
+bool AccessManager::Connected() const { return ConnectedTo(options_.server_host); }
+
+bool AccessManager::ConnectedTo(const std::string& server) const {
+  return transport_->host()->CanReach(server);
+}
+
+RoverUrn AccessManager::Resolve(const std::string& name) const {
+  return ResolveObjectName(name, options_.server_host);
+}
+
+std::string AccessManager::ServerFor(const std::string& name) const {
+  return Resolve(name).server;
+}
+
+QrpcCallOptions AccessManager::MakeCallOptions(Priority priority, bool log_request) const {
+  QrpcCallOptions options;
+  options.priority = priority;
+  options.log_request = log_request;
+  if (!options_.relay_host.empty()) {
+    options.via_relay = true;
+    options.relay_host = options_.relay_host;
+  }
+  return options;
+}
+
+AccessManager::Entry* AccessManager::FindEntry(const std::string& name) {
+  auto it = cache_.find(name);
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
+const AccessManager::Entry* AccessManager::FindEntry(const std::string& name) const {
+  auto it = cache_.find(name);
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
+void AccessManager::Touch(Entry* entry) { entry->last_use_seq = ++use_seq_; }
+
+bool AccessManager::HasCached(const std::string& name) const {
+  return FindEntry(name) != nullptr;
+}
+
+bool AccessManager::IsTentative(const std::string& name) const {
+  const Entry* entry = FindEntry(name);
+  return entry != nullptr && entry->tentative;
+}
+
+size_t AccessManager::TentativeCount() const {
+  size_t n = 0;
+  for (const auto& [name, entry] : cache_) {
+    if (entry.tentative) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Result<std::string> AccessManager::ReadData(const std::string& name) const {
+  const Entry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return NotFoundError("object \"" + name + "\" not in cache");
+  }
+  return entry->instance->ReadState();
+}
+
+Result<std::string> AccessManager::ReadCommittedData(const std::string& name) const {
+  const Entry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return NotFoundError("object \"" + name + "\" not in cache");
+  }
+  return entry->committed.data;
+}
+
+Result<uint64_t> AccessManager::CachedVersion(const std::string& name) const {
+  const Entry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return NotFoundError("object \"" + name + "\" not in cache");
+  }
+  return entry->committed.version;
+}
+
+void AccessManager::Evict(const std::string& name) {
+  auto it = cache_.find(name);
+  if (it == cache_.end()) {
+    return;
+  }
+  cache_bytes_ -= it->second.bytes;
+  cache_.erase(it);
+}
+
+void AccessManager::SetStatusCallback(StatusCallback callback) {
+  status_callback_ = std::move(callback);
+  NotifyStatus();
+}
+
+void AccessManager::NotifyStatus() {
+  const size_t depth = transport_->scheduler()->TotalQueueDepth();
+  if (depth == 0 && !prefetch_queue_.empty()) {
+    // The link went idle; spend it on cache warming.
+    loop_->ScheduleAfter(Duration::Zero(), [this] { PumpPrefetchQueue(); });
+  }
+  if (!status_callback_) {
+    return;
+  }
+  QueueStatus status;
+  status.queued_qrpcs = depth;
+  status.tentative_objects = TentativeCount();
+  status.connected = Connected();
+  status_callback_(status);
+}
+
+// --- Import ---
+
+Promise<ImportResult> AccessManager::Import(const std::string& name, ImportOptions options) {
+  Promise<ImportResult> promise;
+  if (options.session != nullptr) {
+    Session* session = options.session;
+    promise.OnReady([session](const ImportResult& r) {
+      if (r.status.ok()) {
+        session->RecordRead(r.name, r.version);
+      }
+    });
+  }
+
+  Entry* entry = FindEntry(name);
+  const uint64_t required =
+      options.session != nullptr ? options.session->RequiredVersion(name) : 0;
+  // A stale (invalidated) entry is still better than nothing while the
+  // home server is unreachable: serve it rather than queueing a refetch
+  // the caller may wait hours for -- availability over freshness, the
+  // toolkit's defining trade (tentative-data semantics, paper S3.1).
+  const bool serve_stale_offline =
+      entry != nullptr && entry->stale && !ConnectedTo(Resolve(name).server);
+  if (entry != nullptr && options.allow_cached &&
+      (!entry->stale || serve_stale_offline) && entry->committed.version >= required) {
+    ++stats_.cache_hits;
+    Touch(entry);
+    if (options.pin) {
+      entry->pinned = true;
+    }
+    ImportResult result;
+    result.status = Status::Ok();
+    result.name = name;
+    result.version = entry->committed.version;
+    result.from_cache = true;
+    loop_->ScheduleAfter(Duration::Zero(), [this, promise, result]() mutable {
+      result.completed_at = loop_->now();
+      promise.Set(result);
+    });
+    return promise;
+  }
+
+  ++stats_.cache_misses;
+  auto [it, first] = pending_imports_.try_emplace(name);
+  it->second.waiters.push_back(promise);
+  if (options.pin) {
+    // Remember to pin once installed: piggyback via a ready callback.
+    promise.OnReady([this, name](const ImportResult& r) {
+      Entry* e = FindEntry(name);
+      if (e != nullptr) {
+        e->pinned = true;
+      }
+    });
+  }
+  if (first) {
+    it->second.priority = options.priority;
+    StartImportRpc(name, options.priority);
+  } else if (options.priority < it->second.priority) {
+    // Escalate: re-request at the higher priority rather than letting a
+    // user wait behind prefetch traffic.
+    it->second.priority = options.priority;
+    StartImportRpc(name, options.priority);
+  }
+  return promise;
+}
+
+void AccessManager::StartImportRpc(const std::string& name, Priority priority) {
+  const RoverUrn urn = Resolve(name);
+  QrpcCall call =
+      qrpc_->Call(urn.server, "rover.import", {urn.path}, MakeCallOptions(priority));
+  call.result.OnReady([this, name](const QrpcResult& rpc) {
+    ImportResult result;
+    result.name = name;
+    result.completed_at = loop_->now();
+    if (!rpc.status.ok()) {
+      result.status = rpc.status;
+      FinishImport(name, result);
+      return;
+    }
+    auto bytes = RpcValueAsBytes(rpc.value);
+    if (!bytes.ok()) {
+      result.status = bytes.status();
+      FinishImport(name, result);
+      return;
+    }
+    auto descriptor = RdoDescriptor::Decode(*bytes);
+    if (!descriptor.ok()) {
+      result.status = descriptor.status();
+      FinishImport(name, result);
+      return;
+    }
+    // Cache under the caller's name (which may be a URN); the descriptor
+    // keeps the server-side path for exports.
+    RdoDescriptor keyed = *descriptor;
+    keyed.name = name;
+    keyed.metadata["rover.path"] = descriptor->name;
+    const uint64_t version = descriptor->version;
+    InstallDescriptor(keyed, /*pin=*/false, [this, name, version](const Status& s) {
+      ImportResult r;
+      r.name = name;
+      r.status = s;
+      r.version = version;
+      r.completed_at = loop_->now();
+      FinishImport(name, r);
+      if (s.ok() && options_.subscribe_on_import) {
+        const RoverUrn sub_urn = Resolve(name);
+        // Best-effort; re-subscribes on refetch.
+        qrpc_->Call(sub_urn.server, "rover.subscribe", {sub_urn.path},
+                    MakeCallOptions(Priority::kBackground, /*log_request=*/false));
+      }
+    });
+  });
+}
+
+void AccessManager::InstallDescriptor(const RdoDescriptor& descriptor, bool pin,
+                                      std::function<void(const Status&)> done) {
+  Entry* existing = FindEntry(descriptor.name);
+  if (existing != nullptr && existing->tentative) {
+    // Never clobber local uncommitted work: refresh the committed view
+    // only. base_version intentionally keeps pointing at the version the
+    // tentative state diverged from.
+    existing->committed = descriptor;
+    existing->stale = false;
+    Touch(existing);
+    loop_->ScheduleAfter(Duration::Zero(), [done] { done(Status::Ok()); });
+    return;
+  }
+
+  RdoEnvironment env;
+  env.host_name = transport_->local_host();
+  env.now = [loop = loop_] { return loop->now(); };
+  env.log = [](const std::string& line) { ROVER_LOG(Debug) << "rdo: " << line; };
+  auto instance = RdoInstance::Create(descriptor, env, options_.rdo_limits);
+  if (!instance.ok()) {
+    const Status status = instance.status();
+    loop_->ScheduleAfter(Duration::Zero(), [done, status] { done(status); });
+    return;
+  }
+
+  // Charge the interpreter-load CPU cost before the object is usable.
+  const Duration cost = options_.rdo_costs.load_fixed;
+  auto instance_ptr = std::make_shared<std::unique_ptr<RdoInstance>>(std::move(*instance));
+  loop_->ScheduleAfter(cost, [this, descriptor, pin, instance_ptr, done] {
+    Entry* entry = FindEntry(descriptor.name);
+    if (entry != nullptr) {
+      cache_bytes_ -= entry->bytes;
+    } else {
+      entry = &cache_[descriptor.name];
+    }
+    entry->committed = descriptor;
+    entry->instance = std::move(*instance_ptr);
+    entry->base_version = descriptor.version;
+    entry->tentative = false;
+    entry->stale = false;
+    entry->pinned = entry->pinned || pin;
+    entry->bytes = descriptor.ByteSize();
+    cache_bytes_ += entry->bytes;
+    Touch(entry);
+    EvictIfNeeded();
+    done(Status::Ok());
+  });
+}
+
+void AccessManager::FinishImport(const std::string& name, const ImportResult& result) {
+  if (result.status.ok()) {
+    ++stats_.imports_completed;
+  }
+  auto it = pending_imports_.find(name);
+  if (it == pending_imports_.end()) {
+    return;  // a faster duplicate request already resolved the waiters
+  }
+  std::vector<Promise<ImportResult>> waiters = std::move(it->second.waiters);
+  pending_imports_.erase(it);
+  for (auto& promise : waiters) {
+    promise.Set(result);
+  }
+  NotifyStatus();
+}
+
+void AccessManager::EvictIfNeeded() {
+  while (cache_bytes_ > options_.cache_capacity_bytes) {
+    // LRU among evictable entries.
+    std::string victim;
+    uint64_t oldest = UINT64_MAX;
+    for (const auto& [name, entry] : cache_) {
+      if (entry.tentative || entry.pinned) {
+        continue;
+      }
+      if (entry.last_use_seq < oldest) {
+        oldest = entry.last_use_seq;
+        victim = name;
+      }
+    }
+    if (victim.empty()) {
+      return;  // everything is tentative or pinned; allow overflow
+    }
+    ++stats_.evictions;
+    Evict(victim);
+  }
+}
+
+// --- Invoke ---
+
+Result<RdoInstance*> AccessManager::LocalInstance(const std::string& name) {
+  Entry* entry = FindEntry(name);
+  if (entry == nullptr || entry->instance == nullptr) {
+    return NotFoundError("object \"" + name + "\" not in cache");
+  }
+  Touch(entry);
+  return entry->instance.get();
+}
+
+Promise<InvokeResult> AccessManager::Invoke(const std::string& name,
+                                            const std::string& method,
+                                            std::vector<std::string> args,
+                                            InvokeOptions options) {
+  Promise<InvokeResult> promise;
+  const RoverUrn urn = Resolve(name);
+  const bool cached = HasCached(name);
+  const bool connected = ConnectedTo(urn.server);
+  ExecutionSite site =
+      options.force_site.has_value()
+          ? *options.force_site
+          : options_.migration.Decide(cached, connected,
+                                      BestBandwidthBpsTo(urn.server));
+  if (site == ExecutionSite::kClient && !cached && connected &&
+      !options.force_site.has_value()) {
+    site = ExecutionSite::kServer;  // nothing local to run; ship the call
+  }
+
+  if (site == ExecutionSite::kClient) {
+    auto instance = LocalInstance(name);
+    if (!instance.ok()) {
+      InvokeResult result;
+      result.status = UnavailableError("object \"" + name +
+                                       "\" not cached and host is disconnected");
+      result.site = ExecutionSite::kClient;
+      loop_->ScheduleAfter(Duration::Zero(), [promise, result]() mutable {
+        promise.Set(result);
+      });
+      return promise;
+    }
+    ++stats_.local_invokes;
+    auto value = (*instance)->Invoke(method, args);
+    const Duration cost =
+        options_.rdo_costs.per_command *
+        static_cast<double>((*instance)->last_invoke_commands());
+    Entry* entry = FindEntry(name);
+    const bool now_tentative = (*instance)->dirty();
+    if (entry != nullptr && now_tentative && !entry->tentative) {
+      entry->tentative = true;
+      NotifyStatus();
+    }
+    InvokeResult result;
+    result.site = ExecutionSite::kClient;
+    if (value.ok()) {
+      result.value = *value;
+    } else {
+      result.status = value.status();
+    }
+    loop_->ScheduleAfter(cost, [this, promise, result]() mutable {
+      result.completed_at = loop_->now();
+      promise.Set(result);
+    });
+    return promise;
+  }
+
+  // Remote execution at the home server.
+  ++stats_.remote_invokes;
+  QrpcCall call = qrpc_->Call(urn.server, "rover.invoke",
+                              {urn.path, std::string(method), TclListJoin(args)},
+                              MakeCallOptions(options.priority));
+  call.result.OnReady([this, promise](const QrpcResult& rpc) mutable {
+    InvokeResult result;
+    result.site = ExecutionSite::kServer;
+    result.completed_at = rpc.completed_at;
+    result.status = rpc.status;
+    if (rpc.status.ok()) {
+      auto value = RpcValueAsString(rpc.value);
+      if (value.ok()) {
+        result.value = *value;
+      } else {
+        result.status = value.status();
+      }
+    }
+    promise.Set(result);
+  });
+  return promise;
+}
+
+// --- Export ---
+
+Promise<ExportResult> AccessManager::Export(const std::string& name, Priority priority) {
+  Promise<ExportResult> promise;
+  Entry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    ExportResult result;
+    result.status = NotFoundError("object \"" + name + "\" not in cache");
+    loop_->ScheduleAfter(Duration::Zero(),
+                         [promise, result]() mutable { promise.Set(result); });
+    return promise;
+  }
+  if (!entry->tentative) {
+    ExportResult result;
+    result.status = Status::Ok();
+    result.new_version = entry->committed.version;
+    loop_->ScheduleAfter(Duration::Zero(),
+                         [promise, result]() mutable { promise.Set(result); });
+    return promise;
+  }
+
+  RdoDescriptor snapshot = entry->instance->Snapshot();
+  const RoverUrn urn = Resolve(name);
+  snapshot.name = urn.path;  // the server knows the object by its path
+  const uint64_t base_version = entry->base_version;
+  QrpcCall call =
+      qrpc_->Call(urn.server, "rover.export",
+                  {snapshot.Encode(), static_cast<int64_t>(base_version)},
+                  MakeCallOptions(priority));
+  call.result.OnReady([this, name, promise](const QrpcResult& rpc) mutable {
+    ExportResult result;
+    result.completed_at = rpc.completed_at;
+    Entry* entry = FindEntry(name);
+
+    if (rpc.status.ok()) {
+      auto payload = RpcValueAsBytes(rpc.value);
+      if (!payload.ok()) {
+        result.status = payload.status();
+        promise.Set(result);
+        return;
+      }
+      WireReader reader(*payload);
+      auto was_conflict = reader.ReadBool();
+      auto committed_bytes = reader.ReadBytes();
+      if (!was_conflict.ok() || !committed_bytes.ok()) {
+        result.status = DataLossError("malformed export response");
+        promise.Set(result);
+        return;
+      }
+      auto committed = RdoDescriptor::Decode(*committed_bytes);
+      if (!committed.ok()) {
+        result.status = committed.status();
+        promise.Set(result);
+        return;
+      }
+      result.status = Status::Ok();
+      result.new_version = committed->version;
+      result.server_resolved = *was_conflict;
+      if (*was_conflict) {
+        ++stats_.conflicts_resolved;
+      }
+      ++stats_.exports_completed;
+      if (entry != nullptr) {
+        cache_bytes_ -= entry->bytes;
+        committed->name = name;  // keep the caller's cache key
+        entry->committed = *committed;
+        entry->base_version = committed->version;
+        // Adopt the (possibly merged) committed state locally.
+        entry->instance->WriteState(committed->data);
+        entry->tentative = false;
+        entry->stale = false;
+        entry->bytes = entry->committed.ByteSize();
+        cache_bytes_ += entry->bytes;
+      }
+      NotifyStatus();
+      promise.Set(result);
+      return;
+    }
+
+    result.status = rpc.status;
+    if (rpc.status.code() == StatusCode::kConflict) {
+      ++stats_.conflicts_unresolved;
+      // The server shipped its committed descriptor along with the refusal.
+      auto payload = RpcValueAsBytes(rpc.value);
+      if (payload.ok()) {
+        auto committed = RdoDescriptor::Decode(*payload);
+        if (committed.ok() && entry != nullptr) {
+          committed->name = name;  // keep the caller's cache key
+          entry->committed = *committed;  // refresh the committed view
+          if (conflict_callback_) {
+            conflict_callback_(name, entry->instance->ReadState(), *committed);
+          }
+        }
+      }
+    }
+    promise.Set(result);
+  });
+  return promise;
+}
+
+// --- Prefetch ---
+
+void AccessManager::Prefetch(const std::vector<std::string>& names) {
+  for (const std::string& name : names) {
+    if (!HasCached(name)) {
+      prefetch_queue_.push_back(name);
+    }
+  }
+  PumpPrefetchQueue();
+}
+
+void AccessManager::PumpPrefetchQueue() {
+  while (prefetch_in_flight_ < options_.max_background_imports &&
+         !prefetch_queue_.empty()) {
+    if (options_.prefetch_only_when_idle &&
+        transport_->scheduler()->TotalQueueDepth() > 0) {
+      return;  // re-pumped from NotifyStatus when the queue drains
+    }
+    const std::string name = prefetch_queue_.front();
+    prefetch_queue_.pop_front();
+    if (HasCached(name)) {
+      continue;
+    }
+    ++prefetch_in_flight_;
+    ++stats_.prefetch_issued;
+    ImportOptions options;
+    options.priority = Priority::kBackground;
+    Promise<ImportResult> p = Import(name, options);
+    p.OnReady([this](const ImportResult&) {
+      --prefetch_in_flight_;
+      PumpPrefetchQueue();
+    });
+  }
+}
+
+// --- Persistence ---
+
+Bytes AccessManager::SerializeCache() const {
+  WireWriter writer;
+  writer.WriteVarint(cache_.size());
+  for (const auto& [name, entry] : cache_) {
+    writer.WriteString(name);
+    writer.WriteBytes(entry.committed.Encode());
+    writer.WriteVarint(entry.base_version);
+    writer.WriteBool(entry.tentative);
+    writer.WriteString(entry.tentative ? entry.instance->ReadState() : "");
+    writer.WriteBool(entry.pinned);
+  }
+  return writer.TakeData();
+}
+
+Status AccessManager::LoadCache(const Bytes& snapshot) {
+  WireReader reader(snapshot);
+  ROVER_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  for (uint64_t i = 0; i < count; ++i) {
+    ROVER_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+    ROVER_ASSIGN_OR_RETURN(Bytes descriptor_bytes, reader.ReadBytes());
+    ROVER_ASSIGN_OR_RETURN(uint64_t base_version, reader.ReadVarint());
+    ROVER_ASSIGN_OR_RETURN(bool tentative, reader.ReadBool());
+    ROVER_ASSIGN_OR_RETURN(std::string tentative_state, reader.ReadString());
+    ROVER_ASSIGN_OR_RETURN(bool pinned, reader.ReadBool());
+    ROVER_ASSIGN_OR_RETURN(RdoDescriptor descriptor,
+                           RdoDescriptor::Decode(descriptor_bytes));
+
+    RdoEnvironment env;
+    env.host_name = transport_->local_host();
+    env.now = [loop = loop_] { return loop->now(); };
+    env.log = [](const std::string& line) { ROVER_LOG(Debug) << "rdo: " << line; };
+    auto instance = RdoInstance::Create(descriptor, env, options_.rdo_limits);
+    if (!instance.ok()) {
+      ROVER_LOG(Warning) << "cache load: skipping " << name << ": " << instance.status();
+      continue;
+    }
+    Entry& entry = cache_[name];
+    if (entry.instance != nullptr) {
+      cache_bytes_ -= entry.bytes;
+    }
+    entry.committed = descriptor;
+    entry.instance = std::move(*instance);
+    entry.base_version = base_version;
+    entry.tentative = tentative;
+    if (tentative) {
+      entry.instance->WriteState(tentative_state);
+      // WriteState clears dirty; the entry-level flag carries tentativeness.
+    }
+    entry.pinned = pinned;
+    entry.bytes = entry.committed.ByteSize();
+    cache_bytes_ += entry.bytes;
+    Touch(&entry);
+  }
+  EvictIfNeeded();
+  NotifyStatus();
+  return Status::Ok();
+}
+
+// --- Invalidations ---
+
+void AccessManager::HandleControl(const Message& msg) {
+  auto inval = DecodeInvalidation(msg.payload);
+  if (!inval.ok()) {
+    return;  // not for us
+  }
+  ++stats_.invalidations_received;
+  // The server names objects by path; cache keys may be URNs, so match on
+  // (home server, path).
+  for (auto& [key, entry] : cache_) {
+    const RoverUrn urn = Resolve(key);
+    if (urn.server == msg.header.src && urn.path == inval->name &&
+        entry.committed.version < inval->version) {
+      entry.stale = true;
+    }
+  }
+}
+
+}  // namespace rover

@@ -1,0 +1,252 @@
+// Client-side access manager (paper §3.1, §5.2): "A mobile host imports
+// objects into its local cache and exports updated objects back to their
+// home servers." The access manager owns the object cache, decides where
+// each invocation executes (migration policy), tracks tentative vs
+// committed state, and surfaces queue/consistency information for user
+// notification.
+//
+// All operations are non-blocking and return promises resolved on the
+// event loop -- import can complete from the cache immediately or after an
+// arbitrarily long disconnection.
+
+#ifndef ROVER_SRC_CACHE_ACCESS_MANAGER_H_
+#define ROVER_SRC_CACHE_ACCESS_MANAGER_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cache/session.h"
+#include "src/cache/urn.h"
+#include "src/qrpc/promise.h"
+#include "src/qrpc/qrpc.h"
+#include "src/rdo/migration.h"
+#include "src/rdo/rdo.h"
+#include "src/store/server.h"  // invalidation wire helpers
+
+namespace rover {
+
+struct AccessManagerOptions {
+  std::string server_host = "server";
+  size_t cache_capacity_bytes = 4 << 20;
+  ExecLimits rdo_limits;
+  RdoCostModel rdo_costs;
+  MigrationPolicy migration;
+  bool subscribe_on_import = false;  // ask the server for invalidations
+  size_t max_background_imports = 4; // prefetch throttle
+  // Issue prefetches only while the send queue is idle, so background
+  // cache-warming never delays a foreground request on a slow link.
+  bool prefetch_only_when_idle = true;
+  // When non-zero, periodically rover.poll each home server for the
+  // versions of cached objects and mark stale entries (the alternative to
+  // subscriptions; paper S3.1 "periodic polling or server callbacks").
+  Duration poll_interval = Duration::Zero();
+  // When set, every QRPC travels through this SMTP relay instead of a
+  // direct connection (responses return the same way). For hosts that can
+  // only reach their home servers by mail.
+  std::string relay_host;
+};
+
+struct ImportResult {
+  Status status;
+  std::string name;
+  uint64_t version = 0;
+  bool from_cache = false;
+  TimePoint completed_at;
+};
+
+struct InvokeResult {
+  Status status;
+  std::string value;
+  ExecutionSite site = ExecutionSite::kClient;
+  TimePoint completed_at;
+};
+
+struct ExportResult {
+  Status status;               // kConflict => unresolved, tentative kept
+  uint64_t new_version = 0;
+  bool server_resolved = false;  // a resolver merged concurrent updates
+  TimePoint completed_at;
+};
+
+struct InvokeOptions {
+  Priority priority = Priority::kForeground;
+  // Overrides the migration policy when set.
+  std::optional<ExecutionSite> force_site;
+  Session* session = nullptr;
+};
+
+struct ImportOptions {
+  Priority priority = Priority::kForeground;
+  bool allow_cached = true;  // false forces a server round trip
+  bool pin = false;          // exempt from eviction
+  Session* session = nullptr;
+};
+
+struct AccessManagerStats {
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t imports_completed = 0;
+  uint64_t exports_completed = 0;
+  uint64_t local_invokes = 0;
+  uint64_t remote_invokes = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations_received = 0;
+  uint64_t polls_sent = 0;
+  uint64_t poll_staleness_detected = 0;
+  uint64_t conflicts_resolved = 0;
+  uint64_t conflicts_unresolved = 0;
+  uint64_t prefetch_issued = 0;
+};
+
+// Snapshot handed to the status callback whenever it changes -- the
+// toolkit's "user notification" information (paper §3.4).
+struct QueueStatus {
+  size_t queued_qrpcs = 0;       // operations waiting for connectivity
+  size_t tentative_objects = 0;  // locally modified, not yet committed
+  bool connected = false;
+};
+
+// Renders the status as the one-line indicator the paper's applications
+// display ("because the mobile environment may rapidly change ... it is
+// important to present the user with information about its current state"):
+//   "connected | 0 queued | all committed"
+//   "DISCONNECTED | 3 ops queued | 2 tentative objects"
+std::string FormatQueueStatus(const QueueStatus& status);
+
+class AccessManager {
+ public:
+  using StatusCallback = std::function<void(const QueueStatus&)>;
+  // Fired when an export is rejected with an unresolvable conflict:
+  // (name, local tentative state, server committed descriptor).
+  using ConflictCallback = std::function<void(const std::string& name,
+                                              const std::string& tentative_data,
+                                              const RdoDescriptor& committed)>;
+
+  AccessManager(EventLoop* loop, TransportManager* transport, QrpcClient* qrpc,
+                AccessManagerOptions options = {});
+
+  // --- the toolkit's four core operations ---
+
+  Promise<ImportResult> Import(const std::string& name, ImportOptions options = {});
+
+  Promise<InvokeResult> Invoke(const std::string& name, const std::string& method,
+                               std::vector<std::string> args, InvokeOptions options = {});
+
+  Promise<ExportResult> Export(const std::string& name,
+                               Priority priority = Priority::kDefault);
+
+  // Background import of a batch of objects (cache warming for
+  // disconnection; paper §3.1 "filling the cache with useful information").
+  void Prefetch(const std::vector<std::string>& names);
+
+  // --- cache inspection ---
+
+  bool HasCached(const std::string& name) const;
+  bool IsTentative(const std::string& name) const;
+  size_t TentativeCount() const;
+  // Current (tentative if modified, else committed) state of a cached object.
+  Result<std::string> ReadData(const std::string& name) const;
+  // Last known committed state, ignoring tentative local mutations.
+  Result<std::string> ReadCommittedData(const std::string& name) const;
+  Result<uint64_t> CachedVersion(const std::string& name) const;
+  size_t CacheBytes() const { return cache_bytes_; }
+  size_t CachedObjectCount() const { return cache_.size(); }
+
+  // Drops a cached object (tentative state is lost). Pinned entries can be
+  // dropped explicitly even though eviction skips them.
+  void Evict(const std::string& name);
+
+  // --- persistence ---
+  // Rover keeps the object cache on stable storage so a reboot does not
+  // empty it. SerializeCache captures every entry (committed descriptor,
+  // base version, tentative state, pinned flag); LoadCache rebuilds the
+  // cache in a fresh access manager, preserving tentative work.
+  Bytes SerializeCache() const;
+  Status LoadCache(const Bytes& snapshot);
+
+  // --- notification ---
+
+  void SetStatusCallback(StatusCallback callback);
+  void SetConflictCallback(ConflictCallback callback) {
+    conflict_callback_ = std::move(callback);
+  }
+
+  const AccessManagerStats& stats() const { return stats_; }
+  const AccessManagerOptions& options() const { return options_; }
+
+  // Best currently-up bandwidth to the default home server (or a named
+  // host), 0 when disconnected.
+  double BestBandwidthBps() const;
+  double BestBandwidthBpsTo(const std::string& server) const;
+  bool Connected() const;
+  bool ConnectedTo(const std::string& server) const;
+
+  // Home server for `name` ("rover://host/path" URNs name their server;
+  // bare paths use the default).
+  std::string ServerFor(const std::string& name) const;
+
+ private:
+  struct Entry {
+    RdoDescriptor committed;                 // last known committed version
+    std::unique_ptr<RdoInstance> instance;   // live interpreter
+    // Version the *local state* diverged from -- the base for exports.
+    // Unlike committed.version, this does NOT advance when the committed
+    // view is refreshed while tentative changes exist; otherwise a retry
+    // after a conflict would take the server's fast path and clobber
+    // concurrent updates.
+    uint64_t base_version = 0;
+    bool tentative = false;                  // local uncommitted mutations
+    bool stale = false;                      // invalidated by the server
+    bool pinned = false;
+    uint64_t last_use_seq = 0;
+    size_t bytes = 0;
+  };
+
+  Entry* FindEntry(const std::string& name);
+  const Entry* FindEntry(const std::string& name) const;
+  void Touch(Entry* entry);
+  void InstallDescriptor(const RdoDescriptor& descriptor, bool pin,
+                         std::function<void(const Status&)> done);
+  void EvictIfNeeded();
+  void HandleControl(const Message& msg);
+  void NotifyStatus();
+  void StartImportRpc(const std::string& name, Priority priority);
+  RoverUrn Resolve(const std::string& name) const;
+  void SchedulePoll();
+  void RunPoll();
+  QrpcCallOptions MakeCallOptions(Priority priority, bool log_request = true) const;
+  void FinishImport(const std::string& name, const ImportResult& result);
+  void PumpPrefetchQueue();
+
+  Result<RdoInstance*> LocalInstance(const std::string& name);
+
+  EventLoop* loop_;
+  TransportManager* transport_;
+  QrpcClient* qrpc_;
+  AccessManagerOptions options_;
+  AccessManagerStats stats_;
+  std::map<std::string, Entry> cache_;
+  size_t cache_bytes_ = 0;
+  uint64_t use_seq_ = 0;
+  // In-flight imports, coalesced by name. If a foreground import arrives
+  // while a background fetch for the same object is pending, a second RPC
+  // is issued at the higher priority (imports are idempotent), so user
+  // requests never wait at prefetch priority.
+  struct PendingImport {
+    std::vector<Promise<ImportResult>> waiters;
+    Priority priority = Priority::kBackground;
+  };
+  std::map<std::string, PendingImport> pending_imports_;
+  std::deque<std::string> prefetch_queue_;
+  size_t prefetch_in_flight_ = 0;
+  StatusCallback status_callback_;
+  ConflictCallback conflict_callback_;
+};
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_CACHE_ACCESS_MANAGER_H_

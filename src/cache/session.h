@@ -1,0 +1,64 @@
+// Session guarantees for weakly-consistent access (paper §2: Rover borrows
+// session guarantees from Bayou [53]). A Session records, per object, the
+// newest version this session has read and the versions its own exports
+// produced. The access manager consults it so that within one session:
+//
+//   * monotonic reads: an import never returns a version older than one
+//     the session already saw;
+//   * read-your-writes: after a successful export, an import returns at
+//     least the exported version.
+
+#ifndef ROVER_SRC_CACHE_SESSION_H_
+#define ROVER_SRC_CACHE_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rover {
+
+class Session {
+ public:
+  explicit Session(uint64_t id = 0) : id_(id) {}
+
+  uint64_t id() const { return id_; }
+
+  // Minimum version an import of `name` may return for this session.
+  uint64_t RequiredVersion(const std::string& name) const {
+    uint64_t required = 0;
+    auto r = reads_.find(name);
+    if (r != reads_.end()) {
+      required = r->second;
+    }
+    auto w = writes_.find(name);
+    if (w != writes_.end() && w->second > required) {
+      required = w->second;
+    }
+    return required;
+  }
+
+  void RecordRead(const std::string& name, uint64_t version) {
+    uint64_t& v = reads_[name];
+    if (version > v) {
+      v = version;
+    }
+  }
+
+  void RecordWrite(const std::string& name, uint64_t version) {
+    uint64_t& v = writes_[name];
+    if (version > v) {
+      v = version;
+    }
+  }
+
+  size_t ObjectsTouched() const { return reads_.size() + writes_.size(); }
+
+ private:
+  uint64_t id_;
+  std::map<std::string, uint64_t> reads_;
+  std::map<std::string, uint64_t> writes_;
+};
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_CACHE_SESSION_H_

@@ -1,0 +1,47 @@
+#include "src/cache/urn.h"
+
+namespace rover {
+
+namespace {
+constexpr char kScheme[] = "rover://";
+constexpr size_t kSchemeLen = 8;
+}  // namespace
+
+bool IsRoverUrn(const std::string& name) {
+  return name.rfind(kScheme, 0) == 0;
+}
+
+Result<RoverUrn> ParseRoverUrn(const std::string& name) {
+  if (!IsRoverUrn(name)) {
+    return InvalidArgumentError("not a rover:// URN: " + name);
+  }
+  const size_t slash = name.find('/', kSchemeLen);
+  if (slash == std::string::npos || slash == kSchemeLen) {
+    return InvalidArgumentError("URN missing server or path: " + name);
+  }
+  RoverUrn urn;
+  urn.server = name.substr(kSchemeLen, slash - kSchemeLen);
+  urn.path = name.substr(slash + 1);
+  if (urn.path.empty()) {
+    return InvalidArgumentError("URN has empty path: " + name);
+  }
+  return urn;
+}
+
+RoverUrn ResolveObjectName(const std::string& name, const std::string& default_server) {
+  if (IsRoverUrn(name)) {
+    auto urn = ParseRoverUrn(name);
+    if (urn.ok()) {
+      return *urn;
+    }
+    // Malformed URNs fall through as literal paths on the default server;
+    // the server will report NOT_FOUND.
+  }
+  return RoverUrn{default_server, name};
+}
+
+std::string MakeRoverUrn(const std::string& server, const std::string& path) {
+  return std::string(kScheme) + server + "/" + path;
+}
+
+}  // namespace rover

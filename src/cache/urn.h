@@ -1,0 +1,39 @@
+// Object naming (paper §2): "Objects are named using Universal Resource
+// Names"; every object has a home server. A fully qualified Rover name is
+//
+//   rover://<server-host>/<path>
+//
+// and a bare name ("mail/inbox") is resolved against the access manager's
+// default server. The path (without the scheme/host) is the key in the
+// home server's object store, so the same path can exist on different
+// servers independently.
+
+#ifndef ROVER_SRC_CACHE_URN_H_
+#define ROVER_SRC_CACHE_URN_H_
+
+#include <string>
+
+#include "src/util/result.h"
+
+namespace rover {
+
+struct RoverUrn {
+  std::string server;  // home server host name
+  std::string path;    // object key at that server
+};
+
+// True if `name` uses the rover:// scheme.
+bool IsRoverUrn(const std::string& name);
+
+// Parses "rover://server/path". Fails on malformed URNs.
+Result<RoverUrn> ParseRoverUrn(const std::string& name);
+
+// Resolves `name` (URN or bare path) against `default_server`.
+RoverUrn ResolveObjectName(const std::string& name, const std::string& default_server);
+
+// Builds the canonical URN string.
+std::string MakeRoverUrn(const std::string& server, const std::string& path);
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_CACHE_URN_H_

@@ -1,0 +1,114 @@
+#include "src/core/toolkit.h"
+
+#include <utility>
+
+namespace rover {
+
+RoverClientNode::RoverClientNode(EventLoop* loop, Host* host, ClientNodeOptions options)
+    : transport_(loop, host, options.scheduler),
+      log_(loop, options.log_costs),
+      qrpc_client_(loop, &transport_, &log_, options.qrpc),
+      access_manager_(loop, &transport_, &qrpc_client_, options.access) {
+  if (!options.auth_token.empty()) {
+    transport_.set_auth_token(options.auth_token);
+  }
+}
+
+RoverServerNode::RoverServerNode(EventLoop* loop, Host* host, ServerNodeOptions options)
+    : transport_(loop, host, options.scheduler),
+      qrpc_server_(loop, &transport_, options.qrpc),
+      rover_server_(loop, &transport_, &qrpc_server_, options.rover) {}
+
+Testbed::Testbed(Options options) : options_(std::move(options)), network_(&loop_) {
+  Host* host = network_.AddHost(options_.server_name);
+  server_ = std::make_unique<RoverServerNode>(&loop_, host, options_.server);
+}
+
+RoverServerNode* Testbed::AddServer(const std::string& name, ServerNodeOptions options) {
+  auto it = extra_servers_.find(name);
+  if (it != extra_servers_.end()) {
+    return it->second.get();
+  }
+  Host* host = network_.AddHost(name);
+  auto node = std::make_unique<RoverServerNode>(&loop_, host, options);
+  RoverServerNode* raw = node.get();
+  extra_servers_.emplace(name, std::move(node));
+  return raw;
+}
+
+RoverServerNode* Testbed::FindServer(const std::string& name) {
+  if (name == options_.server_name) {
+    return server_.get();
+  }
+  auto it = extra_servers_.find(name);
+  return it == extra_servers_.end() ? nullptr : it->second.get();
+}
+
+Link* Testbed::AddLink(const std::string& host_a, const std::string& host_b,
+                       LinkProfile profile, std::unique_ptr<ConnectivitySchedule> schedule) {
+  return network_.Connect(host_a, host_b, std::move(profile), std::move(schedule));
+}
+
+RoverClientNode* Testbed::AddClient(const std::string& name, LinkProfile profile,
+                                    std::unique_ptr<ConnectivitySchedule> schedule,
+                                    ClientNodeOptions options) {
+  network_.Connect(name, options_.server_name, std::move(profile), std::move(schedule));
+  auto it = clients_.find(name);
+  if (it != clients_.end()) {
+    return it->second.get();  // extra link attached to an existing client
+  }
+  if (options.access.server_host.empty() || options.access.server_host == "server") {
+    options.access.server_host = options_.server_name;
+  }
+  auto node =
+      std::make_unique<RoverClientNode>(&loop_, network_.FindHost(name), options);
+  RoverClientNode* raw = node.get();
+  clients_.emplace(name, std::move(node));
+  return raw;
+}
+
+RoverClientNode* Testbed::AddDetachedClient(const std::string& name,
+                                            ClientNodeOptions options) {
+  auto it = clients_.find(name);
+  if (it != clients_.end()) {
+    return it->second.get();
+  }
+  if (options.access.server_host.empty() || options.access.server_host == "server") {
+    options.access.server_host = options_.server_name;
+  }
+  Host* host = network_.AddHost(name);
+  auto node = std::make_unique<RoverClientNode>(&loop_, host, options);
+  RoverClientNode* raw = node.get();
+  clients_.emplace(name, std::move(node));
+  return raw;
+}
+
+SmtpRelay* Testbed::AddRelay(const std::string& relay_name, const std::string& client_name,
+                             LinkProfile client_link, LinkProfile server_link) {
+  network_.Connect(client_name, relay_name, std::move(client_link));
+  network_.Connect(relay_name, options_.server_name, std::move(server_link));
+  Relay relay;
+  relay.transport =
+      std::make_unique<TransportManager>(&loop_, network_.FindHost(relay_name));
+  relay.relay = std::make_unique<SmtpRelay>(&loop_, relay.transport.get());
+  SmtpRelay* raw = relay.relay.get();
+  relays_.emplace(relay_name, std::move(relay));
+  return raw;
+}
+
+RoverClientNode* Testbed::client(const std::string& name) {
+  auto it = clients_.find(name);
+  return it == clients_.end() ? nullptr : it->second.get();
+}
+
+RdoDescriptor MakeRdo(const std::string& name, const std::string& type,
+                      const std::string& code, const std::string& data) {
+  RdoDescriptor d;
+  d.name = name;
+  d.type = type;
+  d.code = code;
+  d.data = data;
+  return d;
+}
+
+}  // namespace rover

@@ -1,0 +1,149 @@
+#include "src/qrpc/marshal.h"
+
+namespace rover {
+namespace {
+
+enum class ValueTag : uint8_t {
+  kInt = 0,
+  kDouble = 1,
+  kString = 2,
+  kBytes = 3,
+};
+
+}  // namespace
+
+void EncodeRpcValue(const RpcValue& value, WireWriter* writer) {
+  if (const auto* i = std::get_if<int64_t>(&value)) {
+    writer->WriteVarint(static_cast<uint64_t>(ValueTag::kInt));
+    writer->WriteZigzag(*i);
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    writer->WriteVarint(static_cast<uint64_t>(ValueTag::kDouble));
+    writer->WriteDouble(*d);
+  } else if (const auto* s = std::get_if<std::string>(&value)) {
+    writer->WriteVarint(static_cast<uint64_t>(ValueTag::kString));
+    writer->WriteString(*s);
+  } else {
+    writer->WriteVarint(static_cast<uint64_t>(ValueTag::kBytes));
+    writer->WriteBytes(std::get<Bytes>(value));
+  }
+}
+
+Result<RpcValue> DecodeRpcValue(WireReader* reader) {
+  ROVER_ASSIGN_OR_RETURN(uint64_t tag, reader->ReadVarint());
+  switch (static_cast<ValueTag>(tag)) {
+    case ValueTag::kInt: {
+      ROVER_ASSIGN_OR_RETURN(int64_t v, reader->ReadZigzag());
+      return RpcValue(v);
+    }
+    case ValueTag::kDouble: {
+      ROVER_ASSIGN_OR_RETURN(double v, reader->ReadDouble());
+      return RpcValue(v);
+    }
+    case ValueTag::kString: {
+      ROVER_ASSIGN_OR_RETURN(std::string v, reader->ReadString());
+      return RpcValue(std::move(v));
+    }
+    case ValueTag::kBytes: {
+      ROVER_ASSIGN_OR_RETURN(Bytes v, reader->ReadBytes());
+      return RpcValue(std::move(v));
+    }
+  }
+  return DataLossError("bad RpcValue tag");
+}
+
+void EncodeRpcArgs(const RpcArgs& args, WireWriter* writer) {
+  writer->WriteVarint(args.size());
+  for (const RpcValue& v : args) {
+    EncodeRpcValue(v, writer);
+  }
+}
+
+Result<RpcArgs> DecodeRpcArgs(WireReader* reader) {
+  ROVER_ASSIGN_OR_RETURN(uint64_t count, reader->ReadVarint());
+  if (count > reader->remaining() + 1) {
+    return DataLossError("RpcArgs count implausible");
+  }
+  RpcArgs args;
+  args.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ROVER_ASSIGN_OR_RETURN(RpcValue v, DecodeRpcValue(reader));
+    args.push_back(std::move(v));
+  }
+  return args;
+}
+
+Bytes RpcRequestBody::Encode() const {
+  WireWriter writer;
+  writer.WriteString(method);
+  EncodeRpcArgs(args, &writer);
+  return writer.TakeData();
+}
+
+Result<RpcRequestBody> RpcRequestBody::Decode(const Bytes& payload) {
+  WireReader reader(payload);
+  RpcRequestBody body;
+  ROVER_ASSIGN_OR_RETURN(body.method, reader.ReadString());
+  ROVER_ASSIGN_OR_RETURN(body.args, DecodeRpcArgs(&reader));
+  return body;
+}
+
+Status RpcResponseBody::ToStatus() const {
+  if (code == StatusCode::kOk) {
+    return Status::Ok();
+  }
+  return Status(code, error_message);
+}
+
+Bytes RpcResponseBody::Encode() const {
+  WireWriter writer;
+  writer.WriteVarint(static_cast<uint64_t>(code));
+  writer.WriteString(error_message);
+  EncodeRpcValue(result, &writer);
+  return writer.TakeData();
+}
+
+Result<RpcResponseBody> RpcResponseBody::Decode(const Bytes& payload) {
+  WireReader reader(payload);
+  RpcResponseBody body;
+  ROVER_ASSIGN_OR_RETURN(uint64_t code, reader.ReadVarint());
+  if (code > static_cast<uint64_t>(StatusCode::kPermissionDenied)) {
+    return DataLossError("bad status code in response");
+  }
+  body.code = static_cast<StatusCode>(code);
+  ROVER_ASSIGN_OR_RETURN(body.error_message, reader.ReadString());
+  ROVER_ASSIGN_OR_RETURN(body.result, DecodeRpcValue(&reader));
+  return body;
+}
+
+Result<int64_t> RpcValueAsInt(const RpcValue& value) {
+  if (const auto* i = std::get_if<int64_t>(&value)) {
+    return *i;
+  }
+  return InvalidArgumentError("RpcValue is not an int");
+}
+
+Result<double> RpcValueAsDouble(const RpcValue& value) {
+  if (const auto* d = std::get_if<double>(&value)) {
+    return *d;
+  }
+  if (const auto* i = std::get_if<int64_t>(&value)) {
+    return static_cast<double>(*i);
+  }
+  return InvalidArgumentError("RpcValue is not a double");
+}
+
+Result<std::string> RpcValueAsString(const RpcValue& value) {
+  if (const auto* s = std::get_if<std::string>(&value)) {
+    return *s;
+  }
+  return InvalidArgumentError("RpcValue is not a string");
+}
+
+Result<Bytes> RpcValueAsBytes(const RpcValue& value) {
+  if (const auto* b = std::get_if<Bytes>(&value)) {
+    return *b;
+  }
+  return InvalidArgumentError("RpcValue is not bytes");
+}
+
+}  // namespace rover

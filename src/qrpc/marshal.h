@@ -1,0 +1,57 @@
+// RPC argument marshalling. QRPC calls name a method on a destination and
+// carry a list of typed values; RDO method invocations marshal their
+// arguments the same way, so shipped code and shipped calls share one wire
+// format.
+
+#ifndef ROVER_SRC_QRPC_MARSHAL_H_
+#define ROVER_SRC_QRPC_MARSHAL_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace rover {
+
+using RpcValue = std::variant<int64_t, double, std::string, Bytes>;
+using RpcArgs = std::vector<RpcValue>;
+
+void EncodeRpcValue(const RpcValue& value, WireWriter* writer);
+Result<RpcValue> DecodeRpcValue(WireReader* reader);
+
+void EncodeRpcArgs(const RpcArgs& args, WireWriter* writer);
+Result<RpcArgs> DecodeRpcArgs(WireReader* reader);
+
+// Request payload: method name + args.
+struct RpcRequestBody {
+  std::string method;
+  RpcArgs args;
+
+  Bytes Encode() const;
+  static Result<RpcRequestBody> Decode(const Bytes& payload);
+};
+
+// Response payload: a status and a result value.
+struct RpcResponseBody {
+  StatusCode code = StatusCode::kOk;
+  std::string error_message;
+  RpcValue result = int64_t{0};
+
+  Status ToStatus() const;
+
+  Bytes Encode() const;
+  static Result<RpcResponseBody> Decode(const Bytes& payload);
+};
+
+// Convenience accessors with type checking.
+Result<int64_t> RpcValueAsInt(const RpcValue& value);
+Result<double> RpcValueAsDouble(const RpcValue& value);
+Result<std::string> RpcValueAsString(const RpcValue& value);
+Result<Bytes> RpcValueAsBytes(const RpcValue& value);
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_QRPC_MARSHAL_H_

@@ -1,0 +1,88 @@
+// Promises (Liskov & Shrira [37], cited by the paper §3.1): import() and
+// QRPC return a promise the application can poll, wait on, or attach a
+// callback to. In the single-threaded simulation "waiting" means running
+// the event loop until the promise resolves.
+
+#ifndef ROVER_SRC_QRPC_PROMISE_H_
+#define ROVER_SRC_QRPC_PROMISE_H_
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/sim/event_loop.h"
+
+namespace rover {
+
+// Shared-state promise. Copies observe the same resolution. Set() must be
+// called at most once; callbacks added after resolution fire immediately.
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<State>()) {}
+
+  bool ready() const { return state_->value.has_value(); }
+
+  const T& value() const {
+    assert(ready());
+    return *state_->value;
+  }
+
+  void Set(T value) {
+    assert(!ready());
+    state_->value = std::move(value);
+    auto callbacks = std::move(state_->callbacks);
+    state_->callbacks.clear();
+    for (auto& cb : callbacks) {
+      cb(*state_->value);
+    }
+  }
+
+  // Runs `cb` when the promise resolves (immediately if already resolved).
+  void OnReady(std::function<void(const T&)> cb) {
+    if (ready()) {
+      cb(*state_->value);
+    } else {
+      state_->callbacks.push_back(std::move(cb));
+    }
+  }
+
+  // Drives `loop` until this promise resolves or the loop runs dry.
+  // Returns true if resolved.
+  bool Wait(EventLoop* loop) const {
+    while (!ready()) {
+      if (!loop->Step()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Drives `loop` one event at a time until resolution, the deadline, or
+  // an empty queue. now() is left at the resolving event's time, not
+  // advanced to the deadline. Returns ready().
+  bool WaitUntil(EventLoop* loop, TimePoint deadline) const {
+    while (!ready()) {
+      auto next = loop->NextEventTime();
+      if (!next.has_value() || *next > deadline) {
+        break;
+      }
+      loop->Step();
+    }
+    return ready();
+  }
+
+ private:
+  struct State {
+    std::optional<T> value;
+    std::vector<std::function<void(const T&)>> callbacks;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_QRPC_PROMISE_H_

@@ -1,0 +1,318 @@
+#include "src/qrpc/qrpc.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace rover {
+namespace {
+
+constexpr uint8_t kLogRecordRequest = 1;
+
+}  // namespace
+
+QrpcClient::QrpcClient(EventLoop* loop, TransportManager* transport, StableLog* log,
+                       QrpcClientOptions options)
+    : loop_(loop), transport_(transport), log_(log), options_(options) {
+  transport_->SetHandler(MessageType::kResponse,
+                         [this](const Message& msg) { HandleResponse(msg); });
+}
+
+Bytes QrpcClient::EncodeLogRecord(uint64_t rpc_id, const std::string& dest,
+                                  const QrpcCallOptions& call_options, const Bytes& body) {
+  WireWriter writer;
+  writer.WriteVarint(kLogRecordRequest);
+  writer.WriteVarint(rpc_id);
+  writer.WriteString(dest);
+  writer.WriteVarint(static_cast<uint64_t>(call_options.priority));
+  writer.WriteBool(call_options.via_relay);
+  writer.WriteString(call_options.relay_host);
+  writer.WriteBytes(body);
+  return writer.TakeData();
+}
+
+QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, RpcArgs args,
+                          QrpcCallOptions call_options) {
+  ++stats_.calls;
+  QrpcCall call;
+  call.rpc_id = next_rpc_id_++;
+
+  RpcRequestBody request;
+  request.method = method;
+  request.args = std::move(args);
+  Bytes body = request.Encode();
+
+  Outstanding out;
+  out.call = call;
+  out.dest = dest;
+
+  const Duration marshal_cost =
+      options_.marshal_fixed +
+      Duration::Seconds(static_cast<double>(body.size()) / options_.marshal_bytes_per_sec);
+
+  if (call_options.log_request && log_ != nullptr) {
+    out.log_record_id = log_->Append(EncodeLogRecord(call.rpc_id, dest, call_options, body));
+  }
+  outstanding_.emplace(call.rpc_id, out);
+
+  const uint64_t rpc_id = call.rpc_id;
+  auto body_ptr = std::make_shared<Bytes>(std::move(body));
+  loop_->ScheduleAfter(marshal_cost, [this, rpc_id, dest, body_ptr, call_options] {
+    auto it = outstanding_.find(rpc_id);
+    if (it == outstanding_.end()) {
+      return;  // cancelled or already handled
+    }
+    if (it->second.log_record_id != 0) {
+      // Durability point: flush before the scheduler may transmit.
+      log_->Flush([this, rpc_id, dest, body_ptr, call_options] {
+        auto it2 = outstanding_.find(rpc_id);
+        if (it2 == outstanding_.end()) {
+          return;
+        }
+        it2->second.call.committed.Set(loop_->now());
+        DispatchToScheduler(rpc_id, dest, *body_ptr, call_options);
+      });
+    } else {
+      it->second.call.committed.Set(loop_->now());
+      DispatchToScheduler(rpc_id, dest, *body_ptr, call_options);
+    }
+  });
+  return call;
+}
+
+void QrpcClient::DispatchToScheduler(uint64_t rpc_id, const std::string& dest, Bytes body,
+                                     const QrpcCallOptions& call_options) {
+  Message msg;
+  msg.header.message_id = rpc_id;
+  msg.header.type = MessageType::kRequest;
+  msg.header.priority = call_options.priority;
+  msg.header.dst = dest;
+  msg.payload = std::move(body);
+  if (call_options.via_relay) {
+    // Ask the server to route the response back through the same relay.
+    msg.header.reply_via = call_options.relay_host;
+    transport_->SendViaRelay(call_options.relay_host, std::move(msg));
+  } else {
+    transport_->Send(std::move(msg));
+  }
+}
+
+void QrpcClient::HandleResponse(const Message& msg) {
+  const uint64_t rpc_id = msg.header.in_reply_to;
+  auto it = outstanding_.find(rpc_id);
+  if (it == outstanding_.end()) {
+    return;  // duplicate response; at-most-once already satisfied
+  }
+  QrpcResult result;
+  result.completed_at = loop_->now();
+  auto body = RpcResponseBody::Decode(msg.payload);
+  if (body.ok()) {
+    result.status = body->ToStatus();
+    result.value = body->result;
+  } else {
+    result.status = body.status();
+  }
+  Outstanding out = std::move(it->second);
+  outstanding_.erase(it);
+  ++stats_.completed;
+  if (out.log_record_id != 0) {
+    answered_log_records_.insert(out.log_record_id);
+    MaybeTruncateLog();
+  }
+  out.call.result.Set(std::move(result));
+}
+
+void QrpcClient::MaybeTruncateLog() {
+  if (log_ == nullptr) {
+    return;
+  }
+  uint64_t front = log_->FrontRecordId();
+  while (front != 0 && answered_log_records_.count(front) > 0) {
+    answered_log_records_.erase(front);
+    log_->Truncate(front);
+    front = log_->FrontRecordId();
+  }
+}
+
+bool QrpcClient::Cancel(uint64_t rpc_id) {
+  auto it = outstanding_.find(rpc_id);
+  if (it == outstanding_.end()) {
+    return false;
+  }
+  Outstanding out = std::move(it->second);
+  outstanding_.erase(it);
+  if (out.log_record_id != 0 && log_ != nullptr) {
+    log_->RemoveRecord(out.log_record_id);
+    answered_log_records_.erase(out.log_record_id);
+  }
+  transport_->scheduler()->CancelMessage(out.dest, rpc_id);
+  if (!out.call.result.ready()) {
+    QrpcResult result;
+    result.status = CancelledError("call cancelled by application");
+    result.completed_at = loop_->now();
+    out.call.result.Set(std::move(result));
+  }
+  return true;
+}
+
+size_t QrpcClient::RecoverFromLog() {
+  if (log_ == nullptr) {
+    return 0;
+  }
+  size_t resent = 0;
+  for (const StableLog::Record& rec : log_->DurableRecords()) {
+    WireReader reader(rec.data);
+    auto kind = reader.ReadVarint();
+    if (!kind.ok() || *kind != kLogRecordRequest) {
+      continue;
+    }
+    auto rpc_id = reader.ReadVarint();
+    auto dest = reader.ReadString();
+    auto priority = reader.ReadVarint();
+    auto via_relay = reader.ReadBool();
+    auto relay_host = reader.ReadString();
+    auto body = reader.ReadBytes();
+    if (!rpc_id.ok() || !dest.ok() || !priority.ok() || !via_relay.ok() ||
+        !relay_host.ok() || !body.ok() || *priority >= kNumPriorities) {
+      ROVER_LOG(Warning) << "qrpc recovery: skipping malformed log record " << rec.id;
+      continue;
+    }
+    next_rpc_id_ = std::max(next_rpc_id_, *rpc_id + 1);
+
+    if (outstanding_.count(*rpc_id) == 0) {
+      QrpcCall call;
+      call.rpc_id = *rpc_id;
+      call.committed.Set(loop_->now());  // it is already durable
+      Outstanding out;
+      out.call = call;
+      out.log_record_id = rec.id;
+      outstanding_.emplace(*rpc_id, std::move(out));
+    }
+    // If the call is still tracked (same engine survived, e.g. only the
+    // device "rebooted"), re-transmission is safe: the server's duplicate
+    // cache guarantees at-most-once execution and the existing promise
+    // resolves when any response arrives.
+
+    QrpcCallOptions call_options;
+    call_options.priority = static_cast<Priority>(*priority);
+    call_options.via_relay = *via_relay;
+    call_options.relay_host = *relay_host;
+    DispatchToScheduler(*rpc_id, *dest, std::move(*body), call_options);
+    ++resent;
+    ++stats_.recovered;
+  }
+  return resent;
+}
+
+QrpcServer::QrpcServer(EventLoop* loop, TransportManager* transport,
+                       QrpcServerOptions options)
+    : loop_(loop), transport_(transport), options_(options) {
+  transport_->SetHandler(MessageType::kRequest,
+                         [this](const Message& msg) { HandleRequest(msg); });
+}
+
+void QrpcServer::RegisterHandler(const std::string& method, Handler handler) {
+  handlers_[method] = std::move(handler);
+}
+
+void QrpcServer::SendResponse(const std::string& dst, uint64_t rpc_id, Priority priority,
+                              const std::string& reply_via, const RpcResponseBody& body) {
+  Message msg;
+  msg.header.type = MessageType::kResponse;
+  msg.header.priority = priority;
+  msg.header.dst = dst;
+  msg.header.in_reply_to = rpc_id;
+  msg.payload = body.Encode();
+  if (!reply_via.empty()) {
+    transport_->SendViaRelay(reply_via, std::move(msg));
+  } else {
+    transport_->Send(std::move(msg));
+  }
+}
+
+void QrpcServer::HandleRequest(const Message& msg) {
+  ++stats_.requests;
+  if (!options_.accepted_tokens.empty() &&
+      options_.accepted_tokens.count(msg.header.auth) == 0) {
+    ++stats_.auth_failures;
+    RpcResponseBody body;
+    body.code = StatusCode::kPermissionDenied;
+    body.error_message = "request not authenticated";
+    SendResponse(msg.header.src, msg.header.message_id, msg.header.priority,
+                 msg.header.reply_via, body);
+    return;
+  }
+  const auto key = std::make_pair(msg.header.src, msg.header.message_id);
+
+  // At-most-once: a completed request is answered from the cache; an
+  // in-progress one is dropped (its response is already on the way).
+  auto done_it = done_.find(key);
+  if (done_it != done_.end()) {
+    ++stats_.duplicates;
+    RpcResponseBody cached;
+    auto decoded = RpcResponseBody::Decode(done_it->second);
+    if (decoded.ok()) {
+      cached = *decoded;
+    }
+    SendResponse(msg.header.src, msg.header.message_id, msg.header.priority,
+                 msg.header.reply_via, cached);
+    return;
+  }
+  if (in_progress_.count(key) > 0) {
+    ++stats_.duplicates;
+    return;
+  }
+
+  auto request = RpcRequestBody::Decode(msg.payload);
+  if (!request.ok()) {
+    RpcResponseBody body;
+    body.code = StatusCode::kDataLoss;
+    body.error_message = "malformed request";
+    SendResponse(msg.header.src, msg.header.message_id, msg.header.priority,
+                 msg.header.reply_via, body);
+    return;
+  }
+
+  Handler* handler = nullptr;
+  auto hit = handlers_.find(request->method);
+  if (hit != handlers_.end()) {
+    handler = &hit->second;
+  } else if (default_handler_) {
+    handler = &default_handler_;
+  }
+  if (handler == nullptr) {
+    ++stats_.unknown_methods;
+    RpcResponseBody body;
+    body.code = StatusCode::kUnimplemented;
+    body.error_message = "no handler for method " + request->method;
+    SendResponse(msg.header.src, msg.header.message_id, msg.header.priority,
+                 msg.header.reply_via, body);
+    return;
+  }
+
+  in_progress_.insert(key);
+  const std::string src = msg.header.src;
+  const uint64_t rpc_id = msg.header.message_id;
+  const Priority priority = msg.header.priority;
+  const std::string reply_via = msg.header.reply_via;
+  Responder respond = [this, key, src, rpc_id, priority, reply_via](RpcResponseBody body) {
+    in_progress_.erase(key);
+    done_[key] = body.Encode();
+    done_order_.push_back(key);
+    while (done_order_.size() > options_.duplicate_cache_max) {
+      done_.erase(done_order_.front());
+      done_order_.pop_front();
+    }
+    SendResponse(src, rpc_id, priority, reply_via, body);
+  };
+
+  // Model dispatch CPU cost, then run the handler.
+  auto request_ptr = std::make_shared<RpcRequestBody>(std::move(*request));
+  auto envelope_ptr = std::make_shared<Message>(msg);
+  loop_->ScheduleAfter(options_.dispatch_cost,
+                       [handler = *handler, request_ptr, envelope_ptr, respond] {
+                         handler(*request_ptr, *envelope_ptr, respond);
+                       });
+}
+
+}  // namespace rover

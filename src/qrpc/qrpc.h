@@ -1,0 +1,179 @@
+// Queued RPC (paper §3.2, §5.2). The client engine makes *non-blocking*
+// calls: the request is marshalled, appended to the stable log, flushed
+// (the durability point -- "committed"), and handed to the network
+// scheduler, which delivers it whenever connectivity permits. The caller
+// receives two promises: one for the local commit, one for the eventual
+// result. The server engine dispatches requests to registered handlers and
+// guarantees at-most-once execution with a duplicate-response cache keyed
+// by (client, rpc id), so client crash-recovery resends are safe.
+
+#ifndef ROVER_SRC_QRPC_QRPC_H_
+#define ROVER_SRC_QRPC_QRPC_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "src/qrpc/marshal.h"
+#include "src/qrpc/promise.h"
+#include "src/qrpc/stable_log.h"
+#include "src/transport/transport.h"
+
+namespace rover {
+
+struct QrpcResult {
+  Status status;
+  RpcValue value = int64_t{0};
+  TimePoint completed_at;
+};
+
+struct QrpcCallOptions {
+  Priority priority = Priority::kDefault;
+  bool via_relay = false;        // connectionless (SMTP) path
+  std::string relay_host;
+  bool log_request = true;       // false = unlogged call (E2 baseline)
+};
+
+struct QrpcClientOptions {
+  // CPU cost of marshalling: fixed + per-byte.
+  Duration marshal_fixed = Duration::Micros(30);
+  double marshal_bytes_per_sec = 80e6;
+};
+
+struct QrpcClientStats {
+  uint64_t calls = 0;
+  uint64_t completed = 0;
+  uint64_t recovered = 0;  // re-sent after crash recovery
+};
+
+// Handle returned by Call(). Both promises resolve on the event loop.
+struct QrpcCall {
+  uint64_t rpc_id = 0;
+  // Resolves when the request is durable in the stable log and queued with
+  // the network scheduler; its value is the commit time. For unlogged
+  // calls, resolves after marshalling.
+  Promise<TimePoint> committed;
+  // Resolves when the response arrives (possibly much later).
+  Promise<QrpcResult> result;
+};
+
+class QrpcClient {
+ public:
+  QrpcClient(EventLoop* loop, TransportManager* transport, StableLog* log,
+             QrpcClientOptions options = {});
+
+  // Issues a non-blocking call of `method` at host `dest`.
+  QrpcCall Call(const std::string& dest, const std::string& method, RpcArgs args,
+                QrpcCallOptions call_options = {});
+
+  // Calls awaiting a response.
+  size_t PendingCount() const { return outstanding_.size(); }
+
+  // Number of request records still in the stable log.
+  size_t LogDepth() const { return log_->RecordCount(); }
+
+  // Cancels a pending call: removes it from the log and (if still queued)
+  // from the network scheduler, and resolves its result promise with
+  // CANCELLED. Best-effort: a request already transmitted may still
+  // execute at the server; its response is then ignored.
+  bool Cancel(uint64_t rpc_id);
+
+  // Re-issues every durable logged request that has no response yet.
+  // Used after StableLog::SimulateCrash + Recover to model client restart.
+  // Returns the number of requests re-sent.
+  size_t RecoverFromLog();
+
+  const QrpcClientStats& stats() const { return stats_; }
+
+  // The rpc-id counter is part of the client's durable identity: a host
+  // that restarts under the same name MUST resume past its previously
+  // issued ids, or the server's at-most-once duplicate cache will answer
+  // new calls with stale cached responses. Persist next_rpc_id alongside
+  // the stable log / cache snapshot and restore it on boot.
+  uint64_t next_rpc_id() const { return next_rpc_id_; }
+  void set_next_rpc_id(uint64_t id) { next_rpc_id_ = std::max(next_rpc_id_, id); }
+
+ private:
+  struct Outstanding {
+    QrpcCall call;
+    uint64_t log_record_id = 0;  // 0 when unlogged
+    std::string dest;
+  };
+
+  void DispatchToScheduler(uint64_t rpc_id, const std::string& dest, Bytes body,
+                           const QrpcCallOptions& call_options);
+  void HandleResponse(const Message& msg);
+  void MaybeTruncateLog();
+
+  static Bytes EncodeLogRecord(uint64_t rpc_id, const std::string& dest,
+                               const QrpcCallOptions& call_options, const Bytes& body);
+
+  EventLoop* loop_;
+  TransportManager* transport_;
+  StableLog* log_;
+  QrpcClientOptions options_;
+  QrpcClientStats stats_;
+  uint64_t next_rpc_id_ = 1;
+  std::map<uint64_t, Outstanding> outstanding_;
+  // Log record ids whose rpc has completed; truncated once contiguous with
+  // the log head.
+  std::set<uint64_t> answered_log_records_;
+};
+
+struct QrpcServerOptions {
+  size_t duplicate_cache_max = 4096;
+  // When non-empty, requests must carry one of these tokens in their
+  // message header; others are refused with PERMISSION_DENIED.
+  std::set<std::string> accepted_tokens;
+  // Simulated CPU cost to dispatch + execute a handler (base; handlers may
+  // add their own costs by delaying the responder).
+  Duration dispatch_cost = Duration::Micros(50);
+};
+
+struct QrpcServerStats {
+  uint64_t requests = 0;
+  uint64_t duplicates = 0;
+  uint64_t unknown_methods = 0;
+  uint64_t auth_failures = 0;
+};
+
+class QrpcServer {
+ public:
+  // Handlers respond through the Responder, immediately or later.
+  using Responder = std::function<void(RpcResponseBody)>;
+  using Handler =
+      std::function<void(const RpcRequestBody& request, const Message& envelope,
+                         Responder respond)>;
+
+  QrpcServer(EventLoop* loop, TransportManager* transport, QrpcServerOptions options = {});
+
+  void RegisterHandler(const std::string& method, Handler handler);
+  // Invoked for methods with no registered handler (else kUnimplemented).
+  void SetDefaultHandler(Handler handler) { default_handler_ = std::move(handler); }
+
+  const QrpcServerStats& stats() const { return stats_; }
+
+ private:
+  void HandleRequest(const Message& msg);
+  void SendResponse(const std::string& dst, uint64_t rpc_id, Priority priority,
+                    const std::string& reply_via, const RpcResponseBody& body);
+
+  EventLoop* loop_;
+  TransportManager* transport_;
+  QrpcServerOptions options_;
+  QrpcServerStats stats_;
+  std::map<std::string, Handler> handlers_;
+  Handler default_handler_;
+  // (client host, rpc id) -> cached response for at-most-once execution.
+  std::map<std::pair<std::string, uint64_t>, Bytes> done_;
+  std::deque<std::pair<std::string, uint64_t>> done_order_;
+  std::set<std::pair<std::string, uint64_t>> in_progress_;
+};
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_QRPC_QRPC_H_

@@ -1,0 +1,184 @@
+#include "src/qrpc/stable_log.h"
+
+#include <memory>
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/crc32.h"
+
+namespace rover {
+
+StableLog::StableLog(EventLoop* loop, StableLogCostModel cost_model)
+    : loop_(loop), cost_model_(cost_model) {}
+
+uint64_t StableLog::Append(Bytes data) {
+  Record rec;
+  rec.id = next_id_++;
+  rec.crc = Crc32(data.data(), data.size());
+  rec.data = std::move(data);
+  rec.durable = false;
+  records_.push_back(std::move(rec));
+  ++stats_.appends;
+  return records_.back().id;
+}
+
+void StableLog::Flush(std::function<void()> done) {
+  if (cost_model_.group_commit) {
+    if (done) {
+      waiting_flushes_.push_back(std::move(done));
+    } else {
+      waiting_flushes_.push_back([] {});
+    }
+    if (!write_in_progress_) {
+      StartGroupWrite();
+    }
+    return;
+  }
+  size_t bytes = 0;
+  std::vector<uint64_t> ids;
+  for (const Record& rec : records_) {
+    if (!rec.durable) {
+      bytes += rec.data.size() + 16;  // record framing: id + length + crc
+      ids.push_back(rec.id);
+    }
+  }
+  if (ids.empty()) {
+    // Nothing to write; completion still goes through the loop (async).
+    loop_->ScheduleAfter(Duration::Zero(), std::move(done));
+    return;
+  }
+  const Duration cost = cost_model_.FlushCost(bytes);
+  const TimePoint start = std::max(loop_->now(), flush_busy_until_);
+  const TimePoint finish = start + cost;
+  flush_busy_until_ = finish;
+  ++stats_.flushes;
+  stats_.bytes_flushed += bytes;
+  stats_.flush_time_total += cost;
+
+  loop_->ScheduleAt(finish, [this, ids = std::move(ids), done = std::move(done)] {
+    for (Record& rec : records_) {
+      if (std::binary_search(ids.begin(), ids.end(), rec.id)) {
+        rec.durable = true;
+      }
+    }
+    if (done) {
+      done();
+    }
+  });
+}
+
+void StableLog::StartGroupWrite() {
+  // One device write covers every record appended so far; flush requests
+  // arriving while it runs join the *next* write.
+  size_t bytes = 0;
+  std::vector<uint64_t> ids;
+  for (const Record& rec : records_) {
+    if (!rec.durable) {
+      bytes += rec.data.size() + 16;
+      ids.push_back(rec.id);
+    }
+  }
+  auto callbacks = std::make_shared<std::vector<std::function<void()>>>(
+      std::move(waiting_flushes_));
+  waiting_flushes_.clear();
+  if (ids.empty()) {
+    loop_->ScheduleAfter(Duration::Zero(), [callbacks] {
+      for (auto& cb : *callbacks) {
+        cb();
+      }
+    });
+    return;
+  }
+  write_in_progress_ = true;
+  const Duration cost = cost_model_.FlushCost(bytes);
+  ++stats_.flushes;
+  stats_.bytes_flushed += bytes;
+  stats_.flush_time_total += cost;
+  loop_->ScheduleAfter(cost, [this, ids = std::move(ids), callbacks] {
+    for (Record& rec : records_) {
+      if (std::binary_search(ids.begin(), ids.end(), rec.id)) {
+        rec.durable = true;
+      }
+    }
+    write_in_progress_ = false;
+    for (auto& cb : *callbacks) {
+      cb();
+    }
+    if (!waiting_flushes_.empty()) {
+      StartGroupWrite();
+    }
+  });
+}
+
+bool StableLog::FullyDurable() const {
+  for (const Record& rec : records_) {
+    if (!rec.durable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void StableLog::Truncate(uint64_t up_to_id) {
+  while (!records_.empty() && records_.front().id <= up_to_id) {
+    records_.pop_front();
+  }
+}
+
+bool StableLog::RemoveRecord(uint64_t id) {
+  for (auto it = records_.begin(); it != records_.end(); ++it) {
+    if (it->id == id) {
+      records_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<StableLog::Record> StableLog::DurableRecords() const {
+  std::vector<Record> out;
+  for (const Record& rec : records_) {
+    if (rec.durable) {
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+void StableLog::SimulateCrash(bool tear_last_record) {
+  // Volatile tail is lost.
+  while (!records_.empty() && !records_.back().durable) {
+    records_.pop_back();
+  }
+  if (tear_last_record && !records_.empty()) {
+    Record& last = records_.back();
+    if (last.data.empty()) {
+      last.data.push_back(0xff);  // garbage byte; CRC of empty no longer matches
+    } else {
+      last.data[last.data.size() / 2] ^= 0x5a;
+    }
+  }
+  // In-flight flush completions refer to ids that may be gone; Recover()
+  // re-validates everything, so stale completions are harmless.
+  flush_busy_until_ = loop_->now();
+  write_in_progress_ = false;
+  waiting_flushes_.clear();
+}
+
+size_t StableLog::Recover() {
+  std::deque<Record> valid;
+  for (Record& rec : records_) {
+    if (!rec.durable) {
+      continue;
+    }
+    if (Crc32(rec.data.data(), rec.data.size()) != rec.crc) {
+      continue;  // torn write; drop
+    }
+    valid.push_back(std::move(rec));
+  }
+  records_ = std::move(valid);
+  return records_.size();
+}
+
+}  // namespace rover

@@ -1,0 +1,61 @@
+// Migration policy (paper §1, §6.2): "Depending on the power of the
+// mobile host and the available bandwidth, Rover dynamically adapts and
+// moves functionality between the client and the server." For Rover Ical,
+// shipping the interactive RDO to the client wins on slow links and is the
+// only option while disconnected; on a fast LAN, leaving execution at the
+// server is competitive and saves client resources.
+
+#ifndef ROVER_SRC_RDO_MIGRATION_H_
+#define ROVER_SRC_RDO_MIGRATION_H_
+
+#include <string>
+
+namespace rover {
+
+enum class ExecutionSite {
+  kClient,
+  kServer,
+};
+
+struct MigrationPolicy {
+  enum class Mode {
+    kAlwaysClient,  // invoke cached RDOs locally whenever possible
+    kAlwaysServer,  // ship every invocation to the home server
+    kAdaptive,      // pick by current link quality (threshold below)
+  };
+
+  Mode mode = Mode::kAdaptive;
+  // kAdaptive: execute at the client when the best available link offers
+  // less bandwidth than this (or there is no link at all). Default sits
+  // between WaveLAN (2 Mbit/s) and Ethernet (10 Mbit/s): LAN-connected
+  // hosts use the server, everything slower runs locally.
+  double client_threshold_bps = 5e6;
+
+  // `cached` : the RDO is loaded in the local cache.
+  // `connected` / `best_bandwidth_bps` : current link state to the server.
+  ExecutionSite Decide(bool cached, bool connected, double best_bandwidth_bps) const {
+    if (!connected) {
+      return ExecutionSite::kClient;  // only choice; fails upward if not cached
+    }
+    switch (mode) {
+      case Mode::kAlwaysClient:
+        return cached ? ExecutionSite::kClient : ExecutionSite::kServer;
+      case Mode::kAlwaysServer:
+        return ExecutionSite::kServer;
+      case Mode::kAdaptive:
+        if (cached && best_bandwidth_bps < client_threshold_bps) {
+          return ExecutionSite::kClient;
+        }
+        return ExecutionSite::kServer;
+    }
+    return ExecutionSite::kServer;
+  }
+};
+
+inline const char* ExecutionSiteName(ExecutionSite site) {
+  return site == ExecutionSite::kClient ? "client" : "server";
+}
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_RDO_MIGRATION_H_

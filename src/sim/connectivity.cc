@@ -1,0 +1,115 @@
+#include "src/sim/connectivity.h"
+
+#include <algorithm>
+
+namespace rover {
+
+namespace {
+constexpr TimePoint kNever = TimePoint::FromMicros(INT64_MAX);
+}  // namespace
+
+TimePoint ConnectivitySchedule::NextUpTime(TimePoint t) const {
+  if (IsUp(t)) {
+    return t;
+  }
+  const TimePoint next = NextTransition(t);
+  if (next == kNever) {
+    return kNever;
+  }
+  // A transition from down must be to up.
+  return next;
+}
+
+TimePoint ConstantConnectivity::NextTransition(TimePoint t) const { return kNever; }
+
+PeriodicConnectivity::PeriodicConnectivity(Duration up_duration, Duration down_duration,
+                                           TimePoint phase)
+    : up_(up_duration), down_(down_duration), phase_(phase) {}
+
+bool PeriodicConnectivity::IsUp(TimePoint t) const {
+  if (t < phase_) {
+    return false;
+  }
+  const int64_t period = up_.micros() + down_.micros();
+  if (period == 0) {
+    return true;
+  }
+  const int64_t offset = (t - phase_).micros() % period;
+  return offset < up_.micros();
+}
+
+TimePoint PeriodicConnectivity::NextTransition(TimePoint t) const {
+  if (t < phase_) {
+    return phase_;
+  }
+  const int64_t period = up_.micros() + down_.micros();
+  if (period == 0) {
+    return kNever;
+  }
+  const int64_t since = (t - phase_).micros();
+  const int64_t offset = since % period;
+  const int64_t period_start = since - offset;
+  int64_t next;
+  if (offset < up_.micros()) {
+    next = period_start + up_.micros();  // up -> down
+  } else {
+    next = period_start + period;  // down -> up
+  }
+  return phase_ + Duration::Micros(next);
+}
+
+IntervalConnectivity::IntervalConnectivity(std::vector<Interval> up_intervals)
+    : intervals_(std::move(up_intervals)) {
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](const Interval& a, const Interval& b) { return a.start < b.start; });
+}
+
+bool IntervalConnectivity::IsUp(TimePoint t) const {
+  // First interval starting after t; the candidate is the one before it.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](TimePoint v, const Interval& iv) { return v < iv.start; });
+  if (it == intervals_.begin()) {
+    return false;
+  }
+  --it;
+  return t >= it->start && t < it->end;
+}
+
+TimePoint IntervalConnectivity::NextTransition(TimePoint t) const {
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](TimePoint v, const Interval& iv) { return v < iv.start; });
+  if (it != intervals_.begin()) {
+    auto prev = it - 1;
+    if (t >= prev->start && t < prev->end) {
+      return prev->end;  // currently up; next transition is this interval's end
+    }
+  }
+  if (it == intervals_.end()) {
+    return kNever;
+  }
+  return it->start;
+}
+
+std::unique_ptr<IntervalConnectivity> MakeRandomConnectivity(Rng* rng, Duration mean_up,
+                                                             Duration mean_down,
+                                                             Duration horizon,
+                                                             bool start_up) {
+  std::vector<IntervalConnectivity::Interval> intervals;
+  TimePoint t = TimePoint::Epoch();
+  bool up = start_up;
+  const TimePoint end = TimePoint::Epoch() + horizon;
+  while (t < end) {
+    const double mean = up ? mean_up.seconds() : mean_down.seconds();
+    const Duration span = Duration::Seconds(std::max(1e-6, rng->NextExponential(mean)));
+    if (up) {
+      intervals.push_back({t, t + span});
+    }
+    t += span;
+    up = !up;
+  }
+  return std::make_unique<IntervalConnectivity>(std::move(intervals));
+}
+
+}  // namespace rover

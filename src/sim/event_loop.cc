@@ -1,0 +1,86 @@
+#include "src/sim/event_loop.h"
+
+#include <utility>
+
+namespace rover {
+
+EventId EventLoop::ScheduleAt(TimePoint t, std::function<void()> fn) {
+  if (t < now_) {
+    t = now_;
+  }
+  const uint64_t seq = next_seq_++;
+  queue_.push(Event{t, seq, std::move(fn)});
+  return seq;
+}
+
+EventId EventLoop::ScheduleAfter(Duration d, std::function<void()> fn) {
+  return ScheduleAt(now_ + d, std::move(fn));
+}
+
+bool EventLoop::Cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_seq_) {
+    return false;
+  }
+  // Tombstone; the event is skipped when popped.
+  return cancelled_.insert(id).second;
+}
+
+bool EventLoop::PopAndRun() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.seq) > 0) {
+      continue;
+    }
+    now_ = ev.when;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+size_t EventLoop::Run() {
+  size_t executed = 0;
+  while (executed < event_limit_ && PopAndRun()) {
+    ++executed;
+  }
+  return executed;
+}
+
+size_t EventLoop::RunUntil(TimePoint t) {
+  size_t executed = 0;
+  while (executed < event_limit_ && !queue_.empty()) {
+    // Skip tombstones at the head so their timestamps don't gate progress.
+    while (!queue_.empty() && cancelled_.count(queue_.top().seq) > 0) {
+      cancelled_.erase(queue_.top().seq);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().when > t) {
+      break;
+    }
+    if (PopAndRun()) {
+      ++executed;
+    }
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+  return executed;
+}
+
+size_t EventLoop::RunFor(Duration d) { return RunUntil(now_ + d); }
+
+bool EventLoop::Step() { return PopAndRun(); }
+
+std::optional<TimePoint> EventLoop::NextEventTime() {
+  while (!queue_.empty() && cancelled_.count(queue_.top().seq) > 0) {
+    cancelled_.erase(queue_.top().seq);
+    queue_.pop();
+  }
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  return queue_.top().when;
+}
+
+}  // namespace rover

@@ -1,0 +1,69 @@
+#include "src/sim/network.h"
+
+#include <utility>
+
+namespace rover {
+
+std::vector<Link*> Host::LinksTo(const std::string& peer) const {
+  std::vector<Link*> out;
+  for (Link* link : links_) {
+    if (link->PeerOf(name_) == peer) {
+      out.push_back(link);
+    }
+  }
+  return out;
+}
+
+bool Host::CanReach(const std::string& peer) const {
+  for (Link* link : links_) {
+    if (link->PeerOf(name_) == peer && link->IsUp()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Host::SetReceiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+void Host::Attach(Link* link) {
+  links_.push_back(link);
+  link->SetFrameHandler(name_, [this](const Bytes& frame, const std::string& from) {
+    HandleFrame(frame, from);
+  });
+}
+
+void Host::HandleFrame(const Bytes& frame, const std::string& from) {
+  if (receiver_) {
+    receiver_(frame, from);
+  }
+}
+
+Host* Network::AddHost(const std::string& name) {
+  auto it = hosts_.find(name);
+  if (it != hosts_.end()) {
+    return it->second.get();
+  }
+  auto host = std::unique_ptr<Host>(new Host(name));
+  Host* raw = host.get();
+  hosts_.emplace(name, std::move(host));
+  return raw;
+}
+
+Host* Network::FindHost(const std::string& name) const {
+  auto it = hosts_.find(name);
+  return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+Link* Network::Connect(const std::string& host_a, const std::string& host_b,
+                       LinkProfile profile, std::unique_ptr<ConnectivitySchedule> schedule) {
+  Host* a = AddHost(host_a);
+  Host* b = AddHost(host_b);
+  links_.push_back(std::make_unique<Link>(loop_, host_a, host_b, std::move(profile),
+                                          std::move(schedule), next_link_seed_++));
+  Link* link = links_.back().get();
+  a->Attach(link);
+  b->Attach(link);
+  return link;
+}
+
+}  // namespace rover

@@ -1,0 +1,82 @@
+// Network fabric: a set of named hosts joined by point-to-point links.
+// A mobile host typically owns several links to its home server (Ethernet
+// dock, WaveLAN, dial-up modem), each with its own connectivity schedule;
+// the transport layer's network scheduler picks among them.
+
+#ifndef ROVER_SRC_SIM_NETWORK_H_
+#define ROVER_SRC_SIM_NETWORK_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/event_loop.h"
+#include "src/sim/link.h"
+#include "src/util/status.h"
+
+namespace rover {
+
+class Network;
+
+class Host {
+ public:
+  using Receiver = std::function<void(const Bytes& frame, const std::string& from_host)>;
+
+  const std::string& name() const { return name_; }
+
+  // All links attached to this host, in attachment order.
+  const std::vector<Link*>& links() const { return links_; }
+
+  // Links whose far end is `peer`.
+  std::vector<Link*> LinksTo(const std::string& peer) const;
+
+  // True if any link to `peer` is currently up.
+  bool CanReach(const std::string& peer) const;
+
+  // Registers the upcall for frames arriving on any attached link.
+  void SetReceiver(Receiver receiver);
+
+ private:
+  friend class Network;
+  explicit Host(std::string name) : name_(std::move(name)) {}
+
+  void Attach(Link* link);
+  void HandleFrame(const Bytes& frame, const std::string& from);
+
+  std::string name_;
+  std::vector<Link*> links_;
+  Receiver receiver_;
+};
+
+class Network {
+ public:
+  explicit Network(EventLoop* loop) : loop_(loop) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  EventLoop* loop() const { return loop_; }
+
+  // Creates (or returns the existing) host with this name.
+  Host* AddHost(const std::string& name);
+
+  Host* FindHost(const std::string& name) const;
+
+  // Connects two hosts with a new link. Both hosts are created on demand.
+  // A null schedule means always-up.
+  Link* Connect(const std::string& host_a, const std::string& host_b, LinkProfile profile,
+                std::unique_ptr<ConnectivitySchedule> schedule = nullptr);
+
+  const std::vector<std::unique_ptr<Link>>& all_links() const { return links_; }
+
+ private:
+  EventLoop* loop_;
+  std::map<std::string, std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Link>> links_;
+  uint64_t next_link_seed_ = 0x9e3779b9;
+};
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_SIM_NETWORK_H_

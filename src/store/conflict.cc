@@ -1,0 +1,272 @@
+#include "src/store/conflict.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/tclite/value.h"
+
+namespace rover {
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    lines.push_back(std::move(current));
+  }
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+// Longest-common-subsequence keep-masks: keep_a[i] / keep_b[j] are true for
+// lines that are part of the common subsequence.
+void LcsKeepMasks(const std::vector<std::string>& a, const std::vector<std::string>& b,
+                  std::vector<bool>* keep_a, std::vector<bool>* keep_b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<std::vector<int>> dp(n + 1, std::vector<int>(m + 1, 0));
+  for (size_t i = n; i-- > 0;) {
+    for (size_t j = m; j-- > 0;) {
+      dp[i][j] = a[i] == b[j] ? dp[i + 1][j + 1] + 1 : std::max(dp[i + 1][j], dp[i][j + 1]);
+    }
+  }
+  keep_a->assign(n, false);
+  keep_b->assign(m, false);
+  size_t i = 0;
+  size_t j = 0;
+  while (i < n && j < m) {
+    if (a[i] == b[j]) {
+      (*keep_a)[i] = true;
+      (*keep_b)[j] = true;
+      ++i;
+      ++j;
+    } else if (dp[i + 1][j] >= dp[i][j + 1]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+}
+
+// Per-ancestor-line edit view of one derived version: which ancestor lines
+// survive, and what new lines are inserted into each gap. gap[i] holds the
+// lines inserted before ancestor line i (gap[n] = insertions at the end).
+struct EditView {
+  std::vector<bool> keeps;                        // size n
+  std::vector<std::vector<std::string>> gaps;     // size n+1
+};
+
+EditView BuildEditView(const std::vector<std::string>& ancestor,
+                       const std::vector<std::string>& derived) {
+  EditView view;
+  std::vector<bool> keep_d;
+  LcsKeepMasks(ancestor, derived, &view.keeps, &keep_d);
+  view.gaps.assign(ancestor.size() + 1, {});
+  size_t gap = 0;  // index of the next ancestor line to be matched
+  size_t ai = 0;
+  for (size_t di = 0; di < derived.size(); ++di) {
+    if (keep_d[di]) {
+      // Advance ancestor cursor to the matching kept line.
+      while (ai < ancestor.size() && !view.keeps[ai]) {
+        ++ai;
+      }
+      ++ai;
+      gap = ai;
+    } else {
+      view.gaps[gap].push_back(derived[di]);
+    }
+  }
+  return view;
+}
+
+}  // namespace
+
+Result<std::string> LastWriterWinsResolve(const std::string& ancestor,
+                                          const std::string& committed,
+                                          const std::string& proposed) {
+  return proposed;
+}
+
+Result<std::string> SetMergeResolve(const std::string& ancestor,
+                                    const std::string& committed,
+                                    const std::string& proposed) {
+  auto a = TclListSplit(ancestor);
+  auto c = TclListSplit(committed);
+  auto p = TclListSplit(proposed);
+  if (!a.ok() || !c.ok() || !p.ok()) {
+    return InvalidArgumentError("set merge: state is not a valid list");
+  }
+  const std::set<std::string> a_set(a->begin(), a->end());
+  const std::set<std::string> p_set(p->begin(), p->end());
+  std::set<std::string> removed_by_client;
+  for (const std::string& e : *a) {
+    if (p_set.count(e) == 0) {
+      removed_by_client.insert(e);
+    }
+  }
+  std::vector<std::string> merged;
+  std::set<std::string> seen;
+  for (const std::string& e : *c) {
+    if (removed_by_client.count(e) == 0 && seen.insert(e).second) {
+      merged.push_back(e);
+    }
+  }
+  for (const std::string& e : *p) {
+    if (a_set.count(e) == 0 && seen.insert(e).second) {
+      merged.push_back(e);  // added by the client
+    }
+  }
+  return TclListJoin(merged);
+}
+
+Result<std::string> CalendarMergeResolve(const std::string& ancestor,
+                                         const std::string& committed,
+                                         const std::string& proposed) {
+  auto a = TclListSplit(ancestor);
+  auto c = TclListSplit(committed);
+  auto p = TclListSplit(proposed);
+  if (!a.ok() || !c.ok() || !p.ok() || a->size() % 2 != 0 || c->size() % 2 != 0 ||
+      p->size() % 2 != 0) {
+    return InvalidArgumentError("calendar merge: state is not a valid dict");
+  }
+  auto to_map = [](const std::vector<std::string>& kv) {
+    std::map<std::string, std::string> m;
+    for (size_t i = 0; i + 1 < kv.size(); i += 2) {
+      m[kv[i]] = kv[i + 1];
+    }
+    return m;
+  };
+  const auto am = to_map(*a);
+  const auto cm = to_map(*c);
+  const auto pm = to_map(*p);
+
+  std::set<std::string> keys;
+  for (const auto& [k, v] : am) {
+    keys.insert(k);
+  }
+  for (const auto& [k, v] : cm) {
+    keys.insert(k);
+  }
+  for (const auto& [k, v] : pm) {
+    keys.insert(k);
+  }
+
+  std::vector<std::string> merged;
+  for (const std::string& key : keys) {
+    auto find = [&](const std::map<std::string, std::string>& m) {
+      auto it = m.find(key);
+      return it == m.end() ? std::optional<std::string>() : std::optional(it->second);
+    };
+    const auto av = find(am);
+    const auto cv = find(cm);
+    const auto pv = find(pm);
+    std::optional<std::string> out;
+    if (cv == pv) {
+      out = cv;  // both sides agree (includes both-deleted)
+    } else if (av == cv) {
+      out = pv;  // only the client changed this slot
+    } else if (av == pv) {
+      out = cv;  // only the server side changed this slot
+    } else {
+      return ConflictError("calendar slot \"" + key + "\" modified on both sides: \"" +
+                           cv.value_or("<deleted>") + "\" vs \"" +
+                           pv.value_or("<deleted>") + "\"");
+    }
+    if (out.has_value()) {
+      merged.push_back(key);
+      merged.push_back(*out);
+    }
+  }
+  return TclListJoin(merged);
+}
+
+Result<std::string> TextMergeResolve(const std::string& ancestor,
+                                     const std::string& committed,
+                                     const std::string& proposed) {
+  const std::vector<std::string> a = SplitLines(ancestor);
+  const std::vector<std::string> c = SplitLines(committed);
+  const std::vector<std::string> p = SplitLines(proposed);
+  if (a.size() > 2000 || c.size() > 2000 || p.size() > 2000) {
+    // Quadratic LCS guard: fall back to trivial cases only.
+    if (committed == ancestor) {
+      return proposed;
+    }
+    if (proposed == ancestor) {
+      return committed;
+    }
+    return ConflictError("text merge: documents too large for three-way merge");
+  }
+  const EditView cv = BuildEditView(a, c);
+  const EditView pv = BuildEditView(a, p);
+
+  std::vector<std::string> merged;
+  for (size_t i = 0; i <= a.size(); ++i) {
+    const auto& cg = cv.gaps[i];
+    const auto& pg = pv.gaps[i];
+    if (!cg.empty() && !pg.empty() && cg != pg) {
+      return ConflictError("text merge: conflicting insertions near line " +
+                           std::to_string(i + 1));
+    }
+    const auto& gap = !cg.empty() ? cg : pg;
+    merged.insert(merged.end(), gap.begin(), gap.end());
+    if (i < a.size()) {
+      const bool c_keeps = cv.keeps[i];
+      const bool p_keeps = pv.keeps[i];
+      if (c_keeps && p_keeps) {
+        merged.push_back(a[i]);
+      }
+      // Deleted by either side: drop the line. A "modification" appears as
+      // delete + insert, so a line deleted by one side while the other
+      // inserted replacement text adjacent to it merges cleanly unless the
+      // insertions collide (handled above).
+    }
+  }
+  return JoinLines(merged);
+}
+
+ConflictResolverRegistry::ConflictResolverRegistry() {
+  Register("lww", LastWriterWinsResolve);
+  Register("set", SetMergeResolve);
+  Register("calendar", CalendarMergeResolve);
+  Register("text", TextMergeResolve);
+}
+
+void ConflictResolverRegistry::Register(const std::string& type, ConflictResolver resolver) {
+  resolvers_[type] = std::move(resolver);
+}
+
+bool ConflictResolverRegistry::Has(const std::string& type) const {
+  return resolvers_.count(type) > 0;
+}
+
+Result<std::string> ConflictResolverRegistry::Resolve(const std::string& type,
+                                                      const std::string& ancestor,
+                                                      const std::string& committed,
+                                                      const std::string& proposed) const {
+  auto it = resolvers_.find(type);
+  if (it == resolvers_.end()) {
+    return ConflictError("no resolver registered for type \"" + type +
+                         "\"; manual reconciliation required");
+  }
+  return it->second(ancestor, committed, proposed);
+}
+
+}  // namespace rover

@@ -1,0 +1,74 @@
+// Type-specific conflict resolution (paper §2, §3.1). When a client
+// exports an update whose base version is older than the committed
+// version, the home server attempts reconciliation with a resolver chosen
+// by the object's type -- the Locus/Bayou-derived idea the paper adopts
+// ("Because Rover can employ type-specific concurrency control, we expect
+// that many conflicts can be resolved automatically").
+//
+// A resolver sees three states: the common ancestor the client started
+// from, the currently committed state, and the client's proposed state.
+// It returns the merged state, or an error when resolution requires the
+// user (the result is reflected back to the application).
+
+#ifndef ROVER_SRC_STORE_CONFLICT_H_
+#define ROVER_SRC_STORE_CONFLICT_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/util/result.h"
+
+namespace rover {
+
+using ConflictResolver = std::function<Result<std::string>(
+    const std::string& ancestor, const std::string& committed,
+    const std::string& proposed)>;
+
+class ConflictResolverRegistry {
+ public:
+  // Registers the four built-in resolvers ("lww", "set", "calendar",
+  // "text") plus the default.
+  ConflictResolverRegistry();
+
+  void Register(const std::string& type, ConflictResolver resolver);
+  bool Has(const std::string& type) const;
+
+  // Resolves using the resolver for `type` (falling back to the default
+  // resolver, which reports an unresolvable conflict).
+  Result<std::string> Resolve(const std::string& type, const std::string& ancestor,
+                              const std::string& committed,
+                              const std::string& proposed) const;
+
+ private:
+  std::map<std::string, ConflictResolver> resolvers_;
+};
+
+// Built-in resolvers (exposed for direct testing).
+
+// "lww": the proposed update simply wins.
+Result<std::string> LastWriterWinsResolve(const std::string& ancestor,
+                                          const std::string& committed,
+                                          const std::string& proposed);
+
+// "set": states are Tcl lists treated as sets. Merge = committed,
+// plus elements the client added, minus elements the client removed.
+Result<std::string> SetMergeResolve(const std::string& ancestor,
+                                    const std::string& committed,
+                                    const std::string& proposed);
+
+// "calendar": states are Tcl dicts slot -> entry. Non-overlapping slot
+// changes merge; the same slot changed to different entries on both sides
+// is a real (unresolvable) conflict.
+Result<std::string> CalendarMergeResolve(const std::string& ancestor,
+                                         const std::string& committed,
+                                         const std::string& proposed);
+
+// "text": line-based three-way merge; overlapping edits conflict.
+Result<std::string> TextMergeResolve(const std::string& ancestor,
+                                     const std::string& committed,
+                                     const std::string& proposed);
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_STORE_CONFLICT_H_

@@ -1,0 +1,175 @@
+#include "src/store/object_store.h"
+
+namespace rover {
+
+Status ObjectStore::Create(const RdoDescriptor& descriptor) {
+  if (objects_.count(descriptor.name) > 0) {
+    return AlreadyExistsError("object \"" + descriptor.name + "\" already exists");
+  }
+  Entry entry;
+  entry.committed = descriptor;
+  entry.committed.version = 1;
+  objects_.emplace(descriptor.name, std::move(entry));
+  ++stats_.creates;
+  return Status::Ok();
+}
+
+Result<uint64_t> ObjectStore::Put(const RdoDescriptor& descriptor) {
+  auto it = objects_.find(descriptor.name);
+  if (it == objects_.end()) {
+    ROVER_RETURN_IF_ERROR(Create(descriptor));
+    return uint64_t{1};
+  }
+  Entry& entry = it->second;
+  PushHistory(&entry);
+  const uint64_t new_version = entry.committed.version + 1;
+  entry.committed = descriptor;
+  entry.committed.version = new_version;
+  ++stats_.commits;
+  return new_version;
+}
+
+Result<RdoDescriptor> ObjectStore::Get(const std::string& name) const {
+  auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    return NotFoundError("object \"" + name + "\" not found");
+  }
+  return it->second.committed;
+}
+
+bool ObjectStore::Exists(const std::string& name) const {
+  return objects_.count(name) > 0;
+}
+
+Result<uint64_t> ObjectStore::VersionOf(const std::string& name) const {
+  auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    return NotFoundError("object \"" + name + "\" not found");
+  }
+  return it->second.committed.version;
+}
+
+Result<ExportOutcome> ObjectStore::ApplyExport(const RdoDescriptor& proposed,
+                                               uint64_t base_version,
+                                               const ConflictResolverRegistry& resolvers) {
+  auto it = objects_.find(proposed.name);
+  if (it == objects_.end()) {
+    return NotFoundError("object \"" + proposed.name + "\" not found");
+  }
+  Entry& entry = it->second;
+
+  if (base_version > entry.committed.version) {
+    return InvalidArgumentError("export base version " + std::to_string(base_version) +
+                                " is newer than committed version " +
+                                std::to_string(entry.committed.version));
+  }
+
+  ExportOutcome outcome;
+  if (base_version == entry.committed.version) {
+    // Fast path: nobody else committed since the client imported.
+    PushHistory(&entry);
+    entry.committed = proposed;
+    entry.committed.version = base_version + 1;
+    ++stats_.commits;
+    ++stats_.fast_path_commits;
+    outcome.new_version = entry.committed.version;
+    outcome.committed = entry.committed;
+    return outcome;
+  }
+
+  // Conflict: find the ancestor the client diverged from.
+  std::string ancestor_data;
+  bool found_ancestor = false;
+  for (const RdoDescriptor& old : entry.history) {
+    if (old.version == base_version) {
+      ancestor_data = old.data;
+      found_ancestor = true;
+      break;
+    }
+  }
+  if (!found_ancestor) {
+    // History truncated past the ancestor; treat the empty state as the
+    // ancestor (conservative: resolvers see everything as both-modified).
+    ancestor_data = "";
+  }
+
+  auto merged = resolvers.Resolve(entry.committed.type, ancestor_data,
+                                  entry.committed.data, proposed.data);
+  if (!merged.ok()) {
+    ++stats_.unresolved_conflicts;
+    return Status(StatusCode::kConflict,
+                  "export of \"" + proposed.name + "\" conflicts: " +
+                      std::string(merged.status().message()));
+  }
+  PushHistory(&entry);
+  entry.committed.data = *merged;
+  entry.committed.version += 1;
+  // Code updates ride along only on the fast path; on conflict the
+  // committed code is kept (data is what resolvers understand).
+  ++stats_.commits;
+  ++stats_.resolved_conflicts;
+  outcome.new_version = entry.committed.version;
+  outcome.was_conflict = true;
+  outcome.committed = entry.committed;
+  return outcome;
+}
+
+Status ObjectStore::Remove(const std::string& name) {
+  if (objects_.erase(name) == 0) {
+    return NotFoundError("object \"" + name + "\" not found");
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> ObjectStore::List(const std::string& prefix) const {
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : objects_) {
+    if (name.rfind(prefix, 0) == 0) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+Bytes ObjectStore::Serialize() const {
+  WireWriter writer;
+  writer.WriteVarint(objects_.size());
+  for (const auto& [name, entry] : objects_) {
+    writer.WriteBytes(entry.committed.Encode());
+    writer.WriteVarint(entry.history.size());
+    for (const RdoDescriptor& old : entry.history) {
+      writer.WriteBytes(old.Encode());
+    }
+  }
+  return writer.TakeData();
+}
+
+Status ObjectStore::Load(const Bytes& snapshot) {
+  WireReader reader(snapshot);
+  ROVER_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  std::map<std::string, Entry> loaded;
+  for (uint64_t i = 0; i < count; ++i) {
+    ROVER_ASSIGN_OR_RETURN(Bytes committed_bytes, reader.ReadBytes());
+    ROVER_ASSIGN_OR_RETURN(RdoDescriptor committed, RdoDescriptor::Decode(committed_bytes));
+    Entry entry;
+    entry.committed = committed;
+    ROVER_ASSIGN_OR_RETURN(uint64_t history_count, reader.ReadVarint());
+    for (uint64_t h = 0; h < history_count; ++h) {
+      ROVER_ASSIGN_OR_RETURN(Bytes old_bytes, reader.ReadBytes());
+      ROVER_ASSIGN_OR_RETURN(RdoDescriptor old, RdoDescriptor::Decode(old_bytes));
+      entry.history.push_back(std::move(old));
+    }
+    loaded.emplace(committed.name, std::move(entry));
+  }
+  objects_ = std::move(loaded);
+  return Status::Ok();
+}
+
+void ObjectStore::PushHistory(Entry* entry) {
+  entry->history.push_back(entry->committed);
+  while (entry->history.size() > history_limit_) {
+    entry->history.pop_front();
+  }
+}
+
+}  // namespace rover

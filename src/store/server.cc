@@ -1,0 +1,344 @@
+#include "src/store/server.h"
+
+#include <utility>
+
+#include "src/tclite/value.h"
+#include "src/util/logging.h"
+
+namespace rover {
+
+Bytes EncodeInvalidation(const std::string& name, uint64_t version) {
+  WireWriter writer;
+  writer.WriteString("INVAL");
+  writer.WriteString(name);
+  writer.WriteVarint(version);
+  return writer.TakeData();
+}
+
+Result<Invalidation> DecodeInvalidation(const Bytes& payload) {
+  WireReader reader(payload);
+  ROVER_ASSIGN_OR_RETURN(std::string tag, reader.ReadString());
+  if (tag != "INVAL") {
+    return DataLossError("not an invalidation message");
+  }
+  Invalidation inval;
+  ROVER_ASSIGN_OR_RETURN(inval.name, reader.ReadString());
+  ROVER_ASSIGN_OR_RETURN(inval.version, reader.ReadVarint());
+  return inval;
+}
+
+namespace {
+
+RpcResponseBody ErrorResponse(const Status& status) {
+  RpcResponseBody body;
+  body.code = status.code();
+  body.error_message = status.message();
+  return body;
+}
+
+RpcResponseBody ValueResponse(RpcValue value) {
+  RpcResponseBody body;
+  body.result = std::move(value);
+  return body;
+}
+
+}  // namespace
+
+RoverServer::RoverServer(EventLoop* loop, TransportManager* transport, QrpcServer* qrpc,
+                         RoverServerOptions options)
+    : loop_(loop), transport_(transport), qrpc_(qrpc), options_(options) {
+  RegisterMethods();
+}
+
+void RoverServer::RegisterMethods() {
+  auto bind = [this](void (RoverServer::*method)(const RpcRequestBody&, const Message&,
+                                                 QrpcServer::Responder)) {
+    return [this, method](const RpcRequestBody& req, const Message& envelope,
+                          QrpcServer::Responder respond) {
+      (this->*method)(req, envelope, std::move(respond));
+    };
+  };
+  qrpc_->RegisterHandler("rover.import", bind(&RoverServer::HandleImport));
+  qrpc_->RegisterHandler("rover.export", bind(&RoverServer::HandleExport));
+  qrpc_->RegisterHandler("rover.invoke", bind(&RoverServer::HandleInvoke));
+  qrpc_->RegisterHandler("rover.create", bind(&RoverServer::HandleCreate));
+  qrpc_->RegisterHandler("rover.list", bind(&RoverServer::HandleList));
+  qrpc_->RegisterHandler("rover.version", bind(&RoverServer::HandleVersion));
+  qrpc_->RegisterHandler("rover.subscribe", bind(&RoverServer::HandleSubscribe));
+  qrpc_->RegisterHandler("rover.poll", bind(&RoverServer::HandlePoll));
+}
+
+Status RoverServer::CreateObject(const RdoDescriptor& descriptor) {
+  return store_.Create(descriptor);
+}
+
+void RoverServer::HandleImport(const RpcRequestBody& req, const Message& envelope,
+                               QrpcServer::Responder respond) {
+  ++stats_.imports;
+  if (req.args.size() != 1) {
+    respond(ErrorResponse(InvalidArgumentError("rover.import expects [name]")));
+    return;
+  }
+  auto name = RpcValueAsString(req.args[0]);
+  if (!name.ok()) {
+    respond(ErrorResponse(name.status()));
+    return;
+  }
+  auto descriptor = store_.Get(*name);
+  if (!descriptor.ok()) {
+    respond(ErrorResponse(descriptor.status()));
+    return;
+  }
+  respond(ValueResponse(descriptor->Encode()));
+}
+
+void RoverServer::HandleExport(const RpcRequestBody& req, const Message& envelope,
+                               QrpcServer::Responder respond) {
+  ++stats_.exports;
+  if (req.args.size() != 2) {
+    respond(ErrorResponse(
+        InvalidArgumentError("rover.export expects [descriptor, base_version]")));
+    return;
+  }
+  auto bytes = RpcValueAsBytes(req.args[0]);
+  auto base = RpcValueAsInt(req.args[1]);
+  if (!bytes.ok() || !base.ok()) {
+    respond(ErrorResponse(InvalidArgumentError("rover.export: bad argument types")));
+    return;
+  }
+  auto proposed = RdoDescriptor::Decode(*bytes);
+  if (!proposed.ok()) {
+    respond(ErrorResponse(proposed.status()));
+    return;
+  }
+  auto outcome = store_.ApplyExport(*proposed, static_cast<uint64_t>(*base), resolvers_);
+  if (!outcome.ok()) {
+    RpcResponseBody body = ErrorResponse(outcome.status());
+    // On conflict, ship the committed descriptor so the client can
+    // reconcile without another round trip.
+    if (outcome.status().code() == StatusCode::kConflict) {
+      auto committed = store_.Get(proposed->name);
+      if (committed.ok()) {
+        body.result = committed->Encode();
+      }
+    }
+    respond(body);
+    return;
+  }
+  DropInstance(proposed->name);
+  NotifySubscribers(proposed->name, outcome->new_version, envelope.header.src);
+  // Response payload: was_conflict flag + the now-committed descriptor
+  // (whose data may be a resolver's merge of concurrent updates).
+  WireWriter writer;
+  writer.WriteBool(outcome->was_conflict);
+  writer.WriteBytes(outcome->committed.Encode());
+  respond(ValueResponse(writer.TakeData()));
+}
+
+Result<RdoInstance*> RoverServer::InstanceFor(const std::string& name) {
+  ROVER_ASSIGN_OR_RETURN(RdoDescriptor descriptor, store_.Get(name));
+  auto it = instances_.find(name);
+  if (it != instances_.end() && it->second->base_version() == descriptor.version) {
+    return it->second.get();
+  }
+  RdoEnvironment env;
+  env.host_name = transport_->local_host();
+  env.now = [loop = loop_] { return loop->now(); };
+  env.log = [](const std::string& line) { ROVER_LOG(Debug) << "rdo: " << line; };
+  ROVER_ASSIGN_OR_RETURN(auto instance,
+                         RdoInstance::Create(descriptor, env, options_.rdo_limits));
+  if (instances_.size() >= options_.instance_cache_max) {
+    instances_.clear();  // simple wholesale eviction; instances rebuild cheaply
+  }
+  RdoInstance* raw = instance.get();
+  instances_[name] = std::move(instance);
+  return raw;
+}
+
+void RoverServer::DropInstance(const std::string& name) { instances_.erase(name); }
+
+void RoverServer::HandleInvoke(const RpcRequestBody& req, const Message& envelope,
+                               QrpcServer::Responder respond) {
+  ++stats_.invokes;
+  if (req.args.size() != 3) {
+    respond(ErrorResponse(
+        InvalidArgumentError("rover.invoke expects [name, method, argsList]")));
+    return;
+  }
+  auto name = RpcValueAsString(req.args[0]);
+  auto method = RpcValueAsString(req.args[1]);
+  auto args_list = RpcValueAsString(req.args[2]);
+  if (!name.ok() || !method.ok() || !args_list.ok()) {
+    respond(ErrorResponse(InvalidArgumentError("rover.invoke: bad argument types")));
+    return;
+  }
+  auto instance = InstanceFor(*name);
+  if (!instance.ok()) {
+    respond(ErrorResponse(instance.status()));
+    return;
+  }
+  auto method_args = TclListSplit(*args_list);
+  if (!method_args.ok()) {
+    respond(ErrorResponse(method_args.status()));
+    return;
+  }
+  auto result = (*instance)->Invoke(*method, *method_args);
+  if (!result.ok()) {
+    respond(ErrorResponse(result.status()));
+    return;
+  }
+
+  uint64_t version = (*instance)->base_version();
+  if ((*instance)->dirty()) {
+    // Commit the mutated state; the server is the authority, so this is an
+    // unconditional Put.
+    RdoDescriptor snapshot = (*instance)->Snapshot();
+    auto new_version = store_.Put(snapshot);
+    if (!new_version.ok()) {
+      respond(ErrorResponse(new_version.status()));
+      return;
+    }
+    version = *new_version;
+    // Refresh the cached instance's notion of its base version.
+    DropInstance(*name);
+    NotifySubscribers(*name, version, envelope.header.src);
+  }
+
+  // Charge simulated CPU for the interpreted execution, then respond.
+  const Duration cost =
+      options_.rdo_costs.load_fixed +
+      options_.rdo_costs.per_command * static_cast<double>((*instance)->last_invoke_commands());
+  const std::string value = *result;
+  loop_->ScheduleAfter(cost, [respond = std::move(respond), value, version] {
+    RpcResponseBody body;
+    body.result = value;
+    // Version rides in the error_message-free response via a second arg?
+    // Keep it simple: result is the method result; clients needing the
+    // version use rover.version or the next import.
+    respond(body);
+  });
+}
+
+void RoverServer::HandleCreate(const RpcRequestBody& req, const Message& envelope,
+                               QrpcServer::Responder respond) {
+  if (req.args.size() != 1) {
+    respond(ErrorResponse(InvalidArgumentError("rover.create expects [descriptor]")));
+    return;
+  }
+  auto bytes = RpcValueAsBytes(req.args[0]);
+  if (!bytes.ok()) {
+    respond(ErrorResponse(bytes.status()));
+    return;
+  }
+  auto descriptor = RdoDescriptor::Decode(*bytes);
+  if (!descriptor.ok()) {
+    respond(ErrorResponse(descriptor.status()));
+    return;
+  }
+  Status status = store_.Create(*descriptor);
+  if (!status.ok()) {
+    respond(ErrorResponse(status));
+    return;
+  }
+  respond(ValueResponse(int64_t{1}));
+}
+
+void RoverServer::HandleList(const RpcRequestBody& req, const Message& envelope,
+                             QrpcServer::Responder respond) {
+  std::string prefix;
+  if (!req.args.empty()) {
+    auto p = RpcValueAsString(req.args[0]);
+    if (p.ok()) {
+      prefix = *p;
+    }
+  }
+  respond(ValueResponse(TclListJoin(store_.List(prefix))));
+}
+
+void RoverServer::HandleVersion(const RpcRequestBody& req, const Message& envelope,
+                                QrpcServer::Responder respond) {
+  if (req.args.size() != 1) {
+    respond(ErrorResponse(InvalidArgumentError("rover.version expects [name]")));
+    return;
+  }
+  auto name = RpcValueAsString(req.args[0]);
+  if (!name.ok()) {
+    respond(ErrorResponse(name.status()));
+    return;
+  }
+  auto version = store_.VersionOf(*name);
+  if (!version.ok()) {
+    respond(ErrorResponse(version.status()));
+    return;
+  }
+  respond(ValueResponse(static_cast<int64_t>(*version)));
+}
+
+void RoverServer::HandleSubscribe(const RpcRequestBody& req, const Message& envelope,
+                                  QrpcServer::Responder respond) {
+  if (req.args.size() != 1) {
+    respond(ErrorResponse(InvalidArgumentError("rover.subscribe expects [name]")));
+    return;
+  }
+  auto name = RpcValueAsString(req.args[0]);
+  if (!name.ok()) {
+    respond(ErrorResponse(name.status()));
+    return;
+  }
+  subscribers_[*name].insert(envelope.header.src);
+  respond(ValueResponse(int64_t{1}));
+}
+
+void RoverServer::HandlePoll(const RpcRequestBody& req, const Message& envelope,
+                             QrpcServer::Responder respond) {
+  // args: [TclList of object paths] -> TclList of committed versions
+  // (0 for unknown objects). Clients use this to detect stale cache
+  // entries when subscriptions are off ("periodic polling or server
+  // callbacks", paper S3.1).
+  if (req.args.size() != 1) {
+    respond(ErrorResponse(InvalidArgumentError("rover.poll expects [names]")));
+    return;
+  }
+  auto names_list = RpcValueAsString(req.args[0]);
+  if (!names_list.ok()) {
+    respond(ErrorResponse(names_list.status()));
+    return;
+  }
+  auto names = TclListSplit(*names_list);
+  if (!names.ok()) {
+    respond(ErrorResponse(names.status()));
+    return;
+  }
+  std::vector<std::string> versions;
+  versions.reserve(names->size());
+  for (const std::string& name : *names) {
+    auto v = store_.VersionOf(name);
+    versions.push_back(std::to_string(v.ok() ? *v : 0));
+  }
+  respond(ValueResponse(TclListJoin(versions)));
+}
+
+void RoverServer::NotifySubscribers(const std::string& name, uint64_t version,
+                                    const std::string& except_host) {
+  if (!options_.send_invalidations) {
+    return;
+  }
+  auto it = subscribers_.find(name);
+  if (it == subscribers_.end()) {
+    return;
+  }
+  for (const std::string& host : it->second) {
+    if (host == except_host) {
+      continue;  // the exporter already knows
+    }
+    Message msg;
+    msg.header.type = MessageType::kControl;
+    msg.header.priority = Priority::kBackground;
+    msg.header.dst = host;
+    msg.payload = EncodeInvalidation(name, version);
+    transport_->Send(std::move(msg));
+    ++stats_.invalidations_sent;
+  }
+}
+
+}  // namespace rover

@@ -1,0 +1,96 @@
+// Rover server (paper §5.1): mediates access to RDOs for client access
+// managers. It exposes the toolkit's server-side operations over QRPC --
+// import (fetch), export (commit with conflict detection/resolution),
+// server-side method invocation, creation, listing -- and pushes
+// best-effort invalidation notices to subscribed clients when an object
+// commits a new version.
+
+#ifndef ROVER_SRC_STORE_SERVER_H_
+#define ROVER_SRC_STORE_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/qrpc/qrpc.h"
+#include "src/rdo/rdo.h"
+#include "src/store/conflict.h"
+#include "src/store/object_store.h"
+
+namespace rover {
+
+struct RoverServerOptions {
+  ExecLimits rdo_limits;
+  RdoCostModel rdo_costs;
+  size_t instance_cache_max = 64;
+  bool send_invalidations = true;
+};
+
+struct RoverServerStats {
+  uint64_t imports = 0;
+  uint64_t exports = 0;
+  uint64_t invokes = 0;
+  uint64_t invalidations_sent = 0;
+};
+
+// Invalidation control-message payload helpers (shared with the client
+// access manager).
+Bytes EncodeInvalidation(const std::string& name, uint64_t version);
+struct Invalidation {
+  std::string name;
+  uint64_t version = 0;
+};
+Result<Invalidation> DecodeInvalidation(const Bytes& payload);
+
+class RoverServer {
+ public:
+  RoverServer(EventLoop* loop, TransportManager* transport, QrpcServer* qrpc,
+              RoverServerOptions options = {});
+
+  ObjectStore* store() { return &store_; }
+  ConflictResolverRegistry* resolvers() { return &resolvers_; }
+  const RoverServerStats& stats() const { return stats_; }
+
+  // Convenience for tests/benches/examples: create an object directly.
+  Status CreateObject(const RdoDescriptor& descriptor);
+
+ private:
+  void RegisterMethods();
+  void HandleImport(const RpcRequestBody& req, const Message& envelope,
+                    QrpcServer::Responder respond);
+  void HandleExport(const RpcRequestBody& req, const Message& envelope,
+                    QrpcServer::Responder respond);
+  void HandleInvoke(const RpcRequestBody& req, const Message& envelope,
+                    QrpcServer::Responder respond);
+  void HandleCreate(const RpcRequestBody& req, const Message& envelope,
+                    QrpcServer::Responder respond);
+  void HandleList(const RpcRequestBody& req, const Message& envelope,
+                  QrpcServer::Responder respond);
+  void HandleVersion(const RpcRequestBody& req, const Message& envelope,
+                     QrpcServer::Responder respond);
+  void HandleSubscribe(const RpcRequestBody& req, const Message& envelope,
+                       QrpcServer::Responder respond);
+  void HandlePoll(const RpcRequestBody& req, const Message& envelope,
+                  QrpcServer::Responder respond);
+
+  // Cached live instance for server-side execution; invalidated on commit.
+  Result<RdoInstance*> InstanceFor(const std::string& name);
+  void DropInstance(const std::string& name);
+  void NotifySubscribers(const std::string& name, uint64_t version,
+                         const std::string& except_host);
+
+  EventLoop* loop_;
+  TransportManager* transport_;
+  QrpcServer* qrpc_;
+  RoverServerOptions options_;
+  RoverServerStats stats_;
+  ObjectStore store_;
+  ConflictResolverRegistry resolvers_;
+  std::map<std::string, std::unique_ptr<RdoInstance>> instances_;
+  std::map<std::string, std::set<std::string>> subscribers_;  // name -> hosts
+};
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_STORE_SERVER_H_

@@ -1,0 +1,727 @@
+// Expression evaluator for the `expr` builtin (also used by if/while/for
+// conditions). Supports Tcl's numeric tower (int64 + double), string
+// comparison, the standard operator set with C precedence, the ternary
+// operator, and a small math-function library.
+//
+// Divergence from Tcl, by design: $var and [script] substitutions inside
+// an expression are performed during tokenization, so operands of && and
+// || are substituted even when short-circuited (evaluation itself still
+// short-circuits).
+
+#include <cmath>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/tclite/interp.h"
+#include "src/tclite/value.h"
+
+// Propagates a non-OK EvalResult out of the current parse function.
+#define ROVER_EXPR_STEP(call)                          \
+  do {                                                 \
+    EvalResult rover_expr_step_ = (call);              \
+    if (rover_expr_step_.flow != EvalResult::Flow::kOk) { \
+      return rover_expr_step_;                         \
+    }                                                  \
+  } while (0)
+
+namespace rover {
+namespace {
+
+struct ExprValue {
+  std::variant<int64_t, double, std::string> v;
+
+  bool is_int() const { return std::holds_alternative<int64_t>(v); }
+  bool is_double() const { return std::holds_alternative<double>(v); }
+  bool is_numeric() const { return !std::holds_alternative<std::string>(v); }
+
+  double AsDouble() const {
+    if (is_int()) {
+      return static_cast<double>(std::get<int64_t>(v));
+    }
+    if (is_double()) {
+      return std::get<double>(v);
+    }
+    return 0.0;
+  }
+  int64_t AsInt() const {
+    if (is_int()) {
+      return std::get<int64_t>(v);
+    }
+    if (is_double()) {
+      return static_cast<int64_t>(std::get<double>(v));
+    }
+    return 0;
+  }
+  std::string AsString() const {
+    if (is_int()) {
+      return TclFromInt(std::get<int64_t>(v));
+    }
+    if (is_double()) {
+      return TclFromDouble(std::get<double>(v));
+    }
+    return std::get<std::string>(v);
+  }
+  bool Truthy() const {
+    if (is_int()) {
+      return std::get<int64_t>(v) != 0;
+    }
+    if (is_double()) {
+      return std::get<double>(v) != 0.0;
+    }
+    return TclParseBool(std::get<std::string>(v)).value_or(!std::get<std::string>(v).empty());
+  }
+
+  static ExprValue FromString(const std::string& s) {
+    if (auto i = TclParseInt(s)) {
+      return ExprValue{*i};
+    }
+    if (auto d = TclParseDouble(s)) {
+      return ExprValue{*d};
+    }
+    return ExprValue{s};
+  }
+  static ExprValue Bool(bool b) { return ExprValue{static_cast<int64_t>(b ? 1 : 0)}; }
+};
+
+struct Token {
+  enum class Kind { kValue, kOp, kIdent, kLParen, kRParen, kComma, kEnd };
+  Kind kind = Kind::kEnd;
+  ExprValue value;    // kValue
+  std::string text;   // kOp / kIdent
+};
+
+class Lexer {
+ public:
+  Lexer(Interp* interp, const std::string& src) : interp_(interp), src_(src) {}
+
+  EvalResult Tokenize(std::vector<Token>* out) {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && pos_ + 1 < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+        out->push_back(LexNumber());
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string ident;
+        while (pos_ < src_.size() && (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                                      src_[pos_] == '_')) {
+          ident.push_back(src_[pos_++]);
+        }
+        out->push_back(Token{Token::Kind::kIdent, {}, ident});
+        continue;
+      }
+      if (c == '$') {
+        ++pos_;
+        std::string name;
+        if (pos_ < src_.size() && src_[pos_] == '{') {
+          ++pos_;
+          while (pos_ < src_.size() && src_[pos_] != '}') {
+            name.push_back(src_[pos_++]);
+          }
+          if (pos_ >= src_.size()) {
+            return EvalResult::MakeError("expr: missing } in variable reference");
+          }
+          ++pos_;
+        } else {
+          while (pos_ < src_.size() &&
+                 (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                  src_[pos_] == '_' || src_[pos_] == ':')) {
+            name.push_back(src_[pos_++]);
+          }
+        }
+        auto v = interp_->GetVar(name);
+        if (!v.ok()) {
+          return EvalResult::MakeError("can't read \"" + name + "\": no such variable");
+        }
+        out->push_back(Token{Token::Kind::kValue, ExprValue::FromString(*v), ""});
+        continue;
+      }
+      if (c == '[') {
+        // Balanced-bracket scan, then evaluate.
+        size_t depth = 1;
+        size_t start = ++pos_;
+        while (pos_ < src_.size() && depth > 0) {
+          if (src_[pos_] == '[') {
+            ++depth;
+          } else if (src_[pos_] == ']') {
+            --depth;
+          }
+          ++pos_;
+        }
+        if (depth != 0) {
+          return EvalResult::MakeError("expr: missing ]");
+        }
+        const std::string script = src_.substr(start, pos_ - start - 1);
+        EvalResult r = interp_->Eval(script);
+        if (r.flow == EvalResult::Flow::kReturn) {
+          r.flow = EvalResult::Flow::kOk;
+        }
+        if (r.flow != EvalResult::Flow::kOk) {
+          return r;
+        }
+        out->push_back(Token{Token::Kind::kValue, ExprValue::FromString(r.value), ""});
+        continue;
+      }
+      if (c == '"' || c == '{') {
+        const char close = c == '"' ? '"' : '}';
+        ++pos_;
+        std::string text;
+        int depth = 1;
+        while (pos_ < src_.size()) {
+          if (c == '{' && src_[pos_] == '{') {
+            ++depth;
+          } else if (src_[pos_] == close) {
+            if (--depth == 0) {
+              break;
+            }
+          }
+          if (src_[pos_] == '\\' && c == '"' && pos_ + 1 < src_.size()) {
+            text.push_back(src_[pos_ + 1]);
+            pos_ += 2;
+            continue;
+          }
+          text.push_back(src_[pos_++]);
+        }
+        if (pos_ >= src_.size()) {
+          return EvalResult::MakeError("expr: unterminated string");
+        }
+        ++pos_;
+        // Quoted operands are strings even when they look numeric? Tcl
+        // treats them as whatever they parse to; we match Tcl.
+        out->push_back(Token{Token::Kind::kValue, ExprValue::FromString(text), ""});
+        continue;
+      }
+      if (c == '(') {
+        out->push_back(Token{Token::Kind::kLParen, {}, "("});
+        ++pos_;
+        continue;
+      }
+      if (c == ')') {
+        out->push_back(Token{Token::Kind::kRParen, {}, ")"});
+        ++pos_;
+        continue;
+      }
+      if (c == ',') {
+        out->push_back(Token{Token::Kind::kComma, {}, ","});
+        ++pos_;
+        continue;
+      }
+      // Operators, longest-match.
+      static const char* kOps[] = {"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+                                   "+", "-", "*", "/", "%", "<", ">", "!", "~",
+                                   "&", "^", "|", "?", ":"};
+      bool matched = false;
+      for (const char* op : kOps) {
+        const size_t len = std::char_traits<char>::length(op);
+        if (src_.compare(pos_, len, op) == 0) {
+          out->push_back(Token{Token::Kind::kOp, {}, op});
+          pos_ += len;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        return EvalResult::MakeError(std::string("expr: unexpected character '") + c + "'");
+      }
+    }
+    out->push_back(Token{Token::Kind::kEnd, {}, ""});
+    return EvalResult::Ok();
+  }
+
+ private:
+  Token LexNumber() {
+    size_t start = pos_;
+    bool is_double = false;
+    if (src_.compare(pos_, 2, "0x") == 0 || src_.compare(pos_, 2, "0X") == 0) {
+      pos_ += 2;
+      while (pos_ < src_.size() && std::isxdigit(static_cast<unsigned char>(src_[pos_]))) {
+        ++pos_;
+      }
+    } else {
+      while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ < src_.size() && src_[pos_] == '.') {
+        is_double = true;
+        ++pos_;
+        while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+          ++pos_;
+        }
+      }
+      if (pos_ < src_.size() && (src_[pos_] == 'e' || src_[pos_] == 'E')) {
+        is_double = true;
+        ++pos_;
+        if (pos_ < src_.size() && (src_[pos_] == '+' || src_[pos_] == '-')) {
+          ++pos_;
+        }
+        while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+          ++pos_;
+        }
+      }
+    }
+    const std::string text = src_.substr(start, pos_ - start);
+    if (is_double) {
+      return Token{Token::Kind::kValue, ExprValue{TclParseDouble(text).value_or(0.0)}, ""};
+    }
+    return Token{Token::Kind::kValue, ExprValue{TclParseInt(text).value_or(0)}, ""};
+  }
+
+  Interp* interp_;
+  const std::string& src_;
+  size_t pos_ = 0;
+};
+
+class ExprParser {
+ public:
+  ExprParser(Interp* interp, std::vector<Token> tokens)
+      : interp_(interp), tokens_(std::move(tokens)) {}
+
+  EvalResult Parse() {
+    ExprValue v;
+    EvalResult r = Ternary(&v);
+    if (r.flow != EvalResult::Flow::kOk) {
+      return r;
+    }
+    if (Peek().kind != Token::Kind::kEnd) {
+      return EvalResult::MakeError("expr: trailing tokens");
+    }
+    return EvalResult::Ok(v.AsString());
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool MatchOp(const char* op) {
+    if (Peek().kind == Token::Kind::kOp && Peek().text == op) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  EvalResult Ternary(ExprValue* out) {
+    ROVER_EXPR_STEP(LogicalOr(out));
+    if (MatchOp("?")) {
+      ExprValue a;
+      ExprValue b;
+      ROVER_EXPR_STEP(Ternary(&a));
+      if (!MatchOp(":")) {
+        return EvalResult::MakeError("expr: expected : in ?: operator");
+      }
+      ROVER_EXPR_STEP(Ternary(&b));
+      *out = out->Truthy() ? a : b;
+    }
+    return EvalResult::Ok();
+  }
+
+  EvalResult LogicalOr(ExprValue* out) {
+    ROVER_EXPR_STEP(LogicalAnd(out));
+    while (MatchOp("||")) {
+      ExprValue rhs;
+      ROVER_EXPR_STEP(LogicalAnd(&rhs));
+      *out = ExprValue::Bool(out->Truthy() || rhs.Truthy());
+    }
+    return EvalResult::Ok();
+  }
+
+  EvalResult LogicalAnd(ExprValue* out) {
+    ROVER_EXPR_STEP(BitOr(out));
+    while (MatchOp("&&")) {
+      ExprValue rhs;
+      ROVER_EXPR_STEP(BitOr(&rhs));
+      *out = ExprValue::Bool(out->Truthy() && rhs.Truthy());
+    }
+    return EvalResult::Ok();
+  }
+
+  EvalResult BitOr(ExprValue* out) {
+    ROVER_EXPR_STEP(BitXor(out));
+    while (MatchOp("|")) {
+      ExprValue rhs;
+      ROVER_EXPR_STEP(BitXor(&rhs));
+      *out = ExprValue{out->AsInt() | rhs.AsInt()};
+    }
+    return EvalResult::Ok();
+  }
+
+  EvalResult BitXor(ExprValue* out) {
+    ROVER_EXPR_STEP(BitAnd(out));
+    while (MatchOp("^")) {
+      ExprValue rhs;
+      ROVER_EXPR_STEP(BitAnd(&rhs));
+      *out = ExprValue{out->AsInt() ^ rhs.AsInt()};
+    }
+    return EvalResult::Ok();
+  }
+
+  EvalResult BitAnd(ExprValue* out) {
+    ROVER_EXPR_STEP(Equality(out));
+    while (Peek().kind == Token::Kind::kOp && Peek().text == "&") {
+      ++pos_;
+      ExprValue rhs;
+      ROVER_EXPR_STEP(Equality(&rhs));
+      *out = ExprValue{out->AsInt() & rhs.AsInt()};
+    }
+    return EvalResult::Ok();
+  }
+
+  static int Compare(const ExprValue& a, const ExprValue& b) {
+    if (a.is_numeric() && b.is_numeric()) {
+      const double x = a.AsDouble();
+      const double y = b.AsDouble();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    const std::string x = a.AsString();
+    const std::string y = b.AsString();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+
+  EvalResult Equality(ExprValue* out) {
+    ROVER_EXPR_STEP(Relational(out));
+    for (;;) {
+      if (MatchOp("==")) {
+        ExprValue rhs;
+        ROVER_EXPR_STEP(Relational(&rhs));
+        *out = ExprValue::Bool(Compare(*out, rhs) == 0);
+      } else if (MatchOp("!=")) {
+        ExprValue rhs;
+        ROVER_EXPR_STEP(Relational(&rhs));
+        *out = ExprValue::Bool(Compare(*out, rhs) != 0);
+      } else if (Peek().kind == Token::Kind::kIdent &&
+                 (Peek().text == "eq" || Peek().text == "ne")) {
+        const bool want_equal = Next().text == "eq";
+        ExprValue rhs;
+        ROVER_EXPR_STEP(Relational(&rhs));
+        *out = ExprValue::Bool((out->AsString() == rhs.AsString()) == want_equal);
+      } else {
+        return EvalResult::Ok();
+      }
+    }
+  }
+
+  EvalResult Relational(ExprValue* out) {
+    ROVER_EXPR_STEP(Shift(out));
+    for (;;) {
+      if (MatchOp("<=")) {
+        ExprValue rhs;
+        ROVER_EXPR_STEP(Shift(&rhs));
+        *out = ExprValue::Bool(Compare(*out, rhs) <= 0);
+      } else if (MatchOp(">=")) {
+        ExprValue rhs;
+        ROVER_EXPR_STEP(Shift(&rhs));
+        *out = ExprValue::Bool(Compare(*out, rhs) >= 0);
+      } else if (MatchOp("<")) {
+        ExprValue rhs;
+        ROVER_EXPR_STEP(Shift(&rhs));
+        *out = ExprValue::Bool(Compare(*out, rhs) < 0);
+      } else if (MatchOp(">")) {
+        ExprValue rhs;
+        ROVER_EXPR_STEP(Shift(&rhs));
+        *out = ExprValue::Bool(Compare(*out, rhs) > 0);
+      } else {
+        return EvalResult::Ok();
+      }
+    }
+  }
+
+  EvalResult Shift(ExprValue* out) {
+    ROVER_EXPR_STEP(Additive(out));
+    for (;;) {
+      if (MatchOp("<<")) {
+        ExprValue rhs;
+        ROVER_EXPR_STEP(Additive(&rhs));
+        *out = ExprValue{out->AsInt() << (rhs.AsInt() & 63)};
+      } else if (MatchOp(">>")) {
+        ExprValue rhs;
+        ROVER_EXPR_STEP(Additive(&rhs));
+        *out = ExprValue{out->AsInt() >> (rhs.AsInt() & 63)};
+      } else {
+        return EvalResult::Ok();
+      }
+    }
+  }
+
+  static ExprValue Arith(char op, const ExprValue& a, const ExprValue& b, EvalResult* err) {
+    if (a.is_int() && b.is_int()) {
+      const int64_t x = a.AsInt();
+      const int64_t y = b.AsInt();
+      switch (op) {
+        case '+':
+          return ExprValue{x + y};
+        case '-':
+          return ExprValue{x - y};
+        case '*':
+          return ExprValue{x * y};
+        case '/':
+          if (y == 0) {
+            *err = EvalResult::MakeError("divide by zero");
+            return ExprValue{int64_t{0}};
+          }
+          return ExprValue{x / y};
+        case '%':
+          if (y == 0) {
+            *err = EvalResult::MakeError("divide by zero");
+            return ExprValue{int64_t{0}};
+          }
+          return ExprValue{x % y};
+      }
+    }
+    if (!a.is_numeric() || !b.is_numeric()) {
+      *err = EvalResult::MakeError("can't use non-numeric string as operand of \"" +
+                                   std::string(1, op) + "\"");
+      return ExprValue{int64_t{0}};
+    }
+    const double x = a.AsDouble();
+    const double y = b.AsDouble();
+    switch (op) {
+      case '+':
+        return ExprValue{x + y};
+      case '-':
+        return ExprValue{x - y};
+      case '*':
+        return ExprValue{x * y};
+      case '/':
+        if (y == 0.0) {
+          *err = EvalResult::MakeError("divide by zero");
+          return ExprValue{int64_t{0}};
+        }
+        return ExprValue{x / y};
+      case '%':
+        return ExprValue{std::fmod(x, y)};
+    }
+    *err = EvalResult::MakeError("bad arithmetic operator");
+    return ExprValue{int64_t{0}};
+  }
+
+  EvalResult Additive(ExprValue* out) {
+    ROVER_EXPR_STEP(Multiplicative(out));
+    for (;;) {
+      char op = 0;
+      if (MatchOp("+")) {
+        op = '+';
+      } else if (MatchOp("-")) {
+        op = '-';
+      } else {
+        return EvalResult::Ok();
+      }
+      ExprValue rhs;
+      ROVER_EXPR_STEP(Multiplicative(&rhs));
+      EvalResult err = EvalResult::Ok();
+      *out = Arith(op, *out, rhs, &err);
+      if (err.flow != EvalResult::Flow::kOk) {
+        return err;
+      }
+    }
+  }
+
+  EvalResult Multiplicative(ExprValue* out) {
+    ROVER_EXPR_STEP(Unary(out));
+    for (;;) {
+      char op = 0;
+      if (MatchOp("*")) {
+        op = '*';
+      } else if (MatchOp("/")) {
+        op = '/';
+      } else if (MatchOp("%")) {
+        op = '%';
+      } else {
+        return EvalResult::Ok();
+      }
+      ExprValue rhs;
+      ROVER_EXPR_STEP(Unary(&rhs));
+      EvalResult err = EvalResult::Ok();
+      *out = Arith(op, *out, rhs, &err);
+      if (err.flow != EvalResult::Flow::kOk) {
+        return err;
+      }
+    }
+  }
+
+  EvalResult Unary(ExprValue* out) {
+    if (MatchOp("-")) {
+      ROVER_EXPR_STEP(Unary(out));
+      if (out->is_int()) {
+        *out = ExprValue{-out->AsInt()};
+      } else if (out->is_double()) {
+        *out = ExprValue{-out->AsDouble()};
+      } else {
+        return EvalResult::MakeError("can't negate non-numeric value");
+      }
+      return EvalResult::Ok();
+    }
+    if (MatchOp("+")) {
+      return Unary(out);
+    }
+    if (MatchOp("!")) {
+      ROVER_EXPR_STEP(Unary(out));
+      *out = ExprValue::Bool(!out->Truthy());
+      return EvalResult::Ok();
+    }
+    if (MatchOp("~")) {
+      ROVER_EXPR_STEP(Unary(out));
+      *out = ExprValue{~out->AsInt()};
+      return EvalResult::Ok();
+    }
+    return Primary(out);
+  }
+
+  EvalResult Primary(ExprValue* out) {
+    const Token& t = Peek();
+    if (t.kind == Token::Kind::kValue) {
+      *out = Next().value;
+      return EvalResult::Ok();
+    }
+    if (t.kind == Token::Kind::kLParen) {
+      ++pos_;
+      ROVER_EXPR_STEP(Ternary(out));
+      if (Peek().kind != Token::Kind::kRParen) {
+        return EvalResult::MakeError("expr: expected )");
+      }
+      ++pos_;
+      return EvalResult::Ok();
+    }
+    if (t.kind == Token::Kind::kIdent) {
+      const std::string name = Next().text;
+      if (name == "true") {
+        *out = ExprValue::Bool(true);
+        return EvalResult::Ok();
+      }
+      if (name == "false") {
+        *out = ExprValue::Bool(false);
+        return EvalResult::Ok();
+      }
+      return Function(name, out);
+    }
+    return EvalResult::MakeError("expr: unexpected token");
+  }
+
+  EvalResult Function(const std::string& name, ExprValue* out) {
+    if (Peek().kind != Token::Kind::kLParen) {
+      // A bare word is a string operand (Tcl would error; we are lenient
+      // so `expr {$state eq idle}` works).
+      *out = ExprValue{name};
+      return EvalResult::Ok();
+    }
+    ++pos_;
+    std::vector<ExprValue> args;
+    if (Peek().kind != Token::Kind::kRParen) {
+      for (;;) {
+        ExprValue v;
+        ROVER_EXPR_STEP(Ternary(&v));
+        args.push_back(v);
+        if (Peek().kind == Token::Kind::kComma) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+    }
+    if (Peek().kind != Token::Kind::kRParen) {
+      return EvalResult::MakeError("expr: expected ) after function arguments");
+    }
+    ++pos_;
+
+    auto need = [&](size_t n) {
+      return args.size() == n
+                 ? EvalResult::Ok()
+                 : EvalResult::MakeError("expr: wrong # args for " + name + "()");
+    };
+    if (name == "abs") {
+      ROVER_EXPR_STEP(need(1));
+      *out = args[0].is_int() ? ExprValue{std::abs(args[0].AsInt())}
+                              : ExprValue{std::fabs(args[0].AsDouble())};
+      return EvalResult::Ok();
+    }
+    if (name == "int") {
+      ROVER_EXPR_STEP(need(1));
+      *out = ExprValue{args[0].AsInt()};
+      return EvalResult::Ok();
+    }
+    if (name == "double") {
+      ROVER_EXPR_STEP(need(1));
+      *out = ExprValue{args[0].AsDouble()};
+      return EvalResult::Ok();
+    }
+    if (name == "round") {
+      ROVER_EXPR_STEP(need(1));
+      *out = ExprValue{static_cast<int64_t>(std::llround(args[0].AsDouble()))};
+      return EvalResult::Ok();
+    }
+    if (name == "sqrt") {
+      ROVER_EXPR_STEP(need(1));
+      *out = ExprValue{std::sqrt(args[0].AsDouble())};
+      return EvalResult::Ok();
+    }
+    if (name == "floor") {
+      ROVER_EXPR_STEP(need(1));
+      *out = ExprValue{std::floor(args[0].AsDouble())};
+      return EvalResult::Ok();
+    }
+    if (name == "ceil") {
+      ROVER_EXPR_STEP(need(1));
+      *out = ExprValue{std::ceil(args[0].AsDouble())};
+      return EvalResult::Ok();
+    }
+    if (name == "pow") {
+      ROVER_EXPR_STEP(need(2));
+      *out = ExprValue{std::pow(args[0].AsDouble(), args[1].AsDouble())};
+      return EvalResult::Ok();
+    }
+    if (name == "fmod") {
+      ROVER_EXPR_STEP(need(2));
+      *out = ExprValue{std::fmod(args[0].AsDouble(), args[1].AsDouble())};
+      return EvalResult::Ok();
+    }
+    if (name == "min" || name == "max") {
+      if (args.empty()) {
+        return EvalResult::MakeError("expr: " + name + "() needs at least one argument");
+      }
+      ExprValue best = args[0];
+      for (size_t i = 1; i < args.size(); ++i) {
+        const bool greater = args[i].AsDouble() > best.AsDouble();
+        if ((name == "max") == greater) {
+          best = args[i];
+        }
+      }
+      *out = best;
+      return EvalResult::Ok();
+    }
+    if (name == "rand") {
+      ROVER_EXPR_STEP(need(0));
+      *out = ExprValue{interp_->rng()->NextDouble()};
+      return EvalResult::Ok();
+    }
+    if (name == "srand") {
+      ROVER_EXPR_STEP(need(1));
+      interp_->ReseedRng(static_cast<uint64_t>(args[0].AsInt()));
+      *out = ExprValue{int64_t{0}};
+      return EvalResult::Ok();
+    }
+    return EvalResult::MakeError("expr: unknown function \"" + name + "\"");
+  }
+
+  Interp* interp_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+EvalResult EvalExpr(Interp* interp, const std::string& expression) {
+  std::vector<Token> tokens;
+  Lexer lexer(interp, expression);
+  EvalResult r = lexer.Tokenize(&tokens);
+  if (r.flow != EvalResult::Flow::kOk) {
+    return r;
+  }
+  return ExprParser(interp, std::move(tokens)).Parse();
+}
+
+}  // namespace rover

@@ -1,0 +1,369 @@
+#include "src/tclite/parser.h"
+
+#include <cctype>
+
+namespace rover {
+namespace {
+
+bool IsVarNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+char EscapeChar(char c) {
+  switch (c) {
+    case 'n':
+      return '\n';
+    case 't':
+      return '\t';
+    case 'r':
+      return '\r';
+    case 'a':
+      return '\a';
+    case '0':
+      return '\0';
+    default:
+      return c;  // \$ \[ \] \{ \} \" \\ \; etc.
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : src_(src) {}
+
+  Result<ParsedScript> Parse() {
+    ParsedScript script;
+    while (pos_ < src_.size()) {
+      SkipCommandSeparators();
+      if (pos_ >= src_.size()) {
+        break;
+      }
+      if (src_[pos_] == '#') {
+        SkipComment();
+        continue;
+      }
+      ParsedCommand cmd;
+      cmd.line = line_;
+      ROVER_RETURN_IF_ERROR(ParseCommand(&cmd));
+      if (!cmd.words.empty()) {
+        script.commands.push_back(std::move(cmd));
+      }
+    }
+    return script;
+  }
+
+ private:
+  void SkipCommandSeparators() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (c == ';' || c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else if (c == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        ++line_;
+        pos_ += 2;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void SkipComment() {
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      // Backslash-newline continues a comment, as in Tcl.
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        ++line_;
+        pos_ += 2;
+        continue;
+      }
+      ++pos_;
+    }
+  }
+
+  bool AtCommandEnd() const {
+    return pos_ >= src_.size() || src_[pos_] == '\n' || src_[pos_] == ';';
+  }
+
+  void SkipWordSeparators() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else if (c == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        ++line_;
+        pos_ += 2;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status ParseCommand(ParsedCommand* cmd) {
+    for (;;) {
+      SkipWordSeparators();
+      if (AtCommandEnd()) {
+        if (pos_ < src_.size()) {
+          if (src_[pos_] == '\n') {
+            ++line_;
+          }
+          ++pos_;
+        }
+        return Status::Ok();
+      }
+      Word word;
+      const char c = src_[pos_];
+      if (c == '{') {
+        ROVER_RETURN_IF_ERROR(ParseBracedWord(&word));
+      } else if (c == '"') {
+        ROVER_RETURN_IF_ERROR(ParseQuotedWord(&word));
+      } else {
+        ROVER_RETURN_IF_ERROR(ParseBareWord(&word));
+      }
+      cmd->words.push_back(std::move(word));
+    }
+  }
+
+  Status ParseBracedWord(Word* word) {
+    // pos_ is at '{'. Capture raw text between balanced braces.
+    ++pos_;
+    int depth = 1;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        // Backslashes are preserved verbatim inside braces (Tcl rule),
+        // except backslash-newline which is a continuation.
+        if (src_[pos_ + 1] == '\n') {
+          text.push_back(' ');
+          ++line_;
+          pos_ += 2;
+          continue;
+        }
+        text.push_back(c);
+        text.push_back(src_[pos_ + 1]);
+        pos_ += 2;
+        continue;
+      }
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        if (depth == 0) {
+          ++pos_;
+          word->parts.push_back({WordPart::Kind::kLiteral, std::move(text)});
+          if (pos_ < src_.size() && !IsWordEnd(src_[pos_])) {
+            return InvalidArgumentError("extra characters after close-brace at line " +
+                                        std::to_string(line_));
+          }
+          return Status::Ok();
+        }
+      } else if (c == '\n') {
+        ++line_;
+      }
+      text.push_back(c);
+      ++pos_;
+    }
+    return InvalidArgumentError("missing close-brace (opened near line " +
+                                std::to_string(line_) + ")");
+  }
+
+  bool IsWordEnd(char c) const {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == ';';
+  }
+
+  Status ParseQuotedWord(Word* word) {
+    ++pos_;  // consume '"'
+    std::string literal;
+    auto flush = [&] {
+      if (!literal.empty()) {
+        word->parts.push_back({WordPart::Kind::kLiteral, std::move(literal)});
+        literal.clear();
+      }
+    };
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '"') {
+        ++pos_;
+        flush();
+        if (word->parts.empty()) {
+          word->parts.push_back({WordPart::Kind::kLiteral, ""});
+        }
+        if (pos_ < src_.size() && !IsWordEnd(src_[pos_])) {
+          return InvalidArgumentError("extra characters after close-quote at line " +
+                                      std::to_string(line_));
+        }
+        return Status::Ok();
+      }
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '\n') {
+          literal.push_back(' ');
+          ++line_;
+        } else {
+          literal.push_back(EscapeChar(src_[pos_ + 1]));
+        }
+        pos_ += 2;
+        continue;
+      }
+      if (c == '$') {
+        flush();
+        ROVER_RETURN_IF_ERROR(ParseVariable(word, &literal));
+        continue;
+      }
+      if (c == '[') {
+        flush();
+        ROVER_RETURN_IF_ERROR(ParseScriptSub(word));
+        continue;
+      }
+      if (c == '\n') {
+        ++line_;
+      }
+      literal.push_back(c);
+      ++pos_;
+    }
+    return InvalidArgumentError("missing close-quote at line " + std::to_string(line_));
+  }
+
+  Status ParseBareWord(Word* word) {
+    std::string literal;
+    auto flush = [&] {
+      if (!literal.empty()) {
+        word->parts.push_back({WordPart::Kind::kLiteral, std::move(literal)});
+        literal.clear();
+      }
+    };
+    while (pos_ < src_.size() && !IsWordEnd(src_[pos_])) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '\n') {
+          break;  // continuation ends the word; separator loop handles it
+        }
+        literal.push_back(EscapeChar(src_[pos_ + 1]));
+        pos_ += 2;
+        continue;
+      }
+      if (c == '$') {
+        flush();
+        ROVER_RETURN_IF_ERROR(ParseVariable(word, &literal));
+        continue;
+      }
+      if (c == '[') {
+        flush();
+        ROVER_RETURN_IF_ERROR(ParseScriptSub(word));
+        continue;
+      }
+      literal.push_back(c);
+      ++pos_;
+    }
+    flush();
+    if (word->parts.empty()) {
+      word->parts.push_back({WordPart::Kind::kLiteral, ""});
+    }
+    return Status::Ok();
+  }
+
+  // pos_ is at '$'. Appends a kVariable part, or a literal '$' if no name
+  // follows (Tcl rule).
+  Status ParseVariable(Word* word, std::string* literal) {
+    ++pos_;
+    if (pos_ < src_.size() && src_[pos_] == '{') {
+      ++pos_;
+      std::string name;
+      while (pos_ < src_.size() && src_[pos_] != '}') {
+        name.push_back(src_[pos_++]);
+      }
+      if (pos_ >= src_.size()) {
+        return InvalidArgumentError("missing close-brace for ${name} at line " +
+                                    std::to_string(line_));
+      }
+      ++pos_;
+      word->parts.push_back({WordPart::Kind::kVariable, std::move(name)});
+      return Status::Ok();
+    }
+    std::string name;
+    while (pos_ < src_.size() && IsVarNameChar(src_[pos_])) {
+      name.push_back(src_[pos_++]);
+    }
+    if (name.empty()) {
+      literal->push_back('$');
+      return Status::Ok();
+    }
+    word->parts.push_back({WordPart::Kind::kVariable, std::move(name)});
+    return Status::Ok();
+  }
+
+  // pos_ is at '['. Captures balanced script text, honouring nested
+  // brackets, braces, quotes, and escapes.
+  Status ParseScriptSub(Word* word) {
+    ++pos_;
+    const int start_line = line_;
+    std::string text;
+    int bracket_depth = 1;
+    int brace_depth = 0;
+    bool in_quote = false;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        text.push_back(c);
+        text.push_back(src_[pos_ + 1]);
+        if (src_[pos_ + 1] == '\n') {
+          ++line_;
+        }
+        pos_ += 2;
+        continue;
+      }
+      if (in_quote) {
+        if (c == '"') {
+          in_quote = false;
+        }
+      } else if (brace_depth > 0) {
+        if (c == '{') {
+          ++brace_depth;
+        } else if (c == '}') {
+          --brace_depth;
+        }
+      } else {
+        switch (c) {
+          case '"':
+            in_quote = true;
+            break;
+          case '{':
+            ++brace_depth;
+            break;
+          case '[':
+            ++bracket_depth;
+            break;
+          case ']':
+            --bracket_depth;
+            if (bracket_depth == 0) {
+              ++pos_;
+              word->parts.push_back({WordPart::Kind::kScript, std::move(text)});
+              return Status::Ok();
+            }
+            break;
+          default:
+            break;
+        }
+      }
+      if (c == '\n') {
+        ++line_;
+      }
+      text.push_back(c);
+      ++pos_;
+    }
+    return InvalidArgumentError("missing close-bracket (opened at line " +
+                                std::to_string(start_line) + ")");
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+Result<ParsedScript> ParseScript(std::string_view source) {
+  return Parser(source).Parse();
+}
+
+}  // namespace rover

@@ -1,0 +1,53 @@
+// TcLite script parser. Parsing follows Tcl's model: a script is a list of
+// commands (split on newlines/semicolons), a command is a list of words,
+// and a word is a concatenation of parts -- literal text, $variable
+// references, and [bracketed script] substitutions. {Braced} words are a
+// single literal part with no substitution. Parsed scripts are immutable
+// and cached by the interpreter, since proc bodies and loop bodies are
+// re-executed many times.
+
+#ifndef ROVER_SRC_TCLITE_PARSER_H_
+#define ROVER_SRC_TCLITE_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace rover {
+
+struct WordPart {
+  enum class Kind {
+    kLiteral,   // raw text
+    kVariable,  // $name or ${name}: text is the variable name
+    kScript,    // [script]: text is the script source
+  };
+  Kind kind = Kind::kLiteral;
+  std::string text;
+};
+
+struct Word {
+  std::vector<WordPart> parts;
+
+  // True when the word is a single literal part (braced words and plain
+  // bare words) -- the evaluator skips substitution entirely.
+  bool IsPureLiteral() const {
+    return parts.size() == 1 && parts[0].kind == WordPart::Kind::kLiteral;
+  }
+};
+
+struct ParsedCommand {
+  std::vector<Word> words;
+  int line = 0;  // 1-based source line, for error messages
+};
+
+struct ParsedScript {
+  std::vector<ParsedCommand> commands;
+};
+
+// Parses TcLite source. Fails on unbalanced braces, brackets, or quotes.
+Result<ParsedScript> ParseScript(std::string_view source);
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_TCLITE_PARSER_H_

@@ -1,0 +1,44 @@
+// TcLite value helpers. TcLite keeps Tcl's "everything is a string" model:
+// commands consume and produce strings, and these helpers give strings
+// their numeric and list interpretations.
+//
+// List syntax follows Tcl: elements separated by whitespace; an element
+// containing whitespace or brace characters is wrapped in {braces};
+// unbalanced braces fall back to backslash quoting.
+
+#ifndef ROVER_SRC_TCLITE_VALUE_H_
+#define ROVER_SRC_TCLITE_VALUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace rover {
+
+// Numeric interpretation. Accepts decimal and 0x hex for ints.
+std::optional<int64_t> TclParseInt(std::string_view s);
+std::optional<double> TclParseDouble(std::string_view s);
+
+// True/false words: 1/0, true/false, yes/no, on/off (case-insensitive).
+std::optional<bool> TclParseBool(std::string_view s);
+
+std::string TclFromInt(int64_t v);
+std::string TclFromDouble(double v);
+std::string TclFromBool(bool v);
+
+// Splits a Tcl list into elements. Fails on unbalanced braces/quotes.
+Result<std::vector<std::string>> TclListSplit(std::string_view list);
+
+// Joins elements into a canonical Tcl list.
+std::string TclListJoin(const std::vector<std::string>& elements);
+
+// Quotes one element for inclusion in a list.
+std::string TclQuoteElement(std::string_view element);
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_TCLITE_VALUE_H_

@@ -1,0 +1,105 @@
+#include "src/transport/message.h"
+
+namespace rover {
+
+std::string_view MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kRequest:
+      return "request";
+    case MessageType::kResponse:
+      return "response";
+    case MessageType::kAck:
+      return "ack";
+    case MessageType::kControl:
+      return "control";
+  }
+  return "unknown";
+}
+
+void Message::EncodeTo(WireWriter* writer) const {
+  writer->WriteVarint(header.message_id);
+  writer->WriteVarint(static_cast<uint64_t>(header.type));
+  writer->WriteVarint(static_cast<uint64_t>(header.priority));
+  writer->WriteString(header.src);
+  writer->WriteString(header.dst);
+  writer->WriteVarint(header.in_reply_to);
+  writer->WriteBool(header.compressed);
+  writer->WriteString(header.auth);
+  writer->WriteString(header.reply_via);
+  writer->WriteBytes(payload);
+}
+
+Result<Message> Message::DecodeFrom(WireReader* reader) {
+  Message msg;
+  ROVER_ASSIGN_OR_RETURN(msg.header.message_id, reader->ReadVarint());
+  ROVER_ASSIGN_OR_RETURN(uint64_t type, reader->ReadVarint());
+  if (type > static_cast<uint64_t>(MessageType::kControl)) {
+    return DataLossError("bad message type");
+  }
+  msg.header.type = static_cast<MessageType>(type);
+  ROVER_ASSIGN_OR_RETURN(uint64_t prio, reader->ReadVarint());
+  if (prio >= kNumPriorities) {
+    return DataLossError("bad message priority");
+  }
+  msg.header.priority = static_cast<Priority>(prio);
+  ROVER_ASSIGN_OR_RETURN(msg.header.src, reader->ReadString());
+  ROVER_ASSIGN_OR_RETURN(msg.header.dst, reader->ReadString());
+  ROVER_ASSIGN_OR_RETURN(msg.header.in_reply_to, reader->ReadVarint());
+  ROVER_ASSIGN_OR_RETURN(msg.header.compressed, reader->ReadBool());
+  ROVER_ASSIGN_OR_RETURN(msg.header.auth, reader->ReadString());
+  ROVER_ASSIGN_OR_RETURN(msg.header.reply_via, reader->ReadString());
+  ROVER_ASSIGN_OR_RETURN(msg.payload, reader->ReadBytes());
+  return msg;
+}
+
+Bytes Message::Encode() const {
+  WireWriter writer;
+  EncodeTo(&writer);
+  return writer.TakeData();
+}
+
+size_t Message::EncodedSize() const {
+  // Cheap but exact: encode the header alone, add the payload length.
+  // Headers are ~20-40 bytes; this runs on enqueue, not per packet.
+  WireWriter writer;
+  EncodeTo(&writer);
+  return writer.size();
+}
+
+Result<Message> Message::Decode(const Bytes& data) {
+  WireReader reader(data);
+  ROVER_ASSIGN_OR_RETURN(Message msg, DecodeFrom(&reader));
+  if (!reader.AtEnd()) {
+    return DataLossError("trailing bytes after message");
+  }
+  return msg;
+}
+
+Bytes EncodeFrame(const std::vector<Message>& messages) {
+  WireWriter writer;
+  writer.WriteVarint(messages.size());
+  for (const Message& msg : messages) {
+    msg.EncodeTo(&writer);
+  }
+  return writer.TakeData();
+}
+
+Result<std::vector<Message>> DecodeFrame(const Bytes& frame) {
+  WireReader reader(frame);
+  ROVER_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  if (count > frame.size()) {  // each message is at least 1 byte
+    return DataLossError("frame message count implausible");
+  }
+  std::vector<Message> messages;
+  messages.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ROVER_ASSIGN_OR_RETURN(Message msg, Message::DecodeFrom(&reader));
+    messages.push_back(std::move(msg));
+  }
+  if (!reader.AtEnd()) {
+    return DataLossError("trailing bytes after frame");
+  }
+  return messages;
+}
+
+}  // namespace rover

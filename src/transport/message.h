@@ -1,0 +1,74 @@
+// Transport-layer messages. Every unit the network scheduler moves -- QRPC
+// requests, responses, acknowledgements, control traffic -- is a Message:
+// a small self-describing header plus an opaque payload. Messages travel in
+// frames; a frame carries a batch of one or more messages (batching
+// amortizes per-packet header overhead on slow links).
+
+#ifndef ROVER_SRC_TRANSPORT_MESSAGE_H_
+#define ROVER_SRC_TRANSPORT_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace rover {
+
+enum class MessageType : uint8_t {
+  kRequest = 0,   // QRPC request
+  kResponse = 1,  // QRPC response
+  kAck = 2,       // log-truncation acknowledgement
+  kControl = 3,   // transport-internal (e.g. SMTP envelope)
+};
+
+// Lower value = more urgent. The paper's network scheduler "has several
+// queues for different priorities" (§5.3); foreground traffic is what the
+// user is waiting on, background is prefetch.
+enum class Priority : uint8_t {
+  kForeground = 0,
+  kDefault = 1,
+  kBackground = 2,
+};
+
+constexpr int kNumPriorities = 3;
+
+struct MessageHeader {
+  uint64_t message_id = 0;
+  MessageType type = MessageType::kRequest;
+  Priority priority = Priority::kDefault;
+  std::string src;
+  std::string dst;
+  uint64_t in_reply_to = 0;  // message_id of the request, for responses/acks
+  bool compressed = false;   // payload is LzCompress'ed
+  std::string auth;          // client credential, checked by the server
+  // When non-empty, responses to this request should be sent through this
+  // relay host instead of directly (the SMTP path works both ways: a
+  // client reachable only by mail receives its results by mail).
+  std::string reply_via;
+};
+
+struct Message {
+  MessageHeader header;
+  Bytes payload;
+
+  // Serialized size, for scheduler accounting (header + payload).
+  size_t EncodedSize() const;
+
+  void EncodeTo(WireWriter* writer) const;
+  static Result<Message> DecodeFrom(WireReader* reader);
+
+  Bytes Encode() const;
+  static Result<Message> Decode(const Bytes& data);
+};
+
+// Frame = batch of messages shipped as one link-layer unit.
+Bytes EncodeFrame(const std::vector<Message>& messages);
+Result<std::vector<Message>> DecodeFrame(const Bytes& frame);
+
+std::string_view MessageTypeName(MessageType type);
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_TRANSPORT_MESSAGE_H_

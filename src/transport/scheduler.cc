@@ -1,0 +1,236 @@
+#include "src/transport/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/util/compress.h"
+#include "src/util/logging.h"
+
+namespace rover {
+
+bool NetworkScheduler::DestQueue::empty() const {
+  for (const auto& q : by_priority) {
+    if (!q.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t NetworkScheduler::DestQueue::size() const {
+  size_t n = 0;
+  for (const auto& q : by_priority) {
+    n += q.size();
+  }
+  return n;
+}
+
+NetworkScheduler::NetworkScheduler(EventLoop* loop, Host* host, SchedulerOptions options)
+    : loop_(loop), host_(host), options_(options) {}
+
+void NetworkScheduler::Enqueue(Message msg, DeliveredCallback delivered) {
+  ++stats_.messages_enqueued;
+  stats_.payload_bytes_original += msg.payload.size();
+
+  // Compress once, at enqueue time, so retries do not repeat the work.
+  if (options_.compress && !msg.header.compressed &&
+      msg.payload.size() >= options_.compress_min_bytes) {
+    Bytes packed = LzCompress(msg.payload);
+    if (packed.size() < msg.payload.size()) {
+      msg.payload = std::move(packed);
+      msg.header.compressed = true;
+    }
+  }
+  stats_.payload_bytes_sent += msg.payload.size();
+
+  const std::string dest = msg.header.dst;
+  const int prio = static_cast<int>(msg.header.priority);
+  queues_[dest].by_priority[prio].push_back(Pending{std::move(msg), std::move(delivered)});
+  NotifyObserver();
+  TryDrain(dest);
+}
+
+bool NetworkScheduler::CancelMessage(const std::string& dest, uint64_t message_id) {
+  auto it = queues_.find(dest);
+  if (it == queues_.end()) {
+    return false;
+  }
+  for (auto& pq : it->second.by_priority) {
+    for (auto p = pq.begin(); p != pq.end(); ++p) {
+      if (p->msg.header.message_id == message_id) {
+        if (p->delivered) {
+          p->delivered(CancelledError("cancelled before transmission"));
+        }
+        pq.erase(p);
+        NotifyObserver();
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+size_t NetworkScheduler::TotalQueueDepth() const {
+  size_t n = 0;
+  for (const auto& [dest, q] : queues_) {
+    n += q.size();
+  }
+  return n;
+}
+
+size_t NetworkScheduler::QueueDepthFor(const std::string& dest) const {
+  auto it = queues_.find(dest);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+Link* NetworkScheduler::PickLink(const std::string& dest) const {
+  Link* best = nullptr;
+  for (Link* link : host_->LinksTo(dest)) {
+    if (!link->IsUp()) {
+      continue;
+    }
+    if (best == nullptr || link->profile().bandwidth_bps > best->profile().bandwidth_bps) {
+      best = link;
+    }
+  }
+  return best;
+}
+
+void NetworkScheduler::TryDrain(const std::string& dest) {
+  auto it = queues_.find(dest);
+  if (it == queues_.end()) {
+    return;
+  }
+  DestQueue& q = it->second;
+  if (q.in_flight || q.empty()) {
+    return;
+  }
+  Link* link = PickLink(dest);
+  if (link == nullptr) {
+    ArmUpWakeup(dest);
+    return;
+  }
+  SendBatch(dest, link);
+}
+
+void NetworkScheduler::SendBatch(const std::string& dest, Link* link) {
+  DestQueue& q = queues_[dest];
+  const size_t max_msgs = options_.batching ? options_.max_batch_messages : 1;
+  const size_t max_bytes = options_.batching ? options_.max_batch_bytes : SIZE_MAX;
+
+  std::vector<Pending> batch;
+  std::vector<Message> wire;
+  size_t bytes = 0;
+  // Frames carry a single priority class: mixing background traffic into a
+  // frame with (or ahead of) foreground traffic would extend the frame's
+  // airtime and delay the interactive response behind it. Background
+  // frames additionally carry one message each, bounding the priority
+  // inversion a just-started background transfer can inflict to a single
+  // message's serialization time.
+  for (int prio = 0; prio < kNumPriorities && batch.empty(); ++prio) {
+    auto& pq = q.by_priority[prio];
+    const size_t prio_max =
+        prio == static_cast<int>(Priority::kBackground) ? 1 : max_msgs;
+    while (!pq.empty() && batch.size() < prio_max) {
+      const size_t sz = pq.front().msg.EncodedSize();
+      if (!batch.empty() && bytes + sz > max_bytes) {
+        break;
+      }
+      bytes += sz;
+      batch.push_back(std::move(pq.front()));
+      pq.pop_front();
+    }
+  }
+  if (batch.empty()) {
+    return;
+  }
+  wire.reserve(batch.size());
+  for (const Pending& p : batch) {
+    wire.push_back(p.msg);
+  }
+  Bytes frame = EncodeFrame(wire);
+  q.in_flight = true;
+  ++stats_.frames_sent;
+  stats_.bytes_sent += frame.size();
+
+  // `batch` is moved into the completion lambda; shared_ptr keeps the
+  // lambda copyable for std::function.
+  auto batch_ptr = std::make_shared<std::vector<Pending>>(std::move(batch));
+  link->SendFrame(host_->name(), std::move(frame),
+                  [this, dest, batch_ptr](const Status& status) {
+                    HandleBatchOutcome(dest, std::move(*batch_ptr), status);
+                  });
+}
+
+void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
+                                          std::vector<Pending> batch, const Status& status) {
+  DestQueue& q = queues_[dest];
+  q.in_flight = false;
+
+  if (status.ok()) {
+    q.consecutive_losses = 0;
+    stats_.messages_delivered += batch.size();
+    for (Pending& p : batch) {
+      if (p.delivered) {
+        p.delivered(Status::Ok());
+      }
+    }
+    NotifyObserver();
+    TryDrain(dest);
+    return;
+  }
+
+  // Failure: requeue at the front of each message's priority queue,
+  // preserving the original order.
+  ++stats_.retries;
+  for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+    const int prio = static_cast<int>(it->msg.header.priority);
+    q.by_priority[prio].push_front(std::move(*it));
+  }
+  NotifyObserver();
+
+  if (status.code() == StatusCode::kUnavailable) {
+    // Link down: wake up when any link to this destination returns.
+    ArmUpWakeup(dest);
+  } else {
+    // Random loss: back off briefly, then retransmit.
+    ++q.consecutive_losses;
+    const int shift = std::min(q.consecutive_losses - 1, 6);
+    const Duration backoff = options_.loss_retry_backoff * static_cast<double>(1 << shift);
+    loop_->ScheduleAfter(backoff, [this, dest] { TryDrain(dest); });
+  }
+}
+
+void NetworkScheduler::ArmUpWakeup(const std::string& dest) {
+  DestQueue& q = queues_[dest];
+  if (q.waiting_for_up) {
+    return;
+  }
+  // Find the link to `dest` that comes up soonest and schedule a wakeup.
+  Link* soonest = nullptr;
+  TimePoint best = TimePoint::FromMicros(INT64_MAX);
+  for (Link* link : host_->LinksTo(dest)) {
+    const TimePoint up = link->NextUpTime();
+    if (up < best) {
+      best = up;
+      soonest = link;
+    }
+  }
+  if (soonest == nullptr || best == TimePoint::FromMicros(INT64_MAX)) {
+    return;  // no route will ever exist; messages stay queued
+  }
+  q.waiting_for_up = true;
+  loop_->ScheduleAt(best, [this, dest] {
+    queues_[dest].waiting_for_up = false;
+    TryDrain(dest);
+  });
+}
+
+void NetworkScheduler::NotifyObserver() {
+  if (observer_) {
+    observer_(TotalQueueDepth());
+  }
+}
+
+}  // namespace rover

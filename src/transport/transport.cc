@@ -1,0 +1,92 @@
+#include "src/transport/transport.h"
+
+#include <utility>
+
+#include "src/util/compress.h"
+#include "src/util/logging.h"
+
+namespace rover {
+
+TransportManager::TransportManager(EventLoop* loop, Host* host, SchedulerOptions options)
+    : loop_(loop), host_(host), scheduler_(loop, host, options) {
+  host_->SetReceiver([this](const Bytes& frame, const std::string& from) {
+    HandleFrame(frame, from);
+  });
+}
+
+void TransportManager::Send(Message msg, NetworkScheduler::DeliveredCallback delivered) {
+  msg.header.src = host_->name();
+  if (msg.header.message_id == 0) {
+    msg.header.message_id = AllocateMessageId();
+  }
+  if (msg.header.auth.empty()) {
+    msg.header.auth = auth_token_;
+  }
+  scheduler_.Enqueue(std::move(msg), std::move(delivered));
+}
+
+void TransportManager::SendViaRelay(const std::string& relay_host, Message msg,
+                                    NetworkScheduler::DeliveredCallback delivered) {
+  msg.header.src = host_->name();
+  if (msg.header.message_id == 0) {
+    msg.header.message_id = AllocateMessageId();
+  }
+  if (msg.header.auth.empty()) {
+    msg.header.auth = auth_token_;
+  }
+  Message envelope;
+  envelope.header.message_id = AllocateMessageId();
+  envelope.header.type = MessageType::kControl;
+  envelope.header.priority = msg.header.priority;
+  envelope.header.src = host_->name();
+  envelope.header.dst = relay_host;
+  envelope.payload = EncodeEnvelope(msg);
+  scheduler_.Enqueue(std::move(envelope), std::move(delivered));
+}
+
+Bytes TransportManager::EncodeEnvelope(const Message& inner) {
+  WireWriter writer;
+  writer.WriteString("RFC822");  // envelope tag, in the spirit of the original
+  inner.EncodeTo(&writer);
+  return writer.TakeData();
+}
+
+Result<Message> TransportManager::DecodeEnvelope(const Bytes& payload) {
+  WireReader reader(payload);
+  ROVER_ASSIGN_OR_RETURN(std::string tag, reader.ReadString());
+  if (tag != "RFC822") {
+    return DataLossError("bad envelope tag");
+  }
+  return Message::DecodeFrom(&reader);
+}
+
+void TransportManager::SetHandler(MessageType type, MessageHandler handler) {
+  handlers_[static_cast<size_t>(type)] = std::move(handler);
+}
+
+void TransportManager::HandleFrame(const Bytes& frame, const std::string& from) {
+  auto decoded = DecodeFrame(frame);
+  if (!decoded.ok()) {
+    ROVER_LOG(Warning) << host_->name() << ": dropping corrupt frame from " << from << ": "
+                       << decoded.status();
+    return;
+  }
+  for (Message& msg : *decoded) {
+    if (msg.header.compressed) {
+      auto raw = LzDecompress(msg.payload);
+      if (!raw.ok()) {
+        ROVER_LOG(Warning) << host_->name() << ": dropping message "
+                           << msg.header.message_id << ": " << raw.status();
+        continue;
+      }
+      msg.payload = std::move(*raw);
+      msg.header.compressed = false;
+    }
+    const MessageHandler& handler = handlers_[static_cast<size_t>(msg.header.type)];
+    if (handler) {
+      handler(msg);
+    }
+  }
+}
+
+}  // namespace rover

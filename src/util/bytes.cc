@@ -1,0 +1,131 @@
+#include "src/util/bytes.h"
+
+namespace rover {
+
+void WireWriter::WriteVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<uint8_t>(v));
+}
+
+void WireWriter::WriteZigzag(int64_t v) {
+  WriteVarint((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
+}
+
+void WireWriter::WriteFixed32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::WriteFixed64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::WriteDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteFixed64(bits);
+}
+
+void WireWriter::WriteString(std::string_view s) {
+  WriteVarint(s.size());
+  WriteRaw(s.data(), s.size());
+}
+
+void WireWriter::WriteBytes(const Bytes& b) {
+  WriteVarint(b.size());
+  WriteRaw(b.data(), b.size());
+}
+
+void WireWriter::WriteRaw(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + n);
+}
+
+Status WireReader::Truncated(const char* what) const {
+  return DataLossError(std::string("truncated wire data while reading ") + what);
+}
+
+Result<uint64_t> WireReader::ReadVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (pos_ < size_) {
+    const uint8_t byte = data_[pos_++];
+    if (shift >= 64 || (shift == 63 && (byte & 0x7e) != 0)) {
+      return DataLossError("varint overflow");
+    }
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return v;
+    }
+    shift += 7;
+  }
+  return Truncated("varint");
+}
+
+Result<int64_t> WireReader::ReadZigzag() {
+  ROVER_ASSIGN_OR_RETURN(uint64_t raw, ReadVarint());
+  return static_cast<int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+}
+
+Result<uint32_t> WireReader::ReadFixed32() {
+  if (remaining() < 4) {
+    return Truncated("fixed32");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+Result<uint64_t> WireReader::ReadFixed64() {
+  if (remaining() < 8) {
+    return Truncated("fixed64");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+Result<bool> WireReader::ReadBool() {
+  ROVER_ASSIGN_OR_RETURN(uint64_t v, ReadVarint());
+  return v != 0;
+}
+
+Result<double> WireReader::ReadDouble() {
+  ROVER_ASSIGN_OR_RETURN(uint64_t bits, ReadFixed64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> WireReader::ReadString() {
+  ROVER_ASSIGN_OR_RETURN(uint64_t len, ReadVarint());
+  if (remaining() < len) {
+    return Truncated("string body");
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+Result<Bytes> WireReader::ReadBytes() {
+  ROVER_ASSIGN_OR_RETURN(uint64_t len, ReadVarint());
+  if (remaining() < len) {
+    return Truncated("bytes body");
+  }
+  Bytes b(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return b;
+}
+
+}  // namespace rover

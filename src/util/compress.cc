@@ -1,0 +1,127 @@
+#include "src/util/compress.h"
+
+#include <algorithm>
+#include <array>
+
+namespace rover {
+namespace {
+
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = 130;        // 3 + 127
+constexpr size_t kMaxDistance = 65535;
+constexpr size_t kMaxLiteralRun = 128;   // 1 + 127
+constexpr size_t kHashBits = 15;
+
+uint32_t Hash3(const uint8_t* p) {
+  const uint32_t v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+                     (static_cast<uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void FlushLiterals(const Bytes& input, size_t start, size_t end, Bytes* out) {
+  while (start < end) {
+    const size_t run = std::min(end - start, kMaxLiteralRun);
+    out->push_back(static_cast<uint8_t>(run - 1));
+    out->insert(out->end(), input.begin() + static_cast<ptrdiff_t>(start),
+                input.begin() + static_cast<ptrdiff_t>(start + run));
+    start += run;
+  }
+}
+
+}  // namespace
+
+Bytes LzCompress(const Bytes& input) {
+  Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  const size_t n = input.size();
+  // head[h] is the most recent position with hash h; prev[] forms chains.
+  std::vector<int64_t> head(size_t{1} << kHashBits, -1);
+  std::vector<int64_t> prev(n, -1);
+
+  size_t literal_start = 0;
+  size_t i = 0;
+  while (i + kMinMatch <= n) {
+    const uint32_t h = Hash3(&input[i]);
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    int64_t cand = head[h];
+    int chain = 0;
+    while (cand >= 0 && i - static_cast<size_t>(cand) <= kMaxDistance && chain < 32) {
+      const size_t c = static_cast<size_t>(cand);
+      size_t len = 0;
+      const size_t limit = std::min(kMaxMatch, n - i);
+      while (len < limit && input[c + len] == input[i + len]) {
+        ++len;
+      }
+      if (len >= kMinMatch && len > best_len) {
+        best_len = len;
+        best_dist = i - c;
+        if (len == kMaxMatch) {
+          break;
+        }
+      }
+      cand = prev[c];
+      ++chain;
+    }
+
+    if (best_len >= kMinMatch) {
+      FlushLiterals(input, literal_start, i, &out);
+      out.push_back(static_cast<uint8_t>(0x80 | (best_len - kMinMatch)));
+      out.push_back(static_cast<uint8_t>(best_dist & 0xff));
+      out.push_back(static_cast<uint8_t>(best_dist >> 8));
+      // Insert the covered positions into the hash chains so later matches
+      // can reference the interior of this match.
+      const size_t stop = std::min(i + best_len, n - kMinMatch + 1);
+      for (size_t j = i; j < stop; ++j) {
+        const uint32_t hj = Hash3(&input[j]);
+        prev[j] = head[hj];
+        head[hj] = static_cast<int64_t>(j);
+      }
+      i += best_len;
+      literal_start = i;
+    } else {
+      prev[i] = head[h];
+      head[h] = static_cast<int64_t>(i);
+      ++i;
+    }
+  }
+  FlushLiterals(input, literal_start, n, &out);
+  return out;
+}
+
+Result<Bytes> LzDecompress(const Bytes& input) {
+  Bytes out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const uint8_t token = input[i++];
+    if ((token & 0x80) == 0) {
+      const size_t run = static_cast<size_t>(token) + 1;
+      if (i + run > n) {
+        return DataLossError("LZ literal run past end of input");
+      }
+      out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(i),
+                 input.begin() + static_cast<ptrdiff_t>(i + run));
+      i += run;
+    } else {
+      if (i + 2 > n) {
+        return DataLossError("LZ match token truncated");
+      }
+      const size_t len = static_cast<size_t>(token & 0x7f) + kMinMatch;
+      const size_t dist =
+          static_cast<size_t>(input[i]) | (static_cast<size_t>(input[i + 1]) << 8);
+      i += 2;
+      if (dist == 0 || dist > out.size()) {
+        return DataLossError("LZ match distance out of range");
+      }
+      // Byte-at-a-time copy: matches may overlap their own output.
+      size_t src = out.size() - dist;
+      for (size_t k = 0; k < len; ++k) {
+        out.push_back(out[src + k]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rover

@@ -1,0 +1,30 @@
+// A small LZ77-style compressor used for two ablations the paper calls out:
+// the prototype "does not perform any compression on the log" (§5.2) and
+// low-bandwidth links benefit from payload compression. The format is
+// self-contained:
+//
+//   token := 0xxxxxxx                  -> literal run of (x+1) bytes follows
+//          | 1xxxxxxx d_lo d_hi        -> copy (x+3) bytes from distance d
+//
+// Distances are 1..65535 within a 64 KiB window. Decompression validates
+// every distance and length and reports corruption via Status.
+
+#ifndef ROVER_SRC_UTIL_COMPRESS_H_
+#define ROVER_SRC_UTIL_COMPRESS_H_
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace rover {
+
+// Compresses `input`. Output is never more than input.size() + overhead;
+// callers that require non-expansion should compare sizes and keep the raw
+// form (QRPC does this per-message).
+Bytes LzCompress(const Bytes& input);
+
+// Inverse of LzCompress. Fails with kDataLoss on malformed input.
+Result<Bytes> LzDecompress(const Bytes& input);
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_UTIL_COMPRESS_H_

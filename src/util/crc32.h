@@ -1,0 +1,20 @@
+// CRC-32 (IEEE polynomial). Used to checksum stable-log records so that a
+// torn write after a simulated crash is detected during recovery.
+
+#ifndef ROVER_SRC_UTIL_CRC32_H_
+#define ROVER_SRC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rover {
+
+// One-shot CRC of a buffer.
+uint32_t Crc32(const void* data, size_t n);
+
+// Incremental form: pass the previous return value as `seed` to extend.
+uint32_t Crc32Extend(uint32_t seed, const void* data, size_t n);
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_UTIL_CRC32_H_

@@ -1,0 +1,80 @@
+// Result<T>: value-or-Status, the return type of fallible Rover operations.
+
+#ifndef ROVER_SRC_UTIL_RESULT_H_
+#define ROVER_SRC_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace rover {
+
+// Holds either a T or a non-OK Status. Constructing from an OK status is a
+// programming error (there would be no value); it is converted to kInternal.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit, so `return value;` and `return SomeError(...);`
+  // both work inside functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = InternalError("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return value_.has_value() ? kOk : status_;
+  }
+
+  const T& value() const& {
+    assert(value_.has_value());
+    return *value_;
+  }
+  T& value() & {
+    assert(value_.has_value());
+    return *value_;
+  }
+  T&& value() && {
+    assert(value_.has_value());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace rover
+
+// Assigns the value of a Result expression to `lhs`, or propagates the error.
+// Usage: ROVER_ASSIGN_OR_RETURN(auto obj, cache.Lookup(id));
+#define ROVER_ASSIGN_OR_RETURN(lhs, expr)            \
+  ROVER_ASSIGN_OR_RETURN_IMPL_(                      \
+      ROVER_RESULT_CONCAT_(rover_result_, __LINE__), lhs, expr)
+
+#define ROVER_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+#define ROVER_RESULT_CONCAT_(a, b) ROVER_RESULT_CONCAT_IMPL_(a, b)
+#define ROVER_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // ROVER_SRC_UTIL_RESULT_H_

@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation (xoshiro256** seeded via
+// SplitMix64). Every stochastic element of the simulation -- packet loss,
+// connectivity schedules, workload generation -- draws from an explicitly
+// seeded Rng so that runs are reproducible.
+
+#ifndef ROVER_SRC_UTIL_RNG_H_
+#define ROVER_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace rover {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Exponentially distributed with the given mean (> 0).
+  double NextExponential(double mean);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_UTIL_RNG_H_

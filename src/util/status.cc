@@ -1,0 +1,92 @@
+#include "src/util/status.h"
+
+namespace rover {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kConflict:
+      return "CONFLICT";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
+}
+Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status AlreadyExistsError(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status ConflictError(std::string message) {
+  return Status(StatusCode::kConflict, std::move(message));
+}
+Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
+}
+Status UnimplementedError(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+Status PermissionDeniedError(std::string message) {
+  return Status(StatusCode::kPermissionDenied, std::move(message));
+}
+
+}  // namespace rover

@@ -1,0 +1,93 @@
+// Status: lightweight error propagation without exceptions.
+//
+// Rover's public API reports failures through rover::Status and
+// rover::Result<T> (see result.h). Codes roughly follow the canonical
+// error-space used by most production RPC systems, plus kConflict, which
+// Rover uses to report update conflicts detected at a home server.
+
+#ifndef ROVER_SRC_UTIL_STATUS_H_
+#define ROVER_SRC_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace rover {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kCancelled = 1,
+  kInvalidArgument = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kUnavailable = 6,        // host disconnected / no usable network
+  kDeadlineExceeded = 7,
+  kResourceExhausted = 8,  // cache full, log full, sandbox budget spent
+  kConflict = 9,           // concurrent update detected at the home server
+  kDataLoss = 10,          // corrupt log record / bad checksum
+  kUnimplemented = 11,
+  kInternal = 12,
+  kPermissionDenied = 13,  // request failed the server's authentication check
+};
+
+// Human-readable name for a status code ("OK", "CONFLICT", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A status is a code plus an optional diagnostic message. Copying is cheap
+// for OK statuses (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "CONFLICT: appointment slot already booked"
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Constructors for each non-OK code.
+Status CancelledError(std::string message);
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status ConflictError(std::string message);
+Status DataLossError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status PermissionDeniedError(std::string message);
+
+}  // namespace rover
+
+// Propagates a non-OK status to the caller.
+#define ROVER_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::rover::Status rover_status_tmp_ = (expr);      \
+    if (!rover_status_tmp_.ok()) {                   \
+      return rover_status_tmp_;                      \
+    }                                                \
+  } while (0)
+
+#endif  // ROVER_SRC_UTIL_STATUS_H_

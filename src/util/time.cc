@@ -1,0 +1,31 @@
+#include "src/util/time.h"
+
+#include <cstdio>
+
+namespace rover {
+
+std::string Duration::ToString() const {
+  char buf[48];
+  if (is_infinite()) {
+    return "inf";
+  }
+  if (micros_ >= 1000000 || micros_ <= -1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds());
+  } else if (micros_ >= 1000 || micros_ <= -1000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", millis());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(micros_));
+  }
+  return buf;
+}
+
+std::string TimePoint::ToString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "t=%.6fs", seconds());
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Duration d) { return os << d.ToString(); }
+std::ostream& operator<<(std::ostream& os, TimePoint t) { return os << t.ToString(); }
+
+}  // namespace rover

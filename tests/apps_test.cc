@@ -1,0 +1,640 @@
+// End-to-end tests of the Rover applications: mail reader (Exmh), calendar
+// (Ical), and Web browser proxy -- including the disconnected-operation
+// scenarios the paper demonstrates with each.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/calendar.h"
+#include "src/apps/mail.h"
+#include "src/apps/web.h"
+#include "src/apps/workload.h"
+#include "src/core/toolkit.h"
+
+#include <algorithm>
+
+namespace rover {
+namespace {
+
+MailMessage MakeMail(const std::string& id, const std::string& subject,
+                     const std::string& body) {
+  MailMessage m;
+  m.id = id;
+  m.from = "kaashoek@lcs.mit.edu";
+  m.to = "adj@lcs.mit.edu";
+  m.subject = subject;
+  m.date = "1995-12-03";
+  m.body = body;
+  return m;
+}
+
+TEST(MailStateTest, EncodeDecodeRoundTrip) {
+  MailMessage m = MakeMail("7", "SOSP camera ready", "see attached\nline two");
+  m.read = true;
+  auto decoded = DecodeMailState(EncodeMailState(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->id, "7");
+  EXPECT_EQ(decoded->subject, "SOSP camera ready");
+  EXPECT_EQ(decoded->body, "see attached\nline two");
+  EXPECT_TRUE(decoded->read);
+}
+
+class MailTest : public ::testing::Test {
+ protected:
+  void Seed(Testbed* bed, MailService* service, int count) {
+    ASSERT_TRUE(service->CreateFolder("inbox").ok());
+    for (int i = 0; i < count; ++i) {
+      ASSERT_TRUE(service
+                      ->DeliverLocal("inbox", MakeMail(std::to_string(i),
+                                                       "msg " + std::to_string(i),
+                                                       "body " + std::to_string(i)))
+                      .ok());
+    }
+  }
+};
+
+TEST_F(MailTest, ScanAndReadConnected) {
+  Testbed bed;
+  MailService service(bed.server());
+  Seed(&bed, &service, 5);
+  RoverClientNode* node = bed.AddClient("laptop", LinkProfile::WaveLan2());
+  MailReader reader(bed.loop(), node);
+
+  auto folder = reader.OpenFolder("inbox");
+  ASSERT_TRUE(folder.Wait(bed.loop()));
+  ASSERT_TRUE(folder.value().ok());
+  EXPECT_EQ(folder.value().value().size(), 5u);
+
+  auto body = reader.ReadMessage("inbox", "2");
+  ASSERT_TRUE(body.Wait(bed.loop()));
+  ASSERT_TRUE(body.value().ok());
+  EXPECT_EQ(body.value().value(), "body 2");
+
+  // Summary runs locally on the cached message and reflects the read mark.
+  auto summary = reader.Summary("inbox", "2");
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->substr(0, 1), "R");
+}
+
+TEST_F(MailTest, DisconnectedReadingFromPrefetchedCache) {
+  Testbed bed;
+  MailService service(bed.server());
+  Seed(&bed, &service, 8);
+  // Docked for 60s, then gone for good.
+  auto schedule = std::make_unique<IntervalConnectivity>(
+      std::vector<IntervalConnectivity::Interval>{
+          {TimePoint::Epoch(), TimePoint::Epoch() + Duration::Seconds(60)}});
+  RoverClientNode* node =
+      bed.AddClient("laptop", LinkProfile::Ethernet10(), std::move(schedule));
+  MailReader reader(bed.loop(), node);
+
+  auto folder = reader.OpenFolder("inbox");
+  ASSERT_TRUE(folder.Wait(bed.loop()));
+  ASSERT_TRUE(reader.PrefetchFolder("inbox").ok());
+  bed.loop()->RunUntil(TimePoint::Epoch() + Duration::Seconds(100));
+  ASSERT_FALSE(node->access()->Connected());
+
+  // Every message is readable offline.
+  for (int i = 0; i < 8; ++i) {
+    auto body = reader.ReadMessage("inbox", std::to_string(i));
+    ASSERT_TRUE(body.Wait(bed.loop()));
+    ASSERT_TRUE(body.value().ok()) << body.value().status();
+    EXPECT_EQ(body.value().value(), "body " + std::to_string(i));
+  }
+  EXPECT_EQ(reader.stats().messages_read, 8u);
+}
+
+TEST_F(MailTest, QueuedSendDeliversOnReconnect) {
+  Testbed bed;
+  MailService service(bed.server());
+  Seed(&bed, &service, 1);
+  // Offline from t=0, reconnects at t=300s.
+  RoverClientNode* node = bed.AddClient(
+      "laptop", LinkProfile::Cslip144(),
+      std::make_unique<PeriodicConnectivity>(Duration::Seconds(1e6), Duration::Zero(),
+                                             TimePoint::Epoch() + Duration::Seconds(300)));
+  MailReader reader(bed.loop(), node);
+
+  QrpcCall send = reader.Send("outbox-frans", MakeMail("reply-1", "Re: draft", "looks good"));
+  bed.loop()->RunUntil(TimePoint::Epoch() + Duration::Seconds(100));
+  // The send commits to the stable log immediately even though the
+  // network is down; the server-side result is still pending.
+  EXPECT_TRUE(send.committed.ready());
+  EXPECT_FALSE(send.result.ready());
+
+  bed.Run();
+  ASSERT_TRUE(send.result.ready());
+  EXPECT_TRUE(send.result.value().status.ok());
+  EXPECT_GT(send.result.value().completed_at.seconds(), 300.0);
+  EXPECT_TRUE(bed.server()->store()->Exists(MailMessageObject("outbox-frans", "reply-1")));
+}
+
+TEST_F(MailTest, ReadMarksSyncBack) {
+  Testbed bed;
+  MailService service(bed.server());
+  Seed(&bed, &service, 3);
+  RoverClientNode* node = bed.AddClient("laptop", LinkProfile::WaveLan2());
+  MailReader reader(bed.loop(), node);
+  reader.OpenFolder("inbox").Wait(bed.loop());
+  reader.ReadMessage("inbox", "0").Wait(bed.loop());
+  reader.ReadMessage("inbox", "1").Wait(bed.loop());
+  EXPECT_EQ(node->access()->TentativeCount(), 2u);
+
+  reader.SyncReadMarks("inbox");
+  bed.Run();
+  EXPECT_EQ(node->access()->TentativeCount(), 0u);
+  auto m0 = DecodeMailState(bed.server()->store()->Get(MailMessageObject("inbox", "0"))->data);
+  EXPECT_TRUE(m0->read);
+  auto m2 = DecodeMailState(bed.server()->store()->Get(MailMessageObject("inbox", "2"))->data);
+  EXPECT_FALSE(m2->read);
+}
+
+TEST(CalendarTest, BookLookupSlots) {
+  Testbed bed;
+  ASSERT_TRUE(CreateCalendar(bed.server(), "adj").ok());
+  RoverClientNode* node = bed.AddClient("laptop", LinkProfile::WaveLan2());
+  CalendarApp cal(bed.loop(), node, "adj");
+  cal.Open().Wait(bed.loop());
+
+  auto booked = cal.Book("mon-10am", "group meeting");
+  ASSERT_TRUE(booked.Wait(bed.loop()));
+  EXPECT_TRUE(booked.value().status.ok());
+  EXPECT_TRUE(cal.HasPendingChanges());
+
+  auto lookup = cal.Lookup("mon-10am");
+  ASSERT_TRUE(lookup.Wait(bed.loop()));
+  EXPECT_EQ(lookup.value().value, "group meeting");
+
+  auto slots = cal.Slots();
+  ASSERT_TRUE(slots.ok());
+  EXPECT_EQ(*slots, std::vector<std::string>{"mon-10am"});
+}
+
+TEST(CalendarTest, DoubleBookLocallyRejected) {
+  Testbed bed;
+  ASSERT_TRUE(CreateCalendar(bed.server(), "adj").ok());
+  RoverClientNode* node = bed.AddClient("laptop", LinkProfile::WaveLan2());
+  CalendarApp cal(bed.loop(), node, "adj");
+  cal.Open().Wait(bed.loop());
+  cal.Book("mon-10am", "a").Wait(bed.loop());
+  auto again = cal.Book("mon-10am", "b");
+  ASSERT_TRUE(again.Wait(bed.loop()));
+  EXPECT_FALSE(again.value().status.ok());
+}
+
+TEST(CalendarTest, TwoUsersMergeNonOverlapping) {
+  Testbed bed;
+  ASSERT_TRUE(CreateCalendar(bed.server(), "group").ok());
+  RoverClientNode* a = bed.AddClient("a", LinkProfile::WaveLan2());
+  RoverClientNode* b = bed.AddClient("b", LinkProfile::WaveLan2());
+  CalendarApp cal_a(bed.loop(), a, "group");
+  CalendarApp cal_b(bed.loop(), b, "group");
+  cal_a.Open().Wait(bed.loop());
+  cal_b.Open().Wait(bed.loop());
+
+  cal_a.Book("mon-10am", "standup").Wait(bed.loop());
+  cal_b.Book("tue-2pm", "review").Wait(bed.loop());
+  ASSERT_TRUE(cal_a.Sync().Wait(bed.loop()));
+  auto sync_b = cal_b.Sync();
+  ASSERT_TRUE(sync_b.Wait(bed.loop()));
+  EXPECT_TRUE(sync_b.value().status.ok());
+  EXPECT_TRUE(sync_b.value().server_resolved);
+
+  auto committed = bed.server()->store()->Get(CalendarObject("group"));
+  EXPECT_NE(committed->data.find("standup"), std::string::npos);
+  EXPECT_NE(committed->data.find("review"), std::string::npos);
+}
+
+TEST(CalendarTest, DoubleBookAcrossUsersConflicts) {
+  Testbed bed;
+  ASSERT_TRUE(CreateCalendar(bed.server(), "room5").ok());
+  RoverClientNode* a = bed.AddClient("a", LinkProfile::WaveLan2());
+  RoverClientNode* b = bed.AddClient("b", LinkProfile::WaveLan2());
+  CalendarApp cal_a(bed.loop(), a, "room5");
+  CalendarApp cal_b(bed.loop(), b, "room5");
+  cal_a.Open().Wait(bed.loop());
+  cal_b.Open().Wait(bed.loop());
+
+  cal_a.Book("mon-10am", "standup").Wait(bed.loop());
+  cal_b.Book("mon-10am", "1:1").Wait(bed.loop());
+  ASSERT_TRUE(cal_a.Sync().Wait(bed.loop()));
+  auto sync_b = cal_b.Sync();
+  ASSERT_TRUE(sync_b.Wait(bed.loop()));
+  EXPECT_EQ(sync_b.value().status.code(), StatusCode::kConflict);
+  EXPECT_EQ(cal_b.stats().sync_conflicts, 1u);
+  EXPECT_TRUE(cal_b.HasPendingChanges());
+
+  auto conflicts = cal_b.ConflictingSlots();
+  ASSERT_TRUE(conflicts.ok());
+  EXPECT_EQ(*conflicts, std::vector<std::string>{"mon-10am"});
+
+  // User resolution: move the meeting and sync again.
+  cal_b.Cancel("mon-10am").Wait(bed.loop());
+  cal_b.Book("mon-11am", "1:1").Wait(bed.loop());
+  auto retry = cal_b.Sync();
+  ASSERT_TRUE(retry.Wait(bed.loop()));
+  EXPECT_TRUE(retry.value().status.ok());
+  auto committed = bed.server()->store()->Get(CalendarObject("room5"));
+  EXPECT_NE(committed->data.find("standup"), std::string::npos);
+  EXPECT_NE(committed->data.find("mon-11am"), std::string::npos);
+}
+
+TEST(CalendarTest, DisconnectedBookingSyncsLater) {
+  Testbed bed;
+  ASSERT_TRUE(CreateCalendar(bed.server(), "adj").ok());
+  auto schedule = std::make_unique<IntervalConnectivity>(
+      std::vector<IntervalConnectivity::Interval>{
+          {TimePoint::Epoch(), TimePoint::Epoch() + Duration::Seconds(10)},
+          {TimePoint::Epoch() + Duration::Seconds(200),
+           TimePoint::Epoch() + Duration::Seconds(1e6)}});
+  RoverClientNode* node =
+      bed.AddClient("laptop", LinkProfile::Cslip144(), std::move(schedule));
+  CalendarApp cal(bed.loop(), node, "adj");
+  cal.Open().Wait(bed.loop());
+  bed.loop()->RunUntil(TimePoint::Epoch() + Duration::Seconds(50));  // offline now
+
+  cal.Book("fri-3pm", "flight").Wait(bed.loop());
+  auto sync = cal.Sync();
+  bed.loop()->RunUntil(TimePoint::Epoch() + Duration::Seconds(100));
+  EXPECT_FALSE(sync.ready());
+  bed.Run();
+  ASSERT_TRUE(sync.ready());
+  EXPECT_TRUE(sync.value().status.ok());
+  EXPECT_NE(bed.server()->store()->Get(CalendarObject("adj"))->data.find("flight"),
+            std::string::npos);
+}
+
+TEST(WebStateTest, EncodeDecodeRoundTrip) {
+  WebPage page;
+  page.url = "page/3";
+  page.title = "A page";
+  page.content = "<html>hello</html>";
+  page.links = {"page/4", "page/5"};
+  auto decoded = DecodeWebState("page/3", EncodeWebState(page));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->title, "A page");
+  EXPECT_EQ(decoded->content, "<html>hello</html>");
+  EXPECT_EQ(decoded->links, (std::vector<std::string>{"page/4", "page/5"}));
+}
+
+TEST(WebTest, SyntheticWebDeterministic) {
+  Testbed bed1;
+  Testbed bed2;
+  SyntheticWebOptions options;
+  options.page_count = 20;
+  ASSERT_TRUE(BuildSyntheticWeb(bed1.server(), options).ok());
+  ASSERT_TRUE(BuildSyntheticWeb(bed2.server(), options).ok());
+  for (int i = 0; i < 20; ++i) {
+    const std::string object = WebObject("page/" + std::to_string(i));
+    EXPECT_EQ(bed1.server()->store()->Get(object)->data,
+              bed2.server()->store()->Get(object)->data);
+  }
+}
+
+TEST(WebTest, RequestFetchesAndCaches) {
+  Testbed bed;
+  SyntheticWebOptions options;
+  options.page_count = 10;
+  ASSERT_TRUE(BuildSyntheticWeb(bed.server(), options).ok());
+  RoverClientNode* node = bed.AddClient("laptop", LinkProfile::Cslip144());
+  BrowserProxy proxy(bed.loop(), node);
+
+  auto first = proxy.Request("page/0");
+  ASSERT_TRUE(first.Wait(bed.loop()));
+  EXPECT_TRUE(first.value().status.ok());
+  EXPECT_FALSE(first.value().from_cache);
+  EXPECT_GT(first.value().latency.seconds(), 0.1);  // CSLIP is slow
+
+  auto second = proxy.Request("page/0");
+  ASSERT_TRUE(second.Wait(bed.loop()));
+  EXPECT_TRUE(second.value().from_cache);
+  EXPECT_LT(second.value().latency.seconds(), 0.01);
+}
+
+TEST(WebTest, ClickAheadAllowsConcurrentRequests) {
+  Testbed bed;
+  SyntheticWebOptions options;
+  options.page_count = 10;
+  ASSERT_TRUE(BuildSyntheticWeb(bed.server(), options).ok());
+  RoverClientNode* node = bed.AddClient("laptop", LinkProfile::Cslip24());
+  BrowserProxy proxy(bed.loop(), node);
+
+  const TimePoint start = bed.loop()->now();
+  auto p0 = proxy.Request("page/0");
+  auto p1 = proxy.Request("page/1");
+  auto p2 = proxy.Request("page/2");
+  bed.Run();
+  ASSERT_TRUE(p0.ready() && p1.ready() && p2.ready());
+  // Pipelined over one slow link: total time well under 3x a single fetch.
+  const double t0 = (p0.value().latency).seconds();
+  const double total = (bed.loop()->now() - start).seconds();
+  EXPECT_LT(total, 3 * t0 + 1.0);
+}
+
+TEST(WebTest, BlockingModeSerializesRequests) {
+  Testbed bed;
+  SyntheticWebOptions options;
+  options.page_count = 10;
+  ASSERT_TRUE(BuildSyntheticWeb(bed.server(), options).ok());
+  RoverClientNode* node = bed.AddClient("laptop", LinkProfile::Cslip144());
+  BrowserProxyOptions popts;
+  popts.click_ahead = false;
+  BrowserProxy proxy(bed.loop(), node, popts);
+
+  auto p0 = proxy.Request("page/0");
+  auto p1 = proxy.Request("page/1");
+  bed.Run();
+  ASSERT_TRUE(p0.ready() && p1.ready());
+  // The second request waited for the first: its measured latency spans
+  // both fetches.
+  EXPECT_GT(p1.value().latency.seconds(), p0.value().latency.seconds());
+}
+
+TEST(WebTest, PrefetchMakesNextClickAHit) {
+  Testbed bed;
+  SyntheticWebOptions options;
+  options.page_count = 10;
+  options.mean_out_degree = 3;
+  ASSERT_TRUE(BuildSyntheticWeb(bed.server(), options).ok());
+  RoverClientNode* node = bed.AddClient("laptop", LinkProfile::WaveLan2());
+  BrowserProxyOptions popts;
+  popts.prefetch_links = true;
+  popts.prefetch_fanout = 8;
+  BrowserProxy proxy(bed.loop(), node, popts);
+
+  auto p0 = proxy.Request("page/0");
+  ASSERT_TRUE(p0.Wait(bed.loop()));
+  bed.Run();  // let prefetches finish
+  ASSERT_FALSE(p0.value().page.links.empty());
+  const std::string next = p0.value().page.links[0];
+  EXPECT_TRUE(proxy.IsCached(next));
+  auto p1 = proxy.Request(next);
+  ASSERT_TRUE(p1.Wait(bed.loop()));
+  EXPECT_TRUE(p1.value().from_cache);
+  EXPECT_GT(proxy.stats().prefetches, 0u);
+}
+
+TEST(WebTest, BrowseSessionCompletesAndRecordsLatency) {
+  Testbed bed;
+  SyntheticWebOptions options;
+  options.page_count = 30;
+  ASSERT_TRUE(BuildSyntheticWeb(bed.server(), options).ok());
+  RoverClientNode* node = bed.AddClient("laptop", LinkProfile::Cslip144());
+  BrowserProxy proxy(bed.loop(), node);
+  BrowseSessionOptions sopts;
+  sopts.clicks = 15;
+  BrowseSession session(bed.loop(), &proxy, sopts);
+  auto done = session.Run("page/0");
+  bed.Run();
+  ASSERT_TRUE(done.ready());
+  EXPECT_EQ(done.value().pages_visited, 15u);
+  EXPECT_EQ(done.value().latencies_seconds.size(), 15u);
+  EXPECT_GT(done.value().session_duration.seconds(), 0.0);
+}
+
+TEST(WebTest, OfflineBrowsingOfCachedPages) {
+  Testbed bed;
+  SyntheticWebOptions options;
+  options.page_count = 5;
+  ASSERT_TRUE(BuildSyntheticWeb(bed.server(), options).ok());
+  auto schedule = std::make_unique<IntervalConnectivity>(
+      std::vector<IntervalConnectivity::Interval>{
+          {TimePoint::Epoch(), TimePoint::Epoch() + Duration::Seconds(30)}});
+  RoverClientNode* node =
+      bed.AddClient("laptop", LinkProfile::Ethernet10(), std::move(schedule));
+  BrowserProxy proxy(bed.loop(), node);
+
+  for (int i = 0; i < 5; ++i) {
+    proxy.Request("page/" + std::to_string(i)).Wait(bed.loop());
+  }
+  bed.loop()->RunUntil(TimePoint::Epoch() + Duration::Seconds(60));
+  ASSERT_FALSE(node->access()->Connected());
+
+  auto hit = proxy.Request("page/3");
+  ASSERT_TRUE(hit.Wait(bed.loop()));
+  EXPECT_TRUE(hit.value().status.ok());
+  EXPECT_TRUE(hit.value().from_cache);
+}
+
+}  // namespace
+}  // namespace rover
+
+namespace rover {
+namespace {
+
+TEST(WebTest, GenerateBrowsePathDeterministicAndValid) {
+  Testbed bed;
+  SyntheticWebOptions options;
+  options.page_count = 25;
+  ASSERT_TRUE(BuildSyntheticWeb(bed.server(), options).ok());
+  auto p1 = GenerateBrowsePath(bed.server(), "page/0", 12, 9);
+  auto p2 = GenerateBrowsePath(bed.server(), "page/0", 12, 9);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(*p1, *p2);
+  EXPECT_EQ(p1->size(), 12u);
+  EXPECT_EQ((*p1)[0], "page/0");
+  // Every step follows a real link from the previous page.
+  for (size_t i = 1; i < p1->size(); ++i) {
+    auto doc = bed.server()->store()->Get(WebObject((*p1)[i - 1]));
+    auto page = DecodeWebState((*p1)[i - 1], doc->data);
+    EXPECT_NE(std::find(page->links.begin(), page->links.end(), (*p1)[i]),
+              page->links.end());
+  }
+}
+
+TEST(WebTest, RunPathVisitsExactSequence) {
+  Testbed bed;
+  SyntheticWebOptions options;
+  options.page_count = 10;
+  ASSERT_TRUE(BuildSyntheticWeb(bed.server(), options).ok());
+  RoverClientNode* node = bed.AddClient("laptop", LinkProfile::WaveLan2());
+  BrowserProxy proxy(bed.loop(), node);
+  BrowseSessionOptions sopts;
+  sopts.think_time_mean = Duration::Seconds(1);
+  BrowseSession session(bed.loop(), &proxy, sopts);
+  auto done = session.RunPath({"page/1", "page/2", "page/1"});
+  bed.Run();
+  ASSERT_TRUE(done.ready());
+  EXPECT_EQ(done.value().pages_visited, 3u);
+  EXPECT_EQ(done.value().cache_hits, 1u);  // the page/1 revisit
+}
+
+TEST(WebTest, PrefetchGatedByBandwidth) {
+  Testbed bed;
+  SyntheticWebOptions options;
+  options.page_count = 10;
+  ASSERT_TRUE(BuildSyntheticWeb(bed.server(), options).ok());
+  RoverClientNode* node = bed.AddClient("laptop", LinkProfile::Cslip24());
+  BrowserProxyOptions popts;
+  popts.prefetch_links = true;
+  popts.min_prefetch_bandwidth_bps = 8e3;  // 2.4 Kbit/s is below this
+  BrowserProxy proxy(bed.loop(), node, popts);
+  proxy.Request("page/0").Wait(bed.loop());
+  bed.Run();
+  EXPECT_EQ(proxy.stats().prefetches, 0u);
+}
+
+}  // namespace
+}  // namespace rover
+
+namespace rover {
+namespace {
+
+TEST(WorkloadTest, ZipfSamplerIsSkewedAndDeterministic) {
+  ZipfSampler a(100, 1.0, 7);
+  ZipfSampler b(100, 1.0, 7);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const size_t r = a.Next();
+    ASSERT_LT(r, 100u);
+    EXPECT_EQ(r, b.Next());  // deterministic
+    ++counts[r];
+  }
+  // Rank 0 should dominate rank 50 by roughly 50x under s=1.
+  EXPECT_GT(counts[0], counts[50] * 10);
+  // Long tail still sampled.
+  int tail = 0;
+  for (int r = 50; r < 100; ++r) {
+    tail += counts[r];
+  }
+  EXPECT_GT(tail, 100);
+}
+
+TEST(WorkloadTest, MailCorpusDeterministicAndSized) {
+  MailCorpusOptions options;
+  options.message_count = 25;
+  options.mean_body_bytes = 1000;
+  auto a = GenerateMailCorpus(options);
+  auto b = GenerateMailCorpus(options);
+  ASSERT_EQ(a.size(), 25u);
+  size_t total = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].body, b[i].body);
+    EXPECT_EQ(a[i].id, std::to_string(i));
+    EXPECT_GE(a[i].body.size(), 64u);
+    total += a[i].body.size();
+  }
+  // Mean within a loose factor of the target.
+  EXPECT_GT(total / a.size(), 300u);
+  EXPECT_LT(total / a.size(), 3000u);
+}
+
+TEST(WorkloadTest, CalendarSessionMix) {
+  auto ops = GenerateCalendarSession(200, 0.3, 3);
+  ASSERT_EQ(ops.size(), 200u);
+  int bookings = 0;
+  for (const auto& op : ops) {
+    if (op.is_booking) {
+      ++bookings;
+      EXPECT_FALSE(op.description.empty());
+    }
+    EXPECT_FALSE(op.slot.empty());
+  }
+  EXPECT_GT(bookings, 30);
+  EXPECT_LT(bookings, 100);
+}
+
+TEST(WorkloadTest, CorpusDeliversAndReadsEndToEnd) {
+  Testbed bed;
+  MailService service(bed.server());
+  ASSERT_TRUE(service.CreateFolder("inbox").ok());
+  MailCorpusOptions options;
+  options.message_count = 10;
+  for (const MailMessage& m : GenerateMailCorpus(options)) {
+    ASSERT_TRUE(service.DeliverLocal("inbox", m).ok());
+  }
+  RoverClientNode* node = bed.AddClient("laptop", LinkProfile::WaveLan2());
+  MailReader reader(bed.loop(), node);
+  auto folder = reader.OpenFolder("inbox");
+  ASSERT_TRUE(folder.Wait(bed.loop()));
+  ASSERT_TRUE(folder.value().ok());
+  EXPECT_EQ(folder.value().value().size(), 10u);
+  auto body = reader.ReadMessage("inbox", "3");
+  ASSERT_TRUE(body.Wait(bed.loop()));
+  EXPECT_TRUE(body.value().ok());
+}
+
+}  // namespace
+}  // namespace rover
+
+namespace rover {
+namespace {
+
+TEST_F(MailTest, DeleteMessageLocallyAndSync) {
+  Testbed bed;
+  MailService service(bed.server());
+  Seed(&bed, &service, 4);
+  RoverClientNode* node = bed.AddClient("laptop", LinkProfile::WaveLan2());
+  MailReader reader(bed.loop(), node);
+  reader.OpenFolder("inbox").Wait(bed.loop());
+
+  ASSERT_TRUE(reader.DeleteMessage("inbox", "1").ok());
+  auto ids = reader.ListMessages("inbox");
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(*ids, (std::vector<std::string>{"0", "2", "3"}));
+  // Not yet committed.
+  EXPECT_NE(bed.server()->store()->Get(MailFolderObject("inbox"))->data.find("1"),
+            std::string::npos);
+
+  auto sync = reader.SyncFolder("inbox");
+  ASSERT_TRUE(sync.Wait(bed.loop()));
+  EXPECT_TRUE(sync.value().status.ok());
+  auto committed = TclListSplit(bed.server()->store()->Get(MailFolderObject("inbox"))->data);
+  EXPECT_EQ(*committed, (std::vector<std::string>{"0", "2", "3"}));
+}
+
+TEST_F(MailTest, DeleteUnknownMessageFails) {
+  Testbed bed;
+  MailService service(bed.server());
+  Seed(&bed, &service, 2);
+  RoverClientNode* node = bed.AddClient("laptop", LinkProfile::WaveLan2());
+  MailReader reader(bed.loop(), node);
+  reader.OpenFolder("inbox").Wait(bed.loop());
+  EXPECT_EQ(reader.DeleteMessage("inbox", "99").code(), StatusCode::kNotFound);
+  EXPECT_EQ(reader.DeleteMessage("other", "0").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MailTest, DisconnectedDeleteMergesWithConcurrentDelivery) {
+  // The canonical optimistic-replication scenario: the user deletes a
+  // message on the train while the server delivers new mail. On
+  // reconnection the set resolver merges both: the delete sticks AND the
+  // new message appears.
+  Testbed bed;
+  MailService service(bed.server());
+  Seed(&bed, &service, 3);
+  auto schedule = std::make_unique<IntervalConnectivity>(
+      std::vector<IntervalConnectivity::Interval>{
+          {TimePoint::Epoch(), TimePoint::Epoch() + Duration::Seconds(30)},
+          {TimePoint::Epoch() + Duration::Seconds(200),
+           TimePoint::Epoch() + Duration::Seconds(1e6)}});
+  RoverClientNode* node =
+      bed.AddClient("laptop", LinkProfile::WaveLan2(), std::move(schedule));
+  MailReader reader(bed.loop(), node);
+  reader.OpenFolder("inbox").Wait(bed.loop());
+  bed.loop()->RunUntil(TimePoint::Epoch() + Duration::Seconds(50));  // offline now
+
+  ASSERT_TRUE(reader.DeleteMessage("inbox", "0").ok());
+  auto sync = reader.SyncFolder("inbox");
+
+  // Meanwhile, new mail arrives at the server.
+  ASSERT_TRUE(service.DeliverLocal("inbox", MakeMail("9", "new mail", "fresh")).ok());
+
+  bed.Run();
+  ASSERT_TRUE(sync.ready());
+  EXPECT_TRUE(sync.value().status.ok());
+  EXPECT_TRUE(sync.value().server_resolved);  // resolver merged
+  auto committed = TclListSplit(bed.server()->store()->Get(MailFolderObject("inbox"))->data);
+  std::set<std::string> ids(committed->begin(), committed->end());
+  EXPECT_EQ(ids, (std::set<std::string>{"1", "2", "9"}));  // 0 deleted, 9 delivered
+  // The client adopted the merged index including the new message id.
+  auto local = reader.ListMessages("inbox");
+  std::set<std::string> local_ids(local->begin(), local->end());
+  EXPECT_EQ(local_ids, ids);
+}
+
+}  // namespace
+}  // namespace rover

@@ -1,0 +1,477 @@
+// End-to-end tests of the access manager over the full stack
+// (cache -> QRPC -> scheduler -> simulated links -> server store).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/toolkit.h"
+#include "src/tclite/value.h"
+
+namespace rover {
+namespace {
+
+constexpr char kCounterCode[] = R"(
+proc get {} { global state; return $state }
+proc add {n} { global state; set state [expr {$state + $n}]; return $state }
+)";
+
+constexpr char kRosterCode[] = R"(
+proc members {} { global state; return $state }
+proc join {who} { global state; lappend state $who; return $state }
+proc leave {who} {
+  global state
+  set i [lsearch $state $who]
+  if {$i >= 0} { set state [concat [lrange $state 0 [expr {$i-1}]] [lrange $state [expr {$i+1}] end]] }
+  return $state
+}
+)";
+
+constexpr char kCalendarCode[] = R"(
+proc book {slot what} { global state; set state [dict set $state $slot $what]; return booked }
+proc lookup {slot} {
+  global state
+  if {[dict exists $state $slot]} { return [dict get $state $slot] }
+  return ""
+}
+proc slots {} { global state; return [dict keys $state] }
+)";
+
+class AccessManagerTest : public ::testing::Test {
+ protected:
+  void Seed(Testbed* bed) {
+    ASSERT_TRUE(bed->server()->rover()->CreateObject(
+        MakeRdo("counter", "lww", kCounterCode, "0")).ok());
+    ASSERT_TRUE(bed->server()->rover()->CreateObject(
+        MakeRdo("roster", "set", kRosterCode, "alice bob")).ok());
+    ASSERT_TRUE(bed->server()->rover()->CreateObject(
+        MakeRdo("cal", "calendar", kCalendarCode, "")).ok());
+  }
+};
+
+TEST_F(AccessManagerTest, ImportMissThenHit) {
+  Testbed bed;
+  Seed(&bed);
+  RoverClientNode* client = bed.AddClient("mobile", LinkProfile::WaveLan2());
+
+  auto p1 = client->access()->Import("counter");
+  ASSERT_TRUE(p1.Wait(bed.loop()));
+  EXPECT_TRUE(p1.value().status.ok());
+  EXPECT_FALSE(p1.value().from_cache);
+  EXPECT_EQ(p1.value().version, 1u);
+
+  auto p2 = client->access()->Import("counter");
+  ASSERT_TRUE(p2.Wait(bed.loop()));
+  EXPECT_TRUE(p2.value().from_cache);
+  EXPECT_EQ(client->access()->stats().cache_hits, 1u);
+  EXPECT_EQ(client->access()->stats().cache_misses, 1u);
+}
+
+TEST_F(AccessManagerTest, ImportMissingObjectFails) {
+  Testbed bed;
+  Seed(&bed);
+  RoverClientNode* client = bed.AddClient("mobile", LinkProfile::WaveLan2());
+  auto p = client->access()->Import("nothing");
+  ASSERT_TRUE(p.Wait(bed.loop()));
+  EXPECT_EQ(p.value().status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(AccessManagerTest, ConcurrentImportsCoalesce) {
+  Testbed bed;
+  Seed(&bed);
+  RoverClientNode* client = bed.AddClient("mobile", LinkProfile::Cslip144());
+  auto p1 = client->access()->Import("counter");
+  auto p2 = client->access()->Import("counter");
+  bed.Run();
+  ASSERT_TRUE(p1.ready());
+  ASSERT_TRUE(p2.ready());
+  EXPECT_TRUE(p1.value().status.ok());
+  EXPECT_TRUE(p2.value().status.ok());
+  // Only one RPC went to the server.
+  EXPECT_EQ(bed.server()->rover()->stats().imports, 1u);
+}
+
+TEST_F(AccessManagerTest, LocalInvokeMutatesAndMarksTentative) {
+  Testbed bed;
+  Seed(&bed);
+  // WaveLAN (2 Mb/s) is under the adaptive threshold -> local execution.
+  RoverClientNode* client = bed.AddClient("mobile", LinkProfile::WaveLan2());
+  client->access()->Import("counter").Wait(bed.loop());
+
+  auto p = client->access()->Invoke("counter", "add", {"5"});
+  ASSERT_TRUE(p.Wait(bed.loop()));
+  EXPECT_TRUE(p.value().status.ok());
+  EXPECT_EQ(p.value().value, "5");
+  EXPECT_EQ(p.value().site, ExecutionSite::kClient);
+  EXPECT_TRUE(client->access()->IsTentative("counter"));
+  EXPECT_EQ(*client->access()->ReadData("counter"), "5");
+  // Server still has the committed 0.
+  EXPECT_EQ(bed.server()->store()->Get("counter")->data, "0");
+}
+
+TEST_F(AccessManagerTest, AdaptivePolicyUsesServerOnFastLink) {
+  Testbed bed;
+  Seed(&bed);
+  RoverClientNode* client = bed.AddClient("office", LinkProfile::Ethernet10());
+  client->access()->Import("counter").Wait(bed.loop());
+  auto p = client->access()->Invoke("counter", "add", {"3"});
+  ASSERT_TRUE(p.Wait(bed.loop()));
+  EXPECT_EQ(p.value().site, ExecutionSite::kServer);
+  EXPECT_EQ(p.value().value, "3");
+  // Server-side execution commits immediately.
+  EXPECT_EQ(bed.server()->store()->Get("counter")->data, "3");
+  EXPECT_EQ(client->access()->stats().remote_invokes, 1u);
+}
+
+TEST_F(AccessManagerTest, ForceSiteOverridesPolicy) {
+  Testbed bed;
+  Seed(&bed);
+  RoverClientNode* client = bed.AddClient("office", LinkProfile::Ethernet10());
+  client->access()->Import("counter").Wait(bed.loop());
+  InvokeOptions opts;
+  opts.force_site = ExecutionSite::kClient;
+  auto p = client->access()->Invoke("counter", "add", {"1"}, opts);
+  ASSERT_TRUE(p.Wait(bed.loop()));
+  EXPECT_EQ(p.value().site, ExecutionSite::kClient);
+}
+
+TEST_F(AccessManagerTest, ExportCommitsTentativeState) {
+  Testbed bed;
+  Seed(&bed);
+  RoverClientNode* client = bed.AddClient("mobile", LinkProfile::WaveLan2());
+  client->access()->Import("counter").Wait(bed.loop());
+  client->access()->Invoke("counter", "add", {"7"}).Wait(bed.loop());
+
+  auto p = client->access()->Export("counter");
+  ASSERT_TRUE(p.Wait(bed.loop()));
+  EXPECT_TRUE(p.value().status.ok());
+  EXPECT_EQ(p.value().new_version, 2u);
+  EXPECT_FALSE(p.value().server_resolved);
+  EXPECT_FALSE(client->access()->IsTentative("counter"));
+  EXPECT_EQ(bed.server()->store()->Get("counter")->data, "7");
+  EXPECT_EQ(*client->access()->CachedVersion("counter"), 2u);
+}
+
+TEST_F(AccessManagerTest, ExportOfCleanObjectIsNoop) {
+  Testbed bed;
+  Seed(&bed);
+  RoverClientNode* client = bed.AddClient("mobile", LinkProfile::WaveLan2());
+  client->access()->Import("counter").Wait(bed.loop());
+  auto p = client->access()->Export("counter");
+  ASSERT_TRUE(p.Wait(bed.loop()));
+  EXPECT_TRUE(p.value().status.ok());
+  EXPECT_EQ(p.value().new_version, 1u);
+  EXPECT_EQ(bed.server()->rover()->stats().exports, 0u);  // no RPC issued
+}
+
+TEST_F(AccessManagerTest, DisconnectedOperationEndToEnd) {
+  Testbed bed;
+  Seed(&bed);
+  // Connected for the first 10s, down for 90s, then up again.
+  auto schedule = std::make_unique<IntervalConnectivity>(
+      std::vector<IntervalConnectivity::Interval>{
+          {TimePoint::Epoch(), TimePoint::Epoch() + Duration::Seconds(10)},
+          {TimePoint::Epoch() + Duration::Seconds(100),
+           TimePoint::Epoch() + Duration::Seconds(10000)}});
+  RoverClientNode* client =
+      bed.AddClient("laptop", LinkProfile::WaveLan2(), std::move(schedule));
+
+  // Warm the cache while connected.
+  client->access()->Import("counter").Wait(bed.loop());
+  bed.loop()->RunUntil(TimePoint::Epoch() + Duration::Seconds(20));
+  ASSERT_FALSE(client->access()->Connected());
+
+  // Work while disconnected: local invocations + queued export.
+  auto inv = client->access()->Invoke("counter", "add", {"4"});
+  ASSERT_TRUE(inv.Wait(bed.loop()));
+  EXPECT_TRUE(inv.value().status.ok());
+  auto exp = client->access()->Export("counter");
+  bed.loop()->RunUntil(TimePoint::Epoch() + Duration::Seconds(50));
+  EXPECT_FALSE(exp.ready());  // still queued
+  EXPECT_EQ(bed.server()->store()->Get("counter")->data, "0");
+
+  // Reconnect: the queue drains and the update commits.
+  bed.Run();
+  ASSERT_TRUE(exp.ready());
+  EXPECT_TRUE(exp.value().status.ok());
+  EXPECT_GT(exp.value().completed_at.seconds(), 100.0);
+  EXPECT_EQ(bed.server()->store()->Get("counter")->data, "4");
+}
+
+TEST_F(AccessManagerTest, InvokeWhileDisconnectedWithoutCacheFails) {
+  Testbed bed;
+  Seed(&bed);
+  RoverClientNode* client =
+      bed.AddClient("laptop", LinkProfile::WaveLan2(),
+                    std::make_unique<ConstantConnectivity>(false));
+  auto p = client->access()->Invoke("counter", "add", {"1"});
+  ASSERT_TRUE(p.Wait(bed.loop()));
+  EXPECT_EQ(p.value().status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(AccessManagerTest, ConcurrentUpdatesResolvedByTypeResolver) {
+  Testbed bed;
+  Seed(&bed);
+  RoverClientNode* a = bed.AddClient("a", LinkProfile::WaveLan2());
+  RoverClientNode* b = bed.AddClient("b", LinkProfile::WaveLan2());
+  a->access()->Import("roster").Wait(bed.loop());
+  b->access()->Import("roster").Wait(bed.loop());
+
+  // Both diverge from version 1.
+  a->access()->Invoke("roster", "join", {"carol"}).Wait(bed.loop());
+  b->access()->Invoke("roster", "join", {"dave"}).Wait(bed.loop());
+
+  auto pa = a->access()->Export("roster");
+  ASSERT_TRUE(pa.Wait(bed.loop()));
+  EXPECT_TRUE(pa.value().status.ok());
+  EXPECT_FALSE(pa.value().server_resolved);
+
+  auto pb = b->access()->Export("roster");
+  ASSERT_TRUE(pb.Wait(bed.loop()));
+  EXPECT_TRUE(pb.value().status.ok());
+  EXPECT_TRUE(pb.value().server_resolved);  // set resolver merged
+
+  auto members = TclListSplit(bed.server()->store()->Get("roster")->data);
+  std::set<std::string> set(members->begin(), members->end());
+  EXPECT_EQ(set, (std::set<std::string>{"alice", "bob", "carol", "dave"}));
+  // b adopted the merged state locally.
+  auto local = TclListSplit(*b->access()->ReadData("roster"));
+  EXPECT_EQ(std::set<std::string>(local->begin(), local->end()), set);
+}
+
+TEST_F(AccessManagerTest, UnresolvableConflictKeepsTentativeAndNotifies) {
+  Testbed bed;
+  Seed(&bed);
+  RoverClientNode* a = bed.AddClient("a", LinkProfile::WaveLan2());
+  RoverClientNode* b = bed.AddClient("b", LinkProfile::WaveLan2());
+  a->access()->Import("cal").Wait(bed.loop());
+  b->access()->Import("cal").Wait(bed.loop());
+
+  a->access()->Invoke("cal", "book", {"10am", "staff"}).Wait(bed.loop());
+  b->access()->Invoke("cal", "book", {"10am", "dentist"}).Wait(bed.loop());
+
+  ASSERT_TRUE(a->access()->Export("cal").Wait(bed.loop()));
+
+  std::string conflict_name;
+  std::string conflict_tentative;
+  RdoDescriptor conflict_committed;
+  b->access()->SetConflictCallback(
+      [&](const std::string& name, const std::string& tentative,
+          const RdoDescriptor& committed) {
+        conflict_name = name;
+        conflict_tentative = tentative;
+        conflict_committed = committed;
+      });
+  auto pb = b->access()->Export("cal");
+  ASSERT_TRUE(pb.Wait(bed.loop()));
+  EXPECT_EQ(pb.value().status.code(), StatusCode::kConflict);
+  EXPECT_TRUE(b->access()->IsTentative("cal"));
+  EXPECT_EQ(conflict_name, "cal");
+  EXPECT_NE(conflict_tentative.find("dentist"), std::string::npos);
+  EXPECT_NE(conflict_committed.data.find("staff"), std::string::npos);
+  // Server keeps a's booking.
+  EXPECT_EQ(bed.server()->store()->Get("cal")->data, "10am staff");
+  EXPECT_EQ(b->access()->stats().conflicts_unresolved, 1u);
+}
+
+TEST_F(AccessManagerTest, EvictionIsLruAndSparesTentativePinned) {
+  Testbed bed;
+  // Many small objects.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(bed.server()->rover()->CreateObject(
+        MakeRdo("obj/" + std::to_string(i), "lww", kCounterCode,
+                std::string(200, 'x'))).ok());
+  }
+  ClientNodeOptions opts;
+  opts.access.cache_capacity_bytes = 2500;  // fits ~4-5 entries
+  RoverClientNode* client =
+      bed.AddClient("mobile", LinkProfile::Ethernet10(), nullptr, opts);
+
+  ImportOptions pin_opts;
+  pin_opts.pin = true;
+  client->access()->Import("obj/0", pin_opts).Wait(bed.loop());
+  for (int i = 1; i < 10; ++i) {
+    client->access()->Import("obj/" + std::to_string(i)).Wait(bed.loop());
+  }
+  EXPECT_GT(client->access()->stats().evictions, 0u);
+  EXPECT_LE(client->access()->CacheBytes(), 2500u);
+  EXPECT_TRUE(client->access()->HasCached("obj/0"));   // pinned survived
+  EXPECT_FALSE(client->access()->HasCached("obj/1"));  // LRU victim
+  EXPECT_TRUE(client->access()->HasCached("obj/9"));   // most recent
+}
+
+TEST_F(AccessManagerTest, PrefetchFillsCacheInBackground) {
+  Testbed bed;
+  Seed(&bed);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(bed.server()->rover()->CreateObject(
+        MakeRdo("doc/" + std::to_string(i), "lww", kCounterCode, "0")).ok());
+  }
+  RoverClientNode* client = bed.AddClient("mobile", LinkProfile::Cslip144());
+  client->access()->Prefetch({"doc/0", "doc/1", "doc/2", "doc/3", "doc/4", "doc/5"});
+  bed.Run();
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(client->access()->HasCached("doc/" + std::to_string(i)));
+  }
+  EXPECT_EQ(client->access()->stats().prefetch_issued, 6u);
+}
+
+TEST_F(AccessManagerTest, SubscriptionInvalidatesStaleCache) {
+  Testbed bed;
+  Seed(&bed);
+  ClientNodeOptions sub_opts;
+  sub_opts.access.subscribe_on_import = true;
+  RoverClientNode* a =
+      bed.AddClient("a", LinkProfile::WaveLan2(), nullptr, sub_opts);
+  RoverClientNode* b = bed.AddClient("b", LinkProfile::WaveLan2());
+
+  a->access()->Import("counter").Wait(bed.loop());
+  bed.Run();  // let the subscription land
+
+  // b commits a new version; the server notifies a.
+  b->access()->Import("counter").Wait(bed.loop());
+  b->access()->Invoke("counter", "add", {"9"}).Wait(bed.loop());
+  b->access()->Export("counter").Wait(bed.loop());
+  bed.Run();
+  EXPECT_EQ(a->access()->stats().invalidations_received, 1u);
+
+  // a's next import refetches the new version rather than using the cache.
+  auto p = a->access()->Import("counter");
+  ASSERT_TRUE(p.Wait(bed.loop()));
+  EXPECT_FALSE(p.value().from_cache);
+  EXPECT_EQ(p.value().version, 2u);
+  EXPECT_EQ(*a->access()->ReadData("counter"), "9");
+}
+
+TEST_F(AccessManagerTest, SessionReadYourWritesAcrossEviction) {
+  Testbed bed;
+  Seed(&bed);
+  RoverClientNode* client = bed.AddClient("mobile", LinkProfile::WaveLan2());
+  Session session(1);
+
+  ImportOptions iopts;
+  iopts.session = &session;
+  client->access()->Import("counter", iopts).Wait(bed.loop());
+  client->access()->Invoke("counter", "add", {"2"}).Wait(bed.loop());
+  auto exp = client->access()->Export("counter");
+  ASSERT_TRUE(exp.Wait(bed.loop()));
+  session.RecordWrite("counter", exp.value().new_version);
+
+  // Simulate the entry being evicted, then re-imported within the session.
+  client->access()->Evict("counter");
+  auto p = client->access()->Import("counter", iopts);
+  ASSERT_TRUE(p.Wait(bed.loop()));
+  EXPECT_GE(p.value().version, 2u);  // read-your-writes
+  EXPECT_EQ(*client->access()->ReadData("counter"), "2");
+}
+
+TEST_F(AccessManagerTest, StatusCallbackTracksQueueAndTentative) {
+  Testbed bed;
+  Seed(&bed);
+  RoverClientNode* client =
+      bed.AddClient("laptop", LinkProfile::WaveLan2(),
+                    std::make_unique<PeriodicConnectivity>(
+                        Duration::Seconds(1e6), Duration::Zero(),
+                        TimePoint::Epoch() + Duration::Seconds(60)));
+  std::vector<QueueStatus> updates;
+  client->access()->SetStatusCallback([&](const QueueStatus& s) { updates.push_back(s); });
+
+  auto import = client->access()->Import("counter");
+  bed.loop()->RunUntil(TimePoint::Epoch() + Duration::Seconds(30));
+  ASSERT_FALSE(updates.empty());
+  EXPECT_FALSE(updates.back().connected);
+  EXPECT_GE(updates.back().queued_qrpcs, 1u);
+
+  bed.Run();
+  ASSERT_TRUE(import.ready());
+  EXPECT_TRUE(updates.back().connected);
+  EXPECT_EQ(updates.back().queued_qrpcs, 0u);
+}
+
+TEST_F(AccessManagerTest, CrashRecoveryCommitsQueuedExport) {
+  Testbed bed;
+  Seed(&bed);
+  // Never connected during the first life of the client.
+  auto schedule = std::make_unique<IntervalConnectivity>(
+      std::vector<IntervalConnectivity::Interval>{
+          {TimePoint::Epoch(), TimePoint::Epoch() + Duration::Seconds(10)},
+          {TimePoint::Epoch() + Duration::Seconds(100),
+           TimePoint::Epoch() + Duration::Seconds(100000)}});
+  RoverClientNode* client =
+      bed.AddClient("laptop", LinkProfile::WaveLan2(), std::move(schedule));
+
+  client->access()->Import("counter").Wait(bed.loop());
+  bed.loop()->RunUntil(TimePoint::Epoch() + Duration::Seconds(20));  // now offline
+  client->access()->Invoke("counter", "add", {"8"}).Wait(bed.loop());
+  auto exp = client->access()->Export("counter");
+  bed.loop()->RunUntil(TimePoint::Epoch() + Duration::Seconds(30));
+  ASSERT_FALSE(exp.ready());
+
+  // Crash: the export RPC survives in the stable log and is re-issued.
+  client->log()->SimulateCrash();
+  ASSERT_GE(client->log()->Recover(), 1u);
+  EXPECT_GE(client->qrpc()->RecoverFromLog(), 1u);
+  bed.Run();
+  EXPECT_EQ(bed.server()->store()->Get("counter")->data, "8");
+  EXPECT_EQ(*bed.server()->store()->VersionOf("counter"), 2u);
+}
+
+TEST_F(AccessManagerTest, ForcedRefetchBypassesCache) {
+  Testbed bed;
+  Seed(&bed);
+  RoverClientNode* a = bed.AddClient("a", LinkProfile::WaveLan2());
+  RoverClientNode* b = bed.AddClient("b", LinkProfile::WaveLan2());
+  a->access()->Import("counter").Wait(bed.loop());
+  // b commits version 2 behind a's back (no subscription).
+  b->access()->Import("counter").Wait(bed.loop());
+  b->access()->Invoke("counter", "add", {"1"}).Wait(bed.loop());
+  b->access()->Export("counter").Wait(bed.loop());
+
+  // Cached import still sees version 1.
+  auto hit = a->access()->Import("counter");
+  ASSERT_TRUE(hit.Wait(bed.loop()));
+  EXPECT_EQ(hit.value().version, 1u);
+
+  ImportOptions force;
+  force.allow_cached = false;
+  auto fresh = a->access()->Import("counter", force);
+  ASSERT_TRUE(fresh.Wait(bed.loop()));
+  EXPECT_EQ(fresh.value().version, 2u);
+}
+
+TEST_F(AccessManagerTest, TentativeSurvivesRefetch) {
+  Testbed bed;
+  Seed(&bed);
+  RoverClientNode* client = bed.AddClient("mobile", LinkProfile::WaveLan2());
+  client->access()->Import("counter").Wait(bed.loop());
+  client->access()->Invoke("counter", "add", {"5"}).Wait(bed.loop());
+  // A forced refetch must not clobber tentative local state.
+  ImportOptions force;
+  force.allow_cached = false;
+  client->access()->Import("counter", force).Wait(bed.loop());
+  EXPECT_TRUE(client->access()->IsTentative("counter"));
+  EXPECT_EQ(*client->access()->ReadData("counter"), "5");
+}
+
+}  // namespace
+}  // namespace rover
+
+namespace rover {
+namespace {
+
+TEST(QueueStatusTest, FormatCoversAllStates) {
+  QueueStatus idle;
+  idle.connected = true;
+  EXPECT_EQ(FormatQueueStatus(idle), "connected | 0 queued | all committed");
+  QueueStatus busy;
+  busy.connected = false;
+  busy.queued_qrpcs = 3;
+  busy.tentative_objects = 2;
+  EXPECT_EQ(FormatQueueStatus(busy),
+            "DISCONNECTED | 3 ops queued | 2 tentative objects");
+}
+
+}  // namespace
+}  // namespace rover

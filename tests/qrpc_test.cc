@@ -1,0 +1,491 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/qrpc/marshal.h"
+#include "src/qrpc/promise.h"
+#include "src/qrpc/qrpc.h"
+#include "src/qrpc/stable_log.h"
+#include "src/sim/network.h"
+#include "src/transport/smtp.h"
+
+namespace rover {
+namespace {
+
+TEST(PromiseTest, SetAndCallbacks) {
+  Promise<int> p;
+  EXPECT_FALSE(p.ready());
+  int seen = 0;
+  p.OnReady([&](const int& v) { seen = v; });
+  p.Set(42);
+  EXPECT_TRUE(p.ready());
+  EXPECT_EQ(p.value(), 42);
+  EXPECT_EQ(seen, 42);
+  // Late callback fires immediately.
+  int late = 0;
+  p.OnReady([&](const int& v) { late = v; });
+  EXPECT_EQ(late, 42);
+}
+
+TEST(PromiseTest, CopiesShareState) {
+  Promise<std::string> a;
+  Promise<std::string> b = a;
+  a.Set("hello");
+  EXPECT_TRUE(b.ready());
+  EXPECT_EQ(b.value(), "hello");
+}
+
+TEST(PromiseTest, WaitDrivesLoop) {
+  EventLoop loop;
+  Promise<int> p;
+  loop.ScheduleAfter(Duration::Seconds(5), [&] { p.Set(7); });
+  EXPECT_TRUE(p.Wait(&loop));
+  EXPECT_EQ(p.value(), 7);
+  EXPECT_EQ(loop.now().seconds(), 5.0);
+}
+
+TEST(PromiseTest, WaitReturnsFalseIfLoopRunsDry) {
+  EventLoop loop;
+  Promise<int> p;
+  EXPECT_FALSE(p.Wait(&loop));
+}
+
+TEST(MarshalTest, RpcValueRoundTrip) {
+  WireWriter w;
+  EncodeRpcValue(int64_t{-42}, &w);
+  EncodeRpcValue(2.718, &w);
+  EncodeRpcValue(std::string("rover"), &w);
+  EncodeRpcValue(Bytes{9, 8, 7}, &w);
+  WireReader r(w.data());
+  EXPECT_EQ(*RpcValueAsInt(*DecodeRpcValue(&r)), -42);
+  EXPECT_DOUBLE_EQ(*RpcValueAsDouble(*DecodeRpcValue(&r)), 2.718);
+  EXPECT_EQ(*RpcValueAsString(*DecodeRpcValue(&r)), "rover");
+  EXPECT_EQ(*RpcValueAsBytes(*DecodeRpcValue(&r)), (Bytes{9, 8, 7}));
+}
+
+TEST(MarshalTest, TypeMismatchErrors) {
+  RpcValue v = std::string("text");
+  EXPECT_FALSE(RpcValueAsInt(v).ok());
+  EXPECT_FALSE(RpcValueAsBytes(v).ok());
+  // Int coerces to double but not vice versa.
+  EXPECT_TRUE(RpcValueAsDouble(RpcValue(int64_t{3})).ok());
+  EXPECT_FALSE(RpcValueAsInt(RpcValue(3.0)).ok());
+}
+
+TEST(MarshalTest, RequestBodyRoundTrip) {
+  RpcRequestBody body;
+  body.method = "calendar.book";
+  body.args = {int64_t{5}, std::string("room 5"), 1.5};
+  auto decoded = RpcRequestBody::Decode(body.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->method, "calendar.book");
+  ASSERT_EQ(decoded->args.size(), 3u);
+  EXPECT_EQ(std::get<int64_t>(decoded->args[0]), 5);
+}
+
+TEST(MarshalTest, ResponseBodyRoundTrip) {
+  RpcResponseBody body;
+  body.code = StatusCode::kConflict;
+  body.error_message = "slot taken";
+  body.result = std::string("partial");
+  auto decoded = RpcResponseBody::Decode(body.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->code, StatusCode::kConflict);
+  EXPECT_EQ(decoded->ToStatus().message(), "slot taken");
+}
+
+class StableLogTest : public ::testing::Test {
+ protected:
+  EventLoop loop_;
+};
+
+TEST_F(StableLogTest, AppendFlushTruncate) {
+  StableLog log(&loop_);
+  const uint64_t id1 = log.Append(Bytes{1});
+  const uint64_t id2 = log.Append(Bytes{2});
+  EXPECT_FALSE(log.FullyDurable());
+  bool flushed = false;
+  log.Flush([&] { flushed = true; });
+  loop_.Run();
+  EXPECT_TRUE(flushed);
+  EXPECT_TRUE(log.FullyDurable());
+  EXPECT_EQ(log.DurableRecords().size(), 2u);
+  log.Truncate(id1);
+  EXPECT_EQ(log.RecordCount(), 1u);
+  EXPECT_EQ(log.FrontRecordId(), id2);
+}
+
+TEST_F(StableLogTest, FlushCostModelCharged) {
+  StableLogCostModel model;
+  model.flush_base = Duration::Millis(10);
+  model.write_bytes_per_sec = 1e6;
+  StableLog log(&loop_);
+  StableLog paid(&loop_, model);
+  paid.Append(Bytes(10000, 1));
+  TimePoint done;
+  paid.Flush([&] { done = loop_.now(); });
+  loop_.Run();
+  // 10ms base + ~10KB/1MBps = ~10ms.
+  EXPECT_NEAR(done.seconds(), 0.020, 0.001);
+}
+
+TEST_F(StableLogTest, CrashDropsVolatileRecords) {
+  StableLog log(&loop_);
+  log.Append(Bytes{1});
+  log.Flush(nullptr);
+  loop_.Run();
+  log.Append(Bytes{2});  // never flushed
+  log.SimulateCrash();
+  EXPECT_EQ(log.Recover(), 1u);
+  ASSERT_EQ(log.DurableRecords().size(), 1u);
+  EXPECT_EQ(log.DurableRecords()[0].data, Bytes{1});
+}
+
+TEST_F(StableLogTest, TornWriteDetectedByCrc) {
+  StableLog log(&loop_);
+  log.Append(Bytes{1, 2, 3});
+  log.Append(Bytes{4, 5, 6});
+  log.Flush(nullptr);
+  loop_.Run();
+  log.SimulateCrash(/*tear_last_record=*/true);
+  EXPECT_EQ(log.Recover(), 1u);  // torn record dropped
+  EXPECT_EQ(log.DurableRecords()[0].data, (Bytes{1, 2, 3}));
+}
+
+TEST_F(StableLogTest, SerialFlushesQueue) {
+  StableLogCostModel model;
+  model.flush_base = Duration::Millis(5);
+  StableLog log(&loop_, model);
+  std::vector<double> completions;
+  log.Append(Bytes(100, 1));
+  log.Flush([&] { completions.push_back(loop_.now().seconds()); });
+  log.Append(Bytes(100, 2));
+  log.Flush([&] { completions.push_back(loop_.now().seconds()); });
+  loop_.Run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_GT(completions[1], completions[0]);
+}
+
+// --- end-to-end QRPC fixture ---
+
+class QrpcTest : public ::testing::Test {
+ protected:
+  QrpcTest() : net_(&loop_) {}
+
+  void Wire(LinkProfile profile, std::unique_ptr<ConnectivitySchedule> schedule = nullptr) {
+    net_.Connect("mobile", "server", std::move(profile), std::move(schedule));
+    client_tm_ = std::make_unique<TransportManager>(&loop_, net_.FindHost("mobile"));
+    server_tm_ = std::make_unique<TransportManager>(&loop_, net_.FindHost("server"));
+    log_ = std::make_unique<StableLog>(&loop_);
+    client_ = std::make_unique<QrpcClient>(&loop_, client_tm_.get(), log_.get());
+    server_ = std::make_unique<QrpcServer>(&loop_, server_tm_.get());
+    server_->RegisterHandler(
+        "echo", [](const RpcRequestBody& req, const Message&, QrpcServer::Responder respond) {
+          RpcResponseBody body;
+          body.result = req.args.empty() ? RpcValue(std::string("")) : req.args[0];
+          respond(body);
+        });
+    server_->RegisterHandler(
+        "count", [this](const RpcRequestBody&, const Message&, QrpcServer::Responder respond) {
+          ++executions_;
+          RpcResponseBody body;
+          body.result = int64_t{executions_};
+          respond(body);
+        });
+  }
+
+  EventLoop loop_;
+  Network net_;
+  std::unique_ptr<TransportManager> client_tm_;
+  std::unique_ptr<TransportManager> server_tm_;
+  std::unique_ptr<StableLog> log_;
+  std::unique_ptr<QrpcClient> client_;
+  std::unique_ptr<QrpcServer> server_;
+  int64_t executions_ = 0;
+};
+
+TEST_F(QrpcTest, EchoRoundTrip) {
+  Wire(LinkProfile::Ethernet10());
+  QrpcCall call = client_->Call("server", "echo", {std::string("hello")});
+  ASSERT_TRUE(call.result.Wait(&loop_));
+  EXPECT_TRUE(call.result.value().status.ok());
+  EXPECT_EQ(std::get<std::string>(call.result.value().value), "hello");
+  EXPECT_TRUE(call.committed.ready());
+  EXPECT_LE(call.committed.value(), call.result.value().completed_at);
+}
+
+TEST_F(QrpcTest, CommitPrecedesTransmission) {
+  Wire(LinkProfile::Ethernet10());
+  QrpcCall call = client_->Call("server", "echo", {std::string("x")});
+  ASSERT_TRUE(call.committed.Wait(&loop_));
+  // Commit time includes at least the log flush base cost (8ms default).
+  EXPECT_GE(call.committed.value().seconds(), 0.008);
+}
+
+TEST_F(QrpcTest, UnloggedCallSkipsFlush) {
+  Wire(LinkProfile::Ethernet10());
+  QrpcCallOptions opts;
+  opts.log_request = false;
+  QrpcCall call = client_->Call("server", "echo", {std::string("x")}, opts);
+  ASSERT_TRUE(call.committed.Wait(&loop_));
+  EXPECT_LT(call.committed.value().seconds(), 0.001);
+  ASSERT_TRUE(call.result.Wait(&loop_));
+  EXPECT_EQ(log_->RecordCount(), 0u);
+}
+
+TEST_F(QrpcTest, NonBlockingWhileDisconnected) {
+  // Link comes up at t=120s.
+  Wire(LinkProfile::Cslip144(),
+       std::make_unique<PeriodicConnectivity>(Duration::Seconds(1e6), Duration::Zero(),
+                                              TimePoint::Epoch() + Duration::Seconds(120)));
+  QrpcCall call = client_->Call("server", "echo", {std::string("queued")});
+  // The call commits locally long before any connectivity.
+  ASSERT_TRUE(call.committed.Wait(&loop_));
+  EXPECT_LT(call.committed.value().seconds(), 1.0);
+  EXPECT_FALSE(call.result.ready());
+  EXPECT_EQ(client_->PendingCount(), 1u);
+  ASSERT_TRUE(call.result.Wait(&loop_));
+  EXPECT_GT(call.result.value().completed_at.seconds(), 120.0);
+  EXPECT_TRUE(call.result.value().status.ok());
+}
+
+TEST_F(QrpcTest, ManyCallsPreserveOrderAndAllComplete) {
+  Wire(LinkProfile::Cslip144());
+  std::vector<QrpcCall> calls;
+  for (int i = 0; i < 20; ++i) {
+    calls.push_back(client_->Call("server", "echo", {int64_t{i}}));
+  }
+  loop_.Run();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(calls[static_cast<size_t>(i)].result.ready());
+    EXPECT_EQ(std::get<int64_t>(calls[static_cast<size_t>(i)].result.value().value), i);
+  }
+  EXPECT_EQ(client_->PendingCount(), 0u);
+}
+
+TEST_F(QrpcTest, LogTruncatedAfterResponses) {
+  Wire(LinkProfile::Ethernet10());
+  for (int i = 0; i < 5; ++i) {
+    client_->Call("server", "echo", {int64_t{i}});
+  }
+  loop_.Run();
+  EXPECT_EQ(log_->RecordCount(), 0u);  // all answered and truncated
+}
+
+TEST_F(QrpcTest, UnknownMethodReturnsUnimplemented) {
+  Wire(LinkProfile::Ethernet10());
+  QrpcCall call = client_->Call("server", "no.such.method", {});
+  ASSERT_TRUE(call.result.Wait(&loop_));
+  EXPECT_EQ(call.result.value().status.code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(server_->stats().unknown_methods, 1u);
+}
+
+TEST_F(QrpcTest, AtMostOnceUnderDuplicateDelivery) {
+  Wire(LinkProfile::Ethernet10());
+  QrpcCall call = client_->Call("server", "count", {});
+  ASSERT_TRUE(call.result.Wait(&loop_));
+  EXPECT_EQ(executions_, 1);
+
+  // Simulate a retransmitted request (client crash-recovery resend): a
+  // fresh message with the same rpc id from the same host.
+  Message dup;
+  dup.header.message_id = call.rpc_id;
+  dup.header.type = MessageType::kRequest;
+  dup.header.dst = "server";
+  RpcRequestBody body;
+  body.method = "count";
+  dup.payload = body.Encode();
+  client_tm_->Send(std::move(dup));
+  loop_.Run();
+  EXPECT_EQ(executions_, 1);  // not re-executed
+  EXPECT_EQ(server_->stats().duplicates, 1u);
+}
+
+TEST_F(QrpcTest, CrashRecoveryResendsUnansweredRequests) {
+  // Disconnected until t=500s: requests commit to the log but get no
+  // response before the crash.
+  Wire(LinkProfile::WaveLan2(),
+       std::make_unique<PeriodicConnectivity>(Duration::Seconds(1e6), Duration::Zero(),
+                                              TimePoint::Epoch() + Duration::Seconds(500)));
+  client_->Call("server", "count", {});
+  client_->Call("server", "count", {});
+  loop_.RunUntil(TimePoint::Epoch() + Duration::Seconds(10));
+  EXPECT_EQ(log_->RecordCount(), 2u);
+
+  // Crash the client host: rebuild transport + engine over the recovered log.
+  log_->SimulateCrash();
+  ASSERT_EQ(log_->Recover(), 2u);
+  client_tm_ = std::make_unique<TransportManager>(&loop_, net_.FindHost("mobile"));
+  client_ = std::make_unique<QrpcClient>(&loop_, client_tm_.get(), log_.get());
+  EXPECT_EQ(client_->RecoverFromLog(), 2u);
+  loop_.Run();
+  EXPECT_EQ(executions_, 2);  // both executed exactly once
+  EXPECT_EQ(client_->PendingCount(), 0u);
+  EXPECT_EQ(log_->RecordCount(), 0u);
+}
+
+TEST_F(QrpcTest, RecoveryAfterPartialResponsesOnlyResendsUnanswered) {
+  Wire(LinkProfile::Ethernet10());
+  QrpcCall done = client_->Call("server", "count", {});
+  ASSERT_TRUE(done.result.Wait(&loop_));
+  EXPECT_EQ(executions_, 1);
+
+  // Second call committed but the link dies before transmission completes:
+  // emulate by tearing the network down via a fresh disconnected topology.
+  // Simplest deterministic variant: crash right after commit.
+  QrpcCall pending = client_->Call("server", "count", {});
+  ASSERT_TRUE(pending.committed.Wait(&loop_));
+  log_->SimulateCrash();
+  log_->Recover();
+  client_tm_ = std::make_unique<TransportManager>(&loop_, net_.FindHost("mobile"));
+  client_ = std::make_unique<QrpcClient>(&loop_, client_tm_.get(), log_.get());
+  const size_t resent = client_->RecoverFromLog();
+  EXPECT_EQ(resent, 1u);
+  loop_.Run();
+  EXPECT_EQ(executions_, 2);  // duplicate suppression would keep it at 2 anyway
+}
+
+TEST_F(QrpcTest, PriorityReachesWire) {
+  Wire(LinkProfile::Cslip144(),
+       std::make_unique<PeriodicConnectivity>(Duration::Seconds(1e6), Duration::Zero(),
+                                              TimePoint::Epoch() + Duration::Seconds(30)));
+  QrpcCallOptions bg;
+  bg.priority = Priority::kBackground;
+  QrpcCallOptions fg;
+  fg.priority = Priority::kForeground;
+  QrpcCall slow = client_->Call("server", "count", {}, bg);
+  QrpcCall fast = client_->Call("server", "count", {}, fg);
+  loop_.Run();
+  ASSERT_TRUE(slow.result.ready());
+  ASSERT_TRUE(fast.result.ready());
+  // Foreground was issued second but executes first.
+  EXPECT_EQ(std::get<int64_t>(fast.result.value().value), 1);
+  EXPECT_EQ(std::get<int64_t>(slow.result.value().value), 2);
+}
+
+TEST_F(QrpcTest, ViaRelayDeliversWithoutDirectLink) {
+  // No direct mobile<->server link at all.
+  net_.Connect("mobile", "relay", LinkProfile::WaveLan2());
+  net_.Connect("relay", "server", LinkProfile::Ethernet10());
+  client_tm_ = std::make_unique<TransportManager>(&loop_, net_.FindHost("mobile"));
+  server_tm_ = std::make_unique<TransportManager>(&loop_, net_.FindHost("server"));
+  auto relay_tm = std::make_unique<TransportManager>(&loop_, net_.FindHost("relay"));
+  SmtpRelay relay(&loop_, relay_tm.get());
+  log_ = std::make_unique<StableLog>(&loop_);
+  client_ = std::make_unique<QrpcClient>(&loop_, client_tm_.get(), log_.get());
+  server_ = std::make_unique<QrpcServer>(&loop_, server_tm_.get());
+  server_->RegisterHandler(
+      "echo", [](const RpcRequestBody& req, const Message&, QrpcServer::Responder respond) {
+        RpcResponseBody body;
+        body.result = req.args[0];
+        respond(body);
+      });
+
+  QrpcCallOptions opts;
+  opts.via_relay = true;
+  opts.relay_host = "relay";
+  QrpcCall call = client_->Call("server", "echo", {std::string("mail")}, opts);
+  loop_.Run();
+  // The response cannot return: the server has no route to "mobile"
+  // except... it does not. So only check the request executed? No --
+  // the server schedules the response to "mobile"; with no link it queues
+  // forever. The request itself must have been dispatched:
+  EXPECT_TRUE(call.committed.ready());
+  EXPECT_EQ(server_->stats().requests, 1u);
+}
+
+TEST_F(QrpcTest, ServerDispatchCostDelaysResponse) {
+  QrpcServerOptions sopts;
+  sopts.dispatch_cost = Duration::Millis(100);
+  Wire(LinkProfile::Ethernet10());
+  server_ = std::make_unique<QrpcServer>(&loop_, server_tm_.get(), sopts);
+  server_->RegisterHandler(
+      "noop", [](const RpcRequestBody&, const Message&, QrpcServer::Responder respond) {
+        respond(RpcResponseBody{});
+      });
+  QrpcCall call = client_->Call("server", "noop", {});
+  ASSERT_TRUE(call.result.Wait(&loop_));
+  EXPECT_GE(call.result.value().completed_at.seconds(), 0.100);
+}
+
+}  // namespace
+}  // namespace rover
+
+namespace rover {
+namespace {
+
+TEST(StableLogGroupCommitTest, BurstCoalescesIntoFewWrites) {
+  EventLoop loop;
+  StableLogCostModel model;
+  model.group_commit = true;
+  StableLog log(&loop, model);
+  int completed = 0;
+  for (int i = 0; i < 16; ++i) {
+    log.Append(Bytes(64, static_cast<uint8_t>(i)));
+    log.Flush([&] { ++completed; });
+  }
+  loop.Run();
+  EXPECT_EQ(completed, 16);
+  EXPECT_TRUE(log.FullyDurable());
+  // First flush starts immediately; everything else joins the second write.
+  EXPECT_LE(log.stats().flushes, 2u);
+}
+
+TEST(StableLogGroupCommitTest, RecordsAppendedDuringWriteJoinNextWrite) {
+  EventLoop loop;
+  StableLogCostModel model;
+  model.group_commit = true;
+  model.flush_base = Duration::Millis(10);
+  StableLog log(&loop, model);
+
+  log.Append(Bytes{1});
+  bool first_done = false;
+  log.Flush([&] { first_done = true; });
+  // While the first write is in flight, append + flush another record.
+  loop.ScheduleAfter(Duration::Millis(5), [&] {
+    log.Append(Bytes{2});
+    log.Flush(nullptr);
+  });
+  loop.Run();
+  EXPECT_TRUE(first_done);
+  EXPECT_TRUE(log.FullyDurable());
+  EXPECT_EQ(log.stats().flushes, 2u);
+}
+
+TEST(StableLogGroupCommitTest, SerialModeWritesPerFlush) {
+  EventLoop loop;
+  StableLog log(&loop);  // group_commit off
+  for (int i = 0; i < 8; ++i) {
+    log.Append(Bytes{static_cast<uint8_t>(i)});
+    log.Flush(nullptr);
+  }
+  loop.Run();
+  EXPECT_EQ(log.stats().flushes, 8u);
+}
+
+TEST(StableLogGroupCommitTest, GroupCommitFasterThanSerialForBursts) {
+  EventLoop serial_loop;
+  StableLog serial(&serial_loop);
+  for (int i = 0; i < 10; ++i) {
+    serial.Append(Bytes(32, 0));
+    serial.Flush(nullptr);
+  }
+  serial_loop.Run();
+
+  EventLoop group_loop;
+  StableLogCostModel model;
+  model.group_commit = true;
+  StableLog grouped(&group_loop, model);
+  for (int i = 0; i < 10; ++i) {
+    grouped.Append(Bytes(32, 0));
+    grouped.Flush(nullptr);
+  }
+  group_loop.Run();
+
+  EXPECT_LT(group_loop.now().seconds(), serial_loop.now().seconds() / 3);
+}
+
+}  // namespace
+}  // namespace rover

@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/network.h"
+#include "src/transport/message.h"
+#include "src/transport/scheduler.h"
+#include "src/transport/smtp.h"
+#include "src/transport/transport.h"
+
+namespace rover {
+namespace {
+
+Message MakeMessage(const std::string& dst, size_t payload_size,
+                    Priority priority = Priority::kDefault) {
+  Message msg;
+  msg.header.type = MessageType::kRequest;
+  msg.header.priority = priority;
+  msg.header.dst = dst;
+  msg.payload = Bytes(payload_size, 0x5a);
+  return msg;
+}
+
+TEST(MessageTest, EncodeDecodeRoundTrip) {
+  Message msg;
+  msg.header.message_id = 77;
+  msg.header.type = MessageType::kResponse;
+  msg.header.priority = Priority::kForeground;
+  msg.header.src = "client";
+  msg.header.dst = "server";
+  msg.header.in_reply_to = 42;
+  msg.payload = Bytes{1, 2, 3};
+
+  auto decoded = Message::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->header.message_id, 77u);
+  EXPECT_EQ(decoded->header.type, MessageType::kResponse);
+  EXPECT_EQ(decoded->header.priority, Priority::kForeground);
+  EXPECT_EQ(decoded->header.src, "client");
+  EXPECT_EQ(decoded->header.dst, "server");
+  EXPECT_EQ(decoded->header.in_reply_to, 42u);
+  EXPECT_EQ(decoded->payload, (Bytes{1, 2, 3}));
+}
+
+TEST(MessageTest, CorruptMessageRejected) {
+  Message msg = MakeMessage("server", 10);
+  Bytes data = msg.Encode();
+  data.resize(data.size() / 2);
+  EXPECT_FALSE(Message::Decode(data).ok());
+}
+
+TEST(MessageTest, FrameRoundTrip) {
+  std::vector<Message> msgs;
+  for (int i = 0; i < 5; ++i) {
+    Message m = MakeMessage("server", static_cast<size_t>(i * 10));
+    m.header.message_id = static_cast<uint64_t>(i + 1);
+    msgs.push_back(m);
+  }
+  auto decoded = DecodeFrame(EncodeFrame(msgs));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ((*decoded)[static_cast<size_t>(i)].header.message_id,
+              static_cast<uint64_t>(i + 1));
+    EXPECT_EQ((*decoded)[static_cast<size_t>(i)].payload.size(),
+              static_cast<size_t>(i * 10));
+  }
+}
+
+TEST(MessageTest, EmptyFrameRoundTrip) {
+  auto decoded = DecodeFrame(EncodeFrame({}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : net_(&loop_) {}
+
+  void SetUpHosts(LinkProfile profile,
+                  std::unique_ptr<ConnectivitySchedule> schedule = nullptr) {
+    link_ = net_.Connect("mobile", "server", std::move(profile), std::move(schedule));
+    mobile_ = std::make_unique<TransportManager>(&loop_, net_.FindHost("mobile"));
+    server_ = std::make_unique<TransportManager>(&loop_, net_.FindHost("server"));
+    server_->SetHandler(MessageType::kRequest,
+                        [this](const Message& msg) { received_.push_back(msg); });
+  }
+
+  EventLoop loop_;
+  Network net_;
+  Link* link_ = nullptr;
+  std::unique_ptr<TransportManager> mobile_;
+  std::unique_ptr<TransportManager> server_;
+  std::vector<Message> received_;
+};
+
+TEST_F(SchedulerTest, DeliversMessage) {
+  SetUpHosts(LinkProfile::Ethernet10());
+  mobile_->Send(MakeMessage("server", 100));
+  loop_.Run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].header.src, "mobile");
+  EXPECT_EQ(received_[0].payload.size(), 100u);
+}
+
+TEST_F(SchedulerTest, QueuesWhileDisconnectedAndDrainsOnReconnect) {
+  // Down until t=60s, then up.
+  SetUpHosts(LinkProfile::WaveLan2(),
+             std::make_unique<PeriodicConnectivity>(
+                 Duration::Seconds(1e6), Duration::Zero(),
+                 TimePoint::Epoch() + Duration::Seconds(60)));
+  for (int i = 0; i < 5; ++i) {
+    mobile_->Send(MakeMessage("server", 50));
+  }
+  loop_.RunUntil(TimePoint::Epoch() + Duration::Seconds(59));
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(mobile_->scheduler()->TotalQueueDepth(), 5u);
+  loop_.Run();
+  EXPECT_EQ(received_.size(), 5u);
+  EXPECT_EQ(mobile_->scheduler()->TotalQueueDepth(), 0u);
+  EXPECT_GT(loop_.now().seconds(), 60.0);
+}
+
+TEST_F(SchedulerTest, PriorityOrdering) {
+  // Queue while down so all three are pending, then drain.
+  SetUpHosts(LinkProfile::Cslip144(),
+             std::make_unique<PeriodicConnectivity>(
+                 Duration::Seconds(1e6), Duration::Zero(),
+                 TimePoint::Epoch() + Duration::Seconds(10)));
+  SchedulerOptions opts;
+  opts.batching = false;  // one frame per message so order is observable
+  mobile_ = std::make_unique<TransportManager>(&loop_, net_.FindHost("mobile"), opts);
+
+  Message background = MakeMessage("server", 10, Priority::kBackground);
+  background.header.message_id = 1;
+  Message foreground = MakeMessage("server", 10, Priority::kForeground);
+  foreground.header.message_id = 2;
+  Message normal = MakeMessage("server", 10, Priority::kDefault);
+  normal.header.message_id = 3;
+  mobile_->Send(std::move(background));
+  mobile_->Send(std::move(foreground));
+  mobile_->Send(std::move(normal));
+  loop_.Run();
+  ASSERT_EQ(received_.size(), 3u);
+  EXPECT_EQ(received_[0].header.message_id, 2u);  // foreground first
+  EXPECT_EQ(received_[1].header.message_id, 3u);
+  EXPECT_EQ(received_[2].header.message_id, 1u);  // background last
+}
+
+TEST_F(SchedulerTest, BatchingCoalescesMessages) {
+  SetUpHosts(LinkProfile::Cslip144(),
+             std::make_unique<PeriodicConnectivity>(
+                 Duration::Seconds(1e6), Duration::Zero(),
+                 TimePoint::Epoch() + Duration::Seconds(10)));
+  for (int i = 0; i < 8; ++i) {
+    mobile_->Send(MakeMessage("server", 20));
+  }
+  loop_.Run();
+  EXPECT_EQ(received_.size(), 8u);
+  // All 8 were waiting at reconnect; batching should use 1 frame.
+  EXPECT_EQ(mobile_->scheduler()->stats().frames_sent, 1u);
+  EXPECT_EQ(link_->stats().frames_delivered, 1u);
+}
+
+TEST_F(SchedulerTest, NoBatchingSendsIndividually) {
+  SetUpHosts(LinkProfile::Cslip144(),
+             std::make_unique<PeriodicConnectivity>(
+                 Duration::Seconds(1e6), Duration::Zero(),
+                 TimePoint::Epoch() + Duration::Seconds(10)));
+  SchedulerOptions opts;
+  opts.batching = false;
+  mobile_ = std::make_unique<TransportManager>(&loop_, net_.FindHost("mobile"), opts);
+  for (int i = 0; i < 8; ++i) {
+    mobile_->Send(MakeMessage("server", 20));
+  }
+  loop_.Run();
+  EXPECT_EQ(received_.size(), 8u);
+  EXPECT_EQ(mobile_->scheduler()->stats().frames_sent, 8u);
+}
+
+TEST_F(SchedulerTest, PicksFastestUpLink) {
+  net_.Connect("mobile", "server", LinkProfile::Cslip144());
+  Link* ethernet = net_.Connect("mobile", "server", LinkProfile::Ethernet10());
+  mobile_ = std::make_unique<TransportManager>(&loop_, net_.FindHost("mobile"));
+  server_ = std::make_unique<TransportManager>(&loop_, net_.FindHost("server"));
+  server_->SetHandler(MessageType::kRequest,
+                      [this](const Message& msg) { received_.push_back(msg); });
+  mobile_->Send(MakeMessage("server", 100));
+  loop_.Run();
+  EXPECT_EQ(received_.size(), 1u);
+  EXPECT_EQ(ethernet->stats().frames_delivered, 1u);
+}
+
+TEST_F(SchedulerTest, FallsBackToSlowLinkWhenFastIsDown) {
+  Link* slow = net_.Connect("mobile", "server", LinkProfile::Cslip144());
+  net_.Connect("mobile", "server", LinkProfile::Ethernet10(),
+               std::make_unique<ConstantConnectivity>(false));
+  mobile_ = std::make_unique<TransportManager>(&loop_, net_.FindHost("mobile"));
+  server_ = std::make_unique<TransportManager>(&loop_, net_.FindHost("server"));
+  server_->SetHandler(MessageType::kRequest,
+                      [this](const Message& msg) { received_.push_back(msg); });
+  mobile_->Send(MakeMessage("server", 100));
+  loop_.Run();
+  EXPECT_EQ(received_.size(), 1u);
+  EXPECT_EQ(slow->stats().frames_delivered, 1u);
+}
+
+TEST_F(SchedulerTest, RetriesAfterRandomLoss) {
+  LinkProfile lossy = LinkProfile::WaveLan2();
+  lossy.loss_prob = 0.5;
+  SetUpHosts(lossy);
+  for (int i = 0; i < 20; ++i) {
+    mobile_->Send(MakeMessage("server", 200));
+  }
+  loop_.Run();
+  EXPECT_EQ(received_.size(), 20u);  // reliability despite loss
+  EXPECT_GT(mobile_->scheduler()->stats().retries, 0u);
+}
+
+TEST_F(SchedulerTest, SurvivesFlappingLink) {
+  // 200ms up / 800ms down; a CSLIP 14.4 frame of ~1KB takes ~0.57s, so
+  // transfers often straddle a disconnect and must be retried.
+  SetUpHosts(LinkProfile::Cslip144(),
+             std::make_unique<PeriodicConnectivity>(Duration::Millis(200),
+                                                    Duration::Millis(800)));
+  for (int i = 0; i < 5; ++i) {
+    mobile_->Send(MakeMessage("server", 1000));
+  }
+  loop_.RunUntil(TimePoint::Epoch() + Duration::Seconds(300));
+  EXPECT_EQ(received_.size(), 5u);
+}
+
+TEST_F(SchedulerTest, CompressionShrinksCompressiblePayloads) {
+  SchedulerOptions opts;
+  opts.compress = true;
+  SetUpHosts(LinkProfile::Cslip144());
+  mobile_ = std::make_unique<TransportManager>(&loop_, net_.FindHost("mobile"), opts);
+
+  Message msg;
+  msg.header.type = MessageType::kRequest;
+  msg.header.dst = "server";
+  std::string text;
+  for (int i = 0; i < 100; ++i) {
+    text += "repetitive mail header line\n";
+  }
+  msg.payload = BytesFromString(text);
+  mobile_->Send(std::move(msg));
+  loop_.Run();
+  ASSERT_EQ(received_.size(), 1u);
+  // Receiver sees the decompressed payload.
+  EXPECT_EQ(StringFromBytes(received_[0].payload), text);
+  const auto& stats = mobile_->scheduler()->stats();
+  EXPECT_LT(stats.payload_bytes_sent, stats.payload_bytes_original / 4);
+}
+
+TEST_F(SchedulerTest, QueueObserverSeesDepthChanges) {
+  SetUpHosts(LinkProfile::Ethernet10(),
+             std::make_unique<PeriodicConnectivity>(
+                 Duration::Seconds(1e6), Duration::Zero(),
+                 TimePoint::Epoch() + Duration::Seconds(5)));
+  std::vector<size_t> depths;
+  mobile_->scheduler()->SetQueueObserver([&](size_t d) { depths.push_back(d); });
+  mobile_->Send(MakeMessage("server", 10));
+  mobile_->Send(MakeMessage("server", 10));
+  loop_.Run();
+  ASSERT_GE(depths.size(), 3u);
+  EXPECT_EQ(depths[0], 1u);
+  EXPECT_EQ(depths[1], 2u);
+  EXPECT_EQ(depths.back(), 0u);
+}
+
+TEST_F(SchedulerTest, DeliveredCallbackFires) {
+  SetUpHosts(LinkProfile::WaveLan2());
+  bool delivered = false;
+  Message msg = MakeMessage("server", 10);
+  msg.header.src = "mobile";
+  mobile_->scheduler()->Enqueue(std::move(msg),
+                                [&](const Status& s) { delivered = s.ok(); });
+  loop_.Run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(SmtpTest, RelayStoresAndForwards) {
+  EventLoop loop;
+  Network net(&loop);
+  // Mobile and server are never directly connected; both reach the relay,
+  // but at disjoint times.
+  net.Connect("mobile", "relay", LinkProfile::WaveLan2(),
+              std::make_unique<IntervalConnectivity>(
+                  std::vector<IntervalConnectivity::Interval>{
+                      {TimePoint::Epoch(), TimePoint::Epoch() + Duration::Seconds(10)}}));
+  net.Connect("relay", "server", LinkProfile::Ethernet10(),
+              std::make_unique<PeriodicConnectivity>(
+                  Duration::Seconds(1e6), Duration::Zero(),
+                  TimePoint::Epoch() + Duration::Seconds(30)));
+
+  TransportManager mobile(&loop, net.FindHost("mobile"));
+  TransportManager relay_tm(&loop, net.FindHost("relay"));
+  TransportManager server(&loop, net.FindHost("server"));
+  SmtpRelay relay(&loop, &relay_tm);
+
+  std::vector<Message> received;
+  server.SetHandler(MessageType::kRequest,
+                    [&](const Message& msg) { received.push_back(msg); });
+
+  bool accepted = false;
+  Message msg = MakeMessage("server", 64);
+  mobile.SendViaRelay("relay", std::move(msg), [&](const Status& s) { accepted = s.ok(); });
+
+  // Mobile disconnects at t=10s; the server link only opens at t=30s.
+  loop.RunUntil(TimePoint::Epoch() + Duration::Seconds(20));
+  EXPECT_TRUE(accepted);  // relay took custody while mobile was up
+  EXPECT_TRUE(received.empty());
+  loop.Run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].header.src, "mobile");  // relay is transparent
+  EXPECT_EQ(relay.stats().envelopes_accepted, 1u);
+  EXPECT_EQ(relay.stats().envelopes_forwarded, 1u);
+}
+
+TEST(SmtpTest, MalformedEnvelopeCounted) {
+  EventLoop loop;
+  Network net(&loop);
+  net.Connect("a", "relay", LinkProfile::Ethernet10());
+  TransportManager a(&loop, net.FindHost("a"));
+  TransportManager relay_tm(&loop, net.FindHost("relay"));
+  SmtpRelay relay(&loop, &relay_tm);
+
+  Message bogus;
+  bogus.header.type = MessageType::kControl;
+  bogus.header.dst = "relay";
+  bogus.payload = Bytes{9, 9, 9};
+  a.Send(std::move(bogus));
+  loop.Run();
+  EXPECT_EQ(relay.stats().envelopes_malformed, 1u);
+  EXPECT_EQ(relay.stats().envelopes_accepted, 0u);
+}
+
+TEST(TransportTest, EnvelopeRoundTrip) {
+  Message inner = MakeMessage("server", 33);
+  inner.header.src = "mobile";
+  inner.header.message_id = 5;
+  auto decoded = TransportManager::DecodeEnvelope(TransportManager::EncodeEnvelope(inner));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->header.src, "mobile");
+  EXPECT_EQ(decoded->header.dst, "server");
+  EXPECT_EQ(decoded->payload.size(), 33u);
+}
+
+}  // namespace
+}  // namespace rover

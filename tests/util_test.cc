@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/util/compress.h"
+#include "src/util/crc32.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/time.h"
+
+namespace rover {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = ConflictError("slot taken");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kConflict);
+  EXPECT_EQ(s.message(), "slot taken");
+  EXPECT_EQ(s.ToString(), "CONFLICT: slot taken");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(NotFoundError("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r(Status::Ok());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Result<int> Doubler(Result<int> in) {
+  ROVER_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_EQ(Doubler(InvalidArgumentError("x")).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TimeTest, DurationArithmetic) {
+  const Duration d = Duration::Millis(1500);
+  EXPECT_EQ(d.micros(), 1'500'000);
+  EXPECT_DOUBLE_EQ(d.seconds(), 1.5);
+  EXPECT_EQ((d + Duration::Millis(500)).seconds(), 2.0);
+  EXPECT_EQ((d - Duration::Seconds(1)).millis(), 500.0);
+  EXPECT_LT(Duration::Micros(1), Duration::Millis(1));
+}
+
+TEST(TimeTest, TimePointArithmetic) {
+  const TimePoint t = TimePoint::Epoch() + Duration::Seconds(2);
+  EXPECT_EQ((t - TimePoint::Epoch()).seconds(), 2.0);
+  EXPECT_GT(t + Duration::Micros(1), t);
+}
+
+TEST(TimeTest, ToStringPicksUnits) {
+  EXPECT_EQ(Duration::Micros(250).ToString(), "250us");
+  EXPECT_EQ(Duration::Millis(12).ToString(), "12.000ms");
+  EXPECT_EQ(Duration::Seconds(3.25).ToString(), "3.250s");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBelow(0), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(4);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng rng(6);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextExponential(5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(WireTest, VarintRoundTrip) {
+  WireWriter w;
+  const uint64_t values[] = {0, 1, 127, 128, 300, 1u << 20, UINT64_MAX};
+  for (uint64_t v : values) {
+    w.WriteVarint(v);
+  }
+  WireReader r(w.data());
+  for (uint64_t v : values) {
+    auto got = r.ReadVarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, ZigzagRoundTrip) {
+  WireWriter w;
+  const int64_t values[] = {0, -1, 1, -64, 64, INT64_MIN, INT64_MAX};
+  for (int64_t v : values) {
+    w.WriteZigzag(v);
+  }
+  WireReader r(w.data());
+  for (int64_t v : values) {
+    auto got = r.ReadZigzag();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(WireTest, StringAndBytesRoundTrip) {
+  WireWriter w;
+  w.WriteString("hello rover");
+  w.WriteString("");
+  w.WriteBytes(Bytes{0x00, 0xff, 0x7f});
+  w.WriteDouble(3.14159);
+  w.WriteBool(true);
+  w.WriteFixed32(0xdeadbeef);
+  w.WriteFixed64(0x0123456789abcdefULL);
+
+  WireReader r(w.data());
+  EXPECT_EQ(*r.ReadString(), "hello rover");
+  EXPECT_EQ(*r.ReadString(), "");
+  EXPECT_EQ(*r.ReadBytes(), (Bytes{0x00, 0xff, 0x7f}));
+  EXPECT_DOUBLE_EQ(*r.ReadDouble(), 3.14159);
+  EXPECT_TRUE(*r.ReadBool());
+  EXPECT_EQ(*r.ReadFixed32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.ReadFixed64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, TruncatedReadsFail) {
+  WireWriter w;
+  w.WriteString("hello");
+  Bytes data = w.TakeData();
+  data.pop_back();
+  WireReader r(data);
+  EXPECT_EQ(r.ReadString().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WireTest, TruncatedVarintFails) {
+  Bytes data{0x80, 0x80};  // continuation bits with no terminator
+  WireReader r(data);
+  EXPECT_EQ(r.ReadVarint().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WireTest, OverlongVarintFails) {
+  Bytes data(11, 0x80);
+  WireReader r(data);
+  EXPECT_FALSE(r.ReadVarint().ok());
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC32("123456789") = 0xCBF43926 (standard check value).
+  EXPECT_EQ(Crc32("123456789", 9), 0xcbf43926u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32(data.data(), data.size());
+  uint32_t inc = Crc32(data.data(), 10);
+  inc = Crc32Extend(inc, data.data() + 10, data.size() - 10);
+  EXPECT_EQ(inc, whole);
+}
+
+TEST(Crc32Test, DetectsCorruption) {
+  Bytes data(100, 0x42);
+  const uint32_t before = Crc32(data.data(), data.size());
+  data[50] ^= 1;
+  EXPECT_NE(Crc32(data.data(), data.size()), before);
+}
+
+TEST(CompressTest, RoundTripRepetitive) {
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    text += "From: rover@lcs.mit.edu\nSubject: queued rpc\n";
+  }
+  const Bytes input = BytesFromString(text);
+  const Bytes packed = LzCompress(input);
+  EXPECT_LT(packed.size(), input.size() / 4);
+  auto unpacked = LzDecompress(packed);
+  ASSERT_TRUE(unpacked.ok());
+  EXPECT_EQ(*unpacked, input);
+}
+
+TEST(CompressTest, RoundTripRandomIncompressible) {
+  Rng rng(9);
+  Bytes input(4096);
+  for (auto& b : input) {
+    b = static_cast<uint8_t>(rng.NextU64());
+  }
+  const Bytes packed = LzCompress(input);
+  auto unpacked = LzDecompress(packed);
+  ASSERT_TRUE(unpacked.ok());
+  EXPECT_EQ(*unpacked, input);
+}
+
+TEST(CompressTest, EmptyInput) {
+  const Bytes packed = LzCompress({});
+  auto unpacked = LzDecompress(packed);
+  ASSERT_TRUE(unpacked.ok());
+  EXPECT_TRUE(unpacked->empty());
+}
+
+TEST(CompressTest, OverlappingMatch) {
+  // "aaaa..." compresses via self-overlapping copies.
+  const Bytes input(1000, 'a');
+  const Bytes packed = LzCompress(input);
+  EXPECT_LT(packed.size(), 32u);
+  auto unpacked = LzDecompress(packed);
+  ASSERT_TRUE(unpacked.ok());
+  EXPECT_EQ(*unpacked, input);
+}
+
+TEST(CompressTest, CorruptInputRejected) {
+  Bytes bogus{0x85, 0xff, 0xff};  // match token with distance past output
+  EXPECT_EQ(LzDecompress(bogus).status().code(), StatusCode::kDataLoss);
+  Bytes truncated{0x05, 'a'};  // literal run of 6 with 1 byte present
+  EXPECT_EQ(LzDecompress(truncated).status().code(), StatusCode::kDataLoss);
+}
+
+class CompressSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CompressSweepTest, RoundTripMixedContent) {
+  const size_t size = GetParam();
+  Rng rng(size + 1);
+  Bytes input;
+  input.reserve(size);
+  const std::string vocab[] = {"GET ", "http://", "rover/", "object", " HTTP/1.0\r\n"};
+  while (input.size() < size) {
+    if (rng.NextBool(0.7)) {
+      const std::string& word = vocab[rng.NextBelow(5)];
+      input.insert(input.end(), word.begin(), word.end());
+    } else {
+      input.push_back(static_cast<uint8_t>(rng.NextU64()));
+    }
+  }
+  input.resize(size);
+  auto unpacked = LzDecompress(LzCompress(input));
+  ASSERT_TRUE(unpacked.ok());
+  EXPECT_EQ(*unpacked, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CompressSweepTest,
+                         ::testing::Values(1, 2, 3, 15, 127, 128, 129, 1000, 65536,
+                                           200000));
+
+}  // namespace
+}  // namespace rover
