@@ -28,7 +28,8 @@ struct Sample {
   double end_to_end_s = 0;
 };
 
-Sample Measure(const LinkProfile& profile, size_t payload_bytes, int iterations) {
+Sample Measure(const LinkProfile& profile, size_t payload_bytes, int iterations,
+               std::string* metrics_dump = nullptr) {
   Testbed bed;
   bed.server()->qrpc()->RegisterHandler(
       "null", [](const RpcRequestBody&, const Message&, QrpcServer::Responder respond) {
@@ -61,6 +62,9 @@ Sample Measure(const LinkProfile& profile, size_t payload_bytes, int iterations)
       end_to_end.push_back((bed.loop()->now() - start).seconds());
     }
   }
+  if (metrics_dump != nullptr) {
+    *metrics_dump = client->metrics()->Render(obs::RenderFormat::kText);
+  }
   return Sample{Mean(blocking), Mean(call_return), Mean(end_to_end)};
 }
 
@@ -88,5 +92,11 @@ int main() {
       "\nShape check: QRPC call-return is flat across networks (local log\n"
       "flush dominates), so the win over blocking RPC grows ~linearly as\n"
       "bandwidth drops -- the application never waits on the network.\n");
+
+  // Unified metrics snapshot for one representative cell (WaveLAN, 1 KiB),
+  // straight from the client node's registry.
+  std::string metrics;
+  Measure(LinkProfile::WaveLan2(), 1024, 20, &metrics);
+  std::printf("\nmetrics snapshot (wavelan-2Mb, 1 KiB payload):\n%s", metrics.c_str());
   return 0;
 }

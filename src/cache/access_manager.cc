@@ -26,12 +26,65 @@ std::string FormatQueueStatus(const QueueStatus& status) {
 AccessManager::AccessManager(EventLoop* loop, TransportManager* transport,
                              QrpcClient* qrpc, AccessManagerOptions options)
     : loop_(loop), transport_(transport), qrpc_(qrpc), options_(std::move(options)) {
+  WireMetrics(&own_metrics_, "access_manager");
   transport_->SetHandler(MessageType::kControl,
                          [this](const Message& msg) { HandleControl(msg); });
   transport_->scheduler()->SetQueueObserver([this](size_t) { NotifyStatus(); });
   if (!options_.poll_interval.is_zero()) {
     SchedulePoll();
   }
+}
+
+void AccessManager::WireMetrics(obs::Registry* registry, const std::string& prefix) {
+  c_cache_hits_ = registry->counter(prefix + ".cache_hits");
+  c_cache_misses_ = registry->counter(prefix + ".cache_misses");
+  c_imports_completed_ = registry->counter(prefix + ".imports_completed");
+  c_exports_completed_ = registry->counter(prefix + ".exports_completed");
+  c_local_invokes_ = registry->counter(prefix + ".local_invokes");
+  c_remote_invokes_ = registry->counter(prefix + ".remote_invokes");
+  c_evictions_ = registry->counter(prefix + ".evictions");
+  c_invalidations_received_ = registry->counter(prefix + ".invalidations_received");
+  c_polls_sent_ = registry->counter(prefix + ".polls_sent");
+  c_poll_staleness_detected_ = registry->counter(prefix + ".poll_staleness_detected");
+  c_conflicts_resolved_ = registry->counter(prefix + ".conflicts_resolved");
+  c_conflicts_unresolved_ = registry->counter(prefix + ".conflicts_unresolved");
+  c_prefetch_issued_ = registry->counter(prefix + ".prefetch_issued");
+}
+
+void AccessManager::BindMetrics(obs::Registry* registry, const std::string& prefix) {
+  const AccessManagerStats carried = stats();
+  WireMetrics(registry, prefix);
+  c_cache_hits_->Increment(carried.cache_hits);
+  c_cache_misses_->Increment(carried.cache_misses);
+  c_imports_completed_->Increment(carried.imports_completed);
+  c_exports_completed_->Increment(carried.exports_completed);
+  c_local_invokes_->Increment(carried.local_invokes);
+  c_remote_invokes_->Increment(carried.remote_invokes);
+  c_evictions_->Increment(carried.evictions);
+  c_invalidations_received_->Increment(carried.invalidations_received);
+  c_polls_sent_->Increment(carried.polls_sent);
+  c_poll_staleness_detected_->Increment(carried.poll_staleness_detected);
+  c_conflicts_resolved_->Increment(carried.conflicts_resolved);
+  c_conflicts_unresolved_->Increment(carried.conflicts_unresolved);
+  c_prefetch_issued_->Increment(carried.prefetch_issued);
+}
+
+AccessManagerStats AccessManager::stats() const {
+  AccessManagerStats s;
+  s.cache_hits = c_cache_hits_->value();
+  s.cache_misses = c_cache_misses_->value();
+  s.imports_completed = c_imports_completed_->value();
+  s.exports_completed = c_exports_completed_->value();
+  s.local_invokes = c_local_invokes_->value();
+  s.remote_invokes = c_remote_invokes_->value();
+  s.evictions = c_evictions_->value();
+  s.invalidations_received = c_invalidations_received_->value();
+  s.polls_sent = c_polls_sent_->value();
+  s.poll_staleness_detected = c_poll_staleness_detected_->value();
+  s.conflicts_resolved = c_conflicts_resolved_->value();
+  s.conflicts_unresolved = c_conflicts_unresolved_->value();
+  s.prefetch_issued = c_prefetch_issued_->value();
+  return s;
 }
 
 void AccessManager::SchedulePoll() {
@@ -57,7 +110,7 @@ void AccessManager::RunPoll() {
     keys_order[urn.server].push_back(key);
   }
   for (const auto& [server, paths] : by_server) {
-    ++stats_.polls_sent;
+    c_polls_sent_->Increment();
     // Best-effort; the next poll repeats it.
     QrpcCall call = qrpc_->Call(server, "rover.poll", {TclListJoin(paths)},
                                 MakeCallOptions(Priority::kBackground, false));
@@ -83,7 +136,7 @@ void AccessManager::RunPoll() {
             static_cast<uint64_t>(TclParseInt((*versions)[i]).value_or(0));
         if (server_version > entry->committed.version) {
           entry->stale = true;
-          ++stats_.poll_staleness_detected;
+          c_poll_staleness_detected_->Increment();
         }
       }
     });
@@ -238,7 +291,7 @@ Promise<ImportResult> AccessManager::Import(const std::string& name, ImportOptio
       entry != nullptr && entry->stale && !ConnectedTo(Resolve(name).server);
   if (entry != nullptr && options.allow_cached &&
       (!entry->stale || serve_stale_offline) && entry->committed.version >= required) {
-    ++stats_.cache_hits;
+    c_cache_hits_->Increment();
     Touch(entry);
     if (options.pin) {
       entry->pinned = true;
@@ -255,7 +308,7 @@ Promise<ImportResult> AccessManager::Import(const std::string& name, ImportOptio
     return promise;
   }
 
-  ++stats_.cache_misses;
+  c_cache_misses_->Increment();
   auto [it, first] = pending_imports_.try_emplace(name);
   it->second.waiters.push_back(promise);
   if (options.pin) {
@@ -378,7 +431,7 @@ void AccessManager::InstallDescriptor(const RdoDescriptor& descriptor, bool pin,
 
 void AccessManager::FinishImport(const std::string& name, const ImportResult& result) {
   if (result.status.ok()) {
-    ++stats_.imports_completed;
+    c_imports_completed_->Increment();
   }
   auto it = pending_imports_.find(name);
   if (it == pending_imports_.end()) {
@@ -409,7 +462,7 @@ void AccessManager::EvictIfNeeded() {
     if (victim.empty()) {
       return;  // everything is tentative or pinned; allow overflow
     }
-    ++stats_.evictions;
+    c_evictions_->Increment();
     Evict(victim);
   }
 }
@@ -455,7 +508,7 @@ Promise<InvokeResult> AccessManager::Invoke(const std::string& name,
       });
       return promise;
     }
-    ++stats_.local_invokes;
+    c_local_invokes_->Increment();
     auto value = (*instance)->Invoke(method, args);
     const Duration cost =
         options_.rdo_costs.per_command *
@@ -481,7 +534,7 @@ Promise<InvokeResult> AccessManager::Invoke(const std::string& name,
   }
 
   // Remote execution at the home server.
-  ++stats_.remote_invokes;
+  c_remote_invokes_->Increment();
   QrpcCall call = qrpc_->Call(urn.server, "rover.invoke",
                               {urn.path, std::string(method), TclListJoin(args)},
                               MakeCallOptions(options.priority));
@@ -562,9 +615,9 @@ Promise<ExportResult> AccessManager::Export(const std::string& name, Priority pr
       result.new_version = committed->version;
       result.server_resolved = *was_conflict;
       if (*was_conflict) {
-        ++stats_.conflicts_resolved;
+        c_conflicts_resolved_->Increment();
       }
-      ++stats_.exports_completed;
+      c_exports_completed_->Increment();
       if (entry != nullptr) {
         cache_bytes_ -= entry->bytes;
         committed->name = name;  // keep the caller's cache key
@@ -584,7 +637,7 @@ Promise<ExportResult> AccessManager::Export(const std::string& name, Priority pr
 
     result.status = rpc.status;
     if (rpc.status.code() == StatusCode::kConflict) {
-      ++stats_.conflicts_unresolved;
+      c_conflicts_unresolved_->Increment();
       // The server shipped its committed descriptor along with the refusal.
       auto payload = RpcValueAsBytes(rpc.value);
       if (payload.ok()) {
@@ -627,7 +680,7 @@ void AccessManager::PumpPrefetchQueue() {
       continue;
     }
     ++prefetch_in_flight_;
-    ++stats_.prefetch_issued;
+    c_prefetch_issued_->Increment();
     ImportOptions options;
     options.priority = Priority::kBackground;
     Promise<ImportResult> p = Import(name, options);
@@ -705,7 +758,7 @@ void AccessManager::HandleControl(const Message& msg) {
   if (!inval.ok()) {
     return;  // not for us
   }
-  ++stats_.invalidations_received;
+  c_invalidations_received_->Increment();
   // The server names objects by path; cache keys may be URNs, so match on
   // (home server, path).
   for (auto& [key, entry] : cache_) {

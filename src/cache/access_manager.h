@@ -21,6 +21,7 @@
 
 #include "src/cache/session.h"
 #include "src/cache/urn.h"
+#include "src/obs/metrics.h"
 #include "src/qrpc/promise.h"
 #include "src/qrpc/qrpc.h"
 #include "src/rdo/migration.h"
@@ -86,6 +87,7 @@ struct ImportOptions {
   Session* session = nullptr;
 };
 
+// Snapshot assembled from the metrics registry (see stats()).
 struct AccessManagerStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
@@ -175,7 +177,12 @@ class AccessManager {
     conflict_callback_ = std::move(callback);
   }
 
-  const AccessManagerStats& stats() const { return stats_; }
+  // Re-homes the manager's instruments into `registry` under "<prefix>."
+  // names, carrying current values over.
+  void BindMetrics(obs::Registry* registry, const std::string& prefix = "access_manager");
+
+  // Snapshot adapter over the registry counters (kept for existing callers).
+  AccessManagerStats stats() const;
   const AccessManagerOptions& options() const { return options_; }
 
   // Best currently-up bandwidth to the default home server (or a named
@@ -221,6 +228,7 @@ class AccessManager {
   QrpcCallOptions MakeCallOptions(Priority priority, bool log_request = true) const;
   void FinishImport(const std::string& name, const ImportResult& result);
   void PumpPrefetchQueue();
+  void WireMetrics(obs::Registry* registry, const std::string& prefix);
 
   Result<RdoInstance*> LocalInstance(const std::string& name);
 
@@ -228,7 +236,20 @@ class AccessManager {
   TransportManager* transport_;
   QrpcClient* qrpc_;
   AccessManagerOptions options_;
-  AccessManagerStats stats_;
+  obs::Registry own_metrics_;  // used until BindMetrics() points elsewhere
+  obs::Counter* c_cache_hits_ = nullptr;
+  obs::Counter* c_cache_misses_ = nullptr;
+  obs::Counter* c_imports_completed_ = nullptr;
+  obs::Counter* c_exports_completed_ = nullptr;
+  obs::Counter* c_local_invokes_ = nullptr;
+  obs::Counter* c_remote_invokes_ = nullptr;
+  obs::Counter* c_evictions_ = nullptr;
+  obs::Counter* c_invalidations_received_ = nullptr;
+  obs::Counter* c_polls_sent_ = nullptr;
+  obs::Counter* c_poll_staleness_detected_ = nullptr;
+  obs::Counter* c_conflicts_resolved_ = nullptr;
+  obs::Counter* c_conflicts_unresolved_ = nullptr;
+  obs::Counter* c_prefetch_issued_ = nullptr;
   std::map<std::string, Entry> cache_;
   size_t cache_bytes_ = 0;
   uint64_t use_seq_ = 0;

@@ -12,12 +12,24 @@ RoverClientNode::RoverClientNode(EventLoop* loop, Host* host, ClientNodeOptions 
   if (!options.auth_token.empty()) {
     transport_.set_auth_token(options.auth_token);
   }
+  // One registry per node: every subsystem's instruments under its own
+  // "<subsystem>." prefix, one tracer shared by the QRPC client (enqueue/
+  // log/flush/respond events) and the scheduler (transmit events).
+  transport_.scheduler()->BindMetrics(&metrics_, "scheduler");
+  log_.BindMetrics(&metrics_, "stable_log");
+  qrpc_client_.BindMetrics(&metrics_, "qrpc_client");
+  access_manager_.BindMetrics(&metrics_, "access_manager");
+  qrpc_client_.SetTracer(&tracer_);
+  transport_.scheduler()->SetTracer(&tracer_);
 }
 
 RoverServerNode::RoverServerNode(EventLoop* loop, Host* host, ServerNodeOptions options)
     : transport_(loop, host, options.scheduler),
       qrpc_server_(loop, &transport_, options.qrpc),
-      rover_server_(loop, &transport_, &qrpc_server_, options.rover) {}
+      rover_server_(loop, &transport_, &qrpc_server_, options.rover) {
+  transport_.scheduler()->BindMetrics(&metrics_, "scheduler");
+  qrpc_server_.BindMetrics(&metrics_, "qrpc_server");
+}
 
 Testbed::Testbed(Options options) : options_(std::move(options)), network_(&loop_) {
   Host* host = network_.AddHost(options_.server_name);

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "src/cache/access_manager.h"
+#include "src/obs/metrics.h"
+#include "src/obs/rpc_trace.h"
 #include "src/qrpc/qrpc.h"
 #include "src/qrpc/stable_log.h"
 #include "src/sim/network.h"
@@ -32,7 +34,9 @@ struct ClientNodeOptions {
 };
 
 // A mobile host: access manager over QRPC over the network scheduler,
-// with a stable operation log.
+// with a stable operation log. Every subsystem's instruments live in one
+// node-wide metrics registry, and the QRPC client + scheduler share one
+// per-RPC lifecycle tracer.
 class RoverClientNode {
  public:
   RoverClientNode(EventLoop* loop, Host* host, ClientNodeOptions options = {});
@@ -43,7 +47,15 @@ class RoverClientNode {
   TransportManager* transport() { return &transport_; }
   const std::string& host_name() const { return transport_.local_host(); }
 
+  // Unified view over scheduler, stable log, qrpc client, and access
+  // manager instruments; render with metrics()->Render().
+  obs::Registry* metrics() { return &metrics_; }
+  obs::RpcTracer* tracer() { return &tracer_; }
+
  private:
+  // Declared before the components so it outlives their metric handles.
+  obs::Registry metrics_;
+  obs::RpcTracer tracer_;
   TransportManager transport_;
   StableLog log_;
   QrpcClient qrpc_client_;
@@ -66,7 +78,12 @@ class RoverServerNode {
   QrpcServer* qrpc() { return &qrpc_server_; }
   TransportManager* transport() { return &transport_; }
 
+  // Unified view over the server's scheduler and qrpc instruments.
+  obs::Registry* metrics() { return &metrics_; }
+
  private:
+  // Declared before the components so it outlives their metric handles.
+  obs::Registry metrics_;
   TransportManager transport_;
   QrpcServer qrpc_server_;
   RoverServer rover_server_;

@@ -1,0 +1,174 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace rover {
+namespace obs {
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  // Shortest reasonable fixed representation; trims trailing zeros so the
+  // text render stays diff-friendly.
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  std::string s = buf;
+  while (s.size() > 1 && s.back() == '0') {
+    s.pop_back();
+  }
+  if (!s.empty() && s.back() == '.') {
+    s.pop_back();
+  }
+  return s;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    bounds_ = DefaultLatencyBoundsSeconds();
+  }
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) {
+    ++i;
+  }
+  ++buckets_[i];
+  ++count_;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Reset() {
+  buckets_.assign(bounds_.size() + 1, 0);
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+}
+
+std::vector<double> DefaultLatencyBoundsSeconds() {
+  std::vector<double> bounds;
+  for (double b = 1e-3; b < 1100.0; b *= 2) {  // 1ms .. ~1024s
+    bounds.push_back(b);
+  }
+  return bounds;
+}
+
+Counter* Registry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
+const Counter* Registry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* Registry::FindGauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* Registry::FindHistogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+uint64_t Registry::CounterValue(const std::string& name) const {
+  const Counter* c = FindCounter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+std::string Registry::Render(RenderFormat format) const {
+  std::ostringstream out;
+  if (format == RenderFormat::kText) {
+    for (const auto& [name, c] : counters_) {
+      out << name << " " << c->value() << "\n";
+    }
+    for (const auto& [name, g] : gauges_) {
+      out << name << " " << g->value() << "\n";
+    }
+    for (const auto& [name, h] : histograms_) {
+      out << name << " count=" << h->count() << " sum=" << FmtDouble(h->sum())
+          << " max=" << FmtDouble(h->max()) << "\n";
+    }
+    return out.str();
+  }
+
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "" : ",") << "\"" << JsonEscape(name) << "\":" << c->value();
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "" : ",") << "\"" << JsonEscape(name) << "\":" << g->value();
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "" : ",") << "\"" << JsonEscape(name) << "\":{\"count\":" << h->count()
+        << ",\"sum\":" << FmtDouble(h->sum()) << ",\"max\":" << FmtDouble(h->max())
+        << ",\"buckets\":[";
+    const auto& counts = h->bucket_counts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) {
+        out << ",";
+      }
+      out << "{\"le\":";
+      if (i < h->bounds().size()) {
+        out << FmtDouble(h->bounds()[i]);
+      } else {
+        out << "\"inf\"";
+      }
+      out << ",\"count\":" << counts[i] << "}";
+    }
+    out << "]}";
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace rover

@@ -1,0 +1,103 @@
+#include "src/obs/rpc_trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace rover {
+namespace obs {
+
+const char* RpcEventName(RpcEvent event) {
+  switch (event) {
+    case RpcEvent::kEnqueued:
+      return "enqueued";
+    case RpcEvent::kLogged:
+      return "logged";
+    case RpcEvent::kFlushedDurable:
+      return "flushed_durable";
+    case RpcEvent::kTransmitted:
+      return "transmitted";
+    case RpcEvent::kResponded:
+      return "responded";
+    case RpcEvent::kCancelled:
+      return "cancelled";
+    case RpcEvent::kRecovered:
+      return "recovered";
+  }
+  return "unknown";
+}
+
+bool RpcSpan::Has(RpcEvent event) const {
+  for (const RpcSpanEvent& e : events) {
+    if (e.event == event) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TimePoint RpcSpan::FirstTime(RpcEvent event) const {
+  for (const RpcSpanEvent& e : events) {
+    if (e.event == event) {
+      return e.at;
+    }
+  }
+  return TimePoint::Epoch();
+}
+
+size_t RpcSpan::CountOf(RpcEvent event) const {
+  size_t n = 0;
+  for (const RpcSpanEvent& e : events) {
+    if (e.event == event) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void RpcTracer::Record(uint64_t rpc_id, RpcEvent event, TimePoint at) {
+  auto it = spans_.find(rpc_id);
+  if (it == spans_.end()) {
+    while (spans_.size() >= max_spans_ && !order_.empty()) {
+      spans_.erase(order_.front());
+      order_.pop_front();
+    }
+    it = spans_.emplace(rpc_id, RpcSpan{rpc_id, {}}).first;
+    order_.push_back(rpc_id);
+  }
+  it->second.events.push_back(RpcSpanEvent{event, at});
+}
+
+const RpcSpan* RpcTracer::Find(uint64_t rpc_id) const {
+  auto it = spans_.find(rpc_id);
+  return it == spans_.end() ? nullptr : &it->second;
+}
+
+std::vector<RpcEvent> RpcTracer::EventSequence(uint64_t rpc_id) const {
+  std::vector<RpcEvent> out;
+  const RpcSpan* span = Find(rpc_id);
+  if (span == nullptr) {
+    return out;
+  }
+  out.reserve(span->events.size());
+  for (const RpcSpanEvent& e : span->events) {
+    out.push_back(e.event);
+  }
+  return out;
+}
+
+std::string RpcTracer::Render() const {
+  std::ostringstream out;
+  for (const auto& [id, span] : spans_) {
+    out << "rpc " << id << ":";
+    for (const RpcSpanEvent& e : span.events) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6f", e.at.seconds());
+      out << " " << RpcEventName(e.event) << "@" << buf;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace rover

@@ -1,0 +1,82 @@
+// Per-RPC lifecycle tracing. A QRPC's value proposition is surviving
+// disconnection, which makes "where is my request right now?" the question
+// the toolkit must be able to answer (paper §3.4, user notification). The
+// tracer records one span per rpc id with the ordered timeline of its
+// lifecycle events:
+//
+//   enqueued -> logged -> flushed_durable -> transmitted (once per send
+//   attempt, so retries are visible) -> responded
+//
+// plus cancelled/recovered for the corresponding client operations. Spans
+// are bounded (oldest dropped beyond `max_spans`), allocation is one vector
+// per traced rpc, and recording is O(1) amortized -- cheap enough to leave
+// on in benches.
+
+#ifndef ROVER_SRC_OBS_RPC_TRACE_H_
+#define ROVER_SRC_OBS_RPC_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace rover {
+namespace obs {
+
+enum class RpcEvent {
+  kEnqueued,        // QrpcClient::Call accepted the request
+  kLogged,          // appended to the stable log (not yet durable)
+  kFlushedDurable,  // stable-log flush completed: the commit point
+  kTransmitted,     // handed to a link in a frame (repeats per retry)
+  kResponded,       // response matched to the outstanding call
+  kCancelled,       // cancelled by the application
+  kRecovered,       // re-issued from the log after crash recovery
+};
+
+const char* RpcEventName(RpcEvent event);
+
+struct RpcSpanEvent {
+  RpcEvent event;
+  TimePoint at;
+};
+
+struct RpcSpan {
+  uint64_t rpc_id = 0;
+  std::vector<RpcSpanEvent> events;
+
+  bool Has(RpcEvent event) const;
+  // Timestamp of the first occurrence, or nullopt-like epoch check via Has().
+  TimePoint FirstTime(RpcEvent event) const;
+  size_t CountOf(RpcEvent event) const;
+};
+
+class RpcTracer {
+ public:
+  explicit RpcTracer(size_t max_spans = 1024) : max_spans_(max_spans) {}
+
+  void Record(uint64_t rpc_id, RpcEvent event, TimePoint at);
+
+  const RpcSpan* Find(uint64_t rpc_id) const;
+
+  // The event kinds for one rpc, in recording order (empty if untracked).
+  std::vector<RpcEvent> EventSequence(uint64_t rpc_id) const;
+
+  size_t span_count() const { return spans_.size(); }
+
+  // Text dump, one line per event, spans in rpc-id order:
+  //   rpc 3: enqueued@0.000000 logged@0.000030 ...
+  std::string Render() const;
+
+ private:
+  size_t max_spans_;
+  std::map<uint64_t, RpcSpan> spans_;
+  std::deque<uint64_t> order_;  // insertion order, for bounded eviction
+};
+
+}  // namespace obs
+}  // namespace rover
+
+#endif  // ROVER_SRC_OBS_RPC_TRACE_H_

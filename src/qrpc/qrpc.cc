@@ -14,8 +14,41 @@ constexpr uint8_t kLogRecordRequest = 1;
 QrpcClient::QrpcClient(EventLoop* loop, TransportManager* transport, StableLog* log,
                        QrpcClientOptions options)
     : loop_(loop), transport_(transport), log_(log), options_(options) {
+  WireMetrics(&own_metrics_, "qrpc_client");
   transport_->SetHandler(MessageType::kResponse,
                          [this](const Message& msg) { HandleResponse(msg); });
+}
+
+void QrpcClient::WireMetrics(obs::Registry* registry, const std::string& prefix) {
+  c_calls_ = registry->counter(prefix + ".calls");
+  c_completed_ = registry->counter(prefix + ".completed");
+  c_recovered_ = registry->counter(prefix + ".recovered");
+  c_cancelled_ = registry->counter(prefix + ".cancelled");
+  h_rpc_seconds_ = registry->histogram(prefix + ".rpc_seconds");
+}
+
+void QrpcClient::BindMetrics(obs::Registry* registry, const std::string& prefix) {
+  const QrpcClientStats carried = stats();
+  WireMetrics(registry, prefix);
+  c_calls_->Increment(carried.calls);
+  c_completed_->Increment(carried.completed);
+  c_recovered_->Increment(carried.recovered);
+  c_cancelled_->Increment(carried.cancelled);
+}
+
+QrpcClientStats QrpcClient::stats() const {
+  QrpcClientStats s;
+  s.calls = c_calls_->value();
+  s.completed = c_completed_->value();
+  s.recovered = c_recovered_->value();
+  s.cancelled = c_cancelled_->value();
+  return s;
+}
+
+void QrpcClient::Trace(uint64_t rpc_id, obs::RpcEvent event) {
+  if (tracer_ != nullptr) {
+    tracer_->Record(rpc_id, event, loop_->now());
+  }
 }
 
 Bytes QrpcClient::EncodeLogRecord(uint64_t rpc_id, const std::string& dest,
@@ -33,9 +66,10 @@ Bytes QrpcClient::EncodeLogRecord(uint64_t rpc_id, const std::string& dest,
 
 QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, RpcArgs args,
                           QrpcCallOptions call_options) {
-  ++stats_.calls;
+  c_calls_->Increment();
   QrpcCall call;
   call.rpc_id = next_rpc_id_++;
+  Trace(call.rpc_id, obs::RpcEvent::kEnqueued);
 
   RpcRequestBody request;
   request.method = method;
@@ -45,6 +79,7 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
   Outstanding out;
   out.call = call;
   out.dest = dest;
+  out.issued_at = loop_->now();
 
   const Duration marshal_cost =
       options_.marshal_fixed +
@@ -52,6 +87,7 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
 
   if (call_options.log_request && log_ != nullptr) {
     out.log_record_id = log_->Append(EncodeLogRecord(call.rpc_id, dest, call_options, body));
+    Trace(call.rpc_id, obs::RpcEvent::kLogged);
   }
   outstanding_.emplace(call.rpc_id, out);
 
@@ -69,6 +105,7 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
         if (it2 == outstanding_.end()) {
           return;
         }
+        Trace(rpc_id, obs::RpcEvent::kFlushedDurable);
         it2->second.call.committed.Set(loop_->now());
         DispatchToScheduler(rpc_id, dest, *body_ptr, call_options);
       });
@@ -114,7 +151,9 @@ void QrpcClient::HandleResponse(const Message& msg) {
   }
   Outstanding out = std::move(it->second);
   outstanding_.erase(it);
-  ++stats_.completed;
+  c_completed_->Increment();
+  h_rpc_seconds_->Observe((result.completed_at - out.issued_at).seconds());
+  Trace(rpc_id, obs::RpcEvent::kResponded);
   if (out.log_record_id != 0) {
     answered_log_records_.insert(out.log_record_id);
     MaybeTruncateLog();
@@ -146,6 +185,8 @@ bool QrpcClient::Cancel(uint64_t rpc_id) {
     answered_log_records_.erase(out.log_record_id);
   }
   transport_->scheduler()->CancelMessage(out.dest, rpc_id);
+  c_cancelled_->Increment();
+  Trace(rpc_id, obs::RpcEvent::kCancelled);
   if (!out.call.result.ready()) {
     QrpcResult result;
     result.status = CancelledError("call cancelled by application");
@@ -186,6 +227,7 @@ size_t QrpcClient::RecoverFromLog() {
       Outstanding out;
       out.call = call;
       out.log_record_id = rec.id;
+      out.issued_at = loop_->now();
       outstanding_.emplace(*rpc_id, std::move(out));
     }
     // If the call is still tracked (same engine survived, e.g. only the
@@ -197,9 +239,10 @@ size_t QrpcClient::RecoverFromLog() {
     call_options.priority = static_cast<Priority>(*priority);
     call_options.via_relay = *via_relay;
     call_options.relay_host = *relay_host;
+    Trace(*rpc_id, obs::RpcEvent::kRecovered);
     DispatchToScheduler(*rpc_id, *dest, std::move(*body), call_options);
     ++resent;
-    ++stats_.recovered;
+    c_recovered_->Increment();
   }
   return resent;
 }
@@ -207,8 +250,47 @@ size_t QrpcClient::RecoverFromLog() {
 QrpcServer::QrpcServer(EventLoop* loop, TransportManager* transport,
                        QrpcServerOptions options)
     : loop_(loop), transport_(transport), options_(options) {
+  WireMetrics(&own_metrics_, "qrpc_server");
   transport_->SetHandler(MessageType::kRequest,
                          [this](const Message& msg) { HandleRequest(msg); });
+}
+
+void QrpcServer::WireMetrics(obs::Registry* registry, const std::string& prefix) {
+  c_requests_ = registry->counter(prefix + ".requests");
+  c_duplicates_ = registry->counter(prefix + ".duplicates");
+  c_unknown_methods_ = registry->counter(prefix + ".unknown_methods");
+  c_auth_failures_ = registry->counter(prefix + ".auth_failures");
+  c_duplicate_cache_decode_failures_ =
+      registry->counter(prefix + ".duplicate_cache_decode_failures");
+}
+
+void QrpcServer::BindMetrics(obs::Registry* registry, const std::string& prefix) {
+  const QrpcServerStats carried = stats();
+  WireMetrics(registry, prefix);
+  c_requests_->Increment(carried.requests);
+  c_duplicates_->Increment(carried.duplicates);
+  c_unknown_methods_->Increment(carried.unknown_methods);
+  c_auth_failures_->Increment(carried.auth_failures);
+  c_duplicate_cache_decode_failures_->Increment(carried.duplicate_cache_decode_failures);
+}
+
+QrpcServerStats QrpcServer::stats() const {
+  QrpcServerStats s;
+  s.requests = c_requests_->value();
+  s.duplicates = c_duplicates_->value();
+  s.unknown_methods = c_unknown_methods_->value();
+  s.auth_failures = c_auth_failures_->value();
+  s.duplicate_cache_decode_failures = c_duplicate_cache_decode_failures_->value();
+  return s;
+}
+
+bool QrpcServer::CorruptCachedResponseForTest(const std::string& client, uint64_t rpc_id) {
+  auto it = done_.find(std::make_pair(client, rpc_id));
+  if (it == done_.end()) {
+    return false;
+  }
+  it->second = Bytes{0xff, 0xff, 0xff};  // undecodable garbage
+  return true;
 }
 
 void QrpcServer::RegisterHandler(const std::string& method, Handler handler) {
@@ -231,10 +313,10 @@ void QrpcServer::SendResponse(const std::string& dst, uint64_t rpc_id, Priority 
 }
 
 void QrpcServer::HandleRequest(const Message& msg) {
-  ++stats_.requests;
+  c_requests_->Increment();
   if (!options_.accepted_tokens.empty() &&
       options_.accepted_tokens.count(msg.header.auth) == 0) {
-    ++stats_.auth_failures;
+    c_auth_failures_->Increment();
     RpcResponseBody body;
     body.code = StatusCode::kPermissionDenied;
     body.error_message = "request not authenticated";
@@ -248,18 +330,26 @@ void QrpcServer::HandleRequest(const Message& msg) {
   // in-progress one is dropped (its response is already on the way).
   auto done_it = done_.find(key);
   if (done_it != done_.end()) {
-    ++stats_.duplicates;
-    RpcResponseBody cached;
+    c_duplicates_->Increment();
     auto decoded = RpcResponseBody::Decode(done_it->second);
-    if (decoded.ok()) {
-      cached = *decoded;
+    if (!decoded.ok()) {
+      // The cached bytes are corrupt. Replying with a default-constructed
+      // body would tell the client "OK, empty result" for a request whose
+      // real outcome is unknown -- report the loss honestly instead.
+      c_duplicate_cache_decode_failures_->Increment();
+      RpcResponseBody body;
+      body.code = StatusCode::kDataLoss;
+      body.error_message = "duplicate-response cache entry corrupt";
+      SendResponse(msg.header.src, msg.header.message_id, msg.header.priority,
+                   msg.header.reply_via, body);
+      return;
     }
     SendResponse(msg.header.src, msg.header.message_id, msg.header.priority,
-                 msg.header.reply_via, cached);
+                 msg.header.reply_via, *decoded);
     return;
   }
   if (in_progress_.count(key) > 0) {
-    ++stats_.duplicates;
+    c_duplicates_->Increment();
     return;
   }
 
@@ -281,7 +371,7 @@ void QrpcServer::HandleRequest(const Message& msg) {
     handler = &default_handler_;
   }
   if (handler == nullptr) {
-    ++stats_.unknown_methods;
+    c_unknown_methods_->Increment();
     RpcResponseBody body;
     body.code = StatusCode::kUnimplemented;
     body.error_message = "no handler for method " + request->method;

@@ -18,6 +18,8 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/rpc_trace.h"
 #include "src/qrpc/marshal.h"
 #include "src/qrpc/promise.h"
 #include "src/qrpc/stable_log.h"
@@ -44,10 +46,12 @@ struct QrpcClientOptions {
   double marshal_bytes_per_sec = 80e6;
 };
 
+// Snapshot assembled from the metrics registry (see stats()).
 struct QrpcClientStats {
   uint64_t calls = 0;
   uint64_t completed = 0;
   uint64_t recovered = 0;  // re-sent after crash recovery
+  uint64_t cancelled = 0;  // cancelled by the application
 };
 
 // Handle returned by Call(). Both promises resolve on the event loop.
@@ -87,7 +91,16 @@ class QrpcClient {
   // Returns the number of requests re-sent.
   size_t RecoverFromLog();
 
-  const QrpcClientStats& stats() const { return stats_; }
+  // Re-homes the client's instruments into `registry` under "<prefix>."
+  // names, carrying current values over.
+  void BindMetrics(obs::Registry* registry, const std::string& prefix = "qrpc_client");
+
+  // Records the per-RPC lifecycle span (enqueued/logged/flushed/responded;
+  // the network scheduler contributes transmitted events).
+  void SetTracer(obs::RpcTracer* tracer) { tracer_ = tracer; }
+
+  // Snapshot adapter over the registry counters (kept for existing callers).
+  QrpcClientStats stats() const;
 
   // The rpc-id counter is part of the client's durable identity: a host
   // that restarts under the same name MUST resume past its previously
@@ -102,12 +115,15 @@ class QrpcClient {
     QrpcCall call;
     uint64_t log_record_id = 0;  // 0 when unlogged
     std::string dest;
+    TimePoint issued_at;
   };
 
   void DispatchToScheduler(uint64_t rpc_id, const std::string& dest, Bytes body,
                            const QrpcCallOptions& call_options);
   void HandleResponse(const Message& msg);
   void MaybeTruncateLog();
+  void WireMetrics(obs::Registry* registry, const std::string& prefix);
+  void Trace(uint64_t rpc_id, obs::RpcEvent event);
 
   static Bytes EncodeLogRecord(uint64_t rpc_id, const std::string& dest,
                                const QrpcCallOptions& call_options, const Bytes& body);
@@ -116,12 +132,19 @@ class QrpcClient {
   TransportManager* transport_;
   StableLog* log_;
   QrpcClientOptions options_;
-  QrpcClientStats stats_;
   uint64_t next_rpc_id_ = 1;
   std::map<uint64_t, Outstanding> outstanding_;
   // Log record ids whose rpc has completed; truncated once contiguous with
   // the log head.
   std::set<uint64_t> answered_log_records_;
+
+  obs::Registry own_metrics_;  // used until BindMetrics() points elsewhere
+  obs::RpcTracer* tracer_ = nullptr;
+  obs::Counter* c_calls_ = nullptr;
+  obs::Counter* c_completed_ = nullptr;
+  obs::Counter* c_recovered_ = nullptr;
+  obs::Counter* c_cancelled_ = nullptr;
+  obs::Histogram* h_rpc_seconds_ = nullptr;  // Call() -> response matched
 };
 
 struct QrpcServerOptions {
@@ -134,11 +157,15 @@ struct QrpcServerOptions {
   Duration dispatch_cost = Duration::Micros(50);
 };
 
+// Snapshot assembled from the metrics registry (see stats()).
 struct QrpcServerStats {
   uint64_t requests = 0;
   uint64_t duplicates = 0;
   uint64_t unknown_methods = 0;
   uint64_t auth_failures = 0;
+  // Cached duplicate responses that failed to decode; answered kDataLoss
+  // instead of silently replying OK with an empty body.
+  uint64_t duplicate_cache_decode_failures = 0;
 };
 
 class QrpcServer {
@@ -155,17 +182,32 @@ class QrpcServer {
   // Invoked for methods with no registered handler (else kUnimplemented).
   void SetDefaultHandler(Handler handler) { default_handler_ = std::move(handler); }
 
-  const QrpcServerStats& stats() const { return stats_; }
+  // Re-homes the server's instruments into `registry` under "<prefix>."
+  // names, carrying current values over.
+  void BindMetrics(obs::Registry* registry, const std::string& prefix = "qrpc_server");
+
+  // Snapshot adapter over the registry counters (kept for existing callers).
+  QrpcServerStats stats() const;
+
+  // Damages the cached response for (client, rpc_id) in place, as stable-
+  // storage corruption would. Returns false when no entry exists. Test-only.
+  bool CorruptCachedResponseForTest(const std::string& client, uint64_t rpc_id);
 
  private:
   void HandleRequest(const Message& msg);
   void SendResponse(const std::string& dst, uint64_t rpc_id, Priority priority,
                     const std::string& reply_via, const RpcResponseBody& body);
+  void WireMetrics(obs::Registry* registry, const std::string& prefix);
 
   EventLoop* loop_;
   TransportManager* transport_;
   QrpcServerOptions options_;
-  QrpcServerStats stats_;
+  obs::Registry own_metrics_;  // used until BindMetrics() points elsewhere
+  obs::Counter* c_requests_ = nullptr;
+  obs::Counter* c_duplicates_ = nullptr;
+  obs::Counter* c_unknown_methods_ = nullptr;
+  obs::Counter* c_auth_failures_ = nullptr;
+  obs::Counter* c_duplicate_cache_decode_failures_ = nullptr;
   std::map<std::string, Handler> handlers_;
   Handler default_handler_;
   // (client host, rpc id) -> cached response for at-most-once execution.

@@ -10,7 +10,42 @@
 namespace rover {
 
 StableLog::StableLog(EventLoop* loop, StableLogCostModel cost_model)
-    : loop_(loop), cost_model_(cost_model) {}
+    : loop_(loop), cost_model_(cost_model) {
+  WireMetrics(&own_metrics_, "stable_log");
+}
+
+void StableLog::WireMetrics(obs::Registry* registry, const std::string& prefix) {
+  c_appends_ = registry->counter(prefix + ".appends");
+  c_flushes_ = registry->counter(prefix + ".flushes");
+  c_bytes_flushed_ = registry->counter(prefix + ".bytes_flushed");
+  c_flush_time_micros_ = registry->counter(prefix + ".flush_time_micros");
+  h_flush_seconds_ = registry->histogram(prefix + ".flush_seconds");
+}
+
+void StableLog::BindMetrics(obs::Registry* registry, const std::string& prefix) {
+  const StableLogStats carried = stats();
+  WireMetrics(registry, prefix);
+  c_appends_->Increment(carried.appends);
+  c_flushes_->Increment(carried.flushes);
+  c_bytes_flushed_->Increment(carried.bytes_flushed);
+  c_flush_time_micros_->Increment(static_cast<uint64_t>(carried.flush_time_total.micros()));
+}
+
+StableLogStats StableLog::stats() const {
+  StableLogStats s;
+  s.appends = c_appends_->value();
+  s.flushes = c_flushes_->value();
+  s.bytes_flushed = c_bytes_flushed_->value();
+  s.flush_time_total = Duration::Micros(static_cast<int64_t>(c_flush_time_micros_->value()));
+  return s;
+}
+
+void StableLog::ChargeWrite(size_t bytes, Duration cost) {
+  c_flushes_->Increment();
+  c_bytes_flushed_->Increment(bytes);
+  c_flush_time_micros_->Increment(static_cast<uint64_t>(cost.micros()));
+  h_flush_seconds_->Observe(cost.seconds());
+}
 
 uint64_t StableLog::Append(Bytes data) {
   Record rec;
@@ -19,7 +54,7 @@ uint64_t StableLog::Append(Bytes data) {
   rec.data = std::move(data);
   rec.durable = false;
   records_.push_back(std::move(rec));
-  ++stats_.appends;
+  c_appends_->Increment();
   return records_.back().id;
 }
 
@@ -35,32 +70,45 @@ void StableLog::Flush(std::function<void()> done) {
     }
     return;
   }
+  // Collect only records no write is covering yet: an overlapping flush
+  // must not re-write (and re-charge for) bytes already on their way to
+  // the device.
   size_t bytes = 0;
   std::vector<uint64_t> ids;
   for (const Record& rec : records_) {
-    if (!rec.durable) {
+    if (!rec.durable && flush_in_flight_ids_.count(rec.id) == 0) {
       bytes += rec.data.size() + 16;  // record framing: id + length + crc
       ids.push_back(rec.id);
     }
   }
   if (ids.empty()) {
-    // Nothing to write; completion still goes through the loop (async).
-    loop_->ScheduleAfter(Duration::Zero(), std::move(done));
+    // Nothing new to write. Completion still waits for any in-flight
+    // writes (the durability point this flush was asked to reach), or runs
+    // asynchronously right away when the log is already durable.
+    if (done) {
+      if (flush_in_flight_ids_.empty()) {
+        loop_->ScheduleAfter(Duration::Zero(), std::move(done));
+      } else {
+        loop_->ScheduleAt(flush_busy_until_, std::move(done));
+      }
+    }
     return;
   }
   const Duration cost = cost_model_.FlushCost(bytes);
   const TimePoint start = std::max(loop_->now(), flush_busy_until_);
   const TimePoint finish = start + cost;
   flush_busy_until_ = finish;
-  ++stats_.flushes;
-  stats_.bytes_flushed += bytes;
-  stats_.flush_time_total += cost;
+  ChargeWrite(bytes, cost);
+  flush_in_flight_ids_.insert(ids.begin(), ids.end());
 
   loop_->ScheduleAt(finish, [this, ids = std::move(ids), done = std::move(done)] {
     for (Record& rec : records_) {
       if (std::binary_search(ids.begin(), ids.end(), rec.id)) {
         rec.durable = true;
       }
+    }
+    for (uint64_t id : ids) {
+      flush_in_flight_ids_.erase(id);
     }
     if (done) {
       done();
@@ -92,9 +140,7 @@ void StableLog::StartGroupWrite() {
   }
   write_in_progress_ = true;
   const Duration cost = cost_model_.FlushCost(bytes);
-  ++stats_.flushes;
-  stats_.bytes_flushed += bytes;
-  stats_.flush_time_total += cost;
+  ChargeWrite(bytes, cost);
   loop_->ScheduleAfter(cost, [this, ids = std::move(ids), callbacks] {
     for (Record& rec : records_) {
       if (std::binary_search(ids.begin(), ids.end(), rec.id)) {
@@ -162,6 +208,7 @@ void StableLog::SimulateCrash(bool tear_last_record) {
   // In-flight flush completions refer to ids that may be gone; Recover()
   // re-validates everything, so stale completions are harmless.
   flush_busy_until_ = loop_->now();
+  flush_in_flight_ids_.clear();
   write_in_progress_ = false;
   waiting_flushes_.clear();
 }

@@ -14,8 +14,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <set>
+#include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/sim/event_loop.h"
 #include "src/util/bytes.h"
 #include "src/util/time.h"
@@ -39,6 +42,7 @@ struct StableLogCostModel {
   }
 };
 
+// Snapshot assembled from the metrics registry (see stats()).
 struct StableLogStats {
   uint64_t appends = 0;
   uint64_t flushes = 0;
@@ -61,7 +65,9 @@ class StableLog {
   uint64_t Append(Bytes data);
 
   // Makes all appended records durable. `done` runs once the (simulated)
-  // device write completes; flushes are serialized in FIFO order.
+  // device write completes; flushes are serialized in FIFO order. Records
+  // already covered by an in-flight write are not written again -- an
+  // overlapping flush only pays for (and charges stats for) the remainder.
   void Flush(std::function<void()> done);
 
   // True when no appended record is awaiting a flush.
@@ -89,21 +95,37 @@ class StableLog {
   // number of valid records that survive.
   size_t Recover();
 
-  const StableLogStats& stats() const { return stats_; }
+  // Re-homes the log's instruments into `registry` under "<prefix>." names,
+  // carrying current values over.
+  void BindMetrics(obs::Registry* registry, const std::string& prefix = "stable_log");
+
+  // Snapshot adapter over the registry counters (kept for existing callers).
+  StableLogStats stats() const;
   const StableLogCostModel& cost_model() const { return cost_model_; }
 
  private:
   void StartGroupWrite();
+  void WireMetrics(obs::Registry* registry, const std::string& prefix);
+  void ChargeWrite(size_t bytes, Duration cost);
 
   EventLoop* loop_;
   StableLogCostModel cost_model_;
-  StableLogStats stats_;
   std::deque<Record> records_;
   uint64_t next_id_ = 1;
   TimePoint flush_busy_until_ = TimePoint::Epoch();
+  // Ids covered by a device write that has started but not completed;
+  // overlapping flushes skip these instead of charging for them twice.
+  std::set<uint64_t> flush_in_flight_ids_;
   // Group-commit state.
   bool write_in_progress_ = false;
   std::vector<std::function<void()>> waiting_flushes_;
+
+  obs::Registry own_metrics_;  // used until BindMetrics() points elsewhere
+  obs::Counter* c_appends_ = nullptr;
+  obs::Counter* c_flushes_ = nullptr;
+  obs::Counter* c_bytes_flushed_ = nullptr;
+  obs::Counter* c_flush_time_micros_ = nullptr;
+  obs::Histogram* h_flush_seconds_ = nullptr;
 };
 
 }  // namespace rover

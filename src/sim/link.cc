@@ -63,6 +63,51 @@ Link::Link(EventLoop* loop, std::string host_a, std::string host_b, LinkProfile 
   if (schedule_ == nullptr) {
     schedule_ = std::make_unique<ConstantConnectivity>(true);
   }
+  WireMetrics(&own_metrics_, "link." + profile_.name);
+}
+
+void Link::WireMetrics(obs::Registry* registry, const std::string& prefix) {
+  c_frames_sent_ = registry->counter(prefix + ".frames_sent");
+  c_frames_delivered_ = registry->counter(prefix + ".frames_delivered");
+  c_frames_lost_ = registry->counter(prefix + ".frames_lost");
+  c_frames_corrupted_ = registry->counter(prefix + ".frames_corrupted");
+  c_frames_rejected_ = registry->counter(prefix + ".frames_rejected");
+  c_payload_bytes_ = registry->counter(prefix + ".payload_bytes");
+  c_wire_bytes_ = registry->counter(prefix + ".wire_bytes");
+}
+
+void Link::BindMetrics(obs::Registry* registry, const std::string& prefix) {
+  const LinkStats carried = stats();
+  WireMetrics(registry, prefix);
+  c_frames_sent_->Increment(carried.frames_sent);
+  c_frames_delivered_->Increment(carried.frames_delivered);
+  c_frames_lost_->Increment(carried.frames_lost);
+  c_frames_corrupted_->Increment(carried.frames_corrupted);
+  c_frames_rejected_->Increment(carried.frames_rejected);
+  c_payload_bytes_->Increment(carried.payload_bytes);
+  c_wire_bytes_->Increment(carried.wire_bytes);
+}
+
+LinkStats Link::stats() const {
+  LinkStats s;
+  s.frames_sent = c_frames_sent_->value();
+  s.frames_delivered = c_frames_delivered_->value();
+  s.frames_lost = c_frames_lost_->value();
+  s.frames_corrupted = c_frames_corrupted_->value();
+  s.frames_rejected = c_frames_rejected_->value();
+  s.payload_bytes = c_payload_bytes_->value();
+  s.wire_bytes = c_wire_bytes_->value();
+  return s;
+}
+
+void Link::ResetStats() {
+  c_frames_sent_->Reset();
+  c_frames_delivered_->Reset();
+  c_frames_lost_->Reset();
+  c_frames_corrupted_->Reset();
+  c_frames_rejected_->Reset();
+  c_payload_bytes_->Reset();
+  c_wire_bytes_->Reset();
 }
 
 std::string Link::PeerOf(const std::string& host) const {
@@ -124,7 +169,7 @@ void Link::SendFrame(const std::string& from_host, Bytes frame, DeliveryCallback
   }
   const TimePoint now = loop_->now();
   if (!schedule_->IsUp(now)) {
-    ++stats_.frames_rejected;
+    c_frames_rejected_->Increment();
     if (done) {
       // Fail asynchronously so callers never observe re-entrant completion.
       loop_->ScheduleAfter(Duration::Zero(),
@@ -140,8 +185,8 @@ void Link::SendFrame(const std::string& from_host, Bytes frame, DeliveryCallback
     start += profile_.connect_cost;
   }
 
-  ++stats_.frames_sent;
-  stats_.wire_bytes += WireBytes(frame.size());
+  c_frames_sent_->Increment();
+  c_wire_bytes_->Increment(WireBytes(frame.size()));
 
   // Walk the connectivity schedule, transmitting only while the link is up.
   // Bytes sent before a drop are preserved (the reliable transport under us
@@ -155,7 +200,7 @@ void Link::SendFrame(const std::string& from_host, Bytes frame, DeliveryCallback
     if (!schedule_->IsUp(t)) {
       const TimePoint up = schedule_->NextUpTime(t);
       if (up == kNever) {
-        ++stats_.frames_lost;
+        c_frames_lost_->Increment();
         busy_until_[dir] = t;
         loop_->ScheduleAt(t, [done] {
           if (done) {
@@ -188,7 +233,7 @@ void Link::SendFrame(const std::string& from_host, Bytes frame, DeliveryCallback
     const double p_ok = std::pow(1.0 - profile_.loss_prob,
                                  static_cast<double>(PacketCount(frame.size())));
     if (!loss_rng_.NextBool(p_ok)) {
-      ++stats_.frames_lost;
+      c_frames_lost_->Increment();
       // The sender learns about the loss one RTT-ish later (retransmit timer).
       loop_->ScheduleAt(arrival + profile_.latency, [done] {
         if (done) {
@@ -203,7 +248,7 @@ void Link::SendFrame(const std::string& from_host, Bytes frame, DeliveryCallback
   // it); the sender's reliability layer finds out a round trip later.
   if (profile_.corrupt_prob > 0.0 && loss_rng_.NextBool(profile_.corrupt_prob) &&
       !frame.empty()) {
-    ++stats_.frames_corrupted;
+    c_frames_corrupted_->Increment();
     Bytes damaged = frame;
     damaged[damaged.size() / 2] ^= 0xa5;
     auto damaged_ptr = std::make_shared<Bytes>(std::move(damaged));
@@ -223,8 +268,8 @@ void Link::SendFrame(const std::string& from_host, Bytes frame, DeliveryCallback
   const size_t payload = frame.size();
   auto frame_ptr = std::make_shared<Bytes>(std::move(frame));
   loop_->ScheduleAt(arrival, [this, dir, frame_ptr, done, payload, from_host] {
-    ++stats_.frames_delivered;
-    stats_.payload_bytes += payload;
+    c_frames_delivered_->Increment();
+    c_payload_bytes_->Increment(payload);
     if (handlers_[dir]) {
       handlers_[dir](*frame_ptr, from_host);
     }

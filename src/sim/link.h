@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/sim/connectivity.h"
 #include "src/sim/event_loop.h"
 #include "src/util/bytes.h"
@@ -51,6 +52,7 @@ struct LinkProfile {
   static std::vector<LinkProfile> PaperNetworks();
 };
 
+// Snapshot assembled from the metrics registry (see stats()).
 struct LinkStats {
   uint64_t frames_sent = 0;
   uint64_t frames_delivered = 0;
@@ -76,8 +78,13 @@ class Link {
   const std::string& host_a() const { return host_a_; }
   const std::string& host_b() const { return host_b_; }
   const LinkProfile& profile() const { return profile_; }
-  const LinkStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = LinkStats{}; }
+  // Snapshot adapter over the registry counters (kept for existing callers).
+  LinkStats stats() const;
+  void ResetStats();
+
+  // Re-homes the link's instruments into `registry` under "<prefix>." names
+  // (e.g. "link.wavelan-2Mb"), carrying current values over.
+  void BindMetrics(obs::Registry* registry, const std::string& prefix);
 
   // Returns the peer of `host`, or "" if `host` is not an endpoint.
   std::string PeerOf(const std::string& host) const;
@@ -102,6 +109,7 @@ class Link {
 
  private:
   int DirectionFrom(const std::string& host) const;  // 0: a->b, 1: b->a
+  void WireMetrics(obs::Registry* registry, const std::string& prefix);
 
   EventLoop* loop_;
   std::string host_a_;
@@ -109,7 +117,14 @@ class Link {
   LinkProfile profile_;
   std::unique_ptr<ConnectivitySchedule> schedule_;
   Rng loss_rng_;
-  LinkStats stats_;
+  obs::Registry own_metrics_;  // used until BindMetrics() points elsewhere
+  obs::Counter* c_frames_sent_ = nullptr;
+  obs::Counter* c_frames_delivered_ = nullptr;
+  obs::Counter* c_frames_lost_ = nullptr;
+  obs::Counter* c_frames_corrupted_ = nullptr;
+  obs::Counter* c_frames_rejected_ = nullptr;
+  obs::Counter* c_payload_bytes_ = nullptr;
+  obs::Counter* c_wire_bytes_ = nullptr;
   std::array<FrameHandler, 2> handlers_;  // index = receiving direction (0 means b receives)
   std::array<TimePoint, 2> busy_until_ = {TimePoint::Epoch(), TimePoint::Epoch()};
   TimePoint last_activity_ = TimePoint::FromMicros(INT64_MIN / 2);

@@ -27,13 +27,56 @@ size_t NetworkScheduler::DestQueue::size() const {
 }
 
 NetworkScheduler::NetworkScheduler(EventLoop* loop, Host* host, SchedulerOptions options)
-    : loop_(loop), host_(host), options_(options) {}
+    : loop_(loop), host_(host), options_(options) {
+  WireMetrics(&own_metrics_, "scheduler");
+}
+
+void NetworkScheduler::WireMetrics(obs::Registry* registry, const std::string& prefix) {
+  c_messages_enqueued_ = registry->counter(prefix + ".messages_enqueued");
+  c_messages_delivered_ = registry->counter(prefix + ".messages_delivered");
+  c_frames_sent_ = registry->counter(prefix + ".frames_sent");
+  c_retries_ = registry->counter(prefix + ".retries");
+  c_bytes_sent_ = registry->counter(prefix + ".bytes_sent");
+  c_payload_bytes_original_ = registry->counter(prefix + ".payload_bytes_original");
+  c_payload_bytes_sent_ = registry->counter(prefix + ".payload_bytes_sent");
+  c_payload_bytes_cancelled_ = registry->counter(prefix + ".payload_bytes_cancelled");
+  g_queue_depth_ = registry->gauge(prefix + ".queue_depth");
+}
+
+void NetworkScheduler::BindMetrics(obs::Registry* registry, const std::string& prefix) {
+  const SchedulerStats carried = stats();
+  WireMetrics(registry, prefix);
+  c_messages_enqueued_->Increment(carried.messages_enqueued);
+  c_messages_delivered_->Increment(carried.messages_delivered);
+  c_frames_sent_->Increment(carried.frames_sent);
+  c_retries_->Increment(carried.retries);
+  c_bytes_sent_->Increment(carried.bytes_sent);
+  c_payload_bytes_original_->Increment(carried.payload_bytes_original);
+  c_payload_bytes_sent_->Increment(carried.payload_bytes_sent);
+  c_payload_bytes_cancelled_->Increment(carried.payload_bytes_cancelled);
+  g_queue_depth_->Set(static_cast<int64_t>(TotalQueueDepth()));
+}
+
+SchedulerStats NetworkScheduler::stats() const {
+  SchedulerStats s;
+  s.messages_enqueued = c_messages_enqueued_->value();
+  s.messages_delivered = c_messages_delivered_->value();
+  s.frames_sent = c_frames_sent_->value();
+  s.retries = c_retries_->value();
+  s.bytes_sent = c_bytes_sent_->value();
+  s.payload_bytes_original = c_payload_bytes_original_->value();
+  s.payload_bytes_sent = c_payload_bytes_sent_->value();
+  s.payload_bytes_cancelled = c_payload_bytes_cancelled_->value();
+  return s;
+}
 
 void NetworkScheduler::Enqueue(Message msg, DeliveredCallback delivered) {
-  ++stats_.messages_enqueued;
-  stats_.payload_bytes_original += msg.payload.size();
+  c_messages_enqueued_->Increment();
+  c_payload_bytes_original_->Increment(msg.payload.size());
 
   // Compress once, at enqueue time, so retries do not repeat the work.
+  // Delivered-byte accounting happens in HandleBatchOutcome: counting here
+  // would credit cancelled and still-queued messages as "sent".
   if (options_.compress && !msg.header.compressed &&
       msg.payload.size() >= options_.compress_min_bytes) {
     Bytes packed = LzCompress(msg.payload);
@@ -42,7 +85,6 @@ void NetworkScheduler::Enqueue(Message msg, DeliveredCallback delivered) {
       msg.header.compressed = true;
     }
   }
-  stats_.payload_bytes_sent += msg.payload.size();
 
   const std::string dest = msg.header.dst;
   const int prio = static_cast<int>(msg.header.priority);
@@ -59,6 +101,7 @@ bool NetworkScheduler::CancelMessage(const std::string& dest, uint64_t message_i
   for (auto& pq : it->second.by_priority) {
     for (auto p = pq.begin(); p != pq.end(); ++p) {
       if (p->msg.header.message_id == message_id) {
+        c_payload_bytes_cancelled_->Increment(p->msg.payload.size());
         if (p->delivered) {
           p->delivered(CancelledError("cancelled before transmission"));
         }
@@ -148,17 +191,24 @@ void NetworkScheduler::SendBatch(const std::string& dest, Link* link) {
   wire.reserve(batch.size());
   for (const Pending& p : batch) {
     wire.push_back(p.msg);
+    if (tracer_ != nullptr && p.msg.header.type == MessageType::kRequest) {
+      tracer_->Record(p.msg.header.message_id, obs::RpcEvent::kTransmitted, loop_->now());
+    }
   }
   Bytes frame = EncodeFrame(wire);
   q.in_flight = true;
-  ++stats_.frames_sent;
-  stats_.bytes_sent += frame.size();
+  c_frames_sent_->Increment();
+  c_bytes_sent_->Increment(frame.size());
 
   // `batch` is moved into the completion lambda; shared_ptr keeps the
   // lambda copyable for std::function.
   auto batch_ptr = std::make_shared<std::vector<Pending>>(std::move(batch));
   link->SendFrame(host_->name(), std::move(frame),
-                  [this, dest, batch_ptr](const Status& status) {
+                  [this, dest, batch_ptr, alive = std::weak_ptr<char>(alive_)](
+                      const Status& status) {
+                    if (alive.expired()) {
+                      return;  // scheduler torn down while the frame flew
+                    }
                     HandleBatchOutcome(dest, std::move(*batch_ptr), status);
                   });
 }
@@ -170,8 +220,11 @@ void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
 
   if (status.ok()) {
     q.consecutive_losses = 0;
-    stats_.messages_delivered += batch.size();
+    c_messages_delivered_->Increment(batch.size());
     for (Pending& p : batch) {
+      // Payload accounting at the delivery point: only bytes a link carried
+      // end-to-end count as sent.
+      c_payload_bytes_sent_->Increment(p.msg.payload.size());
       if (p.delivered) {
         p.delivered(Status::Ok());
       }
@@ -183,7 +236,7 @@ void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
 
   // Failure: requeue at the front of each message's priority queue,
   // preserving the original order.
-  ++stats_.retries;
+  c_retries_->Increment();
   for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
     const int prio = static_cast<int>(it->msg.header.priority);
     q.by_priority[prio].push_front(std::move(*it));
@@ -198,7 +251,11 @@ void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
     ++q.consecutive_losses;
     const int shift = std::min(q.consecutive_losses - 1, 6);
     const Duration backoff = options_.loss_retry_backoff * static_cast<double>(1 << shift);
-    loop_->ScheduleAfter(backoff, [this, dest] { TryDrain(dest); });
+    loop_->ScheduleAfter(backoff, [this, dest, alive = std::weak_ptr<char>(alive_)] {
+      if (!alive.expired()) {
+        TryDrain(dest);
+      }
+    });
   }
 }
 
@@ -221,13 +278,23 @@ void NetworkScheduler::ArmUpWakeup(const std::string& dest) {
     return;  // no route will ever exist; messages stay queued
   }
   q.waiting_for_up = true;
-  loop_->ScheduleAt(best, [this, dest] {
-    queues_[dest].waiting_for_up = false;
+  loop_->ScheduleAt(best, [this, dest, alive = std::weak_ptr<char>(alive_)] {
+    if (alive.expired()) {
+      return;  // scheduler torn down while waiting for the link
+    }
+    DestQueue& dq = queues_[dest];
+    dq.waiting_for_up = false;
+    // A fresh connection starts with a fresh loss history: the exponential
+    // backoff accumulated before the outage says nothing about the new
+    // link conditions, and inheriting it would stall the first retry after
+    // a long disconnection by up to the maximum backoff.
+    dq.consecutive_losses = 0;
     TryDrain(dest);
   });
 }
 
 void NetworkScheduler::NotifyObserver() {
+  g_queue_depth_->Set(static_cast<int64_t>(TotalQueueDepth()));
   if (observer_) {
     observer_(TotalQueueDepth());
   }

@@ -18,8 +18,11 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "src/obs/metrics.h"
+#include "src/obs/rpc_trace.h"
 #include "src/sim/network.h"
 #include "src/transport/message.h"
 #include "src/util/time.h"
@@ -35,14 +38,16 @@ struct SchedulerOptions {
   Duration loss_retry_backoff = Duration::Millis(200);
 };
 
+// Snapshot assembled from the metrics registry (see stats()).
 struct SchedulerStats {
   uint64_t messages_enqueued = 0;
   uint64_t messages_delivered = 0;
   uint64_t frames_sent = 0;
   uint64_t retries = 0;
   uint64_t bytes_sent = 0;             // frame bytes handed to links
-  uint64_t payload_bytes_original = 0; // pre-compression payload total
-  uint64_t payload_bytes_sent = 0;     // post-compression payload total
+  uint64_t payload_bytes_original = 0; // pre-compression payload of enqueued msgs
+  uint64_t payload_bytes_sent = 0;     // post-compression payload actually delivered
+  uint64_t payload_bytes_cancelled = 0;  // cancelled before any delivery
 };
 
 class NetworkScheduler {
@@ -68,7 +73,16 @@ class NetworkScheduler {
 
   void SetQueueObserver(QueueObserver observer) { observer_ = std::move(observer); }
 
-  const SchedulerStats& stats() const { return stats_; }
+  // Re-homes the scheduler's instruments into `registry` under
+  // "<prefix>." names, carrying current values over. Call before or after
+  // traffic; handles into the previous registry become stale.
+  void BindMetrics(obs::Registry* registry, const std::string& prefix = "scheduler");
+
+  // Records kTransmitted span events for request messages it sends.
+  void SetTracer(obs::RpcTracer* tracer) { tracer_ = tracer; }
+
+  // Snapshot adapter over the registry counters (kept for existing callers).
+  SchedulerStats stats() const;
   const SchedulerOptions& options() const { return options_; }
 
   // Highest-quality (bandwidth) currently-up link to `dest`, or nullptr.
@@ -95,13 +109,30 @@ class NetworkScheduler {
                           const Status& status);
   void ArmUpWakeup(const std::string& dest);
   void NotifyObserver();
+  void WireMetrics(obs::Registry* registry, const std::string& prefix);
 
   EventLoop* loop_;
   Host* host_;
   SchedulerOptions options_;
-  SchedulerStats stats_;
   std::map<std::string, DestQueue> queues_;
   QueueObserver observer_;
+  // Deferred callbacks (up-wakeups, loss-backoff retries, frame
+  // completions) capture a weak_ptr to this token and bail out when it is
+  // gone, so events queued past the scheduler's destruction -- e.g. a
+  // transport rebuilt after a simulated crash -- never touch freed state.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+
+  obs::Registry own_metrics_;  // used until BindMetrics() points elsewhere
+  obs::RpcTracer* tracer_ = nullptr;
+  obs::Counter* c_messages_enqueued_ = nullptr;
+  obs::Counter* c_messages_delivered_ = nullptr;
+  obs::Counter* c_frames_sent_ = nullptr;
+  obs::Counter* c_retries_ = nullptr;
+  obs::Counter* c_bytes_sent_ = nullptr;
+  obs::Counter* c_payload_bytes_original_ = nullptr;
+  obs::Counter* c_payload_bytes_sent_ = nullptr;
+  obs::Counter* c_payload_bytes_cancelled_ = nullptr;
+  obs::Gauge* g_queue_depth_ = nullptr;
 };
 
 }  // namespace rover
