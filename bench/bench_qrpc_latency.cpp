@@ -71,8 +71,17 @@ Sample Measure(const LinkProfile& profile, size_t payload_bytes, int iterations,
 }  // namespace
 
 int main() {
+  constexpr int kIterations = 20;
   std::printf("E1: QRPC vs blocking RPC latency (paper §7, networks table)\n");
-  std::printf("workload: %d iterations per cell; stable log flush base 8 ms\n", 20);
+  std::printf("workload: %d iterations per cell; stable log flush base 8 ms\n",
+              kIterations);
+
+  struct Row {
+    std::string network;
+    size_t payload_bytes;
+    Sample sample;
+  };
+  std::vector<Row> rows;
 
   for (size_t payload : {size_t{0}, size_t{1024}}) {
     BenchTable table(
@@ -80,12 +89,35 @@ int main() {
         {"network", "blocking RPC", "QRPC call-return", "QRPC end-to-end",
          "non-blocking win"});
     for (const LinkProfile& profile : LinkProfile::PaperNetworks()) {
-      Sample s = Measure(profile, payload, 20);
+      Sample s = Measure(profile, payload, kIterations);
+      rows.push_back(Row{profile.name, payload, s});
       table.AddRow({profile.name, FmtSeconds(s.blocking_s), FmtSeconds(s.call_return_s),
                     FmtSeconds(s.end_to_end_s),
                     FmtRatio(s.blocking_s / s.call_return_s)});
     }
     table.Print();
+  }
+
+  // Machine-readable copy of the table, one object per (network, payload)
+  // cell, so runs can be diffed/tracked over time.
+  const char* json_path = "BENCH_qrpc_latency.json";
+  if (FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"qrpc_latency\",\n  \"iterations\": %d,\n"
+                    "  \"results\": [\n", kIterations);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"network\": \"%s\", \"payload_bytes\": %zu, "
+                   "\"blocking_rpc_s\": %.6f, \"qrpc_call_return_s\": %.6f, "
+                   "\"qrpc_end_to_end_s\": %.6f, \"non_blocking_win\": %.3f}%s\n",
+                   r.network.c_str(), r.payload_bytes, r.sample.blocking_s,
+                   r.sample.call_return_s, r.sample.end_to_end_s,
+                   r.sample.blocking_s / r.sample.call_return_s,
+                   i + 1 == rows.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
   }
 
   std::printf(

@@ -30,6 +30,9 @@ AccessManager::AccessManager(EventLoop* loop, TransportManager* transport,
   transport_->SetHandler(MessageType::kControl,
                          [this](const Message& msg) { HandleControl(msg); });
   transport_->scheduler()->SetQueueObserver([this](size_t) { NotifyStatus(); });
+  qrpc_->SetEpochObserver([this](const std::string& server, uint64_t epoch) {
+    OnServerRestart(server, epoch);
+  });
   if (!options_.poll_interval.is_zero()) {
     SchedulePoll();
   }
@@ -49,6 +52,7 @@ void AccessManager::WireMetrics(obs::Registry* registry, const std::string& pref
   c_conflicts_resolved_ = registry->counter(prefix + ".conflicts_resolved");
   c_conflicts_unresolved_ = registry->counter(prefix + ".conflicts_unresolved");
   c_prefetch_issued_ = registry->counter(prefix + ".prefetch_issued");
+  c_server_restarts_observed_ = registry->counter(prefix + ".server_restarts_observed");
 }
 
 void AccessManager::BindMetrics(obs::Registry* registry, const std::string& prefix) {
@@ -67,6 +71,7 @@ void AccessManager::BindMetrics(obs::Registry* registry, const std::string& pref
   c_conflicts_resolved_->Increment(carried.conflicts_resolved);
   c_conflicts_unresolved_->Increment(carried.conflicts_unresolved);
   c_prefetch_issued_->Increment(carried.prefetch_issued);
+  c_server_restarts_observed_->Increment(carried.server_restarts_observed);
 }
 
 AccessManagerStats AccessManager::stats() const {
@@ -84,11 +89,16 @@ AccessManagerStats AccessManager::stats() const {
   s.conflicts_resolved = c_conflicts_resolved_->value();
   s.conflicts_unresolved = c_conflicts_unresolved_->value();
   s.prefetch_issued = c_prefetch_issued_->value();
+  s.server_restarts_observed = c_server_restarts_observed_->value();
   return s;
 }
 
 void AccessManager::SchedulePoll() {
-  loop_->ScheduleAfter(options_.poll_interval, [this] {
+  loop_->ScheduleAfter(options_.poll_interval,
+                       [this, weak = std::weak_ptr<char>(alive_)] {
+    if (weak.expired()) {
+      return;  // manager destroyed (simulated crash) with the timer pending
+    }
     RunPoll();
     SchedulePoll();
   });
@@ -244,6 +254,14 @@ void AccessManager::Evict(const std::string& name) {
   }
   cache_bytes_ -= it->second.bytes;
   cache_.erase(it);
+  if (subscribed_.erase(name) > 0) {
+    // Tell the server to stop invalidating us for an object we no longer
+    // hold; best-effort and unlogged (a lost unsubscribe only costs the
+    // server a few wasted invalidations until its GC drops us).
+    const RoverUrn urn = Resolve(name);
+    qrpc_->Call(urn.server, "rover.unsubscribe", {urn.path},
+                MakeCallOptions(Priority::kBackground, /*log_request=*/false));
+  }
 }
 
 void AccessManager::SetStatusCallback(StatusCallback callback) {
@@ -255,7 +273,11 @@ void AccessManager::NotifyStatus() {
   const size_t depth = transport_->scheduler()->TotalQueueDepth();
   if (depth == 0 && !prefetch_queue_.empty()) {
     // The link went idle; spend it on cache warming.
-    loop_->ScheduleAfter(Duration::Zero(), [this] { PumpPrefetchQueue(); });
+    loop_->ScheduleAfter(Duration::Zero(), [this, weak = std::weak_ptr<char>(alive_)] {
+      if (!weak.expired()) {
+        PumpPrefetchQueue();
+      }
+    });
   }
   if (!status_callback_) {
     return;
@@ -301,7 +323,12 @@ Promise<ImportResult> AccessManager::Import(const std::string& name, ImportOptio
     result.name = name;
     result.version = entry->committed.version;
     result.from_cache = true;
-    loop_->ScheduleAfter(Duration::Zero(), [this, promise, result]() mutable {
+    loop_->ScheduleAfter(Duration::Zero(),
+                         [this, weak = std::weak_ptr<char>(alive_), promise,
+                          result]() mutable {
+      if (weak.expired()) {
+        return;
+      }
       result.completed_at = loop_->now();
       promise.Set(result);
     });
@@ -372,7 +399,8 @@ void AccessManager::StartImportRpc(const std::string& name, Priority priority) {
       FinishImport(name, r);
       if (s.ok() && options_.subscribe_on_import) {
         const RoverUrn sub_urn = Resolve(name);
-        // Best-effort; re-subscribes on refetch.
+        // Best-effort; re-subscribes on refetch and on server restart.
+        subscribed_.insert(name);
         qrpc_->Call(sub_urn.server, "rover.subscribe", {sub_urn.path},
                     MakeCallOptions(Priority::kBackground, /*log_request=*/false));
       }
@@ -408,7 +436,11 @@ void AccessManager::InstallDescriptor(const RdoDescriptor& descriptor, bool pin,
   // Charge the interpreter-load CPU cost before the object is usable.
   const Duration cost = options_.rdo_costs.load_fixed;
   auto instance_ptr = std::make_shared<std::unique_ptr<RdoInstance>>(std::move(*instance));
-  loop_->ScheduleAfter(cost, [this, descriptor, pin, instance_ptr, done] {
+  loop_->ScheduleAfter(cost, [this, weak = std::weak_ptr<char>(alive_), descriptor, pin,
+                              instance_ptr, done] {
+    if (weak.expired()) {
+      return;  // manager destroyed while the install cost was charging
+    }
     Entry* entry = FindEntry(descriptor.name);
     if (entry != nullptr) {
       cache_bytes_ -= entry->bytes;
@@ -526,7 +558,11 @@ Promise<InvokeResult> AccessManager::Invoke(const std::string& name,
     } else {
       result.status = value.status();
     }
-    loop_->ScheduleAfter(cost, [this, promise, result]() mutable {
+    loop_->ScheduleAfter(cost, [this, weak = std::weak_ptr<char>(alive_), promise,
+                                result]() mutable {
+      if (weak.expired()) {
+        return;
+      }
       result.completed_at = loop_->now();
       promise.Set(result);
     });
@@ -767,6 +803,27 @@ void AccessManager::HandleControl(const Message& msg) {
         entry.committed.version < inval->version) {
       entry.stale = true;
     }
+  }
+}
+
+void AccessManager::OnServerRestart(const std::string& server, uint64_t /*epoch*/) {
+  c_server_restarts_observed_->Increment();
+  // The restarted server lost its volatile subscription table, and anything
+  // it committed that never reached its stable store is gone: re-validate
+  // every cached import from it (tentative work is preserved -- only the
+  // committed view is marked stale) and re-issue our subscriptions.
+  for (auto& [key, entry] : cache_) {
+    if (Resolve(key).server == server) {
+      entry.stale = true;
+    }
+  }
+  for (const std::string& key : subscribed_) {
+    const RoverUrn urn = Resolve(key);
+    if (urn.server != server) {
+      continue;
+    }
+    qrpc_->Call(urn.server, "rover.subscribe", {urn.path},
+                MakeCallOptions(Priority::kBackground, /*log_request=*/false));
   }
 }
 

@@ -16,6 +16,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -102,6 +103,9 @@ struct AccessManagerStats {
   uint64_t conflicts_resolved = 0;
   uint64_t conflicts_unresolved = 0;
   uint64_t prefetch_issued = 0;
+  // Server epoch bumps observed in responses: each one means the server
+  // restarted, so subscriptions were re-issued and its imports marked stale.
+  uint64_t server_restarts_observed = 0;
 };
 
 // Snapshot handed to the status callback whenever it changes -- the
@@ -220,6 +224,7 @@ class AccessManager {
                          std::function<void(const Status&)> done);
   void EvictIfNeeded();
   void HandleControl(const Message& msg);
+  void OnServerRestart(const std::string& server, uint64_t epoch);
   void NotifyStatus();
   void StartImportRpc(const std::string& name, Priority priority);
   RoverUrn Resolve(const std::string& name) const;
@@ -250,6 +255,7 @@ class AccessManager {
   obs::Counter* c_conflicts_resolved_ = nullptr;
   obs::Counter* c_conflicts_unresolved_ = nullptr;
   obs::Counter* c_prefetch_issued_ = nullptr;
+  obs::Counter* c_server_restarts_observed_ = nullptr;
   std::map<std::string, Entry> cache_;
   size_t cache_bytes_ = 0;
   uint64_t use_seq_ = 0;
@@ -264,8 +270,16 @@ class AccessManager {
   std::map<std::string, PendingImport> pending_imports_;
   std::deque<std::string> prefetch_queue_;
   size_t prefetch_in_flight_ = 0;
+  // Cache keys we hold (volatile, server-side) subscriptions for; re-issued
+  // when the server's epoch bumps, withdrawn on eviction.
+  std::set<std::string> subscribed_;
   StatusCallback status_callback_;
   ConflictCallback conflict_callback_;
+  // Loop-scheduled callbacks (poll timer, install cost, prefetch pump)
+  // capture a weak_ptr to this token and bail out once it is gone, so an
+  // access manager destroyed by a simulated crash is never touched by
+  // events already in the loop.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 };
 
 }  // namespace rover

@@ -1,0 +1,66 @@
+#include "src/core/fault_plan.h"
+
+#include <utility>
+
+namespace rover {
+
+void FaultPlan::CrashServerAt(RoverServerNode* server, TimePoint t, bool tear_last_record) {
+  loop_->ScheduleAt(t, [this, server, tear_last_record] {
+    server->SimulateCrashAndRestart(tear_last_record);
+    ++server_crashes_executed_;
+  });
+}
+
+void FaultPlan::CrashClientAt(RoverClientNode* client, TimePoint t, bool tear_last_record) {
+  loop_->ScheduleAt(t, [this, client, tear_last_record] {
+    client_recoveries_resent_ += client->SimulateCrashAndRestart(tear_last_record);
+    ++client_crashes_executed_;
+  });
+}
+
+void FaultPlan::ScheduleRandomFaults(RoverServerNode* server,
+                                     const std::vector<RoverClientNode*>& clients,
+                                     RandomFaultOptions options) {
+  const uint64_t span = static_cast<uint64_t>(options.horizon.micros());
+  auto random_time = [this, span] {
+    return TimePoint::FromMicros(static_cast<int64_t>(rng_.NextBelow(span > 0 ? span : 1)));
+  };
+  for (size_t i = 0; i < options.server_crashes; ++i) {
+    CrashServerAt(server, random_time(), rng_.NextBool(options.tear_probability));
+  }
+  for (RoverClientNode* client : clients) {
+    for (size_t i = 0; i < options.client_crashes; ++i) {
+      CrashClientAt(client, random_time(), rng_.NextBool(options.tear_probability));
+    }
+  }
+}
+
+std::unique_ptr<IntervalConnectivity> FaultPlan::FlappyConnectivity(Duration mean_up,
+                                                                    Duration mean_down,
+                                                                    Duration horizon) {
+  std::vector<IntervalConnectivity::Interval> intervals;
+  TimePoint t = TimePoint::Epoch();
+  const TimePoint end = TimePoint::Epoch() + horizon;
+  bool up = true;
+  while (t < end) {
+    Duration span = Duration::Seconds(
+        rng_.NextExponential((up ? mean_up : mean_down).seconds()));
+    if (span < Duration::Millis(1)) {
+      span = Duration::Millis(1);  // guarantee forward progress
+    }
+    if (up) {
+      TimePoint finish = t + span;
+      if (finish > end) {
+        finish = end;
+      }
+      intervals.push_back({t, finish});
+    }
+    t = t + span;
+    up = !up;
+  }
+  // Permanently up after the fault window, so queued work always drains.
+  intervals.push_back({end, TimePoint::FromMicros(INT64_MAX)});
+  return std::make_unique<IntervalConnectivity>(std::move(intervals));
+}
+
+}  // namespace rover

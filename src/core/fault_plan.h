@@ -1,0 +1,66 @@
+// Deterministic fault-injection plans for chaos testing. A FaultPlan
+// schedules client/server crash-restarts (optionally tearing the last
+// stable-log record, as a power cut mid-write would) and builds seeded
+// flappy-link connectivity schedules, either at explicit times or at
+// seeded-random times over a horizon. Every draw comes from one seeded
+// Rng, so a failing schedule replays exactly from its seed.
+
+#ifndef ROVER_SRC_CORE_FAULT_PLAN_H_
+#define ROVER_SRC_CORE_FAULT_PLAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/toolkit.h"
+#include "src/sim/connectivity.h"
+#include "src/sim/event_loop.h"
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace rover {
+
+struct RandomFaultOptions {
+  Duration horizon = Duration::Seconds(60);  // faults fall in [0, horizon)
+  size_t server_crashes = 1;
+  size_t client_crashes = 1;   // per client
+  // Probability a crash also tears the record under the in-flight device
+  // write (power cut mid-write).
+  double tear_probability = 0.5;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan(EventLoop* loop, uint64_t seed) : loop_(loop), rng_(seed) {}
+
+  // Explicit schedule: crash + restart the node at `t`.
+  void CrashServerAt(RoverServerNode* server, TimePoint t, bool tear_last_record = false);
+  void CrashClientAt(RoverClientNode* client, TimePoint t, bool tear_last_record = false);
+
+  // Seeded-random schedule: crashes uniformly over the horizon.
+  void ScheduleRandomFaults(RoverServerNode* server,
+                            const std::vector<RoverClientNode*>& clients,
+                            RandomFaultOptions options = {});
+
+  // Random up/down connectivity over [0, horizon), permanently up from the
+  // horizon onwards -- unlike MakeRandomConnectivity, whose schedule ends
+  // down forever, so post-fault convergence is always reachable.
+  std::unique_ptr<IntervalConnectivity> FlappyConnectivity(Duration mean_up,
+                                                           Duration mean_down,
+                                                           Duration horizon);
+
+  Rng* rng() { return &rng_; }
+  size_t server_crashes_executed() const { return server_crashes_executed_; }
+  size_t client_crashes_executed() const { return client_crashes_executed_; }
+  size_t client_recoveries_resent() const { return client_recoveries_resent_; }
+
+ private:
+  EventLoop* loop_;
+  Rng rng_;
+  size_t server_crashes_executed_ = 0;
+  size_t client_crashes_executed_ = 0;
+  size_t client_recoveries_resent_ = 0;  // total requests re-sent by RecoverFromLog
+};
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_CORE_FAULT_PLAN_H_

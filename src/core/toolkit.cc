@@ -2,33 +2,90 @@
 
 #include <utility>
 
+#include "src/util/logging.h"
+
 namespace rover {
 
 RoverClientNode::RoverClientNode(EventLoop* loop, Host* host, ClientNodeOptions options)
-    : transport_(loop, host, options.scheduler),
-      log_(loop, options.log_costs),
-      qrpc_client_(loop, &transport_, &log_, options.qrpc),
-      access_manager_(loop, &transport_, &qrpc_client_, options.access) {
-  if (!options.auth_token.empty()) {
-    transport_.set_auth_token(options.auth_token);
+    : loop_(loop), host_(host), options_(std::move(options)) {
+  log_ = std::make_unique<StableLog>(loop_, options_.log_costs);
+  log_->BindMetrics(&metrics_, "stable_log");
+  Build();
+}
+
+void RoverClientNode::Build() {
+  transport_ = std::make_unique<TransportManager>(loop_, host_, options_.scheduler);
+  qrpc_client_ =
+      std::make_unique<QrpcClient>(loop_, transport_.get(), log_.get(), options_.qrpc);
+  access_manager_ = std::make_unique<AccessManager>(loop_, transport_.get(),
+                                                    qrpc_client_.get(), options_.access);
+  if (!options_.auth_token.empty()) {
+    transport_->set_auth_token(options_.auth_token);
   }
   // One registry per node: every subsystem's instruments under its own
   // "<subsystem>." prefix, one tracer shared by the QRPC client (enqueue/
-  // log/flush/respond events) and the scheduler (transmit events).
-  transport_.scheduler()->BindMetrics(&metrics_, "scheduler");
-  log_.BindMetrics(&metrics_, "stable_log");
-  qrpc_client_.BindMetrics(&metrics_, "qrpc_client");
-  access_manager_.BindMetrics(&metrics_, "access_manager");
-  qrpc_client_.SetTracer(&tracer_);
-  transport_.scheduler()->SetTracer(&tracer_);
+  // log/flush/respond events) and the scheduler (transmit events). A
+  // rebuilt component starts at zero, so re-binding after a crash keeps the
+  // registry's counters cumulative.
+  transport_->scheduler()->BindMetrics(&metrics_, "scheduler");
+  qrpc_client_->BindMetrics(&metrics_, "qrpc_client");
+  access_manager_->BindMetrics(&metrics_, "access_manager");
+  qrpc_client_->SetTracer(&tracer_);
+  transport_->scheduler()->SetTracer(&tracer_);
+}
+
+size_t RoverClientNode::SimulateCrashAndRestart(bool tear_last_log_record) {
+  // Stable storage at crash time: the cache snapshot, the rpc-id counter
+  // (both persisted alongside the log), and the durable log records.
+  const Bytes cache_snapshot = access_manager_->SerializeCache();
+  const uint64_t next_rpc_id = qrpc_client_->next_rpc_id();
+  // A tear models a power cut mid-write; records whose flush completed
+  // (whose commit promises may have resolved) cannot be torn after the fact.
+  log_->SimulateCrash(tear_last_log_record && log_->WriteInFlight());
+
+  // Process state dies with the process.
+  access_manager_.reset();
+  qrpc_client_.reset();
+  transport_.reset();
+
+  log_->Recover();
+  Build();
+  qrpc_client_->set_next_rpc_id(next_rpc_id);
+  Status loaded = access_manager_->LoadCache(cache_snapshot);
+  if (!loaded.ok()) {
+    ROVER_LOG(Warning) << "client cache reload failed: " << loaded.message();
+  }
+  return qrpc_client_->RecoverFromLog();
 }
 
 RoverServerNode::RoverServerNode(EventLoop* loop, Host* host, ServerNodeOptions options)
-    : transport_(loop, host, options.scheduler),
-      qrpc_server_(loop, &transport_, options.qrpc),
-      rover_server_(loop, &transport_, &qrpc_server_, options.rover) {
-  transport_.scheduler()->BindMetrics(&metrics_, "scheduler");
-  qrpc_server_.BindMetrics(&metrics_, "qrpc_server");
+    : loop_(loop), host_(host), options_(std::move(options)),
+      stable_store_(loop, options_.stable_store) {
+  Build();
+}
+
+void RoverServerNode::Build() {
+  transport_ = std::make_unique<TransportManager>(loop_, host_, options_.scheduler);
+  qrpc_server_ = std::make_unique<QrpcServer>(loop_, transport_.get(), options_.qrpc);
+  rover_server_ = std::make_unique<RoverServer>(
+      loop_, transport_.get(), qrpc_server_.get(), options_.rover,
+      options_.durable ? &stable_store_ : nullptr);
+  transport_->scheduler()->BindMetrics(&metrics_, "scheduler");
+  qrpc_server_->BindMetrics(&metrics_, "qrpc_server");
+}
+
+RecoveredServerState RoverServerNode::SimulateCrashAndRestart(bool tear_last_wal_record) {
+  stable_store_.SimulateCrash(tear_last_wal_record);
+
+  // Process state dies with the process.
+  rover_server_.reset();
+  qrpc_server_.reset();
+  transport_.reset();
+
+  RecoveredServerState recovered = stable_store_.Recover();
+  Build();
+  rover_server_->RestoreFromRecovery(recovered);
+  return recovered;
 }
 
 Testbed::Testbed(Options options) : options_(std::move(options)), network_(&loop_) {

@@ -41,52 +41,87 @@ class RoverClientNode {
  public:
   RoverClientNode(EventLoop* loop, Host* host, ClientNodeOptions options = {});
 
-  AccessManager* access() { return &access_manager_; }
-  QrpcClient* qrpc() { return &qrpc_client_; }
-  StableLog* log() { return &log_; }
-  TransportManager* transport() { return &transport_; }
-  const std::string& host_name() const { return transport_.local_host(); }
+  AccessManager* access() { return access_manager_.get(); }
+  QrpcClient* qrpc() { return qrpc_client_.get(); }
+  StableLog* log() { return log_.get(); }
+  TransportManager* transport() { return transport_.get(); }
+  const std::string& host_name() const { return transport_->local_host(); }
+
+  // Simulated crash + reboot. Volatile state (unflushed log tail,
+  // outstanding promises, scheduler queues, live RDO instances) vanishes;
+  // stable state (durable log records, the cache snapshot, the rpc-id
+  // counter) survives. The node is rebuilt and every durable logged
+  // request re-sent. Returns the number of requests re-sent.
+  size_t SimulateCrashAndRestart(bool tear_last_log_record = false);
 
   // Unified view over scheduler, stable log, qrpc client, and access
-  // manager instruments; render with metrics()->Render().
+  // manager instruments; render with metrics()->Render(). Counters are
+  // cumulative across crash-restarts.
   obs::Registry* metrics() { return &metrics_; }
   obs::RpcTracer* tracer() { return &tracer_; }
 
  private:
+  void Build();
+
+  EventLoop* loop_;
+  Host* host_;
+  ClientNodeOptions options_;
   // Declared before the components so it outlives their metric handles.
   obs::Registry metrics_;
   obs::RpcTracer tracer_;
-  TransportManager transport_;
-  StableLog log_;
-  QrpcClient qrpc_client_;
-  AccessManager access_manager_;
+  // The stable log models the device itself, so it survives crashes; the
+  // rest is process state, torn down and rebuilt by SimulateCrashAndRestart.
+  std::unique_ptr<StableLog> log_;
+  std::unique_ptr<TransportManager> transport_;
+  std::unique_ptr<QrpcClient> qrpc_client_;
+  std::unique_ptr<AccessManager> access_manager_;
 };
 
 struct ServerNodeOptions {
   SchedulerOptions scheduler;
   QrpcServerOptions qrpc;
   RoverServerOptions rover;
+  ServerStoreOptions stable_store;
+  // Journal object mutations + duplicate-cache responses to the stable
+  // store (write-ahead, per-RPC atomic transactions). Off = the seed's
+  // volatile server: a crash loses everything.
+  bool durable = true;
 };
 
-// A home server: object store + QRPC dispatch.
+// A home server: object store + QRPC dispatch over a stable store.
 class RoverServerNode {
  public:
   RoverServerNode(EventLoop* loop, Host* host, ServerNodeOptions options = {});
 
-  RoverServer* rover() { return &rover_server_; }
-  ObjectStore* store() { return rover_server_.store(); }
-  QrpcServer* qrpc() { return &qrpc_server_; }
-  TransportManager* transport() { return &transport_; }
+  RoverServer* rover() { return rover_server_.get(); }
+  ObjectStore* store() { return rover_server_->store(); }
+  QrpcServer* qrpc() { return qrpc_server_.get(); }
+  TransportManager* transport() { return transport_.get(); }
+  ServerStableStore* stable_store() { return &stable_store_; }
+
+  // Simulated crash + reboot. Volatile state (subscriptions, live RDO
+  // instances, queued/in-flight responses, unflushed WAL tail) vanishes;
+  // the stable store survives. Recovery bumps the server epoch (so clients
+  // detect the restart), replays snapshot + WAL, and rebuilds the node.
+  RecoveredServerState SimulateCrashAndRestart(bool tear_last_wal_record = false);
 
   // Unified view over the server's scheduler and qrpc instruments.
+  // Counters are cumulative across crash-restarts.
   obs::Registry* metrics() { return &metrics_; }
 
  private:
+  void Build();
+
+  EventLoop* loop_;
+  Host* host_;
+  ServerNodeOptions options_;
   // Declared before the components so it outlives their metric handles.
   obs::Registry metrics_;
-  TransportManager transport_;
-  QrpcServer qrpc_server_;
-  RoverServer rover_server_;
+  // The stable store models the device itself, so it survives crashes.
+  ServerStableStore stable_store_;
+  std::unique_ptr<TransportManager> transport_;
+  std::unique_ptr<QrpcServer> qrpc_server_;
+  std::unique_ptr<RoverServer> rover_server_;
 };
 
 // A complete simulated deployment.

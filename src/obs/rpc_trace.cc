@@ -22,6 +22,8 @@ const char* RpcEventName(RpcEvent event) {
       return "cancelled";
     case RpcEvent::kRecovered:
       return "recovered";
+    case RpcEvent::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }

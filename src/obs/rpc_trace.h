@@ -34,6 +34,7 @@ enum class RpcEvent {
   kResponded,       // response matched to the outstanding call
   kCancelled,       // cancelled by the application
   kRecovered,       // re-issued from the log after crash recovery
+  kDeadlineExceeded,  // per-call deadline fired before a response arrived
 };
 
 const char* RpcEventName(RpcEvent event);

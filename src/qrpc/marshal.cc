@@ -99,6 +99,7 @@ Bytes RpcResponseBody::Encode() const {
   writer.WriteVarint(static_cast<uint64_t>(code));
   writer.WriteString(error_message);
   EncodeRpcValue(result, &writer);
+  writer.WriteVarint(server_epoch);
   return writer.TakeData();
 }
 
@@ -112,6 +113,10 @@ Result<RpcResponseBody> RpcResponseBody::Decode(const Bytes& payload) {
   body.code = static_cast<StatusCode>(code);
   ROVER_ASSIGN_OR_RETURN(body.error_message, reader.ReadString());
   ROVER_ASSIGN_OR_RETURN(body.result, DecodeRpcValue(&reader));
+  // Epoch trailer: absent in responses cached before the field existed.
+  if (reader.remaining() > 0) {
+    ROVER_ASSIGN_OR_RETURN(body.server_epoch, reader.ReadVarint());
+  }
   return body;
 }
 

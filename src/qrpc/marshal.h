@@ -34,11 +34,15 @@ struct RpcRequestBody {
   static Result<RpcRequestBody> Decode(const Bytes& payload);
 };
 
-// Response payload: a status and a result value.
+// Response payload: a status and a result value, stamped with the
+// responding server's incarnation. A client that sees the epoch grow knows
+// the server restarted since its last exchange and that volatile
+// server-side state (subscriptions) is gone.
 struct RpcResponseBody {
   StatusCode code = StatusCode::kOk;
   std::string error_message;
   RpcValue result = int64_t{0};
+  uint64_t server_epoch = 0;  // 0 = unstamped (responder predates epochs)
 
   Status ToStatus() const;
 

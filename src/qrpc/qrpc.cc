@@ -24,6 +24,7 @@ void QrpcClient::WireMetrics(obs::Registry* registry, const std::string& prefix)
   c_completed_ = registry->counter(prefix + ".completed");
   c_recovered_ = registry->counter(prefix + ".recovered");
   c_cancelled_ = registry->counter(prefix + ".cancelled");
+  c_deadline_exceeded_ = registry->counter(prefix + ".deadline_exceeded");
   h_rpc_seconds_ = registry->histogram(prefix + ".rpc_seconds");
 }
 
@@ -34,6 +35,7 @@ void QrpcClient::BindMetrics(obs::Registry* registry, const std::string& prefix)
   c_completed_->Increment(carried.completed);
   c_recovered_->Increment(carried.recovered);
   c_cancelled_->Increment(carried.cancelled);
+  c_deadline_exceeded_->Increment(carried.deadline_exceeded);
 }
 
 QrpcClientStats QrpcClient::stats() const {
@@ -42,7 +44,27 @@ QrpcClientStats QrpcClient::stats() const {
   s.completed = c_completed_->value();
   s.recovered = c_recovered_->value();
   s.cancelled = c_cancelled_->value();
+  s.deadline_exceeded = c_deadline_exceeded_->value();
   return s;
+}
+
+uint64_t QrpcClient::LastSeenEpoch(const std::string& server) const {
+  auto it = seen_server_epochs_.find(server);
+  return it == seen_server_epochs_.end() ? 0 : it->second;
+}
+
+void QrpcClient::ObserveServerEpoch(const std::string& server, uint64_t epoch) {
+  uint64_t& seen = seen_server_epochs_[server];
+  if (seen == 0) {
+    seen = epoch;  // first contact: nothing to compare against
+    return;
+  }
+  if (epoch > seen) {
+    seen = epoch;
+    if (epoch_observer_) {
+      epoch_observer_(server, epoch);
+    }
+  }
 }
 
 void QrpcClient::Trace(uint64_t rpc_id, obs::RpcEvent event) {
@@ -92,15 +114,31 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
   outstanding_.emplace(call.rpc_id, out);
 
   const uint64_t rpc_id = call.rpc_id;
+  if (!call_options.deadline.is_zero()) {
+    outstanding_[rpc_id].deadline_event = loop_->ScheduleAfter(
+        call_options.deadline, [this, rpc_id, alive = std::weak_ptr<char>(alive_)] {
+          if (!alive.expired()) {
+            HandleDeadline(rpc_id);
+          }
+        });
+  }
   auto body_ptr = std::make_shared<Bytes>(std::move(body));
-  loop_->ScheduleAfter(marshal_cost, [this, rpc_id, dest, body_ptr, call_options] {
+  loop_->ScheduleAfter(marshal_cost, [this, rpc_id, dest, body_ptr, call_options,
+                                      alive = std::weak_ptr<char>(alive_)] {
+    if (alive.expired()) {
+      return;  // client torn down (simulated crash) before marshalling ran
+    }
     auto it = outstanding_.find(rpc_id);
     if (it == outstanding_.end()) {
       return;  // cancelled or already handled
     }
     if (it->second.log_record_id != 0) {
       // Durability point: flush before the scheduler may transmit.
-      log_->Flush([this, rpc_id, dest, body_ptr, call_options] {
+      log_->Flush([this, rpc_id, dest, body_ptr, call_options,
+                   alive = std::weak_ptr<char>(alive_)] {
+        if (alive.expired()) {
+          return;  // the log survives a crash; this client did not
+        }
         auto it2 = outstanding_.find(rpc_id);
         if (it2 == outstanding_.end()) {
           return;
@@ -115,6 +153,34 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
     }
   });
   return call;
+}
+
+void QrpcClient::HandleDeadline(uint64_t rpc_id) {
+  auto it = outstanding_.find(rpc_id);
+  if (it == outstanding_.end()) {
+    return;  // answered or cancelled in the same tick
+  }
+  Outstanding out = std::move(it->second);
+  outstanding_.erase(it);
+  // Withdraw the durable record and the queued message through the same
+  // machinery as Cancel(): an expired request must not be resent after a
+  // crash, and must not occupy queue space waiting for connectivity.
+  if (out.log_record_id != 0 && log_ != nullptr) {
+    log_->RemoveRecord(out.log_record_id);
+    answered_log_records_.erase(out.log_record_id);
+  }
+  transport_->scheduler()->CancelMessage(out.dest, rpc_id);
+  c_deadline_exceeded_->Increment();
+  Trace(rpc_id, obs::RpcEvent::kDeadlineExceeded);
+  // Resolve both promises: a waiter on `committed` must not hang on a call
+  // that exited the engine before its flush completed.
+  if (!out.call.committed.ready()) {
+    out.call.committed.Set(loop_->now());
+  }
+  QrpcResult result;
+  result.status = DeadlineExceededError("rpc deadline exceeded");
+  result.completed_at = loop_->now();
+  out.call.result.Set(std::move(result));
 }
 
 void QrpcClient::DispatchToScheduler(uint64_t rpc_id, const std::string& dest, Bytes body,
@@ -146,11 +212,21 @@ void QrpcClient::HandleResponse(const Message& msg) {
   if (body.ok()) {
     result.status = body->ToStatus();
     result.value = body->result;
+    result.server_epoch = body->server_epoch;
   } else {
     result.status = body.status();
   }
   Outstanding out = std::move(it->second);
   outstanding_.erase(it);
+  if (out.deadline_event != kInvalidEventId) {
+    loop_->Cancel(out.deadline_event);
+  }
+  // Observe the epoch before resolving the promise: if the server
+  // restarted, cache invalidation must precede the application's reaction
+  // to this response.
+  if (body.ok() && body->server_epoch > 0) {
+    ObserveServerEpoch(msg.header.src, body->server_epoch);
+  }
   c_completed_->Increment();
   h_rpc_seconds_->Observe((result.completed_at - out.issued_at).seconds());
   Trace(rpc_id, obs::RpcEvent::kResponded);
@@ -180,6 +256,9 @@ bool QrpcClient::Cancel(uint64_t rpc_id) {
   }
   Outstanding out = std::move(it->second);
   outstanding_.erase(it);
+  if (out.deadline_event != kInvalidEventId) {
+    loop_->Cancel(out.deadline_event);
+  }
   if (out.log_record_id != 0 && log_ != nullptr) {
     log_->RemoveRecord(out.log_record_id);
     answered_log_records_.erase(out.log_record_id);
@@ -187,6 +266,9 @@ bool QrpcClient::Cancel(uint64_t rpc_id) {
   transport_->scheduler()->CancelMessage(out.dest, rpc_id);
   c_cancelled_->Increment();
   Trace(rpc_id, obs::RpcEvent::kCancelled);
+  if (!out.call.committed.ready()) {
+    out.call.committed.Set(loop_->now());  // left the engine pre-commit
+  }
   if (!out.call.result.ready()) {
     QrpcResult result;
     result.status = CancelledError("call cancelled by application");
@@ -293,12 +375,40 @@ bool QrpcServer::CorruptCachedResponseForTest(const std::string& client, uint64_
   return true;
 }
 
+std::vector<QrpcServer::CachedResponse> QrpcServer::CachedResponses() const {
+  std::vector<CachedResponse> out;
+  out.reserve(done_order_.size());
+  // Walk in eviction order so a restore preserves the cache's age ranking.
+  for (const auto& key : done_order_) {
+    auto it = done_.find(key);
+    if (it != done_.end()) {
+      out.push_back(CachedResponse{key.first, key.second, it->second});
+    }
+  }
+  return out;
+}
+
+void QrpcServer::RestoreCachedResponse(std::string client, uint64_t rpc_id, Bytes response) {
+  const auto key = std::make_pair(std::move(client), rpc_id);
+  if (done_.emplace(key, std::move(response)).second) {
+    done_order_.push_back(key);
+    while (done_order_.size() > options_.duplicate_cache_max) {
+      done_.erase(done_order_.front());
+      done_order_.pop_front();
+    }
+  }
+}
+
 void QrpcServer::RegisterHandler(const std::string& method, Handler handler) {
   handlers_[method] = std::move(handler);
 }
 
 void QrpcServer::SendResponse(const std::string& dst, uint64_t rpc_id, Priority priority,
-                              const std::string& reply_via, const RpcResponseBody& body) {
+                              const std::string& reply_via, RpcResponseBody body) {
+  // Stamp the *current* incarnation at send time: a duplicate-cache replay
+  // after a restart carries the new epoch, which is exactly the signal the
+  // client needs to notice the restart.
+  body.server_epoch = epoch_;
   Message msg;
   msg.header.type = MessageType::kResponse;
   msg.header.priority = priority;
@@ -385,24 +495,54 @@ void QrpcServer::HandleRequest(const Message& msg) {
   const uint64_t rpc_id = msg.header.message_id;
   const Priority priority = msg.header.priority;
   const std::string reply_via = msg.header.reply_via;
-  Responder respond = [this, key, src, rpc_id, priority, reply_via](RpcResponseBody body) {
+  Responder respond = [this, key, src, rpc_id, priority, reply_via,
+                       alive = std::weak_ptr<char>(alive_)](RpcResponseBody body) {
+    if (alive.expired()) {
+      return;  // handler outlived the server (simulated crash)
+    }
     in_progress_.erase(key);
-    done_[key] = body.Encode();
+    Bytes encoded = body.Encode();  // cached/journaled without an epoch stamp
+    done_[key] = encoded;
     done_order_.push_back(key);
     while (done_order_.size() > options_.duplicate_cache_max) {
       done_.erase(done_order_.front());
       done_order_.pop_front();
     }
-    SendResponse(src, rpc_id, priority, reply_via, body);
+    if (response_journal_) {
+      // Write-ahead: the response leaves only after the journal reports the
+      // entry durable. A crash in between means the client never saw an
+      // answer and safely resends.
+      auto body_ptr = std::make_shared<RpcResponseBody>(std::move(body));
+      response_journal_(
+          src, rpc_id, encoded,
+          [this, src, rpc_id, priority, reply_via, body_ptr,
+           alive2 = std::weak_ptr<char>(alive_)] {
+            if (!alive2.expired()) {
+              SendResponse(src, rpc_id, priority, reply_via, std::move(*body_ptr));
+            }
+          });
+    } else {
+      SendResponse(src, rpc_id, priority, reply_via, std::move(body));
+    }
   };
 
-  // Model dispatch CPU cost, then run the handler.
+  // Model dispatch CPU cost, then run the handler. While the handler body
+  // executes, current_request() names the request so synchronous store
+  // mutations can be attributed to it (transactional journaling).
   auto request_ptr = std::make_shared<RpcRequestBody>(std::move(*request));
   auto envelope_ptr = std::make_shared<Message>(msg);
-  loop_->ScheduleAfter(options_.dispatch_cost,
-                       [handler = *handler, request_ptr, envelope_ptr, respond] {
-                         handler(*request_ptr, *envelope_ptr, respond);
-                       });
+  loop_->ScheduleAfter(
+      options_.dispatch_cost,
+      [this, key, handler = *handler, request_ptr, envelope_ptr, respond,
+       alive = std::weak_ptr<char>(alive_)] {
+        if (alive.expired()) {
+          return;  // server torn down before dispatch
+        }
+        current_request_ = key;
+        has_current_request_ = true;
+        handler(*request_ptr, *envelope_ptr, respond);
+        has_current_request_ = false;
+      });
 }
 
 }  // namespace rover

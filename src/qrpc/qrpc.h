@@ -12,11 +12,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/obs/rpc_trace.h"
@@ -31,6 +34,9 @@ struct QrpcResult {
   Status status;
   RpcValue value = int64_t{0};
   TimePoint completed_at;
+  // Incarnation of the server that produced the response (0 when the
+  // response carried no epoch, e.g. a transport-level failure).
+  uint64_t server_epoch = 0;
 };
 
 struct QrpcCallOptions {
@@ -38,6 +44,12 @@ struct QrpcCallOptions {
   bool via_relay = false;        // connectionless (SMTP) path
   std::string relay_host;
   bool log_request = true;       // false = unlogged call (E2 baseline)
+  // Non-zero: if no response arrived within this duration of Call(), the
+  // result promise resolves with kDeadlineExceeded, the durable log record
+  // is withdrawn, and the queued message is cancelled (best-effort: a
+  // request already on the wire may still execute at the server; its late
+  // response is ignored). Zero = wait forever, the queued-RPC default.
+  Duration deadline = Duration::Zero();
 };
 
 struct QrpcClientOptions {
@@ -52,6 +64,7 @@ struct QrpcClientStats {
   uint64_t completed = 0;
   uint64_t recovered = 0;  // re-sent after crash recovery
   uint64_t cancelled = 0;  // cancelled by the application
+  uint64_t deadline_exceeded = 0;  // per-call deadline fired first
 };
 
 // Handle returned by Call(). Both promises resolve on the event loop.
@@ -110,17 +123,30 @@ class QrpcClient {
   uint64_t next_rpc_id() const { return next_rpc_id_; }
   void set_next_rpc_id(uint64_t id) { next_rpc_id_ = std::max(next_rpc_id_, id); }
 
+  // Fired when a response reveals a server incarnation newer than the last
+  // one this client observed -- the server restarted, so its volatile state
+  // (subscriptions) is gone. The access manager re-subscribes and marks
+  // that server's cached imports stale. The first epoch seen from a server
+  // is recorded silently.
+  using EpochObserver = std::function<void(const std::string& server, uint64_t epoch)>;
+  void SetEpochObserver(EpochObserver observer) { epoch_observer_ = std::move(observer); }
+  // Last epoch observed from `server` (0 if none yet).
+  uint64_t LastSeenEpoch(const std::string& server) const;
+
  private:
   struct Outstanding {
     QrpcCall call;
     uint64_t log_record_id = 0;  // 0 when unlogged
     std::string dest;
     TimePoint issued_at;
+    EventId deadline_event = kInvalidEventId;
   };
 
   void DispatchToScheduler(uint64_t rpc_id, const std::string& dest, Bytes body,
                            const QrpcCallOptions& call_options);
   void HandleResponse(const Message& msg);
+  void HandleDeadline(uint64_t rpc_id);
+  void ObserveServerEpoch(const std::string& server, uint64_t epoch);
   void MaybeTruncateLog();
   void WireMetrics(obs::Registry* registry, const std::string& prefix);
   void Trace(uint64_t rpc_id, obs::RpcEvent event);
@@ -137,6 +163,14 @@ class QrpcClient {
   // Log record ids whose rpc has completed; truncated once contiguous with
   // the log head.
   std::set<uint64_t> answered_log_records_;
+  // Newest epoch observed per server host; drives the epoch observer.
+  std::map<std::string, uint64_t> seen_server_epochs_;
+  EpochObserver epoch_observer_;
+  // Deferred loop callbacks (marshal, flush completion, deadlines) capture
+  // a weak_ptr to this token and bail out once it is gone, so a client
+  // destroyed by a simulated crash never has freed state touched by events
+  // already in the loop.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 
   obs::Registry own_metrics_;  // used until BindMetrics() points elsewhere
   obs::RpcTracer* tracer_ = nullptr;
@@ -144,6 +178,7 @@ class QrpcClient {
   obs::Counter* c_completed_ = nullptr;
   obs::Counter* c_recovered_ = nullptr;
   obs::Counter* c_cancelled_ = nullptr;
+  obs::Counter* c_deadline_exceeded_ = nullptr;
   obs::Histogram* h_rpc_seconds_ = nullptr;  // Call() -> response matched
 };
 
@@ -182,6 +217,41 @@ class QrpcServer {
   // Invoked for methods with no registered handler (else kUnimplemented).
   void SetDefaultHandler(Handler handler) { default_handler_ = std::move(handler); }
 
+  // Server incarnation stamped on every response (including duplicate-cache
+  // replays). Recovery bumps it; clients use the jump to detect a restart.
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
+  uint64_t epoch() const { return epoch_; }
+
+  // Write-ahead hook for the duplicate-response cache. When set, every
+  // handler response is journaled *before* its wire send: the journal
+  // receives the cached bytes plus a `release` closure and must invoke it
+  // once the entry (and any state the request mutated) is durable. If the
+  // server dies first, the response is never sent, the client resends, and
+  // recovery replays neither the mutation nor the response -- the two stay
+  // atomic. Error replies produced outside handlers (auth, unknown method,
+  // malformed request) are not journaled, matching the cache itself.
+  using ResponseJournal =
+      std::function<void(const std::string& client, uint64_t rpc_id,
+                         const Bytes& encoded_response, std::function<void()> release)>;
+  void SetResponseJournal(ResponseJournal journal) { response_journal_ = std::move(journal); }
+
+  // Duplicate-cache persistence: snapshot for compaction, restore on
+  // recovery (restored entries re-enter the bounded eviction order).
+  struct CachedResponse {
+    std::string client;
+    uint64_t rpc_id = 0;
+    Bytes response;
+  };
+  std::vector<CachedResponse> CachedResponses() const;
+  void RestoreCachedResponse(std::string client, uint64_t rpc_id, Bytes response);
+
+  // Identity of the request whose handler is executing right now, or
+  // nullptr outside handler dispatch. Lets store-level journaling attribute
+  // synchronous mutations to the request that caused them.
+  const std::pair<std::string, uint64_t>* current_request() const {
+    return has_current_request_ ? &current_request_ : nullptr;
+  }
+
   // Re-homes the server's instruments into `registry` under "<prefix>."
   // names, carrying current values over.
   void BindMetrics(obs::Registry* registry, const std::string& prefix = "qrpc_server");
@@ -196,12 +266,20 @@ class QrpcServer {
  private:
   void HandleRequest(const Message& msg);
   void SendResponse(const std::string& dst, uint64_t rpc_id, Priority priority,
-                    const std::string& reply_via, const RpcResponseBody& body);
+                    const std::string& reply_via, RpcResponseBody body);
   void WireMetrics(obs::Registry* registry, const std::string& prefix);
 
   EventLoop* loop_;
   TransportManager* transport_;
   QrpcServerOptions options_;
+  uint64_t epoch_ = 1;
+  ResponseJournal response_journal_;
+  std::pair<std::string, uint64_t> current_request_;
+  bool has_current_request_ = false;
+  // Deferred dispatch events and handler-held responders capture a
+  // weak_ptr to this token so a server destroyed by a simulated crash
+  // cannot be touched by callbacks that outlive it.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
   obs::Registry own_metrics_;  // used until BindMetrics() points elsewhere
   obs::Counter* c_requests_ = nullptr;
   obs::Counter* c_duplicates_ = nullptr;

@@ -193,11 +193,35 @@ std::vector<StableLog::Record> StableLog::DurableRecords() const {
 }
 
 void StableLog::SimulateCrash(bool tear_last_record) {
+  // If a device write was in progress, its newest record may have partially
+  // reached the platter: with tear_last_record it survives as a torn record
+  // (kept, marked durable, bytes damaged) for Recover()'s CRC scan to
+  // reject, instead of vanishing silently with the volatile tail.
+  bool tore_in_flight = false;
+  if (tear_last_record) {
+    for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+      if (it->durable) {
+        break;
+      }
+      const bool being_written =
+          flush_in_flight_ids_.count(it->id) > 0 || write_in_progress_;
+      if (being_written) {
+        it->durable = true;
+        if (it->data.empty()) {
+          it->data.push_back(0xff);
+        } else {
+          it->data[it->data.size() / 2] ^= 0x5a;
+        }
+        tore_in_flight = true;
+        break;
+      }
+    }
+  }
   // Volatile tail is lost.
   while (!records_.empty() && !records_.back().durable) {
     records_.pop_back();
   }
-  if (tear_last_record && !records_.empty()) {
+  if (tear_last_record && !tore_in_flight && !records_.empty()) {
     Record& last = records_.back();
     if (last.data.empty()) {
       last.data.push_back(0xff);  // garbage byte; CRC of empty no longer matches

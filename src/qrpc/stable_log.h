@@ -73,6 +73,14 @@ class StableLog {
   // True when no appended record is awaiting a flush.
   bool FullyDurable() const;
 
+  // True while a simulated device write is in progress. Only then can a
+  // crash physically tear a record; toolkit-level crash APIs gate their
+  // tear flag on this so a record whose write completed (and may have been
+  // acknowledged) is never retroactively corrupted.
+  bool WriteInFlight() const {
+    return write_in_progress_ || !flush_in_flight_ids_.empty();
+  }
+
   // Removes records with id <= `up_to_id` (they have been acknowledged).
   void Truncate(uint64_t up_to_id);
 
@@ -86,6 +94,11 @@ class StableLog {
 
   // Id of the oldest record still in the log, or 0 when empty.
   uint64_t FrontRecordId() const { return records_.empty() ? 0 : records_.front().id; }
+
+  // Id of the newest record in the log, or 0 when empty. Snapshot-based
+  // compaction captures this before writing a snapshot and truncates up to
+  // it afterwards, leaving records appended meanwhile in place.
+  uint64_t BackRecordId() const { return records_.empty() ? 0 : records_.back().id; }
 
   // Crash: in-memory (non-durable) records vanish. If `tear_last_record`,
   // the final durable record is corrupted as a torn write would.

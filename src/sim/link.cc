@@ -72,6 +72,8 @@ void Link::WireMetrics(obs::Registry* registry, const std::string& prefix) {
   c_frames_lost_ = registry->counter(prefix + ".frames_lost");
   c_frames_corrupted_ = registry->counter(prefix + ".frames_corrupted");
   c_frames_rejected_ = registry->counter(prefix + ".frames_rejected");
+  c_frames_duplicated_ = registry->counter(prefix + ".frames_duplicated");
+  c_frames_reordered_ = registry->counter(prefix + ".frames_reordered");
   c_payload_bytes_ = registry->counter(prefix + ".payload_bytes");
   c_wire_bytes_ = registry->counter(prefix + ".wire_bytes");
 }
@@ -84,6 +86,8 @@ void Link::BindMetrics(obs::Registry* registry, const std::string& prefix) {
   c_frames_lost_->Increment(carried.frames_lost);
   c_frames_corrupted_->Increment(carried.frames_corrupted);
   c_frames_rejected_->Increment(carried.frames_rejected);
+  c_frames_duplicated_->Increment(carried.frames_duplicated);
+  c_frames_reordered_->Increment(carried.frames_reordered);
   c_payload_bytes_->Increment(carried.payload_bytes);
   c_wire_bytes_->Increment(carried.wire_bytes);
 }
@@ -95,6 +99,8 @@ LinkStats Link::stats() const {
   s.frames_lost = c_frames_lost_->value();
   s.frames_corrupted = c_frames_corrupted_->value();
   s.frames_rejected = c_frames_rejected_->value();
+  s.frames_duplicated = c_frames_duplicated_->value();
+  s.frames_reordered = c_frames_reordered_->value();
   s.payload_bytes = c_payload_bytes_->value();
   s.wire_bytes = c_wire_bytes_->value();
   return s;
@@ -106,6 +112,8 @@ void Link::ResetStats() {
   c_frames_lost_->Reset();
   c_frames_corrupted_->Reset();
   c_frames_rejected_->Reset();
+  c_frames_duplicated_->Reset();
+  c_frames_reordered_->Reset();
   c_payload_bytes_->Reset();
   c_wire_bytes_->Reset();
 }
@@ -265,9 +273,24 @@ void Link::SendFrame(const std::string& from_host, Bytes frame, DeliveryCallback
     return;
   }
 
+  // Reordering: hold the frame back so frames transmitted after it arrive
+  // first. The sender's completion is delayed with the frame -- from its
+  // point of view the link was just slow.
+  TimePoint deliver_at = arrival;
+  if (profile_.reorder_prob > 0.0 && loss_rng_.NextBool(profile_.reorder_prob)) {
+    c_frames_reordered_->Increment();
+    deliver_at += profile_.reorder_delay;
+  }
+
+  // Duplication: the receiver sees the frame twice (a stale retransmission
+  // still in the network); delivery/payload counters count it once and the
+  // sender sees a single OK.
+  const bool duplicate =
+      profile_.duplicate_prob > 0.0 && loss_rng_.NextBool(profile_.duplicate_prob);
+
   const size_t payload = frame.size();
   auto frame_ptr = std::make_shared<Bytes>(std::move(frame));
-  loop_->ScheduleAt(arrival, [this, dir, frame_ptr, done, payload, from_host] {
+  loop_->ScheduleAt(deliver_at, [this, dir, frame_ptr, done, payload, from_host] {
     c_frames_delivered_->Increment();
     c_payload_bytes_->Increment(payload);
     if (handlers_[dir]) {
@@ -277,6 +300,14 @@ void Link::SendFrame(const std::string& from_host, Bytes frame, DeliveryCallback
       done(Status::Ok());
     }
   });
+  if (duplicate) {
+    c_frames_duplicated_->Increment();
+    loop_->ScheduleAt(deliver_at + profile_.latency, [this, dir, frame_ptr, from_host] {
+      if (handlers_[dir]) {
+        handlers_[dir](*frame_ptr, from_host);
+      }
+    });
+  }
 }
 
 void Link::NotifyWhenUp(std::function<void()> cb) {

@@ -39,6 +39,14 @@ struct LinkProfile {
   // corrupted copy (and drops it after failing to decode), while the sender
   // learns of the failure one RTT later, as with loss.
   double corrupt_prob = 0.0;
+  // Probability a delivered frame arrives twice at the receiver (a stale
+  // retransmission surviving in the network). The sender sees a single OK.
+  double duplicate_prob = 0.0;
+  // Probability a delivered frame is held back by `reorder_delay`, letting
+  // frames sent after it arrive first. Sender-side completion is delayed
+  // with it (the outcome is still "delivered").
+  double reorder_prob = 0.0;
+  Duration reorder_delay = Duration::Millis(20);
   Duration connect_cost = Duration::Zero();  // paid after `idle_threshold` of silence
   Duration idle_threshold = Duration::Seconds(30);
 
@@ -59,6 +67,8 @@ struct LinkStats {
   uint64_t frames_lost = 0;      // loss model or mid-transfer disconnect
   uint64_t frames_corrupted = 0;
   uint64_t frames_rejected = 0;  // link was down at send time
+  uint64_t frames_duplicated = 0;  // delivered a second time to the receiver
+  uint64_t frames_reordered = 0;   // held back so later frames overtake
   uint64_t payload_bytes = 0;    // delivered payload
   uint64_t wire_bytes = 0;       // payload + packet header overhead, delivered or not
 };
@@ -123,6 +133,8 @@ class Link {
   obs::Counter* c_frames_lost_ = nullptr;
   obs::Counter* c_frames_corrupted_ = nullptr;
   obs::Counter* c_frames_rejected_ = nullptr;
+  obs::Counter* c_frames_duplicated_ = nullptr;
+  obs::Counter* c_frames_reordered_ = nullptr;
   obs::Counter* c_payload_bytes_ = nullptr;
   obs::Counter* c_wire_bytes_ = nullptr;
   std::array<FrameHandler, 2> handlers_;  // index = receiving direction (0 means b receives)

@@ -23,13 +23,38 @@ bool Host::CanReach(const std::string& peer) const {
   return false;
 }
 
-void Host::SetReceiver(Receiver receiver) { receiver_ = std::move(receiver); }
+void Host::SetReceiver(Receiver receiver, const void* owner) {
+  receiver_ = std::move(receiver);
+  receiver_owner_ = owner;
+}
+
+void Host::ClearReceiver(const void* owner) {
+  if (receiver_owner_ == owner) {
+    receiver_ = nullptr;
+    receiver_owner_ = nullptr;
+  }
+}
+
+void Host::SetLinkChangeListener(std::function<void()> listener, const void* owner) {
+  link_change_listener_ = std::move(listener);
+  listener_owner_ = owner;
+}
+
+void Host::ClearLinkChangeListener(const void* owner) {
+  if (listener_owner_ == owner) {
+    link_change_listener_ = nullptr;
+    listener_owner_ = nullptr;
+  }
+}
 
 void Host::Attach(Link* link) {
   links_.push_back(link);
   link->SetFrameHandler(name_, [this](const Bytes& frame, const std::string& from) {
     HandleFrame(frame, from);
   });
+  if (link_change_listener_) {
+    link_change_listener_();
+  }
 }
 
 void Host::HandleFrame(const Bytes& frame, const std::string& from) {

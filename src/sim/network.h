@@ -35,8 +35,18 @@ class Host {
   // True if any link to `peer` is currently up.
   bool CanReach(const std::string& peer) const;
 
-  // Registers the upcall for frames arriving on any attached link.
-  void SetReceiver(Receiver receiver);
+  // Registers the upcall for frames arriving on any attached link. `owner`
+  // identifies the registrant so ClearReceiver can be a no-op when someone
+  // else has re-registered since (a replacement transport may be built
+  // before its predecessor is destroyed).
+  void SetReceiver(Receiver receiver, const void* owner = nullptr);
+  void ClearReceiver(const void* owner);
+
+  // Fires whenever a link is attached to this host. The transport layer
+  // uses it to re-evaluate queues parked on "no route" or on a wakeup armed
+  // for a link that is no longer the soonest-up one.
+  void SetLinkChangeListener(std::function<void()> listener, const void* owner = nullptr);
+  void ClearLinkChangeListener(const void* owner);
 
  private:
   friend class Network;
@@ -48,6 +58,9 @@ class Host {
   std::string name_;
   std::vector<Link*> links_;
   Receiver receiver_;
+  const void* receiver_owner_ = nullptr;
+  std::function<void()> link_change_listener_;
+  const void* listener_owner_ = nullptr;
 };
 
 class Network {

@@ -9,8 +9,11 @@ Status ObjectStore::Create(const RdoDescriptor& descriptor) {
   Entry entry;
   entry.committed = descriptor;
   entry.committed.version = 1;
-  objects_.emplace(descriptor.name, std::move(entry));
+  auto inserted = objects_.emplace(descriptor.name, std::move(entry));
   ++stats_.creates;
+  if (on_commit_) {
+    on_commit_(inserted.first->second.committed);
+  }
   return Status::Ok();
 }
 
@@ -26,6 +29,9 @@ Result<uint64_t> ObjectStore::Put(const RdoDescriptor& descriptor) {
   entry.committed = descriptor;
   entry.committed.version = new_version;
   ++stats_.commits;
+  if (on_commit_) {
+    on_commit_(entry.committed);
+  }
   return new_version;
 }
 
@@ -74,6 +80,9 @@ Result<ExportOutcome> ObjectStore::ApplyExport(const RdoDescriptor& proposed,
     ++stats_.fast_path_commits;
     outcome.new_version = entry.committed.version;
     outcome.committed = entry.committed;
+    if (on_commit_) {
+      on_commit_(entry.committed);
+    }
     return outcome;
   }
 
@@ -111,6 +120,9 @@ Result<ExportOutcome> ObjectStore::ApplyExport(const RdoDescriptor& proposed,
   outcome.new_version = entry.committed.version;
   outcome.was_conflict = true;
   outcome.committed = entry.committed;
+  if (on_commit_) {
+    on_commit_(entry.committed);
+  }
   return outcome;
 }
 
@@ -118,7 +130,18 @@ Status ObjectStore::Remove(const std::string& name) {
   if (objects_.erase(name) == 0) {
     return NotFoundError("object \"" + name + "\" not found");
   }
+  if (on_remove_) {
+    on_remove_(name);
+  }
   return Status::Ok();
+}
+
+void ObjectStore::RestoreCommit(const RdoDescriptor& committed) {
+  Entry& entry = objects_[committed.name];
+  if (entry.committed.version != 0 && entry.committed.version < committed.version) {
+    PushHistory(&entry);
+  }
+  entry.committed = committed;
 }
 
 std::vector<std::string> ObjectStore::List(const std::string& prefix) const {

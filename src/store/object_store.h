@@ -10,6 +10,7 @@
 #define ROVER_SRC_STORE_OBJECT_STORE_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -73,6 +74,22 @@ class ObjectStore {
   Bytes Serialize() const;
   Status Load(const Bytes& snapshot);
 
+  // Journal hooks, fired after every committed mutation (Create/Put/
+  // ApplyExport commit) and every removal. The server stable store uses
+  // them to write-ahead-log mutations without each call site knowing about
+  // durability. Replay via RestoreCommit/Remove does NOT fire them.
+  using CommitHook = std::function<void(const RdoDescriptor& committed)>;
+  using RemoveHook = std::function<void(const std::string& name)>;
+  void SetJournalHooks(CommitHook on_commit, RemoveHook on_remove) {
+    on_commit_ = std::move(on_commit);
+    on_remove_ = std::move(on_remove);
+  }
+
+  // WAL replay: re-applies a logged committed descriptor at its recorded
+  // version (creating the object if needed), pushing the previous committed
+  // state into history. Bypasses resolvers, stats, and journal hooks.
+  void RestoreCommit(const RdoDescriptor& committed);
+
  private:
   struct Entry {
     RdoDescriptor committed;
@@ -84,6 +101,8 @@ class ObjectStore {
   size_t history_limit_;
   std::map<std::string, Entry> objects_;
   ObjectStoreStats stats_;
+  CommitHook on_commit_;
+  RemoveHook on_remove_;
 };
 
 }  // namespace rover

@@ -45,9 +45,106 @@ RpcResponseBody ValueResponse(RpcValue value) {
 }  // namespace
 
 RoverServer::RoverServer(EventLoop* loop, TransportManager* transport, QrpcServer* qrpc,
-                         RoverServerOptions options)
-    : loop_(loop), transport_(transport), qrpc_(qrpc), options_(options) {
+                         RoverServerOptions options, ServerStableStore* stable_store)
+    : loop_(loop), transport_(transport), qrpc_(qrpc), options_(options),
+      stable_store_(stable_store) {
   RegisterMethods();
+  if (stable_store_ != nullptr) {
+    WireDurability();
+  }
+}
+
+void RoverServer::WireDurability() {
+  store_.SetJournalHooks(
+      [this](const RdoDescriptor& committed) {
+        ReplayOp op;
+        op.committed = committed;
+        RecordOp(std::move(op));
+      },
+      [this](const std::string& name) {
+        ReplayOp op;
+        op.is_remove = true;
+        op.name = name;
+        RecordOp(std::move(op));
+      });
+  qrpc_->SetResponseJournal([this](const std::string& client, uint64_t rpc_id,
+                                   const Bytes& encoded_response,
+                                   std::function<void()> release) {
+    ServerTransaction txn;
+    auto pending = pending_ops_.find({client, rpc_id});
+    if (pending != pending_ops_.end()) {
+      txn.ops = std::move(pending->second);
+      pending_ops_.erase(pending);
+    }
+    txn.has_response = true;
+    txn.client = client;
+    txn.rpc_id = rpc_id;
+    txn.response = encoded_response;
+    stable_store_->LogTransaction(txn);
+    stable_store_->Flush(std::move(release));
+    MaybeCompact();
+  });
+}
+
+void RoverServer::RecordOp(ReplayOp op) {
+  if (replaying_) {
+    return;  // WAL replay must not re-journal itself
+  }
+  const auto* request = qrpc_->current_request();
+  if (request != nullptr) {
+    pending_ops_[*request].push_back(std::move(op));
+    return;
+  }
+  // Mutation outside any RPC (direct CreateObject etc.): its own
+  // single-op transaction, flushed best-effort.
+  ServerTransaction txn;
+  txn.ops.push_back(std::move(op));
+  stable_store_->LogTransaction(txn);
+  stable_store_->Flush(nullptr);
+}
+
+void RoverServer::MaybeCompact() {
+  if (!stable_store_->NeedsCompaction()) {
+    return;
+  }
+  std::vector<CachedResponseEntry> responses;
+  for (auto& cached : qrpc_->CachedResponses()) {
+    responses.push_back({cached.client, cached.rpc_id, std::move(cached.response)});
+  }
+  stable_store_->WriteSnapshot(store_.Serialize(), std::move(responses));
+}
+
+void RoverServer::RestoreFromRecovery(const RecoveredServerState& recovered) {
+  replaying_ = true;
+  if (!recovered.object_image.empty()) {
+    Status loaded = store_.Load(recovered.object_image);
+    if (!loaded.ok()) {
+      ROVER_LOG(Warning) << "server snapshot load failed: " << loaded.message();
+    }
+  }
+  for (const CachedResponseEntry& entry : recovered.snapshot_responses) {
+    qrpc_->RestoreCachedResponse(entry.client, entry.rpc_id, entry.response);
+  }
+  for (const ServerTransaction& txn : recovered.wal) {
+    for (const ReplayOp& op : txn.ops) {
+      if (op.is_remove) {
+        (void)store_.Remove(op.name);  // hooks suppressed by replaying_
+      } else {
+        store_.RestoreCommit(op.committed);
+      }
+    }
+    if (txn.has_response) {
+      qrpc_->RestoreCachedResponse(txn.client, txn.rpc_id, txn.response);
+    }
+  }
+  replaying_ = false;
+  qrpc_->set_epoch(recovered.epoch);
+  // Volatile by design: live instances, subscriptions, half-built
+  // transactions, delivery failure counts.
+  instances_.clear();
+  subscribers_.clear();
+  pending_ops_.clear();
+  invalidation_failures_.clear();
 }
 
 void RoverServer::RegisterMethods() {
@@ -65,6 +162,7 @@ void RoverServer::RegisterMethods() {
   qrpc_->RegisterHandler("rover.list", bind(&RoverServer::HandleList));
   qrpc_->RegisterHandler("rover.version", bind(&RoverServer::HandleVersion));
   qrpc_->RegisterHandler("rover.subscribe", bind(&RoverServer::HandleSubscribe));
+  qrpc_->RegisterHandler("rover.unsubscribe", bind(&RoverServer::HandleUnsubscribe));
   qrpc_->RegisterHandler("rover.poll", bind(&RoverServer::HandlePoll));
 }
 
@@ -188,6 +286,8 @@ void RoverServer::HandleInvoke(const RpcRequestBody& req, const Message& envelop
     return;
   }
 
+  // Read before the commit path below: DropInstance frees the instance.
+  const uint64_t command_count = (*instance)->last_invoke_commands();
   uint64_t version = (*instance)->base_version();
   if ((*instance)->dirty()) {
     // Commit the mutated state; the server is the authority, so this is an
@@ -207,7 +307,7 @@ void RoverServer::HandleInvoke(const RpcRequestBody& req, const Message& envelop
   // Charge simulated CPU for the interpreted execution, then respond.
   const Duration cost =
       options_.rdo_costs.load_fixed +
-      options_.rdo_costs.per_command * static_cast<double>((*instance)->last_invoke_commands());
+      options_.rdo_costs.per_command * static_cast<double>(command_count);
   const std::string value = *result;
   loop_->ScheduleAfter(cost, [respond = std::move(respond), value, version] {
     RpcResponseBody body;
@@ -289,6 +389,28 @@ void RoverServer::HandleSubscribe(const RpcRequestBody& req, const Message& enve
   respond(ValueResponse(int64_t{1}));
 }
 
+void RoverServer::HandleUnsubscribe(const RpcRequestBody& req, const Message& envelope,
+                                    QrpcServer::Responder respond) {
+  if (req.args.size() != 1) {
+    respond(ErrorResponse(InvalidArgumentError("rover.unsubscribe expects [name]")));
+    return;
+  }
+  auto name = RpcValueAsString(req.args[0]);
+  if (!name.ok()) {
+    respond(ErrorResponse(name.status()));
+    return;
+  }
+  auto it = subscribers_.find(*name);
+  if (it != subscribers_.end()) {
+    it->second.erase(envelope.header.src);
+    if (it->second.empty()) {
+      subscribers_.erase(it);
+    }
+  }
+  ++stats_.unsubscribes;
+  respond(ValueResponse(int64_t{1}));
+}
+
 void RoverServer::HandlePoll(const RpcRequestBody& req, const Message& envelope,
                              QrpcServer::Responder respond) {
   // args: [TclList of object paths] -> TclList of committed versions
@@ -336,8 +458,47 @@ void RoverServer::NotifySubscribers(const std::string& name, uint64_t version,
     msg.header.priority = Priority::kBackground;
     msg.header.dst = host;
     msg.payload = EncodeInvalidation(name, version);
-    transport_->Send(std::move(msg));
+    NetworkScheduler::DeliveredCallback delivered;
+    if (options_.invalidation_ttl > Duration::Zero()) {
+      delivered = [this, weak = std::weak_ptr<char>(alive_), host](const Status& status) {
+        if (weak.expired()) {
+          return;  // server crashed while the invalidation was queued
+        }
+        OnInvalidationDelivered(host, status);
+      };
+    }
+    transport_->Send(std::move(msg), std::move(delivered), options_.invalidation_ttl);
     ++stats_.invalidations_sent;
+  }
+}
+
+void RoverServer::OnInvalidationDelivered(const std::string& host, const Status& status) {
+  if (status.ok()) {
+    invalidation_failures_.erase(host);
+    return;
+  }
+  if (status.code() != StatusCode::kDeadlineExceeded) {
+    return;  // cancelled for another reason; not evidence the host is gone
+  }
+  ++stats_.invalidations_expired;
+  size_t& failures = invalidation_failures_[host];
+  ++failures;
+  if (options_.subscriber_drop_after_failures > 0 &&
+      failures >= options_.subscriber_drop_after_failures) {
+    DropSubscriber(host);
+    invalidation_failures_.erase(host);
+    ++stats_.subscribers_dropped;
+  }
+}
+
+void RoverServer::DropSubscriber(const std::string& host) {
+  for (auto it = subscribers_.begin(); it != subscribers_.end();) {
+    it->second.erase(host);
+    if (it->second.empty()) {
+      it = subscribers_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 

@@ -12,11 +12,14 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/qrpc/qrpc.h"
 #include "src/rdo/rdo.h"
 #include "src/store/conflict.h"
 #include "src/store/object_store.h"
+#include "src/store/server_store.h"
 
 namespace rover {
 
@@ -25,6 +28,14 @@ struct RoverServerOptions {
   RdoCostModel rdo_costs;
   size_t instance_cache_max = 64;
   bool send_invalidations = true;
+  // Invalidations are best-effort: a non-zero TTL withdraws ones still
+  // queued for an unreachable subscriber after this long instead of letting
+  // them pile up behind a dead link. Zero = queue forever.
+  Duration invalidation_ttl = Duration::Zero();
+  // After this many consecutive expired invalidations to one host, the host
+  // is dropped from every subscription set (it re-subscribes when it next
+  // talks to us). Zero disables the garbage collection.
+  size_t subscriber_drop_after_failures = 3;
 };
 
 struct RoverServerStats {
@@ -32,6 +43,9 @@ struct RoverServerStats {
   uint64_t exports = 0;
   uint64_t invokes = 0;
   uint64_t invalidations_sent = 0;
+  uint64_t invalidations_expired = 0;  // TTL fired before delivery
+  uint64_t unsubscribes = 0;
+  uint64_t subscribers_dropped = 0;    // GC'd after repeated expiries
 };
 
 // Invalidation control-message payload helpers (shared with the client
@@ -45,8 +59,12 @@ Result<Invalidation> DecodeInvalidation(const Bytes& payload);
 
 class RoverServer {
  public:
+  // With a non-null `stable_store`, every RPC's store mutations and its
+  // duplicate-cache response entry are journaled as one atomic WAL
+  // transaction before the response leaves, and the WAL is compacted into
+  // snapshots as it grows.
   RoverServer(EventLoop* loop, TransportManager* transport, QrpcServer* qrpc,
-              RoverServerOptions options = {});
+              RoverServerOptions options = {}, ServerStableStore* stable_store = nullptr);
 
   ObjectStore* store() { return &store_; }
   ConflictResolverRegistry* resolvers() { return &resolvers_; }
@@ -55,8 +73,23 @@ class RoverServer {
   // Convenience for tests/benches/examples: create an object directly.
   Status CreateObject(const RdoDescriptor& descriptor);
 
+  // Rebuilds the server image from recovered stable state: snapshot load,
+  // WAL replay (mutations + duplicate-cache entries), epoch installation.
+  // Subscriptions and live RDO instances are volatile and start empty.
+  void RestoreFromRecovery(const RecoveredServerState& recovered);
+
+  size_t SubscriberCount(const std::string& name) const {
+    auto it = subscribers_.find(name);
+    return it == subscribers_.end() ? 0 : it->second.size();
+  }
+
  private:
   void RegisterMethods();
+  void WireDurability();
+  void RecordOp(ReplayOp op);
+  void MaybeCompact();
+  void OnInvalidationDelivered(const std::string& host, const Status& status);
+  void DropSubscriber(const std::string& host);
   void HandleImport(const RpcRequestBody& req, const Message& envelope,
                     QrpcServer::Responder respond);
   void HandleExport(const RpcRequestBody& req, const Message& envelope,
@@ -71,6 +104,8 @@ class RoverServer {
                      QrpcServer::Responder respond);
   void HandleSubscribe(const RpcRequestBody& req, const Message& envelope,
                        QrpcServer::Responder respond);
+  void HandleUnsubscribe(const RpcRequestBody& req, const Message& envelope,
+                         QrpcServer::Responder respond);
   void HandlePoll(const RpcRequestBody& req, const Message& envelope,
                   QrpcServer::Responder respond);
 
@@ -84,11 +119,23 @@ class RoverServer {
   TransportManager* transport_;
   QrpcServer* qrpc_;
   RoverServerOptions options_;
+  ServerStableStore* stable_store_;  // may be null: volatile server
   RoverServerStats stats_;
   ObjectStore store_;
   ConflictResolverRegistry resolvers_;
   std::map<std::string, std::unique_ptr<RdoInstance>> instances_;
   std::map<std::string, std::set<std::string>> subscribers_;  // name -> hosts
+  // Store mutations made by the handler for (client, rpc_id), buffered until
+  // its response is journaled so the pair forms one atomic WAL transaction.
+  std::map<std::pair<std::string, uint64_t>, std::vector<ReplayOp>> pending_ops_;
+  // Consecutive expired invalidations per subscriber host.
+  std::map<std::string, size_t> invalidation_failures_;
+  // True while RestoreFromRecovery replays the WAL: journal hooks must not
+  // re-log the replayed mutations.
+  bool replaying_ = false;
+  // Invalidation delivered-callbacks capture a weak_ptr to this token and
+  // bail out if the server was destroyed (simulated crash) first.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 };
 
 }  // namespace rover

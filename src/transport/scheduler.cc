@@ -34,6 +34,7 @@ NetworkScheduler::NetworkScheduler(EventLoop* loop, Host* host, SchedulerOptions
 void NetworkScheduler::WireMetrics(obs::Registry* registry, const std::string& prefix) {
   c_messages_enqueued_ = registry->counter(prefix + ".messages_enqueued");
   c_messages_delivered_ = registry->counter(prefix + ".messages_delivered");
+  c_messages_expired_ = registry->counter(prefix + ".messages_expired");
   c_frames_sent_ = registry->counter(prefix + ".frames_sent");
   c_retries_ = registry->counter(prefix + ".retries");
   c_bytes_sent_ = registry->counter(prefix + ".bytes_sent");
@@ -48,6 +49,7 @@ void NetworkScheduler::BindMetrics(obs::Registry* registry, const std::string& p
   WireMetrics(registry, prefix);
   c_messages_enqueued_->Increment(carried.messages_enqueued);
   c_messages_delivered_->Increment(carried.messages_delivered);
+  c_messages_expired_->Increment(carried.messages_expired);
   c_frames_sent_->Increment(carried.frames_sent);
   c_retries_->Increment(carried.retries);
   c_bytes_sent_->Increment(carried.bytes_sent);
@@ -61,6 +63,7 @@ SchedulerStats NetworkScheduler::stats() const {
   SchedulerStats s;
   s.messages_enqueued = c_messages_enqueued_->value();
   s.messages_delivered = c_messages_delivered_->value();
+  s.messages_expired = c_messages_expired_->value();
   s.frames_sent = c_frames_sent_->value();
   s.retries = c_retries_->value();
   s.bytes_sent = c_bytes_sent_->value();
@@ -70,7 +73,7 @@ SchedulerStats NetworkScheduler::stats() const {
   return s;
 }
 
-void NetworkScheduler::Enqueue(Message msg, DeliveredCallback delivered) {
+void NetworkScheduler::Enqueue(Message msg, DeliveredCallback delivered, Duration ttl) {
   c_messages_enqueued_->Increment();
   c_payload_bytes_original_->Increment(msg.payload.size());
 
@@ -88,9 +91,48 @@ void NetworkScheduler::Enqueue(Message msg, DeliveredCallback delivered) {
 
   const std::string dest = msg.header.dst;
   const int prio = static_cast<int>(msg.header.priority);
-  queues_[dest].by_priority[prio].push_back(Pending{std::move(msg), std::move(delivered)});
+  Pending pending{std::move(msg), std::move(delivered)};
+  if (!ttl.is_zero()) {
+    pending.expires_at = loop_->now() + ttl;
+    // A purge event at the deadline covers the queue-asleep case (a dest
+    // that never connects drains nothing, so SendBatch never looks at it).
+    loop_->ScheduleAt(pending.expires_at,
+                      [this, dest, alive = std::weak_ptr<char>(alive_)] {
+                        if (!alive.expired()) {
+                          PurgeExpired(dest);
+                        }
+                      });
+  }
+  queues_[dest].by_priority[prio].push_back(std::move(pending));
   NotifyObserver();
   TryDrain(dest);
+}
+
+void NetworkScheduler::PurgeExpired(const std::string& dest) {
+  auto it = queues_.find(dest);
+  if (it == queues_.end()) {
+    return;
+  }
+  const TimePoint now = loop_->now();
+  bool dropped = false;
+  for (auto& pq : it->second.by_priority) {
+    for (auto p = pq.begin(); p != pq.end();) {
+      if (p->expires_at <= now) {
+        c_messages_expired_->Increment();
+        c_payload_bytes_cancelled_->Increment(p->msg.payload.size());
+        if (p->delivered) {
+          p->delivered(DeadlineExceededError("message ttl expired in queue"));
+        }
+        p = pq.erase(p);
+        dropped = true;
+      } else {
+        ++p;
+      }
+    }
+  }
+  if (dropped) {
+    NotifyObserver();
+  }
 }
 
 bool NetworkScheduler::CancelMessage(const std::string& dest, uint64_t message_id) {
@@ -141,6 +183,7 @@ Link* NetworkScheduler::PickLink(const std::string& dest) const {
 }
 
 void NetworkScheduler::TryDrain(const std::string& dest) {
+  PurgeExpired(dest);
   auto it = queues_.find(dest);
   if (it == queues_.end()) {
     return;
@@ -265,6 +308,8 @@ void NetworkScheduler::ArmUpWakeup(const std::string& dest) {
     return;
   }
   // Find the link to `dest` that comes up soonest and schedule a wakeup.
+  // The computation is only valid for the link set as it stands right now;
+  // ReevaluateWakeups() re-runs it when a link is attached later.
   Link* soonest = nullptr;
   TimePoint best = TimePoint::FromMicros(INT64_MAX);
   for (Link* link : host_->LinksTo(dest)) {
@@ -275,22 +320,40 @@ void NetworkScheduler::ArmUpWakeup(const std::string& dest) {
     }
   }
   if (soonest == nullptr || best == TimePoint::FromMicros(INT64_MAX)) {
-    return;  // no route will ever exist; messages stay queued
+    return;  // no route exists today; ReevaluateWakeups() retries on attach
   }
   q.waiting_for_up = true;
-  loop_->ScheduleAt(best, [this, dest, alive = std::weak_ptr<char>(alive_)] {
-    if (alive.expired()) {
-      return;  // scheduler torn down while waiting for the link
+  q.up_wakeup_event =
+      loop_->ScheduleAt(best, [this, dest, alive = std::weak_ptr<char>(alive_)] {
+        if (alive.expired()) {
+          return;  // scheduler torn down while waiting for the link
+        }
+        DestQueue& dq = queues_[dest];
+        dq.waiting_for_up = false;
+        dq.up_wakeup_event = kInvalidEventId;
+        // A fresh connection starts with a fresh loss history: the exponential
+        // backoff accumulated before the outage says nothing about the new
+        // link conditions, and inheriting it would stall the first retry after
+        // a long disconnection by up to the maximum backoff.
+        dq.consecutive_losses = 0;
+        TryDrain(dest);
+      });
+}
+
+void NetworkScheduler::ReevaluateWakeups() {
+  for (auto& [dest, q] : queues_) {
+    if (q.in_flight || q.empty()) {
+      continue;
     }
-    DestQueue& dq = queues_[dest];
-    dq.waiting_for_up = false;
-    // A fresh connection starts with a fresh loss history: the exponential
-    // backoff accumulated before the outage says nothing about the new
-    // link conditions, and inheriting it would stall the first retry after
-    // a long disconnection by up to the maximum backoff.
-    dq.consecutive_losses = 0;
+    // Disarm any stale wakeup (computed against the old link set) and let
+    // TryDrain either send now or re-arm against the current one.
+    if (q.waiting_for_up) {
+      loop_->Cancel(q.up_wakeup_event);
+      q.waiting_for_up = false;
+      q.up_wakeup_event = kInvalidEventId;
+    }
     TryDrain(dest);
-  });
+  }
 }
 
 void NetworkScheduler::NotifyObserver() {

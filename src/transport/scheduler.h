@@ -42,6 +42,7 @@ struct SchedulerOptions {
 struct SchedulerStats {
   uint64_t messages_enqueued = 0;
   uint64_t messages_delivered = 0;
+  uint64_t messages_expired = 0;       // dropped when their TTL lapsed while queued
   uint64_t frames_sent = 0;
   uint64_t retries = 0;
   uint64_t bytes_sent = 0;             // frame bytes handed to links
@@ -61,8 +62,14 @@ class NetworkScheduler {
 
   // Queues `msg` for delivery to msg.header.dst. Returns immediately;
   // `delivered` (may be null) fires when a link accepts the frame carrying
-  // this message end-to-end.
-  void Enqueue(Message msg, DeliveredCallback delivered = nullptr);
+  // this message end-to-end. A non-zero `ttl` bounds how long the message
+  // may wait in the queues: if no link carried it by then it is dropped and
+  // `delivered` fires with kDeadlineExceeded -- for best-effort traffic
+  // (invalidations) that must not pile up behind a peer that never
+  // reconnects. A message already in flight when its TTL lapses is allowed
+  // to complete.
+  void Enqueue(Message msg, DeliveredCallback delivered = nullptr,
+               Duration ttl = Duration::Zero());
 
   // Removes a not-yet-transmitted message from the queues. Returns false
   // if it is unknown or already in flight.
@@ -88,15 +95,23 @@ class NetworkScheduler {
   // Highest-quality (bandwidth) currently-up link to `dest`, or nullptr.
   Link* PickLink(const std::string& dest) const;
 
+  // Re-examines every parked destination queue: wakeups armed against the
+  // link set as it stood earlier are torn down and recomputed. Called when
+  // the host's link set changes (a link attached after a queue went to
+  // sleep, or after concluding "no route will ever exist").
+  void ReevaluateWakeups();
+
  private:
   struct Pending {
     Message msg;
     DeliveredCallback delivered;
+    TimePoint expires_at = TimePoint::FromMicros(INT64_MAX);  // TTL deadline
   };
   struct DestQueue {
     std::array<std::deque<Pending>, kNumPriorities> by_priority;
     bool in_flight = false;
     bool waiting_for_up = false;
+    EventId up_wakeup_event = kInvalidEventId;
     int consecutive_losses = 0;
 
     bool empty() const;
@@ -104,6 +119,8 @@ class NetworkScheduler {
   };
 
   void TryDrain(const std::string& dest);
+  // Drops queued (not in-flight) messages whose TTL has lapsed.
+  void PurgeExpired(const std::string& dest);
   void SendBatch(const std::string& dest, Link* link);
   void HandleBatchOutcome(const std::string& dest, std::vector<Pending> batch,
                           const Status& status);
@@ -126,6 +143,7 @@ class NetworkScheduler {
   obs::RpcTracer* tracer_ = nullptr;
   obs::Counter* c_messages_enqueued_ = nullptr;
   obs::Counter* c_messages_delivered_ = nullptr;
+  obs::Counter* c_messages_expired_ = nullptr;
   obs::Counter* c_frames_sent_ = nullptr;
   obs::Counter* c_retries_ = nullptr;
   obs::Counter* c_bytes_sent_ = nullptr;

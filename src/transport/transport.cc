@@ -11,10 +11,21 @@ TransportManager::TransportManager(EventLoop* loop, Host* host, SchedulerOptions
     : loop_(loop), host_(host), scheduler_(loop, host, options) {
   host_->SetReceiver([this](const Bytes& frame, const std::string& from) {
     HandleFrame(frame, from);
-  });
+  }, this);
+  // A link attached after a queue parked itself (waiting for the wrong
+  // link, or having concluded no route exists) must re-trigger scheduling.
+  host_->SetLinkChangeListener([this] { scheduler_.ReevaluateWakeups(); }, this);
 }
 
-void TransportManager::Send(Message msg, NetworkScheduler::DeliveredCallback delivered) {
+TransportManager::~TransportManager() {
+  // Owner-scoped: a replacement transport registered since (crash-restart
+  // builds the new node before the old one is torn down) keeps its hooks.
+  host_->ClearReceiver(this);
+  host_->ClearLinkChangeListener(this);
+}
+
+void TransportManager::Send(Message msg, NetworkScheduler::DeliveredCallback delivered,
+                            Duration ttl) {
   msg.header.src = host_->name();
   if (msg.header.message_id == 0) {
     msg.header.message_id = AllocateMessageId();
@@ -22,7 +33,7 @@ void TransportManager::Send(Message msg, NetworkScheduler::DeliveredCallback del
   if (msg.header.auth.empty()) {
     msg.header.auth = auth_token_;
   }
-  scheduler_.Enqueue(std::move(msg), std::move(delivered));
+  scheduler_.Enqueue(std::move(msg), std::move(delivered), ttl);
 }
 
 void TransportManager::SendViaRelay(const std::string& relay_host, Message msg,

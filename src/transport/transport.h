@@ -26,13 +26,19 @@ class TransportManager {
   using MessageHandler = std::function<void(const Message&)>;
 
   TransportManager(EventLoop* loop, Host* host, SchedulerOptions options = {});
+  // Unhooks this transport from the host so a frame or link attachment in
+  // the window before a replacement transport registers (crash restart)
+  // cannot reach freed state.
+  ~TransportManager();
 
   const std::string& local_host() const { return host_->name(); }
   Host* host() const { return host_; }
   NetworkScheduler* scheduler() { return &scheduler_; }
 
   // Sends `msg` directly (connection-based path). Fills in header.src.
-  void Send(Message msg, NetworkScheduler::DeliveredCallback delivered = nullptr);
+  // A non-zero `ttl` bounds the queue wait (see NetworkScheduler::Enqueue).
+  void Send(Message msg, NetworkScheduler::DeliveredCallback delivered = nullptr,
+            Duration ttl = Duration::Zero());
 
   // Sends `msg` through `relay_host` (connectionless, SMTP-like path).
   // `delivered` fires when the envelope reaches the relay -- the SMTP

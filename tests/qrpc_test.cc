@@ -396,6 +396,87 @@ TEST_F(QrpcTest, ViaRelayDeliversWithoutDirectLink) {
   EXPECT_EQ(server_->stats().requests, 1u);
 }
 
+TEST_F(QrpcTest, DeadlineFiresWhileDisconnected) {
+  // Link only comes up at t=120s; the 30s deadline fires first.
+  Wire(LinkProfile::WaveLan2(),
+       std::make_unique<PeriodicConnectivity>(Duration::Seconds(1e6), Duration::Zero(),
+                                              TimePoint::Epoch() + Duration::Seconds(120)));
+  QrpcCallOptions opts;
+  opts.deadline = Duration::Seconds(30);
+  QrpcCall call = client_->Call("server", "count", {}, opts);
+  ASSERT_TRUE(call.result.Wait(&loop_));
+  EXPECT_EQ(call.result.value().status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NEAR(call.result.value().completed_at.seconds(), 30.0, 0.001);
+  EXPECT_TRUE(call.committed.ready());  // waiters on commit must not hang
+  // The durable record is withdrawn and the queued message cancelled: the
+  // expired request is neither resent after a crash nor transmitted when
+  // the link finally comes up.
+  EXPECT_EQ(log_->RecordCount(), 0u);
+  EXPECT_EQ(client_tm_->scheduler()->TotalQueueDepth(), 0u);
+  EXPECT_EQ(client_->PendingCount(), 0u);
+  EXPECT_EQ(client_->stats().deadline_exceeded, 1u);
+  loop_.Run();  // link comes up at t=120s; nothing is sent
+  EXPECT_EQ(executions_, 0);
+  EXPECT_EQ(server_->stats().requests, 0u);
+}
+
+TEST_F(QrpcTest, DeadlineDoesNotFireWhenResponseArrivesFirst) {
+  Wire(LinkProfile::Ethernet10());
+  QrpcCallOptions opts;
+  opts.deadline = Duration::Seconds(10);
+  QrpcCall call = client_->Call("server", "echo", {std::string("fast")}, opts);
+  ASSERT_TRUE(call.result.Wait(&loop_));
+  EXPECT_TRUE(call.result.value().status.ok());
+  loop_.Run();  // the armed deadline event was cancelled; nothing fires
+  EXPECT_EQ(client_->stats().deadline_exceeded, 0u);
+  EXPECT_EQ(client_->stats().completed, 1u);
+}
+
+TEST_F(QrpcTest, LateResponseAfterDeadlineIsIgnored) {
+  // CSLIP is slow enough that the request is on the wire (past the point of
+  // cancellation) when a 50ms deadline fires: the server still executes,
+  // but the late response finds no outstanding call and is dropped.
+  Wire(LinkProfile::Cslip144());
+  QrpcCallOptions opts;
+  opts.deadline = Duration::Millis(50);
+  QrpcCall call = client_->Call("server", "count", {}, opts);
+  ASSERT_TRUE(call.result.Wait(&loop_));
+  EXPECT_EQ(call.result.value().status.code(), StatusCode::kDeadlineExceeded);
+  loop_.Run();
+  EXPECT_EQ(executions_, 1);  // best-effort: it did run at the server
+  EXPECT_EQ(client_->PendingCount(), 0u);
+  EXPECT_EQ(client_->stats().completed, 0u);
+}
+
+TEST_F(QrpcTest, EpochObserverFiresOnServerEpochBump) {
+  Wire(LinkProfile::Ethernet10());
+  std::vector<std::pair<std::string, uint64_t>> observed;
+  client_->SetEpochObserver([&](const std::string& server, uint64_t epoch) {
+    observed.push_back({server, epoch});
+  });
+
+  // First contact records the epoch silently.
+  QrpcCall first = client_->Call("server", "echo", {std::string("a")});
+  ASSERT_TRUE(first.result.Wait(&loop_));
+  EXPECT_EQ(first.result.value().server_epoch, 1u);
+  EXPECT_EQ(client_->LastSeenEpoch("server"), 1u);
+  EXPECT_TRUE(observed.empty());
+
+  // The server "restarts": its epoch bumps, and the next response reveals it.
+  server_->set_epoch(2);
+  QrpcCall second = client_->Call("server", "echo", {std::string("b")});
+  ASSERT_TRUE(second.result.Wait(&loop_));
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_EQ(observed[0].first, "server");
+  EXPECT_EQ(observed[0].second, 2u);
+  EXPECT_EQ(client_->LastSeenEpoch("server"), 2u);
+
+  // Same epoch again: no further notification.
+  QrpcCall third = client_->Call("server", "echo", {std::string("c")});
+  ASSERT_TRUE(third.result.Wait(&loop_));
+  EXPECT_EQ(observed.size(), 1u);
+}
+
 TEST_F(QrpcTest, ServerDispatchCostDelaysResponse) {
   QrpcServerOptions sopts;
   sopts.dispatch_cost = Duration::Millis(100);

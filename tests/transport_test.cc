@@ -282,6 +282,114 @@ TEST_F(SchedulerTest, DeliveredCallbackFires) {
   EXPECT_TRUE(delivered);
 }
 
+TEST_F(SchedulerTest, TtlExpiresQueuedMessageWhileDisconnected) {
+  // Link only comes up at t=60s; a 10s TTL withdraws the message first.
+  SetUpHosts(LinkProfile::WaveLan2(),
+             std::make_unique<PeriodicConnectivity>(
+                 Duration::Seconds(1e6), Duration::Zero(),
+                 TimePoint::Epoch() + Duration::Seconds(60)));
+  Status expired_status;
+  bool expired_fired = false;
+  Message with_ttl = MakeMessage("server", 40);
+  with_ttl.header.src = "mobile";
+  with_ttl.header.message_id = 1;
+  mobile_->scheduler()->Enqueue(std::move(with_ttl),
+                                [&](const Status& s) {
+                                  expired_fired = true;
+                                  expired_status = s;
+                                },
+                                /*ttl=*/Duration::Seconds(10));
+  Message forever = MakeMessage("server", 40);
+  forever.header.src = "mobile";
+  forever.header.message_id = 2;
+  mobile_->scheduler()->Enqueue(std::move(forever));
+
+  loop_.RunUntil(TimePoint::Epoch() + Duration::Seconds(30));
+  EXPECT_TRUE(expired_fired);
+  EXPECT_EQ(expired_status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(mobile_->scheduler()->TotalQueueDepth(), 1u);
+  EXPECT_EQ(mobile_->scheduler()->stats().messages_expired, 1u);
+
+  // Only the TTL-free message goes out when the link comes up.
+  loop_.Run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].header.message_id, 2u);
+}
+
+TEST_F(SchedulerTest, TtlDoesNotDropDeliverableMessage) {
+  SetUpHosts(LinkProfile::WaveLan2());
+  bool delivered_ok = false;
+  Message msg = MakeMessage("server", 40);
+  msg.header.src = "mobile";
+  mobile_->scheduler()->Enqueue(std::move(msg),
+                                [&](const Status& s) { delivered_ok = s.ok(); },
+                                /*ttl=*/Duration::Seconds(10));
+  loop_.Run();
+  EXPECT_TRUE(delivered_ok);
+  EXPECT_EQ(received_.size(), 1u);
+  EXPECT_EQ(mobile_->scheduler()->stats().messages_expired, 0u);
+}
+
+TEST_F(SchedulerTest, AttachedLinkReevaluatesStaleUpWakeup) {
+  // Regression: the queue parks with a wakeup armed for the only link's
+  // next-up time (t=1000s). A second, always-up link attached afterwards
+  // must re-trigger scheduling immediately instead of leaving the message
+  // waiting on the stale wakeup.
+  SetUpHosts(LinkProfile::Cslip144(),
+             std::make_unique<PeriodicConnectivity>(
+                 Duration::Seconds(1e6), Duration::Zero(),
+                 TimePoint::Epoch() + Duration::Seconds(1000)));
+  mobile_->Send(MakeMessage("server", 50));
+  loop_.RunUntil(TimePoint::Epoch() + Duration::Seconds(5));
+  EXPECT_TRUE(received_.empty());  // parked until t=1000s
+
+  net_.Connect("mobile", "server", LinkProfile::Ethernet10());
+  loop_.RunUntil(TimePoint::Epoch() + Duration::Seconds(10));
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_LT(loop_.now().seconds(), 1000.0);
+}
+
+TEST_F(SchedulerTest, CancelRacingInFlightFrameDeliversOnce) {
+  // By the time Cancel arrives the frame is already on the (slow) wire:
+  // the cancel must be refused and the delivered callback fire exactly once.
+  SetUpHosts(LinkProfile::Cslip144());
+  int delivered_calls = 0;
+  Status last_status;
+  Message msg = MakeMessage("server", 1000);  // ~0.57s of airtime at 14.4k
+  msg.header.src = "mobile";
+  msg.header.message_id = 77;
+  mobile_->scheduler()->Enqueue(std::move(msg), [&](const Status& s) {
+    ++delivered_calls;
+    last_status = s;
+  });
+  loop_.RunUntil(TimePoint::Epoch() + Duration::Millis(100));  // mid-transmission
+  EXPECT_FALSE(mobile_->scheduler()->CancelMessage("server", 77));
+  loop_.Run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(delivered_calls, 1);
+  EXPECT_TRUE(last_status.ok());
+  EXPECT_EQ(mobile_->scheduler()->stats().messages_delivered, 1u);
+  EXPECT_EQ(mobile_->scheduler()->stats().payload_bytes_cancelled, 0u);
+}
+
+TEST_F(SchedulerTest, CancelBeforeTransmissionWithdrawsMessage) {
+  // Queued while disconnected: cancel succeeds and nothing is ever sent.
+  SetUpHosts(LinkProfile::WaveLan2(),
+             std::make_unique<PeriodicConnectivity>(
+                 Duration::Seconds(1e6), Duration::Zero(),
+                 TimePoint::Epoch() + Duration::Seconds(60)));
+  Message msg = MakeMessage("server", 100);
+  msg.header.src = "mobile";
+  msg.header.message_id = 78;
+  mobile_->scheduler()->Enqueue(std::move(msg));
+  loop_.RunUntil(TimePoint::Epoch() + Duration::Seconds(5));
+  EXPECT_TRUE(mobile_->scheduler()->CancelMessage("server", 78));
+  EXPECT_EQ(mobile_->scheduler()->TotalQueueDepth(), 0u);
+  loop_.Run();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_GT(mobile_->scheduler()->stats().payload_bytes_cancelled, 0u);
+}
+
 TEST(SmtpTest, RelayStoresAndForwards) {
   EventLoop loop;
   Network net(&loop);
