@@ -20,6 +20,9 @@ std::string FormatQueueStatus(const QueueStatus& status) {
   } else {
     out += " | " + std::to_string(status.tentative_objects) + " tentative objects";
   }
+  if (status.degraded) {
+    out += " | DEGRADED";
+  }
   return out;
 }
 
@@ -53,6 +56,11 @@ void AccessManager::WireMetrics(obs::Registry* registry, const std::string& pref
   c_conflicts_unresolved_ = registry->counter(prefix + ".conflicts_unresolved");
   c_prefetch_issued_ = registry->counter(prefix + ".prefetch_issued");
   c_server_restarts_observed_ = registry->counter(prefix + ".server_restarts_observed");
+  c_prefetches_shed_ = registry->counter(prefix + ".prefetches_shed");
+  c_degraded_entered_ = registry->counter(prefix + ".degraded_entered");
+  c_cache_overflow_events_ = registry->counter(prefix + ".cache_overflow_events");
+  g_degraded_ = registry->gauge(prefix + ".degraded");
+  g_cache_overflow_bytes_ = registry->gauge(prefix + ".cache_overflow_bytes");
 }
 
 void AccessManager::BindMetrics(obs::Registry* registry, const std::string& prefix) {
@@ -72,6 +80,11 @@ void AccessManager::BindMetrics(obs::Registry* registry, const std::string& pref
   c_conflicts_unresolved_->Increment(carried.conflicts_unresolved);
   c_prefetch_issued_->Increment(carried.prefetch_issued);
   c_server_restarts_observed_->Increment(carried.server_restarts_observed);
+  c_prefetches_shed_->Increment(carried.prefetches_shed);
+  c_degraded_entered_->Increment(carried.degraded_entered);
+  c_cache_overflow_events_->Increment(carried.cache_overflow_events);
+  g_degraded_->Set(degraded_ ? 1 : 0);
+  UpdateOverflowGauge();
 }
 
 AccessManagerStats AccessManager::stats() const {
@@ -90,6 +103,9 @@ AccessManagerStats AccessManager::stats() const {
   s.conflicts_unresolved = c_conflicts_unresolved_->value();
   s.prefetch_issued = c_prefetch_issued_->value();
   s.server_restarts_observed = c_server_restarts_observed_->value();
+  s.prefetches_shed = c_prefetches_shed_->value();
+  s.degraded_entered = c_degraded_entered_->value();
+  s.cache_overflow_events = c_cache_overflow_events_->value();
   return s;
 }
 
@@ -254,6 +270,7 @@ void AccessManager::Evict(const std::string& name) {
   }
   cache_bytes_ -= it->second.bytes;
   cache_.erase(it);
+  UpdateOverflowGauge();
   if (subscribed_.erase(name) > 0) {
     // Tell the server to stop invalidating us for an object we no longer
     // hold; best-effort and unlogged (a lost unsubscribe only costs the
@@ -269,8 +286,34 @@ void AccessManager::SetStatusCallback(StatusCallback callback) {
   NotifyStatus();
 }
 
+void AccessManager::UpdateDegraded(size_t queue_depth) {
+  if (options_.degraded_queue_depth == 0) {
+    return;
+  }
+  if (!degraded_ && queue_depth >= options_.degraded_queue_depth) {
+    degraded_ = true;
+    c_degraded_entered_->Increment();
+    g_degraded_->Set(1);
+    if (!prefetch_queue_.empty()) {
+      c_prefetches_shed_->Increment(prefetch_queue_.size());
+      prefetch_queue_.clear();
+    }
+    ROVER_LOG(Warning) << "access manager degraded: scheduler depth "
+                       << queue_depth << " >= " << options_.degraded_queue_depth
+                       << "; shedding prefetches (tentative ops still queue)";
+  } else if (degraded_ && queue_depth <= options_.degraded_queue_depth / 2) {
+    // Hysteresis: recover only once the backlog has clearly drained, so a
+    // depth oscillating around the threshold does not flap the mode.
+    degraded_ = false;
+    g_degraded_->Set(0);
+    ROVER_LOG(Info) << "access manager recovered from degraded mode"
+                    << " (scheduler depth " << queue_depth << ")";
+  }
+}
+
 void AccessManager::NotifyStatus() {
   const size_t depth = transport_->scheduler()->TotalQueueDepth();
+  UpdateDegraded(depth);
   if (depth == 0 && !prefetch_queue_.empty()) {
     // The link went idle; spend it on cache warming.
     loop_->ScheduleAfter(Duration::Zero(), [this, weak = std::weak_ptr<char>(alive_)] {
@@ -286,6 +329,7 @@ void AccessManager::NotifyStatus() {
   status.queued_qrpcs = depth;
   status.tentative_objects = TentativeCount();
   status.connected = Connected();
+  status.degraded = degraded_;
   status_callback_(status);
 }
 
@@ -339,13 +383,7 @@ Promise<ImportResult> AccessManager::Import(const std::string& name, ImportOptio
   auto [it, first] = pending_imports_.try_emplace(name);
   it->second.waiters.push_back(promise);
   if (options.pin) {
-    // Remember to pin once installed: piggyback via a ready callback.
-    promise.OnReady([this, name](const ImportResult& r) {
-      Entry* e = FindEntry(name);
-      if (e != nullptr) {
-        e->pinned = true;
-      }
-    });
+    it->second.pin = true;
   }
   if (first) {
     it->second.priority = options.priority;
@@ -390,7 +428,9 @@ void AccessManager::StartImportRpc(const std::string& name, Priority priority) {
     keyed.name = name;
     keyed.metadata["rover.path"] = descriptor->name;
     const uint64_t version = descriptor->version;
-    InstallDescriptor(keyed, /*pin=*/false, [this, name, version](const Status& s) {
+    auto pending = pending_imports_.find(name);
+    const bool pin = pending != pending_imports_.end() && pending->second.pin;
+    InstallDescriptor(keyed, pin, [this, name, version](const Status& s) {
       ImportResult r;
       r.name = name;
       r.status = s;
@@ -477,6 +517,16 @@ void AccessManager::FinishImport(const std::string& name, const ImportResult& re
   NotifyStatus();
 }
 
+void AccessManager::UpdateOverflowGauge() {
+  const size_t over = cache_bytes_ > options_.cache_capacity_bytes
+                          ? cache_bytes_ - options_.cache_capacity_bytes
+                          : 0;
+  g_cache_overflow_bytes_->Set(static_cast<int64_t>(over));
+  if (over == 0) {
+    overflowing_ = false;
+  }
+}
+
 void AccessManager::EvictIfNeeded() {
   while (cache_bytes_ > options_.cache_capacity_bytes) {
     // LRU among evictable entries.
@@ -492,11 +542,24 @@ void AccessManager::EvictIfNeeded() {
       }
     }
     if (victim.empty()) {
-      return;  // everything is tentative or pinned; allow overflow
+      // Everything is tentative or pinned; allow overflow -- durable local
+      // work is never discarded to make room. Surface the overage instead
+      // of letting it grow silently (one warning per episode).
+      UpdateOverflowGauge();
+      if (!overflowing_) {
+        overflowing_ = true;
+        c_cache_overflow_events_->Increment();
+        ROVER_LOG(Warning)
+            << "cache over capacity by "
+            << (cache_bytes_ - options_.cache_capacity_bytes)
+            << " bytes with nothing evictable (all tentative or pinned)";
+      }
+      return;
     }
     c_evictions_->Increment();
     Evict(victim);
   }
+  UpdateOverflowGauge();
 }
 
 // --- Invoke ---
@@ -696,15 +759,22 @@ Promise<ExportResult> AccessManager::Export(const std::string& name, Priority pr
 
 void AccessManager::Prefetch(const std::vector<std::string>& names) {
   for (const std::string& name : names) {
-    if (!HasCached(name)) {
-      prefetch_queue_.push_back(name);
+    if (HasCached(name)) {
+      continue;
     }
+    if (degraded_) {
+      // Cache warming is the first load we sacrifice under pressure; the
+      // caller can re-issue once the backlog drains.
+      c_prefetches_shed_->Increment();
+      continue;
+    }
+    prefetch_queue_.push_back(name);
   }
   PumpPrefetchQueue();
 }
 
 void AccessManager::PumpPrefetchQueue() {
-  while (prefetch_in_flight_ < options_.max_background_imports &&
+  while (!degraded_ && prefetch_in_flight_ < options_.max_background_imports &&
          !prefetch_queue_.empty()) {
     if (options_.prefetch_only_when_idle &&
         transport_->scheduler()->TotalQueueDepth() > 0) {

@@ -50,6 +50,12 @@ struct AccessManagerOptions {
   // direct connection (responses return the same way). For hosts that can
   // only reach their home servers by mail.
   std::string relay_host;
+  // Degraded mode (0 = never): when the scheduler's queue depth reaches
+  // this, the manager sheds its prefetch queue and refuses new prefetches
+  // until the depth falls back below half the threshold. Tentative-op
+  // queuing (imports, invokes, exports) stays fully alive -- degraded mode
+  // sacrifices cache warming, never the disconnected-operation promise.
+  size_t degraded_queue_depth = 0;
 };
 
 struct ImportResult {
@@ -106,6 +112,11 @@ struct AccessManagerStats {
   // Server epoch bumps observed in responses: each one means the server
   // restarted, so subscriptions were re-issued and its imports marked stale.
   uint64_t server_restarts_observed = 0;
+  uint64_t prefetches_shed = 0;       // dropped on entering/while degraded
+  uint64_t degraded_entered = 0;      // times degraded mode engaged
+  // EvictIfNeeded found only tentative/pinned entries and let the cache
+  // overflow its capacity (each overage episode counts once).
+  uint64_t cache_overflow_events = 0;
 };
 
 // Snapshot handed to the status callback whenever it changes -- the
@@ -114,6 +125,7 @@ struct QueueStatus {
   size_t queued_qrpcs = 0;       // operations waiting for connectivity
   size_t tentative_objects = 0;  // locally modified, not yet committed
   bool connected = false;
+  bool degraded = false;         // overload: prefetching suspended
 };
 
 // Renders the status as the one-line indicator the paper's applications
@@ -196,6 +208,10 @@ class AccessManager {
   bool Connected() const;
   bool ConnectedTo(const std::string& server) const;
 
+  // True while degraded mode has prefetching suspended (see
+  // AccessManagerOptions::degraded_queue_depth).
+  bool Degraded() const { return degraded_; }
+
   // Home server for `name` ("rover://host/path" URNs name their server;
   // bare paths use the default).
   std::string ServerFor(const std::string& name) const;
@@ -233,6 +249,8 @@ class AccessManager {
   QrpcCallOptions MakeCallOptions(Priority priority, bool log_request = true) const;
   void FinishImport(const std::string& name, const ImportResult& result);
   void PumpPrefetchQueue();
+  void UpdateDegraded(size_t queue_depth);
+  void UpdateOverflowGauge();
   void WireMetrics(obs::Registry* registry, const std::string& prefix);
 
   Result<RdoInstance*> LocalInstance(const std::string& name);
@@ -256,6 +274,11 @@ class AccessManager {
   obs::Counter* c_conflicts_unresolved_ = nullptr;
   obs::Counter* c_prefetch_issued_ = nullptr;
   obs::Counter* c_server_restarts_observed_ = nullptr;
+  obs::Counter* c_prefetches_shed_ = nullptr;
+  obs::Counter* c_degraded_entered_ = nullptr;
+  obs::Counter* c_cache_overflow_events_ = nullptr;
+  obs::Gauge* g_degraded_ = nullptr;
+  obs::Gauge* g_cache_overflow_bytes_ = nullptr;
   std::map<std::string, Entry> cache_;
   size_t cache_bytes_ = 0;
   uint64_t use_seq_ = 0;
@@ -266,10 +289,17 @@ class AccessManager {
   struct PendingImport {
     std::vector<Promise<ImportResult>> waiters;
     Priority priority = Priority::kBackground;
+    // Pin applies at install, before EvictIfNeeded runs: an entry imported
+    // with pin=true must not evict itself when it alone exceeds capacity.
+    bool pin = false;
   };
   std::map<std::string, PendingImport> pending_imports_;
   std::deque<std::string> prefetch_queue_;
   size_t prefetch_in_flight_ = 0;
+  bool degraded_ = false;
+  // True while cache_bytes_ exceeds capacity with nothing evictable; the
+  // flag gives each overage episode exactly one warning + counter bump.
+  bool overflowing_ = false;
   // Cache keys we hold (volatile, server-side) subscriptions for; re-issued
   // when the server's epoch bumps, withdrawn on eviction.
   std::set<std::string> subscribed_;

@@ -24,6 +24,10 @@ const char* RpcEventName(RpcEvent event) {
       return "recovered";
     case RpcEvent::kDeadlineExceeded:
       return "deadline_exceeded";
+    case RpcEvent::kShed:
+      return "shed";
+    case RpcEvent::kPushback:
+      return "pushback";
   }
   return "unknown";
 }

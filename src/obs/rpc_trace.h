@@ -35,6 +35,8 @@ enum class RpcEvent {
   kCancelled,       // cancelled by the application
   kRecovered,       // re-issued from the log after crash recovery
   kDeadlineExceeded,  // per-call deadline fired before a response arrived
+  kShed,            // dropped by admission control / queue-pressure shedding
+  kPushback,        // server pushback honored: re-dispatch after retry-after
 };
 
 const char* RpcEventName(RpcEvent event);

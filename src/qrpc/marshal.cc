@@ -100,6 +100,7 @@ Bytes RpcResponseBody::Encode() const {
   writer.WriteString(error_message);
   EncodeRpcValue(result, &writer);
   writer.WriteVarint(server_epoch);
+  writer.WriteVarint(retry_after_micros);
   return writer.TakeData();
 }
 
@@ -113,9 +114,12 @@ Result<RpcResponseBody> RpcResponseBody::Decode(const Bytes& payload) {
   body.code = static_cast<StatusCode>(code);
   ROVER_ASSIGN_OR_RETURN(body.error_message, reader.ReadString());
   ROVER_ASSIGN_OR_RETURN(body.result, DecodeRpcValue(&reader));
-  // Epoch trailer: absent in responses cached before the field existed.
+  // Trailers: absent in responses cached before each field existed.
   if (reader.remaining() > 0) {
     ROVER_ASSIGN_OR_RETURN(body.server_epoch, reader.ReadVarint());
+  }
+  if (reader.remaining() > 0) {
+    ROVER_ASSIGN_OR_RETURN(body.retry_after_micros, reader.ReadVarint());
   }
   return body;
 }

@@ -43,6 +43,9 @@ struct RpcResponseBody {
   std::string error_message;
   RpcValue result = int64_t{0};
   uint64_t server_epoch = 0;  // 0 = unstamped (responder predates epochs)
+  // Overload pushback hint: with code kUnavailable, the earliest the client
+  // should resend, in microseconds from the response's arrival. 0 = none.
+  uint64_t retry_after_micros = 0;
 
   Status ToStatus() const;
 

@@ -13,7 +13,9 @@ constexpr uint8_t kLogRecordRequest = 1;
 
 QrpcClient::QrpcClient(EventLoop* loop, TransportManager* transport, StableLog* log,
                        QrpcClientOptions options)
-    : loop_(loop), transport_(transport), log_(log), options_(options) {
+    : loop_(loop), transport_(transport), log_(log), options_(options),
+      pushback_budget_(options.pushback_budget_capacity,
+                       options.pushback_budget_refill_per_sec) {
   WireMetrics(&own_metrics_, "qrpc_client");
   transport_->SetHandler(MessageType::kResponse,
                          [this](const Message& msg) { HandleResponse(msg); });
@@ -25,6 +27,11 @@ void QrpcClient::WireMetrics(obs::Registry* registry, const std::string& prefix)
   c_recovered_ = registry->counter(prefix + ".recovered");
   c_cancelled_ = registry->counter(prefix + ".cancelled");
   c_deadline_exceeded_ = registry->counter(prefix + ".deadline_exceeded");
+  c_admission_rejected_ = registry->counter(prefix + ".admission_rejected");
+  c_background_shed_ = registry->counter(prefix + ".background_shed");
+  c_pushback_honored_ = registry->counter(prefix + ".pushback_honored");
+  c_pushback_exhausted_ = registry->counter(prefix + ".pushback_budget_exhausted");
+  g_log_bytes_ = registry->gauge(prefix + ".log_bytes");
   h_rpc_seconds_ = registry->histogram(prefix + ".rpc_seconds");
 }
 
@@ -36,6 +43,13 @@ void QrpcClient::BindMetrics(obs::Registry* registry, const std::string& prefix)
   c_recovered_->Increment(carried.recovered);
   c_cancelled_->Increment(carried.cancelled);
   c_deadline_exceeded_->Increment(carried.deadline_exceeded);
+  c_admission_rejected_->Increment(carried.admission_rejected);
+  c_background_shed_->Increment(carried.background_shed);
+  c_pushback_honored_->Increment(carried.pushback_honored);
+  c_pushback_exhausted_->Increment(carried.pushback_budget_exhausted);
+  if (log_ != nullptr) {
+    g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
+  }
 }
 
 QrpcClientStats QrpcClient::stats() const {
@@ -45,6 +59,10 @@ QrpcClientStats QrpcClient::stats() const {
   s.recovered = c_recovered_->value();
   s.cancelled = c_cancelled_->value();
   s.deadline_exceeded = c_deadline_exceeded_->value();
+  s.admission_rejected = c_admission_rejected_->value();
+  s.background_shed = c_background_shed_->value();
+  s.pushback_honored = c_pushback_honored_->value();
+  s.pushback_budget_exhausted = c_pushback_exhausted_->value();
   return s;
 }
 
@@ -86,6 +104,38 @@ Bytes QrpcClient::EncodeLogRecord(uint64_t rpc_id, const std::string& dest,
   return writer.TakeData();
 }
 
+Result<QrpcClient::ParsedLogRecord> QrpcClient::DecodeLogRecord(const Bytes& data) {
+  WireReader reader(data);
+  ROVER_ASSIGN_OR_RETURN(uint64_t kind, reader.ReadVarint());
+  if (kind != kLogRecordRequest) {
+    return InvalidArgumentError("not a qrpc request log record");
+  }
+  ParsedLogRecord out;
+  ROVER_ASSIGN_OR_RETURN(out.rpc_id, reader.ReadVarint());
+  ROVER_ASSIGN_OR_RETURN(out.dest, reader.ReadString());
+  ROVER_ASSIGN_OR_RETURN(uint64_t priority, reader.ReadVarint());
+  ROVER_ASSIGN_OR_RETURN(out.call_options.via_relay, reader.ReadBool());
+  ROVER_ASSIGN_OR_RETURN(out.call_options.relay_host, reader.ReadString());
+  ROVER_ASSIGN_OR_RETURN(out.body, reader.ReadBytes());
+  if (priority >= kNumPriorities) {
+    return InvalidArgumentError("bad priority in log record");
+  }
+  out.call_options.priority = static_cast<Priority>(priority);
+  return out;
+}
+
+bool QrpcClient::OverBudget(size_t record_size, bool logged) const {
+  if (options_.max_outstanding_calls > 0 &&
+      outstanding_.size() + 1 > options_.max_outstanding_calls) {
+    return true;
+  }
+  if (logged && options_.max_log_bytes > 0 && log_ != nullptr &&
+      log_->TotalBytes() + record_size > options_.max_log_bytes) {
+    return true;
+  }
+  return false;
+}
+
 QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, RpcArgs args,
                           QrpcCallOptions call_options) {
   c_calls_->Increment();
@@ -98,17 +148,46 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
   request.args = std::move(args);
   Bytes body = request.Encode();
 
+  const bool logged = call_options.log_request && log_ != nullptr;
+  Bytes record;
+  if (logged) {
+    record = EncodeLogRecord(call.rpc_id, dest, call_options, body);
+  }
+
+  // Admission: over budget, background is refused outright; anything higher
+  // sheds outstanding background calls first and is refused only if that
+  // frees no room. Refusal precedes the log append, so nothing durable is
+  // ever discarded -- the caller gets an explicit kResourceExhausted.
+  if (OverBudget(record.size(), logged)) {
+    if (call_options.priority != Priority::kBackground) {
+      while (OverBudget(record.size(), logged) && ShedBackgroundCalls(1) > 0) {
+      }
+    }
+    if (OverBudget(record.size(), logged)) {
+      c_admission_rejected_->Increment();
+      Trace(call.rpc_id, obs::RpcEvent::kShed);
+      call.committed.Set(loop_->now());
+      QrpcResult result;
+      result.status = ResourceExhaustedError("qrpc admission: over call/log budget");
+      result.completed_at = loop_->now();
+      call.result.Set(std::move(result));
+      return call;
+    }
+  }
+
   Outstanding out;
   out.call = call;
   out.dest = dest;
+  out.priority = call_options.priority;
   out.issued_at = loop_->now();
 
   const Duration marshal_cost =
       options_.marshal_fixed +
       Duration::Seconds(static_cast<double>(body.size()) / options_.marshal_bytes_per_sec);
 
-  if (call_options.log_request && log_ != nullptr) {
-    out.log_record_id = log_->Append(EncodeLogRecord(call.rpc_id, dest, call_options, body));
+  if (logged) {
+    out.log_record_id = log_->Append(std::move(record));
+    g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
     Trace(call.rpc_id, obs::RpcEvent::kLogged);
   }
   outstanding_.emplace(call.rpc_id, out);
@@ -168,6 +247,7 @@ void QrpcClient::HandleDeadline(uint64_t rpc_id) {
   if (out.log_record_id != 0 && log_ != nullptr) {
     log_->RemoveRecord(out.log_record_id);
     answered_log_records_.erase(out.log_record_id);
+    g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
   }
   transport_->scheduler()->CancelMessage(out.dest, rpc_id);
   c_deadline_exceeded_->Increment();
@@ -183,6 +263,53 @@ void QrpcClient::HandleDeadline(uint64_t rpc_id) {
   out.call.result.Set(std::move(result));
 }
 
+size_t QrpcClient::ShedBackgroundCalls(size_t needed) {
+  // Newest first: an older background call has been waiting longer and is
+  // more likely to already be on the wire.
+  std::vector<uint64_t> victims;
+  for (auto it = outstanding_.rbegin(); it != outstanding_.rend() && victims.size() < needed;
+       ++it) {
+    if (it->second.priority == Priority::kBackground) {
+      victims.push_back(it->first);
+    }
+  }
+  for (uint64_t rpc_id : victims) {
+    HandleSchedulerDrop(rpc_id, ResourceExhaustedError("background call shed under pressure"));
+  }
+  return victims.size();
+}
+
+void QrpcClient::HandleSchedulerDrop(uint64_t rpc_id, const Status& status) {
+  auto it = outstanding_.find(rpc_id);
+  if (it == outstanding_.end()) {
+    return;  // already answered, cancelled, or deadline-expired
+  }
+  Outstanding out = std::move(it->second);
+  outstanding_.erase(it);
+  if (out.deadline_event != kInvalidEventId) {
+    loop_->Cancel(out.deadline_event);
+  }
+  // Withdraw the durable record: a shed request must not resurrect on crash
+  // recovery, and its bytes must stop counting against the log budget.
+  if (out.log_record_id != 0 && log_ != nullptr) {
+    log_->RemoveRecord(out.log_record_id);
+    answered_log_records_.erase(out.log_record_id);
+    g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
+  }
+  transport_->scheduler()->CancelMessage(out.dest, rpc_id);
+  c_background_shed_->Increment();
+  Trace(rpc_id, obs::RpcEvent::kShed);
+  if (!out.call.committed.ready()) {
+    out.call.committed.Set(loop_->now());
+  }
+  if (!out.call.result.ready()) {
+    QrpcResult result;
+    result.status = status;
+    result.completed_at = loop_->now();
+    out.call.result.Set(std::move(result));
+  }
+}
+
 void QrpcClient::DispatchToScheduler(uint64_t rpc_id, const std::string& dest, Bytes body,
                                      const QrpcCallOptions& call_options) {
   Message msg;
@@ -196,8 +323,70 @@ void QrpcClient::DispatchToScheduler(uint64_t rpc_id, const std::string& dest, B
     msg.header.reply_via = call_options.relay_host;
     transport_->SendViaRelay(call_options.relay_host, std::move(msg));
   } else {
-    transport_->Send(std::move(msg));
+    // The scheduler may refuse or shed this message under queue pressure
+    // (background priority only); the call must then resolve instead of
+    // waiting forever on a request that will never be transmitted.
+    transport_->Send(std::move(msg),
+                     [this, rpc_id, alive = std::weak_ptr<char>(alive_)](const Status& s) {
+                       if (!alive.expired() &&
+                           s.code() == StatusCode::kResourceExhausted) {
+                         HandleSchedulerDrop(rpc_id, s);
+                       }
+                     });
   }
+}
+
+bool QrpcClient::MaybeHonorPushback(const Message& msg, const RpcResponseBody& body) {
+  if (body.code != StatusCode::kUnavailable || body.retry_after_micros == 0) {
+    return false;
+  }
+  const uint64_t rpc_id = msg.header.in_reply_to;
+  auto it = outstanding_.find(rpc_id);
+  if (it == outstanding_.end()) {
+    return false;
+  }
+  const Outstanding& out = it->second;
+  if (out.log_record_id == 0 || log_ == nullptr) {
+    return false;  // unlogged call: no durable copy to re-send; surface the error
+  }
+  if (!pushback_budget_.enabled() || !pushback_budget_.TryConsume(loop_->now())) {
+    if (pushback_budget_.enabled()) {
+      c_pushback_exhausted_->Increment();
+    }
+    return false;  // server keeps refusing; let the caller see kUnavailable
+  }
+  const StableLog::Record* rec = log_->FindRecord(out.log_record_id);
+  if (rec == nullptr) {
+    return false;
+  }
+  auto parsed = DecodeLogRecord(rec->data);
+  if (!parsed.ok()) {
+    return false;
+  }
+  // The server told us when it expects to have capacity again; the hint is
+  // clamped so a corrupt or hostile value cannot park the call forever.
+  const Duration retry_after =
+      std::min(Duration::Micros(static_cast<int64_t>(body.retry_after_micros)),
+               Duration::Seconds(600));
+  if (body.server_epoch > 0) {
+    ObserveServerEpoch(msg.header.src, body.server_epoch);
+  }
+  c_pushback_honored_->Increment();
+  Trace(rpc_id, obs::RpcEvent::kPushback);
+  auto parsed_ptr = std::make_shared<ParsedLogRecord>(std::move(*parsed));
+  loop_->ScheduleAfter(retry_after,
+                       [this, parsed_ptr, alive = std::weak_ptr<char>(alive_)] {
+                         if (alive.expired()) {
+                           return;  // a crash-recovered client resends from its log
+                         }
+                         if (outstanding_.count(parsed_ptr->rpc_id) == 0) {
+                           return;  // answered or cancelled meanwhile
+                         }
+                         DispatchToScheduler(parsed_ptr->rpc_id, parsed_ptr->dest,
+                                             std::move(parsed_ptr->body),
+                                             parsed_ptr->call_options);
+                       });
+  return true;
 }
 
 void QrpcClient::HandleResponse(const Message& msg) {
@@ -210,6 +399,9 @@ void QrpcClient::HandleResponse(const Message& msg) {
   result.completed_at = loop_->now();
   auto body = RpcResponseBody::Decode(msg.payload);
   if (body.ok()) {
+    if (MaybeHonorPushback(msg, *body)) {
+      return;  // call stays outstanding; re-dispatch is scheduled
+    }
     result.status = body->ToStatus();
     result.value = body->result;
     result.server_epoch = body->server_epoch;
@@ -247,6 +439,7 @@ void QrpcClient::MaybeTruncateLog() {
     log_->Truncate(front);
     front = log_->FrontRecordId();
   }
+  g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
 }
 
 bool QrpcClient::Cancel(uint64_t rpc_id) {
@@ -262,6 +455,7 @@ bool QrpcClient::Cancel(uint64_t rpc_id) {
   if (out.log_record_id != 0 && log_ != nullptr) {
     log_->RemoveRecord(out.log_record_id);
     answered_log_records_.erase(out.log_record_id);
+    g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
   }
   transport_->scheduler()->CancelMessage(out.dest, rpc_id);
   c_cancelled_->Increment();
@@ -284,48 +478,36 @@ size_t QrpcClient::RecoverFromLog() {
   }
   size_t resent = 0;
   for (const StableLog::Record& rec : log_->DurableRecords()) {
-    WireReader reader(rec.data);
-    auto kind = reader.ReadVarint();
-    if (!kind.ok() || *kind != kLogRecordRequest) {
-      continue;
-    }
-    auto rpc_id = reader.ReadVarint();
-    auto dest = reader.ReadString();
-    auto priority = reader.ReadVarint();
-    auto via_relay = reader.ReadBool();
-    auto relay_host = reader.ReadString();
-    auto body = reader.ReadBytes();
-    if (!rpc_id.ok() || !dest.ok() || !priority.ok() || !via_relay.ok() ||
-        !relay_host.ok() || !body.ok() || *priority >= kNumPriorities) {
+    auto parsed = DecodeLogRecord(rec.data);
+    if (!parsed.ok()) {
       ROVER_LOG(Warning) << "qrpc recovery: skipping malformed log record " << rec.id;
       continue;
     }
-    next_rpc_id_ = std::max(next_rpc_id_, *rpc_id + 1);
+    next_rpc_id_ = std::max(next_rpc_id_, parsed->rpc_id + 1);
 
-    if (outstanding_.count(*rpc_id) == 0) {
+    if (outstanding_.count(parsed->rpc_id) == 0) {
       QrpcCall call;
-      call.rpc_id = *rpc_id;
+      call.rpc_id = parsed->rpc_id;
       call.committed.Set(loop_->now());  // it is already durable
       Outstanding out;
       out.call = call;
       out.log_record_id = rec.id;
+      out.priority = parsed->call_options.priority;
       out.issued_at = loop_->now();
-      outstanding_.emplace(*rpc_id, std::move(out));
+      outstanding_.emplace(parsed->rpc_id, std::move(out));
     }
     // If the call is still tracked (same engine survived, e.g. only the
     // device "rebooted"), re-transmission is safe: the server's duplicate
     // cache guarantees at-most-once execution and the existing promise
     // resolves when any response arrives.
 
-    QrpcCallOptions call_options;
-    call_options.priority = static_cast<Priority>(*priority);
-    call_options.via_relay = *via_relay;
-    call_options.relay_host = *relay_host;
-    Trace(*rpc_id, obs::RpcEvent::kRecovered);
-    DispatchToScheduler(*rpc_id, *dest, std::move(*body), call_options);
+    Trace(parsed->rpc_id, obs::RpcEvent::kRecovered);
+    DispatchToScheduler(parsed->rpc_id, parsed->dest, std::move(parsed->body),
+                        parsed->call_options);
     ++resent;
     c_recovered_->Increment();
   }
+  g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
   return resent;
 }
 
@@ -344,6 +526,8 @@ void QrpcServer::WireMetrics(obs::Registry* registry, const std::string& prefix)
   c_auth_failures_ = registry->counter(prefix + ".auth_failures");
   c_duplicate_cache_decode_failures_ =
       registry->counter(prefix + ".duplicate_cache_decode_failures");
+  c_requests_rejected_ = registry->counter(prefix + ".requests_rejected");
+  g_inflight_requests_ = registry->gauge(prefix + ".inflight_requests");
 }
 
 void QrpcServer::BindMetrics(obs::Registry* registry, const std::string& prefix) {
@@ -354,6 +538,8 @@ void QrpcServer::BindMetrics(obs::Registry* registry, const std::string& prefix)
   c_unknown_methods_->Increment(carried.unknown_methods);
   c_auth_failures_->Increment(carried.auth_failures);
   c_duplicate_cache_decode_failures_->Increment(carried.duplicate_cache_decode_failures);
+  c_requests_rejected_->Increment(carried.requests_rejected);
+  g_inflight_requests_->Set(static_cast<int64_t>(in_progress_.size()));
 }
 
 QrpcServerStats QrpcServer::stats() const {
@@ -363,6 +549,7 @@ QrpcServerStats QrpcServer::stats() const {
   s.unknown_methods = c_unknown_methods_->value();
   s.auth_failures = c_auth_failures_->value();
   s.duplicate_cache_decode_failures = c_duplicate_cache_decode_failures_->value();
+  s.requests_rejected = c_requests_rejected_->value();
   return s;
 }
 
@@ -463,6 +650,26 @@ void QrpcServer::HandleRequest(const Message& msg) {
     return;
   }
 
+  // Admission: past the concurrency limit, refuse with kUnavailable and a
+  // retry-after hint sized to the backlog. The refusal deliberately skips
+  // the duplicate cache -- the client's resend must re-execute, not replay
+  // "server overloaded" forever. Duplicates (above) are still answered from
+  // the cache even under overload: a replay costs no handler execution.
+  if (options_.max_concurrent_requests > 0 &&
+      in_progress_.size() >= options_.max_concurrent_requests) {
+    c_requests_rejected_->Increment();
+    const Duration hint =
+        options_.pushback_retry_after +
+        options_.dispatch_cost * static_cast<double>(in_progress_.size());
+    RpcResponseBody body;
+    body.code = StatusCode::kUnavailable;
+    body.error_message = "server over concurrency limit";
+    body.retry_after_micros = static_cast<uint64_t>(hint.micros());
+    SendResponse(msg.header.src, msg.header.message_id, msg.header.priority,
+                 msg.header.reply_via, body);
+    return;
+  }
+
   auto request = RpcRequestBody::Decode(msg.payload);
   if (!request.ok()) {
     RpcResponseBody body;
@@ -491,6 +698,7 @@ void QrpcServer::HandleRequest(const Message& msg) {
   }
 
   in_progress_.insert(key);
+  g_inflight_requests_->Set(static_cast<int64_t>(in_progress_.size()));
   const std::string src = msg.header.src;
   const uint64_t rpc_id = msg.header.message_id;
   const Priority priority = msg.header.priority;
@@ -501,6 +709,7 @@ void QrpcServer::HandleRequest(const Message& msg) {
       return;  // handler outlived the server (simulated crash)
     }
     in_progress_.erase(key);
+    g_inflight_requests_->Set(static_cast<int64_t>(in_progress_.size()));
     Bytes encoded = body.Encode();  // cached/journaled without an epoch stamp
     done_[key] = encoded;
     done_order_.push_back(key);

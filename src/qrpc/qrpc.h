@@ -56,6 +56,21 @@ struct QrpcClientOptions {
   // CPU cost of marshalling: fixed + per-byte.
   Duration marshal_fixed = Duration::Micros(30);
   double marshal_bytes_per_sec = 80e6;
+  // Admission control (0 = unbounded). When either bound would be exceeded,
+  // outstanding kBackground calls are shed first (their result promise
+  // resolves kResourceExhausted, their log record is withdrawn); if the
+  // call still does not fit it is rejected at Call() with
+  // kResourceExhausted -- an explicit refusal, never a silent drop, and
+  // nothing durable is discarded because rejection precedes logging.
+  size_t max_outstanding_calls = 0;
+  size_t max_log_bytes = 0;
+  // Budget for honoring server kUnavailable+retry-after pushback by keeping
+  // the call queued and re-sending after the hint. Once the bucket empties,
+  // further pushback responses surface to the caller as errors instead of
+  // retrying forever against a server that keeps refusing (capacity 0
+  // disables honoring entirely).
+  double pushback_budget_capacity = 32;
+  double pushback_budget_refill_per_sec = 4;
 };
 
 // Snapshot assembled from the metrics registry (see stats()).
@@ -65,6 +80,10 @@ struct QrpcClientStats {
   uint64_t recovered = 0;  // re-sent after crash recovery
   uint64_t cancelled = 0;  // cancelled by the application
   uint64_t deadline_exceeded = 0;  // per-call deadline fired first
+  uint64_t admission_rejected = 0;  // refused at Call() by the budgets
+  uint64_t background_shed = 0;     // outstanding background calls shed
+  uint64_t pushback_honored = 0;    // re-dispatched after server retry-after
+  uint64_t pushback_budget_exhausted = 0;  // pushback surfaced as an error
 };
 
 // Handle returned by Call(). Both promises resolve on the event loop.
@@ -138,14 +157,32 @@ class QrpcClient {
     QrpcCall call;
     uint64_t log_record_id = 0;  // 0 when unlogged
     std::string dest;
+    Priority priority = Priority::kDefault;
     TimePoint issued_at;
     EventId deadline_event = kInvalidEventId;
+  };
+  struct ParsedLogRecord {
+    uint64_t rpc_id = 0;
+    std::string dest;
+    QrpcCallOptions call_options;
+    Bytes body;
   };
 
   void DispatchToScheduler(uint64_t rpc_id, const std::string& dest, Bytes body,
                            const QrpcCallOptions& call_options);
   void HandleResponse(const Message& msg);
   void HandleDeadline(uint64_t rpc_id);
+  // Handles a kUnavailable response carrying a retry-after hint: keeps the
+  // call outstanding and re-dispatches it after the hint, within the
+  // pushback budget. Returns true when the response was absorbed.
+  bool MaybeHonorPushback(const Message& msg, const RpcResponseBody& body);
+  // The scheduler shed/refused this call's request message: resolve the
+  // call with `status` and withdraw its log record.
+  void HandleSchedulerDrop(uint64_t rpc_id, const Status& status);
+  // Sheds outstanding kBackground calls (newest first) until `needed` have
+  // been shed or none remain. Returns how many were shed.
+  size_t ShedBackgroundCalls(size_t needed);
+  bool OverBudget(size_t body_size, bool logged) const;
   void ObserveServerEpoch(const std::string& server, uint64_t epoch);
   void MaybeTruncateLog();
   void WireMetrics(obs::Registry* registry, const std::string& prefix);
@@ -153,11 +190,13 @@ class QrpcClient {
 
   static Bytes EncodeLogRecord(uint64_t rpc_id, const std::string& dest,
                                const QrpcCallOptions& call_options, const Bytes& body);
+  static Result<ParsedLogRecord> DecodeLogRecord(const Bytes& data);
 
   EventLoop* loop_;
   TransportManager* transport_;
   StableLog* log_;
   QrpcClientOptions options_;
+  RetryBudget pushback_budget_;
   uint64_t next_rpc_id_ = 1;
   std::map<uint64_t, Outstanding> outstanding_;
   // Log record ids whose rpc has completed; truncated once contiguous with
@@ -179,6 +218,11 @@ class QrpcClient {
   obs::Counter* c_recovered_ = nullptr;
   obs::Counter* c_cancelled_ = nullptr;
   obs::Counter* c_deadline_exceeded_ = nullptr;
+  obs::Counter* c_admission_rejected_ = nullptr;
+  obs::Counter* c_background_shed_ = nullptr;
+  obs::Counter* c_pushback_honored_ = nullptr;
+  obs::Counter* c_pushback_exhausted_ = nullptr;
+  obs::Gauge* g_log_bytes_ = nullptr;  // stable-log byte budget occupancy
   obs::Histogram* h_rpc_seconds_ = nullptr;  // Call() -> response matched
 };
 
@@ -190,6 +234,14 @@ struct QrpcServerOptions {
   // Simulated CPU cost to dispatch + execute a handler (base; handlers may
   // add their own costs by delaying the responder).
   Duration dispatch_cost = Duration::Micros(50);
+  // Admission limit on concurrently executing requests (0 = unbounded).
+  // Requests over the limit are refused with kUnavailable plus a
+  // retry-after hint that grows with the backlog; refusals are NOT entered
+  // into the duplicate cache, so the client's later resend re-executes.
+  size_t max_concurrent_requests = 0;
+  // Base of the retry-after hint; the backlog adds dispatch_cost per
+  // in-progress request on top.
+  Duration pushback_retry_after = Duration::Millis(500);
 };
 
 // Snapshot assembled from the metrics registry (see stats()).
@@ -201,6 +253,7 @@ struct QrpcServerStats {
   // Cached duplicate responses that failed to decode; answered kDataLoss
   // instead of silently replying OK with an empty body.
   uint64_t duplicate_cache_decode_failures = 0;
+  uint64_t requests_rejected = 0;  // refused with kUnavailable + retry-after
 };
 
 class QrpcServer {
@@ -286,6 +339,8 @@ class QrpcServer {
   obs::Counter* c_unknown_methods_ = nullptr;
   obs::Counter* c_auth_failures_ = nullptr;
   obs::Counter* c_duplicate_cache_decode_failures_ = nullptr;
+  obs::Counter* c_requests_rejected_ = nullptr;
+  obs::Gauge* g_inflight_requests_ = nullptr;
   std::map<std::string, Handler> handlers_;
   Handler default_handler_;
   // (client host, rpc id) -> cached response for at-most-once execution.

@@ -53,9 +53,19 @@ uint64_t StableLog::Append(Bytes data) {
   rec.crc = Crc32(data.data(), data.size());
   rec.data = std::move(data);
   rec.durable = false;
+  total_bytes_ += rec.data.size();
   records_.push_back(std::move(rec));
   c_appends_->Increment();
   return records_.back().id;
+}
+
+const StableLog::Record* StableLog::FindRecord(uint64_t id) const {
+  for (const Record& rec : records_) {
+    if (rec.id == id) {
+      return &rec;
+    }
+  }
+  return nullptr;
 }
 
 void StableLog::Flush(std::function<void()> done) {
@@ -168,6 +178,7 @@ bool StableLog::FullyDurable() const {
 
 void StableLog::Truncate(uint64_t up_to_id) {
   while (!records_.empty() && records_.front().id <= up_to_id) {
+    total_bytes_ -= records_.front().data.size();
     records_.pop_front();
   }
 }
@@ -175,6 +186,7 @@ void StableLog::Truncate(uint64_t up_to_id) {
 bool StableLog::RemoveRecord(uint64_t id) {
   for (auto it = records_.begin(); it != records_.end(); ++it) {
     if (it->id == id) {
+      total_bytes_ -= it->data.size();
       records_.erase(it);
       return true;
     }
@@ -209,6 +221,7 @@ void StableLog::SimulateCrash(bool tear_last_record) {
         it->durable = true;
         if (it->data.empty()) {
           it->data.push_back(0xff);
+          ++total_bytes_;
         } else {
           it->data[it->data.size() / 2] ^= 0x5a;
         }
@@ -219,12 +232,14 @@ void StableLog::SimulateCrash(bool tear_last_record) {
   }
   // Volatile tail is lost.
   while (!records_.empty() && !records_.back().durable) {
+    total_bytes_ -= records_.back().data.size();
     records_.pop_back();
   }
   if (tear_last_record && !tore_in_flight && !records_.empty()) {
     Record& last = records_.back();
     if (last.data.empty()) {
       last.data.push_back(0xff);  // garbage byte; CRC of empty no longer matches
+      ++total_bytes_;
     } else {
       last.data[last.data.size() / 2] ^= 0x5a;
     }
@@ -249,6 +264,10 @@ size_t StableLog::Recover() {
     valid.push_back(std::move(rec));
   }
   records_ = std::move(valid);
+  total_bytes_ = 0;
+  for (const Record& rec : records_) {
+    total_bytes_ += rec.data.size();
+  }
   return records_.size();
 }
 

@@ -92,6 +92,14 @@ class StableLog {
 
   size_t RecordCount() const { return records_.size(); }
 
+  // Total payload bytes of records currently in the log (durable or not).
+  // The QRPC client's admission control bounds this against its byte budget.
+  size_t TotalBytes() const { return total_bytes_; }
+
+  // The record with the given id, or nullptr. The pointer is invalidated by
+  // any mutation of the log.
+  const Record* FindRecord(uint64_t id) const;
+
   // Id of the oldest record still in the log, or 0 when empty.
   uint64_t FrontRecordId() const { return records_.empty() ? 0 : records_.front().id; }
 
@@ -125,6 +133,7 @@ class StableLog {
   StableLogCostModel cost_model_;
   std::deque<Record> records_;
   uint64_t next_id_ = 1;
+  size_t total_bytes_ = 0;  // sum of records_[i].data.size()
   TimePoint flush_busy_until_ = TimePoint::Epoch();
   // Ids covered by a device write that has started but not completed;
   // overlapping flushes skip these instead of charging for them twice.

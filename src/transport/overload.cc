@@ -1,0 +1,164 @@
+#include "src/transport/overload.h"
+
+#include <algorithm>
+
+namespace rover {
+
+Duration DecorrelatedJitterBackoff::Next() {
+  // Returns the current interval, then draws the next one from
+  // [base, 3 * current] clamped to the cap. Returning before drawing makes
+  // the first retry after Reset() exactly `base` -- deterministic fast
+  // first retry on a fresh link -- while later retries decorrelate.
+  const Duration current = prev_;
+  const int64_t lo = base_.micros();
+  // prev * 3 with overflow guard (cap may be large).
+  const int64_t hi = prev_.micros() > cap_.micros() / 3
+                         ? cap_.micros()
+                         : std::max(lo, std::min(prev_.micros() * 3, cap_.micros()));
+  prev_ = Duration::Micros(hi > lo ? rng_.NextInRange(lo, hi) : lo);
+  return current;
+}
+
+bool RetryBudget::TryConsume(TimePoint now) {
+  if (!enabled()) {
+    return true;
+  }
+  Refill(now);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+double RetryBudget::available(TimePoint now) {
+  if (!enabled()) {
+    return 0;
+  }
+  Refill(now);
+  return tokens_;
+}
+
+TimePoint RetryBudget::NextTokenAt(TimePoint now) {
+  if (!enabled()) {
+    return now;
+  }
+  Refill(now);
+  if (tokens_ >= 1.0) {
+    return now;
+  }
+  if (refill_per_sec_ <= 0) {
+    return TimePoint::FromMicros(INT64_MAX);
+  }
+  const double deficit = 1.0 - tokens_;
+  return now + Duration::Seconds(deficit / refill_per_sec_);
+}
+
+TimePoint RetryBudget::Reserve(TimePoint now) {
+  if (!enabled()) {
+    return now;
+  }
+  Refill(now);
+  tokens_ -= 1.0;
+  if (tokens_ >= 0) {
+    return now;
+  }
+  if (refill_per_sec_ <= 0) {
+    tokens_ = 0;  // unrecoverable; don't let the debt grow without bound
+    return TimePoint::FromMicros(INT64_MAX);
+  }
+  // The bucket is in debt: this reservation is covered once refill repays
+  // the deficit. Long-term grant rate is exactly refill_per_sec.
+  return now + Duration::Seconds(-tokens_ / refill_per_sec_);
+}
+
+void RetryBudget::Refill(TimePoint now) {
+  if (now <= last_refill_) {
+    return;
+  }
+  const double elapsed_sec = (now - last_refill_).seconds();
+  tokens_ = std::min(capacity_, tokens_ + elapsed_sec * refill_per_sec_);
+  last_refill_ = now;
+}
+
+std::string_view BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::AllowAttempt(TimePoint now) {
+  if (options_.failure_threshold <= 0) {
+    return true;
+  }
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now < open_until_) {
+        return false;
+      }
+      state_ = BreakerState::kHalfOpen;
+      probe_outstanding_ = true;
+      return true;
+    case BreakerState::kHalfOpen:
+      // One probe at a time; its outcome decides the next state.
+      return !probe_outstanding_;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  cooldown_ = options_.open_duration;
+  state_ = BreakerState::kClosed;
+  probe_outstanding_ = false;
+}
+
+void CircuitBreaker::RecordFailure(TimePoint now) {
+  if (options_.failure_threshold <= 0) {
+    return;
+  }
+  ++consecutive_failures_;
+  if (state_ == BreakerState::kHalfOpen) {
+    // Failed probe: back to open with a longer cooldown.
+    cooldown_ = std::min(cooldown_ * 2.0, options_.open_duration_max);
+    Open(now);
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      consecutive_failures_ >= options_.failure_threshold) {
+    Open(now);
+  }
+}
+
+void CircuitBreaker::AbortProbe() {
+  // The half-open probe never reached the destination (e.g. the link went
+  // down mid-flight): its outcome says nothing about the peer, so allow a
+  // fresh probe instead of wedging in half-open forever.
+  if (state_ == BreakerState::kHalfOpen) {
+    probe_outstanding_ = false;
+  }
+}
+
+void CircuitBreaker::Reset() {
+  consecutive_failures_ = 0;
+  cooldown_ = options_.open_duration;
+  state_ = BreakerState::kClosed;
+  probe_outstanding_ = false;
+  open_until_ = TimePoint::Epoch();
+}
+
+void CircuitBreaker::Open(TimePoint now) {
+  state_ = BreakerState::kOpen;
+  probe_outstanding_ = false;
+  open_until_ = now + cooldown_;
+}
+
+}  // namespace rover

@@ -1,0 +1,143 @@
+// Overload-protection primitives shared by the transport and QRPC layers:
+//
+//   * decorrelated-jitter backoff [cf. the "exponential backoff and jitter"
+//     analysis popularized by AWS]: each retry interval is drawn uniformly
+//     from [base, 3 * previous], clamped to a cap, so synchronized clients
+//     recovering from the same outage spread their retries instead of
+//     hammering the link in lockstep the way a bare exponential does;
+//   * a token-bucket retry budget: retries spend tokens that refill at a
+//     configured rate, so a fault storm (seeded loss, a flapping peer)
+//     cannot amplify one request into an unbounded retry storm -- when the
+//     bucket is empty the retry waits for the next token instead of firing;
+//   * a per-destination circuit breaker (closed -> open -> half-open): after
+//     enough consecutive delivery failures the destination is "open" and
+//     nothing is sent until a cooldown passes, then a single half-open probe
+//     decides between closing the circuit and re-opening it with a longer
+//     cooldown.
+//
+// All three are pure state machines driven by explicit TimePoints (no
+// wall-clock, no sleeps), so unit tests and the discrete-event simulator
+// exercise them deterministically.
+
+#ifndef ROVER_SRC_TRANSPORT_OVERLOAD_H_
+#define ROVER_SRC_TRANSPORT_OVERLOAD_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace rover {
+
+// Decorrelated jitter: Next() draws uniformly from [base, 3 * previous],
+// clamped to [base, cap]. Reset() returns to the base interval (call it when
+// conditions change, e.g. a link reconnects).
+class DecorrelatedJitterBackoff {
+ public:
+  DecorrelatedJitterBackoff(Duration base, Duration cap, uint64_t seed)
+      : base_(base), cap_(cap), prev_(base), rng_(seed) {}
+
+  Duration Next();
+  void Reset() { prev_ = base_; }
+  Duration previous() const { return prev_; }
+
+ private:
+  Duration base_;
+  Duration cap_;
+  Duration prev_;
+  Rng rng_;
+};
+
+// Token bucket. Starts full; refills continuously at `refill_per_sec` up to
+// `capacity`. A capacity of 0 disables the budget (TryConsume always grants).
+class RetryBudget {
+ public:
+  RetryBudget(double capacity, double refill_per_sec)
+      : capacity_(capacity), refill_per_sec_(refill_per_sec), tokens_(capacity) {}
+
+  // Consumes one token if available. Refills lazily from `now`.
+  bool TryConsume(TimePoint now);
+
+  // Unconditionally reserves one token and returns the time at which the
+  // reservation is covered by refill (== `now` when a token is already
+  // available). Lets callers that must eventually proceed (reliable-delivery
+  // retries) wait out the budget instead of dropping; the long-term grant
+  // rate is still exactly `refill_per_sec`.
+  TimePoint Reserve(TimePoint now);
+
+  // Tokens available at `now` (after lazy refill).
+  double available(TimePoint now);
+
+  // Earliest time at which one token will be available (== `now` when one
+  // already is). With a zero refill rate and an empty bucket the budget can
+  // never recover; callers should treat that as "drop", not "wait forever".
+  TimePoint NextTokenAt(TimePoint now);
+
+  bool enabled() const { return capacity_ > 0; }
+
+ private:
+  void Refill(TimePoint now);
+
+  double capacity_;
+  double refill_per_sec_;
+  double tokens_;
+  TimePoint last_refill_ = TimePoint::Epoch();
+};
+
+enum class BreakerState : uint8_t { kClosed, kOpen, kHalfOpen };
+
+std::string_view BreakerStateName(BreakerState state);
+
+struct CircuitBreakerOptions {
+  // Consecutive failures that trip the breaker. 0 disables it entirely
+  // (AllowAttempt always true).
+  int failure_threshold = 6;
+  // First cooldown; doubles per consecutive re-open, capped below.
+  Duration open_duration = Duration::Seconds(2);
+  Duration open_duration_max = Duration::Seconds(60);
+};
+
+class CircuitBreaker {
+ public:
+  CircuitBreaker() : CircuitBreaker(CircuitBreakerOptions{}) {}
+  explicit CircuitBreaker(CircuitBreakerOptions options)
+      : options_(options), cooldown_(options.open_duration) {}
+
+  // True if a send may be attempted now. An open breaker whose cooldown has
+  // passed transitions to half-open and grants exactly one probe; further
+  // calls return false until that probe's outcome is recorded.
+  bool AllowAttempt(TimePoint now);
+
+  // Outcome of an attempted send. A success closes the circuit and resets
+  // the failure count and cooldown; a failure increments the count and, at
+  // the threshold (or on a failed half-open probe), opens the circuit.
+  void RecordSuccess();
+  void RecordFailure(TimePoint now);
+
+  // The in-flight half-open probe was abandoned without an outcome (link
+  // went down); permits another probe rather than wedging half-open.
+  void AbortProbe();
+
+  // Forget all failure history (e.g. the link to the destination was
+  // replaced or reconnected: old conditions say nothing about new ones).
+  void Reset();
+
+  BreakerState state() const { return state_; }
+  TimePoint open_until() const { return open_until_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+
+ private:
+  void Open(TimePoint now);
+
+  CircuitBreakerOptions options_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  Duration cooldown_;
+  TimePoint open_until_ = TimePoint::Epoch();
+  bool probe_outstanding_ = false;
+};
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_TRANSPORT_OVERLOAD_H_

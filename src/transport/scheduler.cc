@@ -27,8 +27,30 @@ size_t NetworkScheduler::DestQueue::size() const {
 }
 
 NetworkScheduler::NetworkScheduler(EventLoop* loop, Host* host, SchedulerOptions options)
-    : loop_(loop), host_(host), options_(options) {
+    : loop_(loop), host_(host), options_(options),
+      retry_budget_(options.retry_budget_capacity, options.retry_budget_refill_per_sec) {
   WireMetrics(&own_metrics_, "scheduler");
+}
+
+NetworkScheduler::DestQueue& NetworkScheduler::GetQueue(const std::string& dest) {
+  auto [it, inserted] = queues_.try_emplace(dest);
+  if (inserted) {
+    // Per-destination seed: decorrelates this queue's jitter from other
+    // destinations (and, via the options seed, from other hosts).
+    uint64_t seed = options_.backoff_seed;
+    for (char c : dest) {
+      seed = seed * 1099511628211ull + static_cast<unsigned char>(c);
+    }
+    it->second.backoff = std::make_unique<DecorrelatedJitterBackoff>(
+        options_.loss_retry_backoff, options_.loss_retry_backoff_max, seed);
+    it->second.breaker = CircuitBreaker(options_.breaker);
+  }
+  return it->second;
+}
+
+BreakerState NetworkScheduler::BreakerStateFor(const std::string& dest) const {
+  auto it = queues_.find(dest);
+  return it == queues_.end() ? BreakerState::kClosed : it->second.breaker.state();
 }
 
 void NetworkScheduler::WireMetrics(obs::Registry* registry, const std::string& prefix) {
@@ -41,7 +63,13 @@ void NetworkScheduler::WireMetrics(obs::Registry* registry, const std::string& p
   c_payload_bytes_original_ = registry->counter(prefix + ".payload_bytes_original");
   c_payload_bytes_sent_ = registry->counter(prefix + ".payload_bytes_sent");
   c_payload_bytes_cancelled_ = registry->counter(prefix + ".payload_bytes_cancelled");
+  c_messages_shed_ = registry->counter(prefix + ".messages_shed");
+  c_enqueue_rejected_ = registry->counter(prefix + ".enqueue_rejected");
+  c_retry_budget_waits_ = registry->counter(prefix + ".retry_budget_waits");
+  c_breaker_opened_ = registry->counter(prefix + ".breaker_open_transitions");
   g_queue_depth_ = registry->gauge(prefix + ".queue_depth");
+  g_queued_bytes_ = registry->gauge(prefix + ".queued_payload_bytes");
+  g_breakers_open_ = registry->gauge(prefix + ".breakers_open");
 }
 
 void NetworkScheduler::BindMetrics(obs::Registry* registry, const std::string& prefix) {
@@ -56,7 +84,12 @@ void NetworkScheduler::BindMetrics(obs::Registry* registry, const std::string& p
   c_payload_bytes_original_->Increment(carried.payload_bytes_original);
   c_payload_bytes_sent_->Increment(carried.payload_bytes_sent);
   c_payload_bytes_cancelled_->Increment(carried.payload_bytes_cancelled);
+  c_messages_shed_->Increment(carried.messages_shed);
+  c_enqueue_rejected_->Increment(carried.enqueue_rejected);
+  c_retry_budget_waits_->Increment(carried.retry_budget_waits);
+  c_breaker_opened_->Increment(carried.breaker_open_transitions);
   g_queue_depth_->Set(static_cast<int64_t>(TotalQueueDepth()));
+  g_queued_bytes_->Set(static_cast<int64_t>(queued_payload_bytes_));
 }
 
 SchedulerStats NetworkScheduler::stats() const {
@@ -70,11 +103,14 @@ SchedulerStats NetworkScheduler::stats() const {
   s.payload_bytes_original = c_payload_bytes_original_->value();
   s.payload_bytes_sent = c_payload_bytes_sent_->value();
   s.payload_bytes_cancelled = c_payload_bytes_cancelled_->value();
+  s.messages_shed = c_messages_shed_->value();
+  s.enqueue_rejected = c_enqueue_rejected_->value();
+  s.retry_budget_waits = c_retry_budget_waits_->value();
+  s.breaker_open_transitions = c_breaker_opened_->value();
   return s;
 }
 
 void NetworkScheduler::Enqueue(Message msg, DeliveredCallback delivered, Duration ttl) {
-  c_messages_enqueued_->Increment();
   c_payload_bytes_original_->Increment(msg.payload.size());
 
   // Compress once, at enqueue time, so retries do not repeat the work.
@@ -91,6 +127,29 @@ void NetworkScheduler::Enqueue(Message msg, DeliveredCallback delivered, Duratio
 
   const std::string dest = msg.header.dst;
   const int prio = static_cast<int>(msg.header.priority);
+  const size_t payload_size = msg.payload.size();
+
+  // Admission: when either bound is hit, background traffic is rejected
+  // outright and queued background is shed to admit higher priorities --
+  // which are then always accepted (the QRPC layer bounds them upstream,
+  // and refusing them here would strand durable application ops).
+  const bool over_depth = options_.max_queued_messages > 0 &&
+                          TotalQueueDepth() + 1 > options_.max_queued_messages;
+  const bool over_bytes = options_.max_queued_bytes > 0 &&
+                          queued_payload_bytes_ + payload_size > options_.max_queued_bytes;
+  if (over_depth || over_bytes) {
+    if (msg.header.priority == Priority::kBackground) {
+      c_enqueue_rejected_->Increment();
+      c_payload_bytes_cancelled_->Increment(payload_size);
+      if (delivered) {
+        delivered(ResourceExhaustedError("scheduler queue budget exceeded"));
+      }
+      return;
+    }
+    ShedBackground(payload_size);
+  }
+
+  c_messages_enqueued_->Increment();
   Pending pending{std::move(msg), std::move(delivered)};
   if (!ttl.is_zero()) {
     pending.expires_at = loop_->now() + ttl;
@@ -103,9 +162,49 @@ void NetworkScheduler::Enqueue(Message msg, DeliveredCallback delivered, Duratio
                         }
                       });
   }
-  queues_[dest].by_priority[prio].push_back(std::move(pending));
+  GetQueue(dest).by_priority[prio].push_back(std::move(pending));
+  queued_payload_bytes_ += payload_size;
   NotifyObserver();
   TryDrain(dest);
+}
+
+size_t NetworkScheduler::ShedBackground(size_t incoming_bytes) {
+  auto fits = [&] {
+    const bool depth_ok = options_.max_queued_messages == 0 ||
+                          TotalQueueDepth() + 1 <= options_.max_queued_messages;
+    const bool bytes_ok =
+        options_.max_queued_bytes == 0 ||
+        queued_payload_bytes_ + incoming_bytes <= options_.max_queued_bytes;
+    return depth_ok && bytes_ok;
+  };
+  // Collect victims first, fire their callbacks after: a delivered callback
+  // may re-enter the scheduler (e.g. resolve a promise whose continuation
+  // issues a new call), which must not happen mid-iteration.
+  std::vector<Pending> victims;
+  for (auto& [dest, q] : queues_) {
+    auto& bq = q.by_priority[static_cast<int>(Priority::kBackground)];
+    // Newest first: the oldest queued background message has waited longest
+    // and is closest to going out.
+    while (!bq.empty() && !fits()) {
+      queued_payload_bytes_ -= bq.back().msg.payload.size();
+      victims.push_back(std::move(bq.back()));
+      bq.pop_back();
+    }
+    if (fits()) {
+      break;
+    }
+  }
+  for (Pending& v : victims) {
+    c_messages_shed_->Increment();
+    c_payload_bytes_cancelled_->Increment(v.msg.payload.size());
+    if (v.delivered) {
+      v.delivered(ResourceExhaustedError("shed under queue pressure"));
+    }
+  }
+  if (!victims.empty()) {
+    NotifyObserver();
+  }
+  return victims.size();
 }
 
 void NetworkScheduler::PurgeExpired(const std::string& dest) {
@@ -120,6 +219,7 @@ void NetworkScheduler::PurgeExpired(const std::string& dest) {
       if (p->expires_at <= now) {
         c_messages_expired_->Increment();
         c_payload_bytes_cancelled_->Increment(p->msg.payload.size());
+        queued_payload_bytes_ -= p->msg.payload.size();
         if (p->delivered) {
           p->delivered(DeadlineExceededError("message ttl expired in queue"));
         }
@@ -144,6 +244,7 @@ bool NetworkScheduler::CancelMessage(const std::string& dest, uint64_t message_i
     for (auto p = pq.begin(); p != pq.end(); ++p) {
       if (p->msg.header.message_id == message_id) {
         c_payload_bytes_cancelled_->Increment(p->msg.payload.size());
+        queued_payload_bytes_ -= p->msg.payload.size();
         if (p->delivered) {
           p->delivered(CancelledError("cancelled before transmission"));
         }
@@ -197,11 +298,28 @@ void NetworkScheduler::TryDrain(const std::string& dest) {
     ArmUpWakeup(dest);
     return;
   }
+  const TimePoint now = loop_->now();
+  if (!q.breaker.AllowAttempt(now)) {
+    // Open circuit: park until the cooldown passes, then probe.
+    if (!q.breaker_wait_armed) {
+      q.breaker_wait_armed = true;
+      const TimePoint at =
+          std::max(q.breaker.open_until(), now + options_.loss_retry_backoff);
+      loop_->ScheduleAt(at, [this, dest, alive = std::weak_ptr<char>(alive_)] {
+        if (alive.expired()) {
+          return;
+        }
+        GetQueue(dest).breaker_wait_armed = false;
+        TryDrain(dest);
+      });
+    }
+    return;
+  }
   SendBatch(dest, link);
 }
 
 void NetworkScheduler::SendBatch(const std::string& dest, Link* link) {
-  DestQueue& q = queues_[dest];
+  DestQueue& q = GetQueue(dest);
   const size_t max_msgs = options_.batching ? options_.max_batch_messages : 1;
   const size_t max_bytes = options_.batching ? options_.max_batch_bytes : SIZE_MAX;
 
@@ -224,6 +342,7 @@ void NetworkScheduler::SendBatch(const std::string& dest, Link* link) {
         break;
       }
       bytes += sz;
+      queued_payload_bytes_ -= pq.front().msg.payload.size();
       batch.push_back(std::move(pq.front()));
       pq.pop_front();
     }
@@ -258,11 +377,13 @@ void NetworkScheduler::SendBatch(const std::string& dest, Link* link) {
 
 void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
                                           std::vector<Pending> batch, const Status& status) {
-  DestQueue& q = queues_[dest];
+  DestQueue& q = GetQueue(dest);
   q.in_flight = false;
 
   if (status.ok()) {
     q.consecutive_losses = 0;
+    q.backoff->Reset();
+    q.breaker.RecordSuccess();
     c_messages_delivered_->Increment(batch.size());
     for (Pending& p : batch) {
       // Payload accounting at the delivery point: only bytes a link carried
@@ -282,19 +403,43 @@ void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
   c_retries_->Increment();
   for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
     const int prio = static_cast<int>(it->msg.header.priority);
+    queued_payload_bytes_ += it->msg.payload.size();
     q.by_priority[prio].push_front(std::move(*it));
   }
   NotifyObserver();
 
   if (status.code() == StatusCode::kUnavailable) {
-    // Link down: wake up when any link to this destination returns.
+    // Link down: says nothing about the peer, so it neither counts against
+    // the circuit breaker nor spends retry-budget tokens. If the failed
+    // frame was a half-open probe, allow a fresh probe after reconnection.
+    q.breaker.AbortProbe();
     ArmUpWakeup(dest);
   } else {
-    // Random loss: back off briefly, then retransmit.
+    // Random loss: decorrelated-jitter backoff (drawn from [base,
+    // 3 * previous], capped), gated by the shared retry budget and counted
+    // against the destination's circuit breaker.
+    const TimePoint now = loop_->now();
     ++q.consecutive_losses;
-    const int shift = std::min(q.consecutive_losses - 1, 6);
-    const Duration backoff = options_.loss_retry_backoff * static_cast<double>(1 << shift);
-    loop_->ScheduleAfter(backoff, [this, dest, alive = std::weak_ptr<char>(alive_)] {
+    const BreakerState before = q.breaker.state();
+    q.breaker.RecordFailure(now);
+    if (q.breaker.state() == BreakerState::kOpen && before != BreakerState::kOpen) {
+      c_breaker_opened_->Increment();
+      NotifyObserver();
+    }
+    TimePoint fire_at = now + q.backoff->Next();
+    if (retry_budget_.enabled()) {
+      const TimePoint token_at = retry_budget_.Reserve(now);
+      if (token_at == TimePoint::FromMicros(INT64_MAX)) {
+        // Budget can never refill; delivery is still reliable, so fall back
+        // to pacing at the maximum backoff instead of never retrying.
+        c_retry_budget_waits_->Increment();
+        fire_at = std::max(fire_at, now + options_.loss_retry_backoff_max);
+      } else if (token_at > fire_at) {
+        c_retry_budget_waits_->Increment();
+        fire_at = token_at;
+      }
+    }
+    loop_->ScheduleAt(fire_at, [this, dest, alive = std::weak_ptr<char>(alive_)] {
       if (!alive.expired()) {
         TryDrain(dest);
       }
@@ -303,7 +448,7 @@ void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
 }
 
 void NetworkScheduler::ArmUpWakeup(const std::string& dest) {
-  DestQueue& q = queues_[dest];
+  DestQueue& q = GetQueue(dest);
   if (q.waiting_for_up) {
     return;
   }
@@ -328,14 +473,16 @@ void NetworkScheduler::ArmUpWakeup(const std::string& dest) {
         if (alive.expired()) {
           return;  // scheduler torn down while waiting for the link
         }
-        DestQueue& dq = queues_[dest];
+        DestQueue& dq = GetQueue(dest);
         dq.waiting_for_up = false;
         dq.up_wakeup_event = kInvalidEventId;
-        // A fresh connection starts with a fresh loss history: the exponential
-        // backoff accumulated before the outage says nothing about the new
-        // link conditions, and inheriting it would stall the first retry after
-        // a long disconnection by up to the maximum backoff.
+        // A fresh connection starts with a fresh loss history: the backoff
+        // and breaker state accumulated before the outage say nothing about
+        // the new link conditions, and inheriting them would stall the first
+        // retry after a long disconnection by up to the maximum backoff.
         dq.consecutive_losses = 0;
+        dq.backoff->Reset();
+        dq.breaker.Reset();
         TryDrain(dest);
       });
 }
@@ -358,6 +505,14 @@ void NetworkScheduler::ReevaluateWakeups() {
 
 void NetworkScheduler::NotifyObserver() {
   g_queue_depth_->Set(static_cast<int64_t>(TotalQueueDepth()));
+  g_queued_bytes_->Set(static_cast<int64_t>(queued_payload_bytes_));
+  int64_t open = 0;
+  for (const auto& [dest, q] : queues_) {
+    if (q.breaker.state() != BreakerState::kClosed) {
+      ++open;
+    }
+  }
+  g_breakers_open_->Set(open);
   if (observer_) {
     observer_(TotalQueueDepth());
   }

@@ -25,6 +25,7 @@
 #include "src/obs/rpc_trace.h"
 #include "src/sim/network.h"
 #include "src/transport/message.h"
+#include "src/transport/overload.h"
 #include "src/util/time.h"
 
 namespace rover {
@@ -35,7 +36,26 @@ struct SchedulerOptions {
   size_t max_batch_bytes = 32 * 1024;
   bool compress = false;
   size_t compress_min_bytes = 64;  // don't bother compressing tiny payloads
+  // Loss retries use decorrelated jitter: each interval is drawn from
+  // [base, 3 * previous], clamped to the max. The seed decorrelates this
+  // host from other hosts retrying into the same congested link.
   Duration loss_retry_backoff = Duration::Millis(200);
+  Duration loss_retry_backoff_max = Duration::Seconds(30);
+  uint64_t backoff_seed = 0x9e3779b97f4a7c15ull;
+  // Admission bounds across all destination queues (0 = unbounded). When a
+  // bound is hit, queued background messages are shed first (their delivered
+  // callback fires kResourceExhausted); an incoming background message is
+  // rejected outright; higher-priority traffic is always admitted after
+  // shedding -- the QRPC layer bounds it upstream.
+  size_t max_queued_messages = 0;
+  size_t max_queued_bytes = 0;
+  // Token-bucket budget shared by all loss retries (capacity 0 = unlimited).
+  // When the bucket empties, retries wait for refill instead of firing, so a
+  // fault storm cannot amplify offered load.
+  double retry_budget_capacity = 0;
+  double retry_budget_refill_per_sec = 10;
+  // Per-destination circuit breaker (failure_threshold 0 disables).
+  CircuitBreakerOptions breaker;
 };
 
 // Snapshot assembled from the metrics registry (see stats()).
@@ -49,6 +69,10 @@ struct SchedulerStats {
   uint64_t payload_bytes_original = 0; // pre-compression payload of enqueued msgs
   uint64_t payload_bytes_sent = 0;     // post-compression payload actually delivered
   uint64_t payload_bytes_cancelled = 0;  // cancelled before any delivery
+  uint64_t messages_shed = 0;          // queued background dropped to admit others
+  uint64_t enqueue_rejected = 0;       // refused admission at Enqueue
+  uint64_t retry_budget_waits = 0;     // retries delayed by an empty budget
+  uint64_t breaker_open_transitions = 0;  // closed/half-open -> open edges
 };
 
 class NetworkScheduler {
@@ -77,6 +101,10 @@ class NetworkScheduler {
 
   size_t TotalQueueDepth() const;
   size_t QueueDepthFor(const std::string& dest) const;
+  // Payload bytes sitting in queues (excludes the in-flight batch).
+  size_t QueuedPayloadBytes() const { return queued_payload_bytes_; }
+  // Circuit-breaker state for `dest` (kClosed if the dest is unknown).
+  BreakerState BreakerStateFor(const std::string& dest) const;
 
   void SetQueueObserver(QueueObserver observer) { observer_ = std::move(observer); }
 
@@ -113,11 +141,20 @@ class NetworkScheduler {
     bool waiting_for_up = false;
     EventId up_wakeup_event = kInvalidEventId;
     int consecutive_losses = 0;
+    // Retry pacing and overload state (configured lazily in GetQueue).
+    std::unique_ptr<DecorrelatedJitterBackoff> backoff;
+    CircuitBreaker breaker;
+    bool breaker_wait_armed = false;
 
     bool empty() const;
     size_t size() const;
   };
 
+  // queues_[dest] with overload state initialised from options on first use.
+  DestQueue& GetQueue(const std::string& dest);
+  // Sheds queued background messages (newest first) until the bounds fit
+  // `incoming_bytes` more or no background remains. Returns freed count.
+  size_t ShedBackground(size_t incoming_bytes);
   void TryDrain(const std::string& dest);
   // Drops queued (not in-flight) messages whose TTL has lapsed.
   void PurgeExpired(const std::string& dest);
@@ -132,6 +169,8 @@ class NetworkScheduler {
   Host* host_;
   SchedulerOptions options_;
   std::map<std::string, DestQueue> queues_;
+  RetryBudget retry_budget_;
+  size_t queued_payload_bytes_ = 0;
   QueueObserver observer_;
   // Deferred callbacks (up-wakeups, loss-backoff retries, frame
   // completions) capture a weak_ptr to this token and bail out when it is
@@ -150,7 +189,13 @@ class NetworkScheduler {
   obs::Counter* c_payload_bytes_original_ = nullptr;
   obs::Counter* c_payload_bytes_sent_ = nullptr;
   obs::Counter* c_payload_bytes_cancelled_ = nullptr;
+  obs::Counter* c_messages_shed_ = nullptr;
+  obs::Counter* c_enqueue_rejected_ = nullptr;
+  obs::Counter* c_retry_budget_waits_ = nullptr;
+  obs::Counter* c_breaker_opened_ = nullptr;
   obs::Gauge* g_queue_depth_ = nullptr;
+  obs::Gauge* g_queued_bytes_ = nullptr;
+  obs::Gauge* g_breakers_open_ = nullptr;
 };
 
 }  // namespace rover
