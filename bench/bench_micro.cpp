@@ -14,6 +14,7 @@
 #include "src/transport/message.h"
 #include "src/util/compress.h"
 #include "src/util/crc32.h"
+#include "src/util/delta.h"
 
 namespace rover {
 namespace {
@@ -174,7 +175,43 @@ void BM_Crc32(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           state.range(0));
 }
-BENCHMARK(BM_Crc32)->Arg(4096);
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(4096)->Arg(65536);
+
+// Delta codec over a typical re-import: an 8 KiB object with a small edit.
+void BM_DeltaEncode(benchmark::State& state) {
+  Bytes base(8192);
+  for (size_t i = 0; i < base.size(); ++i) {
+    base[i] = static_cast<uint8_t>('a' + (i * 31 % 17));
+  }
+  Bytes target = base;
+  for (size_t i = 256; i < 384; ++i) {
+    target[i] = static_cast<uint8_t>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeltaEncode(base, target));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(target.size()));
+}
+BENCHMARK(BM_DeltaEncode);
+
+void BM_DeltaApply(benchmark::State& state) {
+  Bytes base(8192);
+  for (size_t i = 0; i < base.size(); ++i) {
+    base[i] = static_cast<uint8_t>('a' + (i * 31 % 17));
+  }
+  Bytes target = base;
+  for (size_t i = 256; i < 384; ++i) {
+    target[i] = static_cast<uint8_t>(i);
+  }
+  const Bytes delta = DeltaEncode(base, target);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeltaApply(base, delta));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(target.size()));
+}
+BENCHMARK(BM_DeltaApply);
 
 void BM_StableLogAppend(benchmark::State& state) {
   EventLoop loop;

@@ -2,7 +2,9 @@
 // reconnect cycle and dumps the unified metrics registry (text and JSON)
 // plus the per-RPC lifecycle trace. Each QRPC's span shows the queued-RPC
 // pipeline from the paper: enqueued -> logged -> flushed (durable) ->
-// transmitted (once per send attempt) -> responded.
+// transmitted (once per send attempt) -> responded. The workload also
+// exercises the bandwidth hot path so the delta-import, operation-
+// coalescing, and log-compression counters all show live values.
 
 #include <cstdio>
 
@@ -20,9 +22,20 @@ int main() {
       {at(0), at(5)},
       {at(30), at(600)},
   };
+  ClientNodeOptions copts;
+  copts.log_costs.compress_log = true;  // show the compression counters too
   RoverClientNode* client =
       bed.AddClient("mobile", LinkProfile::WaveLan2(),
-                    std::make_unique<IntervalConnectivity>(up));
+                    std::make_unique<IntervalConnectivity>(up), copts);
+
+  // An object to import/edit/re-import: its second fetch arrives as a
+  // delta against the cached copy.
+  std::string body(2048, 'm');
+  bed.server()->rover()->CreateObject(MakeRdo(
+      "inbox", "lww",
+      "proc read {} { global state; return $state }\n"
+      "proc put {s} { global state; set state $s; return ok }",
+      body));
 
   bed.server()->qrpc()->RegisterHandler(
       "echo", [](const RpcRequestBody& req, const Message&, QrpcServer::Responder respond) {
@@ -37,6 +50,31 @@ int main() {
   bed.loop()->ScheduleAt(at(10), [client] {
     client->qrpc()->Call("server", "echo", {std::string("queued during outage")});
     client->qrpc()->Call("server", "echo", {std::string("also queued")});
+  });
+
+  // Import while connected, then re-import after a server-side edit: the
+  // refetch negotiates a delta against the cached version.
+  client->access()->Import("inbox");
+  bed.loop()->ScheduleAt(at(2), [&bed, body] {
+    RdoDescriptor next = *bed.server()->store()->Get("inbox");
+    next.data = "From: new-message\n" + body;
+    bed.server()->store()->Put(next);
+  });
+  bed.loop()->ScheduleAt(at(3), [client] {
+    ImportOptions refetch;
+    refetch.allow_cached = false;
+    client->access()->Import("inbox", refetch);
+  });
+
+  // During the outage, two supersedable edits of the same object: the
+  // queued predecessor export is coalesced away.
+  bed.loop()->ScheduleAt(at(12), [client] {
+    client->access()->Invoke("inbox", "put", {std::string("draft one")});
+    client->access()->Export("inbox");
+  });
+  bed.loop()->ScheduleAt(at(13), [client] {
+    client->access()->Invoke("inbox", "put", {std::string("draft two")});
+    client->access()->Export("inbox");
   });
 
   bed.RunFor(Duration::Seconds(120));

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/tclite/value.h"
+#include "src/util/delta.h"
 #include "src/util/logging.h"
 
 namespace rover {
@@ -59,6 +60,11 @@ void AccessManager::WireMetrics(obs::Registry* registry, const std::string& pref
   c_prefetches_shed_ = registry->counter(prefix + ".prefetches_shed");
   c_degraded_entered_ = registry->counter(prefix + ".degraded_entered");
   c_cache_overflow_events_ = registry->counter(prefix + ".cache_overflow_events");
+  c_delta_hits_ = registry->counter(prefix + ".delta_hits");
+  c_delta_full_ = registry->counter(prefix + ".delta_full");
+  c_delta_not_modified_ = registry->counter(prefix + ".delta_not_modified");
+  c_delta_fallbacks_ = registry->counter(prefix + ".delta_fallbacks");
+  c_delta_bytes_saved_ = registry->counter(prefix + ".delta_bytes_saved");
   g_degraded_ = registry->gauge(prefix + ".degraded");
   g_cache_overflow_bytes_ = registry->gauge(prefix + ".cache_overflow_bytes");
 }
@@ -83,6 +89,11 @@ void AccessManager::BindMetrics(obs::Registry* registry, const std::string& pref
   c_prefetches_shed_->Increment(carried.prefetches_shed);
   c_degraded_entered_->Increment(carried.degraded_entered);
   c_cache_overflow_events_->Increment(carried.cache_overflow_events);
+  c_delta_hits_->Increment(carried.delta_hits);
+  c_delta_full_->Increment(carried.delta_full);
+  c_delta_not_modified_->Increment(carried.delta_not_modified);
+  c_delta_fallbacks_->Increment(carried.delta_fallbacks);
+  c_delta_bytes_saved_->Increment(carried.delta_bytes_saved);
   g_degraded_->Set(degraded_ ? 1 : 0);
   UpdateOverflowGauge();
 }
@@ -106,6 +117,11 @@ AccessManagerStats AccessManager::stats() const {
   s.prefetches_shed = c_prefetches_shed_->value();
   s.degraded_entered = c_degraded_entered_->value();
   s.cache_overflow_events = c_cache_overflow_events_->value();
+  s.delta_hits = c_delta_hits_->value();
+  s.delta_full = c_delta_full_->value();
+  s.delta_not_modified = c_delta_not_modified_->value();
+  s.delta_fallbacks = c_delta_fallbacks_->value();
+  s.delta_bytes_saved = c_delta_bytes_saved_->value();
   return s;
 }
 
@@ -137,9 +153,12 @@ void AccessManager::RunPoll() {
   }
   for (const auto& [server, paths] : by_server) {
     c_polls_sent_->Increment();
-    // Best-effort; the next poll repeats it.
+    // Best-effort; the next poll repeats it. A newer poll covers everything
+    // an unsent older one would, so it supersedes it in the queue.
+    QrpcCallOptions poll_opts = MakeCallOptions(Priority::kBackground, false);
+    poll_opts.supersede_key = "poll:" + server;
     QrpcCall call = qrpc_->Call(server, "rover.poll", {TclListJoin(paths)},
-                                MakeCallOptions(Priority::kBackground, false));
+                                poll_opts);
     const std::vector<std::string> keys = keys_order[server];
     call.result.OnReady([this, keys](const QrpcResult& rpc) {
       if (!rpc.status.ok()) {
@@ -281,6 +300,17 @@ void AccessManager::Evict(const std::string& name) {
   }
 }
 
+bool AccessManager::CorruptImportImageForTest(const std::string& name) {
+  Entry* entry = FindEntry(name);
+  if (entry == nullptr || entry->import_image.empty()) {
+    return false;
+  }
+  for (size_t i = 0; i < entry->import_image.size(); i += 7) {
+    entry->import_image[i] ^= 0x5a;
+  }
+  return true;
+}
+
 void AccessManager::SetStatusCallback(StatusCallback callback) {
   status_callback_ = std::move(callback);
   NotifyStatus();
@@ -397,11 +427,36 @@ Promise<ImportResult> AccessManager::Import(const std::string& name, ImportOptio
   return promise;
 }
 
-void AccessManager::StartImportRpc(const std::string& name, Priority priority) {
+void AccessManager::StartImportRpc(const std::string& name, Priority priority,
+                                   bool allow_delta) {
   const RoverUrn urn = Resolve(name);
+  Entry* cached = FindEntry(name);
+  // With a cached server image, send its version and accept a delta reply.
+  const bool want_delta = options_.delta_imports && allow_delta &&
+                          cached != nullptr && !cached->import_image.empty();
+  QrpcCallOptions copts = MakeCallOptions(priority);
+  // Re-requests of the same object (priority escalations, repeated stale
+  // refreshes) supersede any not-yet-transmitted predecessor import.
+  copts.supersede_key = "import:" + urn.path;
   QrpcCall call =
-      qrpc_->Call(urn.server, "rover.import", {urn.path}, MakeCallOptions(priority));
-  call.result.OnReady([this, name](const QrpcResult& rpc) {
+      want_delta
+          ? qrpc_->Call(urn.server, "rover.import",
+                        {urn.path,
+                         static_cast<int64_t>(cached->committed.version)},
+                        copts)
+          : qrpc_->Call(urn.server, "rover.import", {urn.path}, copts);
+  latest_import_rpc_[name] = call.rpc_id;
+  const uint64_t my_rpc = call.rpc_id;
+  call.result.OnReady([this, name, my_rpc, want_delta,
+                       priority](const QrpcResult& rpc) {
+    auto latest = latest_import_rpc_.find(name);
+    if (latest == latest_import_rpc_.end() || latest->second != my_rpc) {
+      // Superseded (this promise was chained to the newest rpc's result) or
+      // a priority escalation re-requested the object: the newest rpc's own
+      // handler drives the install, with the decode rules of the request it
+      // actually sent.
+      return;
+    }
     ImportResult result;
     result.name = name;
     result.completed_at = loop_->now();
@@ -416,7 +471,94 @@ void AccessManager::StartImportRpc(const std::string& name, Priority priority) {
       FinishImport(name, result);
       return;
     }
-    auto descriptor = RdoDescriptor::Decode(*bytes);
+
+    // The one-argument form replies with the bare encoded descriptor; the
+    // two-argument (delta) form wraps the reply in an ImportReplyKind.
+    Bytes full;
+    if (!want_delta) {
+      full = std::move(*bytes);
+    } else {
+      WireReader reader(*bytes);
+      auto kind = reader.ReadVarint();
+      if (!kind.ok()) {
+        result.status = kind.status();
+        FinishImport(name, result);
+        return;
+      }
+      switch (static_cast<ImportReplyKind>(*kind)) {
+        case ImportReplyKind::kNotModified: {
+          auto version = reader.ReadVarint();
+          Entry* entry = FindEntry(name);
+          if (!version.ok() || entry == nullptr ||
+              entry->committed.version != *version) {
+            // The entry changed (or vanished) while the rpc was in flight;
+            // the cached copy is not the version the server confirmed.
+            c_delta_fallbacks_->Increment();
+            StartImportRpc(name, priority, /*allow_delta=*/false);
+            return;
+          }
+          c_delta_not_modified_->Increment();
+          c_delta_bytes_saved_->Increment(entry->import_image.size());
+          entry->stale = false;
+          Touch(entry);
+          auto pending = pending_imports_.find(name);
+          if (pending != pending_imports_.end() && pending->second.pin) {
+            entry->pinned = true;
+          }
+          result.status = Status::Ok();
+          result.version = entry->committed.version;
+          FinishImport(name, result);
+          return;
+        }
+        case ImportReplyKind::kDelta: {
+          auto base = reader.ReadVarint();
+          auto delta = reader.ReadBytes();
+          Entry* entry = FindEntry(name);
+          Result<Bytes> applied = DataLossError("malformed delta import reply");
+          if (base.ok() && delta.ok()) {
+            if (entry == nullptr || entry->committed.version != *base ||
+                entry->import_image.empty()) {
+              applied = FailedPreconditionError("delta base no longer cached");
+            } else {
+              applied = DeltaApply(entry->import_image, *delta);
+            }
+          }
+          if (!applied.ok()) {
+            // Wrong base, corrupt image, or mangled delta: never install a
+            // suspect object. Drop the image and re-fetch the full body.
+            if (entry != nullptr) {
+              entry->import_image.clear();
+            }
+            c_delta_fallbacks_->Increment();
+            StartImportRpc(name, priority, /*allow_delta=*/false);
+            return;
+          }
+          c_delta_hits_->Increment();
+          if (applied->size() > delta->size()) {
+            c_delta_bytes_saved_->Increment(applied->size() - delta->size());
+          }
+          full = std::move(*applied);
+          break;
+        }
+        case ImportReplyKind::kFull: {
+          auto body = reader.ReadBytes();
+          if (!body.ok()) {
+            result.status = body.status();
+            FinishImport(name, result);
+            return;
+          }
+          c_delta_full_->Increment();
+          full = std::move(*body);
+          break;
+        }
+        default:
+          result.status = DataLossError("unknown import reply kind");
+          FinishImport(name, result);
+          return;
+      }
+    }
+
+    auto descriptor = RdoDescriptor::Decode(full);
     if (!descriptor.ok()) {
       result.status = descriptor.status();
       FinishImport(name, result);
@@ -430,7 +572,16 @@ void AccessManager::StartImportRpc(const std::string& name, Priority priority) {
     const uint64_t version = descriptor->version;
     auto pending = pending_imports_.find(name);
     const bool pin = pending != pending_imports_.end() && pending->second.pin;
-    InstallDescriptor(keyed, pin, [this, name, version](const Status& s) {
+    auto image = std::make_shared<Bytes>(std::move(full));
+    InstallDescriptor(keyed, pin, [this, name, version, image](const Status& s) {
+      if (s.ok()) {
+        Entry* entry = FindEntry(name);
+        if (entry != nullptr && entry->committed.version == version) {
+          // The exact server-encoded bytes of this version: the delta base
+          // for the next re-fetch.
+          entry->import_image = std::move(*image);
+        }
+      }
       ImportResult r;
       r.name = name;
       r.status = s;
@@ -505,6 +656,7 @@ void AccessManager::FinishImport(const std::string& name, const ImportResult& re
   if (result.status.ok()) {
     c_imports_completed_->Increment();
   }
+  latest_import_rpc_.erase(name);
   auto it = pending_imports_.find(name);
   if (it == pending_imports_.end()) {
     return;  // a faster duplicate request already resolved the waiters
@@ -680,10 +832,13 @@ Promise<ExportResult> AccessManager::Export(const std::string& name, Priority pr
   const RoverUrn urn = Resolve(name);
   snapshot.name = urn.path;  // the server knows the object by its path
   const uint64_t base_version = entry->base_version;
+  QrpcCallOptions copts = MakeCallOptions(priority);
+  // A newer export of the same object snapshots the full tentative state,
+  // so it subsumes any not-yet-transmitted predecessor export.
+  copts.supersede_key = "export:" + urn.path;
   QrpcCall call =
       qrpc_->Call(urn.server, "rover.export",
-                  {snapshot.Encode(), static_cast<int64_t>(base_version)},
-                  MakeCallOptions(priority));
+                  {snapshot.Encode(), static_cast<int64_t>(base_version)}, copts);
   call.result.OnReady([this, name, promise](const QrpcResult& rpc) mutable {
     ExportResult result;
     result.completed_at = rpc.completed_at;
@@ -728,6 +883,9 @@ Promise<ExportResult> AccessManager::Export(const std::string& name, Priority pr
         entry->stale = false;
         entry->bytes = entry->committed.ByteSize();
         cache_bytes_ += entry->bytes;
+        // The raw server bytes of the new committed version double as the
+        // delta base for the next import.
+        entry->import_image = *committed_bytes;
       }
       NotifyStatus();
       promise.Set(result);
@@ -744,6 +902,7 @@ Promise<ExportResult> AccessManager::Export(const std::string& name, Priority pr
         if (committed.ok() && entry != nullptr) {
           committed->name = name;  // keep the caller's cache key
           entry->committed = *committed;  // refresh the committed view
+          entry->import_image = *payload;
           if (conflict_callback_) {
             conflict_callback_(name, entry->instance->ReadState(), *committed);
           }
@@ -809,6 +968,7 @@ Bytes AccessManager::SerializeCache() const {
     writer.WriteBool(entry.tentative);
     writer.WriteString(entry.tentative ? entry.instance->ReadState() : "");
     writer.WriteBool(entry.pinned);
+    writer.WriteBytes(entry.import_image);
   }
   return writer.TakeData();
 }
@@ -823,6 +983,7 @@ Status AccessManager::LoadCache(const Bytes& snapshot) {
     ROVER_ASSIGN_OR_RETURN(bool tentative, reader.ReadBool());
     ROVER_ASSIGN_OR_RETURN(std::string tentative_state, reader.ReadString());
     ROVER_ASSIGN_OR_RETURN(bool pinned, reader.ReadBool());
+    ROVER_ASSIGN_OR_RETURN(Bytes import_image, reader.ReadBytes());
     ROVER_ASSIGN_OR_RETURN(RdoDescriptor descriptor,
                            RdoDescriptor::Decode(descriptor_bytes));
 
@@ -848,6 +1009,7 @@ Status AccessManager::LoadCache(const Bytes& snapshot) {
       // WriteState clears dirty; the entry-level flag carries tentativeness.
     }
     entry.pinned = pinned;
+    entry.import_image = std::move(import_image);
     entry.bytes = entry.committed.ByteSize();
     cache_bytes_ += entry.bytes;
     Touch(&entry);

@@ -56,6 +56,11 @@ struct AccessManagerOptions {
   // queuing (imports, invokes, exports) stays fully alive -- degraded mode
   // sacrifices cache warming, never the disconnected-operation promise.
   size_t degraded_queue_depth = 0;
+  // Delta imports: when re-fetching an object whose server-encoded image is
+  // still cached, send the cached version id and accept a delta reply
+  // (applied locally, CRC-validated; any mismatch falls back to a full
+  // re-fetch). The big import-size win on CSLIP links (E12).
+  bool delta_imports = true;
 };
 
 struct ImportResult {
@@ -117,6 +122,11 @@ struct AccessManagerStats {
   // EvictIfNeeded found only tentative/pinned entries and let the cache
   // overflow its capacity (each overage episode counts once).
   uint64_t cache_overflow_events = 0;
+  uint64_t delta_hits = 0;          // imports answered with an applied delta
+  uint64_t delta_full = 0;          // delta requested, server sent full body
+  uint64_t delta_not_modified = 0;  // cached version was already current
+  uint64_t delta_fallbacks = 0;     // delta failed to apply; full re-fetch
+  uint64_t delta_bytes_saved = 0;   // full-body bytes the wire never carried
 };
 
 // Snapshot handed to the status callback whenever it changes -- the
@@ -186,6 +196,12 @@ class AccessManager {
   Bytes SerializeCache() const;
   Status LoadCache(const Bytes& snapshot);
 
+  // Damages the cached server-encoded image for `name` in place, as stable-
+  // storage corruption would; the next delta import must detect the bad
+  // base and fall back to a full fetch. Returns false when there is no
+  // image. Test-only.
+  bool CorruptImportImageForTest(const std::string& name);
+
   // --- notification ---
 
   void SetStatusCallback(StatusCallback callback);
@@ -231,6 +247,10 @@ class AccessManager {
     bool pinned = false;
     uint64_t last_use_seq = 0;
     size_t bytes = 0;
+    // Exact server-encoded bytes of `committed` (the image the server sent
+    // or would send for this version): the dictionary a delta import is
+    // applied against. Empty = delta unavailable, request the full body.
+    Bytes import_image;
   };
 
   Entry* FindEntry(const std::string& name);
@@ -242,7 +262,8 @@ class AccessManager {
   void HandleControl(const Message& msg);
   void OnServerRestart(const std::string& server, uint64_t epoch);
   void NotifyStatus();
-  void StartImportRpc(const std::string& name, Priority priority);
+  void StartImportRpc(const std::string& name, Priority priority,
+                      bool allow_delta = true);
   RoverUrn Resolve(const std::string& name) const;
   void SchedulePoll();
   void RunPoll();
@@ -277,6 +298,11 @@ class AccessManager {
   obs::Counter* c_prefetches_shed_ = nullptr;
   obs::Counter* c_degraded_entered_ = nullptr;
   obs::Counter* c_cache_overflow_events_ = nullptr;
+  obs::Counter* c_delta_hits_ = nullptr;
+  obs::Counter* c_delta_full_ = nullptr;
+  obs::Counter* c_delta_not_modified_ = nullptr;
+  obs::Counter* c_delta_fallbacks_ = nullptr;
+  obs::Counter* c_delta_bytes_saved_ = nullptr;
   obs::Gauge* g_degraded_ = nullptr;
   obs::Gauge* g_cache_overflow_bytes_ = nullptr;
   std::map<std::string, Entry> cache_;
@@ -294,6 +320,11 @@ class AccessManager {
     bool pin = false;
   };
   std::map<std::string, PendingImport> pending_imports_;
+  // Newest import rpc issued per name. An import response handler whose rpc
+  // is no longer the newest does nothing: either it was superseded (its
+  // promise chained to the newest rpc's result) or a priority escalation
+  // re-requested the object and the newest response drives the install.
+  std::map<std::string, uint64_t> latest_import_rpc_;
   std::deque<std::string> prefetch_queue_;
   size_t prefetch_in_flight_ = 0;
   bool degraded_ = false;

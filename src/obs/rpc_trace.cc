@@ -28,6 +28,8 @@ const char* RpcEventName(RpcEvent event) {
       return "shed";
     case RpcEvent::kPushback:
       return "pushback";
+    case RpcEvent::kCoalesced:
+      return "coalesced";
   }
   return "unknown";
 }

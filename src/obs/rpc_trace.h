@@ -37,6 +37,8 @@ enum class RpcEvent {
   kDeadlineExceeded,  // per-call deadline fired before a response arrived
   kShed,            // dropped by admission control / queue-pressure shedding
   kPushback,        // server pushback honored: re-dispatch after retry-after
+  kCoalesced,       // withdrawn pre-transmission; a supersedable successor
+                    // targeting the same (dest, key) answers for it
 };
 
 const char* RpcEventName(RpcEvent event);

@@ -31,6 +31,7 @@ void QrpcClient::WireMetrics(obs::Registry* registry, const std::string& prefix)
   c_background_shed_ = registry->counter(prefix + ".background_shed");
   c_pushback_honored_ = registry->counter(prefix + ".pushback_honored");
   c_pushback_exhausted_ = registry->counter(prefix + ".pushback_budget_exhausted");
+  c_coalesced_ = registry->counter(prefix + ".coalesced");
   g_log_bytes_ = registry->gauge(prefix + ".log_bytes");
   h_rpc_seconds_ = registry->histogram(prefix + ".rpc_seconds");
 }
@@ -47,6 +48,7 @@ void QrpcClient::BindMetrics(obs::Registry* registry, const std::string& prefix)
   c_background_shed_->Increment(carried.background_shed);
   c_pushback_honored_->Increment(carried.pushback_honored);
   c_pushback_exhausted_->Increment(carried.pushback_budget_exhausted);
+  c_coalesced_->Increment(carried.coalesced);
   if (log_ != nullptr) {
     g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
   }
@@ -63,6 +65,7 @@ QrpcClientStats QrpcClient::stats() const {
   s.background_shed = c_background_shed_->value();
   s.pushback_honored = c_pushback_honored_->value();
   s.pushback_budget_exhausted = c_pushback_exhausted_->value();
+  s.coalesced = c_coalesced_->value();
   return s;
 }
 
@@ -94,6 +97,7 @@ void QrpcClient::Trace(uint64_t rpc_id, obs::RpcEvent event) {
 Bytes QrpcClient::EncodeLogRecord(uint64_t rpc_id, const std::string& dest,
                                   const QrpcCallOptions& call_options, const Bytes& body) {
   WireWriter writer;
+  writer.Reserve(32 + dest.size() + call_options.relay_host.size() + body.size());
   writer.WriteVarint(kLogRecordRequest);
   writer.WriteVarint(rpc_id);
   writer.WriteString(dest);
@@ -175,11 +179,19 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
     }
   }
 
+  // Coalescing happens only after this call is admitted: withdrawing the
+  // predecessor first and then refusing the successor would drop a queued
+  // operation, which coalescing must never do.
+  if (options_.coalesce_superseded && !call_options.supersede_key.empty()) {
+    TryCoalescePredecessor(dest, call_options.supersede_key, call);
+  }
+
   Outstanding out;
   out.call = call;
   out.dest = dest;
   out.priority = call_options.priority;
   out.issued_at = loop_->now();
+  out.supersede_key = call_options.supersede_key;
 
   const Duration marshal_cost =
       options_.marshal_fixed +
@@ -191,6 +203,9 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
     Trace(call.rpc_id, obs::RpcEvent::kLogged);
   }
   outstanding_.emplace(call.rpc_id, out);
+  if (!call_options.supersede_key.empty()) {
+    supersede_index_[{dest, call_options.supersede_key}] = call.rpc_id;
+  }
 
   const uint64_t rpc_id = call.rpc_id;
   if (!call_options.deadline.is_zero()) {
@@ -234,6 +249,69 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
   return call;
 }
 
+void QrpcClient::ForgetSupersedeKey(const Outstanding& out, uint64_t rpc_id) {
+  if (out.supersede_key.empty()) {
+    return;
+  }
+  auto it = supersede_index_.find({out.dest, out.supersede_key});
+  if (it != supersede_index_.end() && it->second == rpc_id) {
+    supersede_index_.erase(it);
+  }
+}
+
+bool QrpcClient::TryCoalescePredecessor(const std::string& dest, const std::string& key,
+                                        QrpcCall& successor) {
+  auto idx = supersede_index_.find({dest, key});
+  if (idx == supersede_index_.end()) {
+    return false;
+  }
+  const uint64_t pred_id = idx->second;
+  auto it = outstanding_.find(pred_id);
+  if (it == outstanding_.end()) {
+    supersede_index_.erase(idx);  // stale entry; should not happen
+    return false;
+  }
+  // Safe to withdraw only before the request reaches the wire: either it
+  // was never handed to the scheduler (pending marshal/flush callbacks
+  // re-check outstanding_ and bail), or the scheduler still holds it queued
+  // and agrees to cancel. A message in flight or already transmitted may
+  // execute at the server, so its own response must resolve it.
+  if (it->second.dispatched &&
+      !transport_->scheduler()->CancelMessage(dest, pred_id)) {
+    return false;
+  }
+  Outstanding pred = std::move(it->second);
+  outstanding_.erase(it);
+  supersede_index_.erase(idx);
+  if (pred.deadline_event != kInvalidEventId) {
+    loop_->Cancel(pred.deadline_event);
+  }
+  // "Old log entries can be deleted when new operations supersede them"
+  // (§5.2): the successor's record carries the surviving operation.
+  if (pred.log_record_id != 0 && log_ != nullptr) {
+    log_->RemoveRecord(pred.log_record_id);
+    answered_log_records_.erase(pred.log_record_id);
+    g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
+  }
+  c_coalesced_->Increment();
+  Trace(pred_id, obs::RpcEvent::kCoalesced);
+  if (!pred.call.committed.ready()) {
+    pred.call.committed.Set(loop_->now());
+  }
+  // The predecessor's promise resolves with whatever the successor
+  // produces -- exactly once, and transitively if the successor is itself
+  // later superseded. This chain callback is attached before the caller
+  // can attach its own successor callbacks, so predecessor waiters observe
+  // the result first (in issue order).
+  successor.result.OnReady(
+      [pred_result = pred.call.result](const QrpcResult& r) mutable {
+        if (!pred_result.ready()) {
+          pred_result.Set(r);
+        }
+      });
+  return true;
+}
+
 void QrpcClient::HandleDeadline(uint64_t rpc_id) {
   auto it = outstanding_.find(rpc_id);
   if (it == outstanding_.end()) {
@@ -241,6 +319,7 @@ void QrpcClient::HandleDeadline(uint64_t rpc_id) {
   }
   Outstanding out = std::move(it->second);
   outstanding_.erase(it);
+  ForgetSupersedeKey(out, rpc_id);
   // Withdraw the durable record and the queued message through the same
   // machinery as Cancel(): an expired request must not be resent after a
   // crash, and must not occupy queue space waiting for connectivity.
@@ -286,6 +365,7 @@ void QrpcClient::HandleSchedulerDrop(uint64_t rpc_id, const Status& status) {
   }
   Outstanding out = std::move(it->second);
   outstanding_.erase(it);
+  ForgetSupersedeKey(out, rpc_id);
   if (out.deadline_event != kInvalidEventId) {
     loop_->Cancel(out.deadline_event);
   }
@@ -312,6 +392,9 @@ void QrpcClient::HandleSchedulerDrop(uint64_t rpc_id, const Status& status) {
 
 void QrpcClient::DispatchToScheduler(uint64_t rpc_id, const std::string& dest, Bytes body,
                                      const QrpcCallOptions& call_options) {
+  if (auto it = outstanding_.find(rpc_id); it != outstanding_.end()) {
+    it->second.dispatched = true;
+  }
   Message msg;
   msg.header.message_id = rpc_id;
   msg.header.type = MessageType::kRequest;
@@ -359,7 +442,11 @@ bool QrpcClient::MaybeHonorPushback(const Message& msg, const RpcResponseBody& b
   if (rec == nullptr) {
     return false;
   }
-  auto parsed = DecodeLogRecord(rec->data);
+  auto payload = log_->RecordPayload(*rec);
+  if (!payload.ok()) {
+    return false;
+  }
+  auto parsed = DecodeLogRecord(*payload);
   if (!parsed.ok()) {
     return false;
   }
@@ -410,6 +497,7 @@ void QrpcClient::HandleResponse(const Message& msg) {
   }
   Outstanding out = std::move(it->second);
   outstanding_.erase(it);
+  ForgetSupersedeKey(out, rpc_id);
   if (out.deadline_event != kInvalidEventId) {
     loop_->Cancel(out.deadline_event);
   }
@@ -449,6 +537,7 @@ bool QrpcClient::Cancel(uint64_t rpc_id) {
   }
   Outstanding out = std::move(it->second);
   outstanding_.erase(it);
+  ForgetSupersedeKey(out, rpc_id);
   if (out.deadline_event != kInvalidEventId) {
     loop_->Cancel(out.deadline_event);
   }
@@ -478,7 +567,12 @@ size_t QrpcClient::RecoverFromLog() {
   }
   size_t resent = 0;
   for (const StableLog::Record& rec : log_->DurableRecords()) {
-    auto parsed = DecodeLogRecord(rec.data);
+    auto payload = log_->RecordPayload(rec);
+    if (!payload.ok()) {
+      ROVER_LOG(Warning) << "qrpc recovery: skipping undecompressable log record " << rec.id;
+      continue;
+    }
+    auto parsed = DecodeLogRecord(*payload);
     if (!parsed.ok()) {
       ROVER_LOG(Warning) << "qrpc recovery: skipping malformed log record " << rec.id;
       continue;

@@ -50,6 +50,14 @@ struct QrpcCallOptions {
   // request already on the wire may still execute at the server; its late
   // response is ignored). Zero = wait forever, the queued-RPC default.
   Duration deadline = Duration::Zero();
+  // Non-empty: this call supersedes any earlier pending call to the same
+  // dest with the same key that has not reached the wire ("old log entries
+  // can be deleted when new operations supersede them", paper §5.2). The
+  // predecessor is withdrawn from the scheduler queue and the stable log,
+  // and its result promise resolves with this call's result. Callers mark
+  // an operation supersedable only when the newer operation subsumes the
+  // older one (e.g. a fresh import of the same object, a full-state write).
+  std::string supersede_key;
 };
 
 struct QrpcClientOptions {
@@ -71,6 +79,10 @@ struct QrpcClientOptions {
   // disables honoring entirely).
   double pushback_budget_capacity = 32;
   double pushback_budget_refill_per_sec = 4;
+  // Honor QrpcCallOptions::supersede_key by withdrawing not-yet-transmitted
+  // predecessors (off = every queued call is transmitted; the delta bench
+  // uses that as its baseline).
+  bool coalesce_superseded = true;
 };
 
 // Snapshot assembled from the metrics registry (see stats()).
@@ -84,6 +96,7 @@ struct QrpcClientStats {
   uint64_t background_shed = 0;     // outstanding background calls shed
   uint64_t pushback_honored = 0;    // re-dispatched after server retry-after
   uint64_t pushback_budget_exhausted = 0;  // pushback surfaced as an error
+  uint64_t coalesced = 0;  // withdrawn pre-wire, answered by a successor
 };
 
 // Handle returned by Call(). Both promises resolve on the event loop.
@@ -160,6 +173,10 @@ class QrpcClient {
     Priority priority = Priority::kDefault;
     TimePoint issued_at;
     EventId deadline_event = kInvalidEventId;
+    // Handed to the network scheduler: from here on withdrawal requires a
+    // successful CancelMessage (queued, not yet on the wire).
+    bool dispatched = false;
+    std::string supersede_key;  // empty = not supersedable
   };
   struct ParsedLogRecord {
     uint64_t rpc_id = 0;
@@ -182,6 +199,13 @@ class QrpcClient {
   // Sheds outstanding kBackground calls (newest first) until `needed` have
   // been shed or none remain. Returns how many were shed.
   size_t ShedBackgroundCalls(size_t needed);
+  // Withdraws a pending same-(dest, key) predecessor that has not reached
+  // the wire and chains its result promise to `successor`'s. Returns true
+  // when a predecessor was coalesced away.
+  bool TryCoalescePredecessor(const std::string& dest, const std::string& key,
+                              QrpcCall& successor);
+  // Drops the supersede-index entry if it still points at `rpc_id`.
+  void ForgetSupersedeKey(const Outstanding& out, uint64_t rpc_id);
   bool OverBudget(size_t body_size, bool logged) const;
   void ObserveServerEpoch(const std::string& server, uint64_t epoch);
   void MaybeTruncateLog();
@@ -202,6 +226,9 @@ class QrpcClient {
   // Log record ids whose rpc has completed; truncated once contiguous with
   // the log head.
   std::set<uint64_t> answered_log_records_;
+  // (dest, supersede key) -> newest pending rpc with that key. Volatile:
+  // calls recovered from the log after a crash are not coalesced.
+  std::map<std::pair<std::string, std::string>, uint64_t> supersede_index_;
   // Newest epoch observed per server host; drives the epoch observer.
   std::map<std::string, uint64_t> seen_server_epochs_;
   EpochObserver epoch_observer_;
@@ -222,6 +249,7 @@ class QrpcClient {
   obs::Counter* c_background_shed_ = nullptr;
   obs::Counter* c_pushback_honored_ = nullptr;
   obs::Counter* c_pushback_exhausted_ = nullptr;
+  obs::Counter* c_coalesced_ = nullptr;
   obs::Gauge* g_log_bytes_ = nullptr;  // stable-log byte budget occupancy
   obs::Histogram* h_rpc_seconds_ = nullptr;  // Call() -> response matched
 };

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/util/compress.h"
 #include "src/util/crc32.h"
 
 namespace rover {
@@ -19,16 +20,28 @@ void StableLog::WireMetrics(obs::Registry* registry, const std::string& prefix) 
   c_flushes_ = registry->counter(prefix + ".flushes");
   c_bytes_flushed_ = registry->counter(prefix + ".bytes_flushed");
   c_flush_time_micros_ = registry->counter(prefix + ".flush_time_micros");
+  c_raw_bytes_appended_ = registry->counter(prefix + ".raw_bytes_appended");
+  c_stored_bytes_appended_ = registry->counter(prefix + ".stored_bytes_appended");
+  c_records_compressed_ = registry->counter(prefix + ".records_compressed");
+  g_compression_ratio_pct_ = registry->gauge(prefix + ".compression_ratio_pct");
   h_flush_seconds_ = registry->histogram(prefix + ".flush_seconds");
 }
 
 void StableLog::BindMetrics(obs::Registry* registry, const std::string& prefix) {
   const StableLogStats carried = stats();
+  const uint64_t raw_bytes = c_raw_bytes_appended_->value();
+  const uint64_t stored_bytes = c_stored_bytes_appended_->value();
+  const uint64_t compressed = c_records_compressed_->value();
+  const int64_t ratio = g_compression_ratio_pct_->value();
   WireMetrics(registry, prefix);
   c_appends_->Increment(carried.appends);
   c_flushes_->Increment(carried.flushes);
   c_bytes_flushed_->Increment(carried.bytes_flushed);
   c_flush_time_micros_->Increment(static_cast<uint64_t>(carried.flush_time_total.micros()));
+  c_raw_bytes_appended_->Increment(raw_bytes);
+  c_stored_bytes_appended_->Increment(stored_bytes);
+  c_records_compressed_->Increment(compressed);
+  g_compression_ratio_pct_->Set(ratio);
 }
 
 StableLogStats StableLog::stats() const {
@@ -37,6 +50,9 @@ StableLogStats StableLog::stats() const {
   s.flushes = c_flushes_->value();
   s.bytes_flushed = c_bytes_flushed_->value();
   s.flush_time_total = Duration::Micros(static_cast<int64_t>(c_flush_time_micros_->value()));
+  s.raw_bytes_appended = c_raw_bytes_appended_->value();
+  s.stored_bytes_appended = c_stored_bytes_appended_->value();
+  s.records_compressed = c_records_compressed_->value();
   return s;
 }
 
@@ -50,10 +66,29 @@ void StableLog::ChargeWrite(size_t bytes, Duration cost) {
 uint64_t StableLog::Append(Bytes data) {
   Record rec;
   rec.id = next_id_++;
-  rec.crc = Crc32(data.data(), data.size());
-  rec.data = std::move(data);
+  rec.raw_size = data.size();
+  if (cost_model_.compress_log) {
+    Bytes packed = LzCompress(data);
+    if (packed.size() < data.size()) {
+      rec.compressed = true;
+      rec.data = std::move(packed);
+      c_records_compressed_->Increment();
+    }
+  }
+  if (!rec.compressed) {
+    rec.data = std::move(data);
+  }
+  // The CRC covers the stored form: that is what the device holds and what
+  // a torn write damages.
+  rec.crc = Crc32(rec.data.data(), rec.data.size());
   rec.durable = false;
   total_bytes_ += rec.data.size();
+  c_raw_bytes_appended_->Increment(rec.raw_size);
+  c_stored_bytes_appended_->Increment(rec.data.size());
+  if (const uint64_t raw = c_raw_bytes_appended_->value(); raw > 0) {
+    g_compression_ratio_pct_->Set(
+        static_cast<int64_t>(100 * c_stored_bytes_appended_->value() / raw));
+  }
   records_.push_back(std::move(rec));
   c_appends_->Increment();
   return records_.back().id;
@@ -66,6 +101,17 @@ const StableLog::Record* StableLog::FindRecord(uint64_t id) const {
     }
   }
   return nullptr;
+}
+
+Result<Bytes> StableLog::RecordPayload(const Record& rec) const {
+  if (!rec.compressed) {
+    return rec.data;
+  }
+  ROVER_ASSIGN_OR_RETURN(Bytes raw, LzDecompress(rec.data));
+  if (raw.size() != rec.raw_size) {
+    return DataLossError("stable log: decompressed record size mismatch");
+  }
+  return raw;
 }
 
 void StableLog::Flush(std::function<void()> done) {

@@ -43,6 +43,24 @@ Result<RdoDescriptor> ObjectStore::Get(const std::string& name) const {
   return it->second.committed;
 }
 
+Result<RdoDescriptor> ObjectStore::GetVersion(const std::string& name,
+                                              uint64_t version) const {
+  auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    return NotFoundError("object \"" + name + "\" not found");
+  }
+  if (it->second.committed.version == version) {
+    return it->second.committed;
+  }
+  for (const RdoDescriptor& old : it->second.history) {
+    if (old.version == version) {
+      return old;
+    }
+  }
+  return NotFoundError("version " + std::to_string(version) + " of \"" + name +
+                       "\" no longer journaled");
+}
+
 bool ObjectStore::Exists(const std::string& name) const {
   return objects_.count(name) > 0;
 }

@@ -49,6 +49,11 @@ class ObjectStore {
   // Committed descriptor for `name`.
   Result<RdoDescriptor> Get(const std::string& name) const;
 
+  // A specific journaled version of `name`: the committed descriptor or any
+  // still-held history entry. kNotFound once the version has aged out of
+  // the bounded history -- delta imports then fall back to the full object.
+  Result<RdoDescriptor> GetVersion(const std::string& name, uint64_t version) const;
+
   bool Exists(const std::string& name) const;
   Result<uint64_t> VersionOf(const std::string& name) const;
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/tclite/value.h"
+#include "src/util/delta.h"
 #include "src/util/logging.h"
 
 namespace rover {
@@ -173,8 +174,9 @@ Status RoverServer::CreateObject(const RdoDescriptor& descriptor) {
 void RoverServer::HandleImport(const RpcRequestBody& req, const Message& envelope,
                                QrpcServer::Responder respond) {
   ++stats_.imports;
-  if (req.args.size() != 1) {
-    respond(ErrorResponse(InvalidArgumentError("rover.import expects [name]")));
+  if (req.args.empty() || req.args.size() > 2) {
+    respond(ErrorResponse(
+        InvalidArgumentError("rover.import expects [name] or [name, cached_version]")));
     return;
   }
   auto name = RpcValueAsString(req.args[0]);
@@ -187,7 +189,48 @@ void RoverServer::HandleImport(const RpcRequestBody& req, const Message& envelop
     respond(ErrorResponse(descriptor.status()));
     return;
   }
-  respond(ValueResponse(descriptor->Encode()));
+  if (req.args.size() == 1) {
+    // Legacy form: the bare encoded descriptor, no wrapper.
+    respond(ValueResponse(descriptor->Encode()));
+    return;
+  }
+  // Delta negotiation: the client told us which version it already holds.
+  auto cached = RpcValueAsInt(req.args[1]);
+  if (!cached.ok()) {
+    respond(ErrorResponse(InvalidArgumentError("rover.import: bad cached_version")));
+    return;
+  }
+  const uint64_t cached_version = static_cast<uint64_t>(*cached);
+  const Bytes full = descriptor->Encode();
+  WireWriter reply;
+  if (cached_version == descriptor->version) {
+    reply.WriteVarint(static_cast<uint64_t>(ImportReplyKind::kNotModified));
+    reply.WriteVarint(descriptor->version);
+    ++stats_.imports_not_modified;
+    stats_.delta_bytes_saved += full.size();
+    respond(ValueResponse(reply.TakeData()));
+    return;
+  }
+  // The store journals a bounded version history; if the client's version
+  // is still in it, encode the new bytes against that base.
+  auto base = store_.GetVersion(*name, cached_version);
+  if (base.ok()) {
+    Bytes delta = DeltaEncode(base->Encode(), full);
+    if (delta.size() < full.size()) {
+      reply.WriteVarint(static_cast<uint64_t>(ImportReplyKind::kDelta));
+      reply.WriteVarint(cached_version);
+      reply.WriteBytes(delta);
+      ++stats_.deltas_sent;
+      stats_.delta_bytes_saved += full.size() - delta.size();
+      respond(ValueResponse(reply.TakeData()));
+      return;
+    }
+  }
+  // Version aged out of the history (or the delta did not shrink anything):
+  // ship the whole object, wrapped so the client decodes uniformly.
+  reply.WriteVarint(static_cast<uint64_t>(ImportReplyKind::kFull));
+  reply.WriteBytes(full);
+  respond(ValueResponse(reply.TakeData()));
 }
 
 void RoverServer::HandleExport(const RpcRequestBody& req, const Message& envelope,

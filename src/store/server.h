@@ -46,6 +46,9 @@ struct RoverServerStats {
   uint64_t invalidations_expired = 0;  // TTL fired before delivery
   uint64_t unsubscribes = 0;
   uint64_t subscribers_dropped = 0;    // GC'd after repeated expiries
+  uint64_t deltas_sent = 0;            // imports answered with a delta
+  uint64_t imports_not_modified = 0;   // client already held the version
+  uint64_t delta_bytes_saved = 0;      // full-body bytes not shipped
 };
 
 // Invalidation control-message payload helpers (shared with the client
@@ -56,6 +59,14 @@ struct Invalidation {
   uint64_t version = 0;
 };
 Result<Invalidation> DecodeInvalidation(const Bytes& payload);
+
+// Reply wrapper for the two-argument form of rover.import
+// ([path, cached_version]); the one-argument form still returns the bare
+// encoded descriptor. Shared with the client access manager.
+//   kFull:        varint kind | bytes full_encoded_descriptor
+//   kDelta:       varint kind | varint base_version | bytes delta
+//   kNotModified: varint kind | varint version
+enum class ImportReplyKind : uint8_t { kFull = 0, kDelta = 1, kNotModified = 2 };
 
 class RoverServer {
  public:

@@ -124,7 +124,14 @@ RecoveredServerState ServerStableStore::Recover() {
   }
   std::vector<StableLog::Record> records = wal_.DurableRecords();
   for (const StableLog::Record& rec : records) {
-    auto txn = ServerTransaction::Decode(rec.data);
+    // RecordPayload, not rec.data: the WAL may store records compressed.
+    auto payload = wal_.RecordPayload(rec);
+    if (!payload.ok()) {
+      ++out.records_dropped;
+      wal_.RemoveRecord(rec.id);
+      continue;
+    }
+    auto txn = ServerTransaction::Decode(*payload);
     if (!txn.ok()) {
       ++out.records_dropped;
       wal_.RemoveRecord(rec.id);

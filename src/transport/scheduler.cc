@@ -299,7 +299,10 @@ void NetworkScheduler::TryDrain(const std::string& dest) {
     return;
   }
   const TimePoint now = loop_->now();
-  if (!q.breaker.AllowAttempt(now)) {
+  const BreakerState before_attempt = q.breaker.state();
+  const bool attempt_allowed = q.breaker.AllowAttempt(now);
+  NoteBreakerChange(before_attempt, q.breaker.state());
+  if (!attempt_allowed) {
     // Open circuit: park until the cooldown passes, then probe.
     if (!q.breaker_wait_armed) {
       q.breaker_wait_armed = true;
@@ -383,7 +386,9 @@ void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
   if (status.ok()) {
     q.consecutive_losses = 0;
     q.backoff->Reset();
+    const BreakerState before = q.breaker.state();
     q.breaker.RecordSuccess();
+    NoteBreakerChange(before, q.breaker.state());
     c_messages_delivered_->Increment(batch.size());
     for (Pending& p : batch) {
       // Payload accounting at the delivery point: only bytes a link carried
@@ -412,7 +417,9 @@ void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
     // Link down: says nothing about the peer, so it neither counts against
     // the circuit breaker nor spends retry-budget tokens. If the failed
     // frame was a half-open probe, allow a fresh probe after reconnection.
+    const BreakerState before = q.breaker.state();
     q.breaker.AbortProbe();
+    NoteBreakerChange(before, q.breaker.state());
     ArmUpWakeup(dest);
   } else {
     // Random loss: decorrelated-jitter backoff (drawn from [base,
@@ -422,6 +429,7 @@ void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
     ++q.consecutive_losses;
     const BreakerState before = q.breaker.state();
     q.breaker.RecordFailure(now);
+    NoteBreakerChange(before, q.breaker.state());
     if (q.breaker.state() == BreakerState::kOpen && before != BreakerState::kOpen) {
       c_breaker_opened_->Increment();
       NotifyObserver();
@@ -482,7 +490,9 @@ void NetworkScheduler::ArmUpWakeup(const std::string& dest) {
         // retry after a long disconnection by up to the maximum backoff.
         dq.consecutive_losses = 0;
         dq.backoff->Reset();
+        const BreakerState before = dq.breaker.state();
         dq.breaker.Reset();
+        NoteBreakerChange(before, dq.breaker.state());
         TryDrain(dest);
       });
 }
@@ -503,16 +513,15 @@ void NetworkScheduler::ReevaluateWakeups() {
   }
 }
 
+void NetworkScheduler::NoteBreakerChange(BreakerState before, BreakerState after) {
+  open_breakers_ += (after != BreakerState::kClosed ? 1 : 0) -
+                    (before != BreakerState::kClosed ? 1 : 0);
+}
+
 void NetworkScheduler::NotifyObserver() {
   g_queue_depth_->Set(static_cast<int64_t>(TotalQueueDepth()));
   g_queued_bytes_->Set(static_cast<int64_t>(queued_payload_bytes_));
-  int64_t open = 0;
-  for (const auto& [dest, q] : queues_) {
-    if (q.breaker.state() != BreakerState::kClosed) {
-      ++open;
-    }
-  }
-  g_breakers_open_->Set(open);
+  g_breakers_open_->Set(open_breakers_);
   if (observer_) {
     observer_(TotalQueueDepth());
   }

@@ -163,6 +163,9 @@ class NetworkScheduler {
                           const Status& status);
   void ArmUpWakeup(const std::string& dest);
   void NotifyObserver();
+  // Folds a breaker state transition into open_breakers_; called at every
+  // mutation site so NotifyObserver never rescans queues_.
+  void NoteBreakerChange(BreakerState before, BreakerState after);
   void WireMetrics(obs::Registry* registry, const std::string& prefix);
 
   EventLoop* loop_;
@@ -171,6 +174,9 @@ class NetworkScheduler {
   std::map<std::string, DestQueue> queues_;
   RetryBudget retry_budget_;
   size_t queued_payload_bytes_ = 0;
+  // Destinations whose breaker is not kClosed, maintained incrementally
+  // (queues_ entries are never removed, so this cannot drift).
+  int64_t open_breakers_ = 0;
   QueueObserver observer_;
   // Deferred callbacks (up-wakeups, loss-backoff retries, frame
   // completions) capture a weak_ptr to this token and bail out when it is

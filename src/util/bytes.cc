@@ -128,4 +128,13 @@ Result<Bytes> WireReader::ReadBytes() {
   return b;
 }
 
+Result<const uint8_t*> WireReader::ReadRaw(size_t n) {
+  if (remaining() < n) {
+    return Truncated("raw bytes");
+  }
+  const uint8_t* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
 }  // namespace rover

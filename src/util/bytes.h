@@ -36,6 +36,10 @@ class WireWriter {
  public:
   WireWriter() = default;
 
+  // Pre-size the buffer for a known (or estimated) encoding size so the hot
+  // marshal paths don't pay repeated geometric-growth copies.
+  void Reserve(size_t n) { buffer_.reserve(buffer_.size() + n); }
+
   void WriteVarint(uint64_t v);
   void WriteZigzag(int64_t v);
   void WriteFixed32(uint32_t v);
@@ -67,6 +71,10 @@ class WireReader {
   Result<double> ReadDouble();
   Result<std::string> ReadString();
   Result<Bytes> ReadBytes();
+
+  // Borrow `n` raw bytes in place (no copy, no length prefix). The pointer
+  // is valid only as long as the underlying buffer.
+  Result<const uint8_t*> ReadRaw(size_t n);
 
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }

@@ -1,34 +1,64 @@
 #include "src/util/crc32.h"
 
 #include <array>
+#include <cstring>
 
 namespace rover {
 namespace {
 
-std::array<uint32_t, 256> BuildTable() {
-  std::array<uint32_t, 256> table{};
+// Slicing-by-8 [Kounavis & Berry]: eight derived tables let the inner loop
+// consume 8 bytes per iteration instead of 1, with identical output to the
+// classic byte-at-a-time IEEE CRC. Every stable-log append and frame
+// checksum funnels through here, so this is squarely on the CPU hot path.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+};
+
+Tables BuildTables() {
+  Tables tables;
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables.t[0][i] = c;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tables.t[0][i];
+    for (int slice = 1; slice < 8; ++slice) {
+      c = tables.t[0][c & 0xffu] ^ (c >> 8);
+      tables.t[slice][i] = c;
+    }
+  }
+  return tables;
 }
 
-const std::array<uint32_t, 256>& Table() {
-  static const std::array<uint32_t, 256> kTable = BuildTable();
-  return kTable;
+const Tables& T() {
+  static const Tables kTables = BuildTables();
+  return kTables;
 }
 
 }  // namespace
 
 uint32_t Crc32Extend(uint32_t seed, const void* data, size_t n) {
+  const Tables& tb = T();
   const auto* p = static_cast<const uint8_t*>(data);
   uint32_t c = seed ^ 0xffffffffu;
-  for (size_t i = 0; i < n; ++i) {
-    c = Table()[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  while (n >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = tb.t[7][lo & 0xffu] ^ tb.t[6][(lo >> 8) & 0xffu] ^
+        tb.t[5][(lo >> 16) & 0xffu] ^ tb.t[4][lo >> 24] ^
+        tb.t[3][hi & 0xffu] ^ tb.t[2][(hi >> 8) & 0xffu] ^
+        tb.t[1][(hi >> 16) & 0xffu] ^ tb.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) {
+    c = tb.t[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
   }
   return c ^ 0xffffffffu;
 }

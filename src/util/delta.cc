@@ -1,0 +1,140 @@
+#include "src/util/delta.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/crc32.h"
+
+namespace rover {
+namespace {
+
+constexpr uint32_t kMagic = 0x314c4452u;  // "RDL1", little-endian
+constexpr size_t kMinMatch = 8;           // shorter copies cost more than literals
+constexpr size_t kMaxChainDepth = 16;     // candidate positions probed per hash
+
+uint64_t HashAt(const uint8_t* p) {
+  // 8-byte rolling key; multiplicative hash keeps the table well spread for
+  // the repetitive text bodies (mail folders, calendars) deltas target.
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 0x9e3779b97f4a7c15ull) >> 32;
+}
+
+void EmitLiteral(WireWriter& w, const Bytes& target, size_t start, size_t end) {
+  if (end <= start) {
+    return;
+  }
+  const size_t len = end - start;
+  w.WriteVarint(static_cast<uint64_t>(len) << 1);  // low bit 0 = literal
+  w.WriteRaw(target.data() + start, len);
+}
+
+}  // namespace
+
+Bytes DeltaEncode(const Bytes& base, const Bytes& target) {
+  WireWriter w;
+  w.Reserve(20 + target.size() / 8);
+  w.WriteFixed32(kMagic);
+  w.WriteFixed32(Crc32(base.data(), base.size()));
+  w.WriteFixed32(Crc32(target.data(), target.size()));
+  w.WriteVarint(target.size());
+
+  // Index every position of `base` by its 8-byte prefix, newest first.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+  if (base.size() >= kMinMatch) {
+    index.reserve(base.size());
+    for (size_t i = 0; i + kMinMatch <= base.size(); ++i) {
+      std::vector<uint32_t>& chain = index[HashAt(base.data() + i)];
+      if (chain.size() < kMaxChainDepth) {
+        chain.push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+
+  size_t literal_start = 0;
+  size_t pos = 0;
+  while (pos + kMinMatch <= target.size()) {
+    size_t best_len = 0;
+    size_t best_off = 0;
+    auto it = index.find(HashAt(target.data() + pos));
+    if (it != index.end()) {
+      for (uint32_t cand : it->second) {
+        const size_t limit = std::min(base.size() - cand, target.size() - pos);
+        size_t len = 0;
+        while (len < limit && base[cand + len] == target[pos + len]) {
+          ++len;
+        }
+        if (len > best_len) {
+          best_len = len;
+          best_off = cand;
+        }
+      }
+    }
+    if (best_len >= kMinMatch) {
+      EmitLiteral(w, target, literal_start, pos);
+      w.WriteVarint((static_cast<uint64_t>(best_len) << 1) | 1);  // low bit 1 = copy
+      w.WriteVarint(best_off);
+      pos += best_len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  EmitLiteral(w, target, literal_start, target.size());
+  return w.TakeData();
+}
+
+Result<Bytes> DeltaApply(const Bytes& base, const Bytes& delta) {
+  WireReader r(delta);
+  auto magic = r.ReadFixed32();
+  if (!magic.ok() || *magic != kMagic) {
+    return DataLossError("delta: bad magic");
+  }
+  auto base_crc = r.ReadFixed32();
+  auto target_crc = r.ReadFixed32();
+  auto target_len = r.ReadVarint();
+  if (!base_crc.ok() || !target_crc.ok() || !target_len.ok()) {
+    return DataLossError("delta: truncated header");
+  }
+  if (Crc32(base.data(), base.size()) != *base_crc) {
+    return FailedPreconditionError("delta: base version mismatch");
+  }
+
+  Bytes out;
+  out.reserve(*target_len);
+  while (!r.AtEnd()) {
+    auto op = r.ReadVarint();
+    if (!op.ok()) {
+      return DataLossError("delta: truncated op");
+    }
+    const size_t len = static_cast<size_t>(*op >> 1);
+    if (len == 0 || len > *target_len - out.size()) {
+      return DataLossError("delta: op overruns target length");
+    }
+    if (*op & 1) {
+      auto off = r.ReadVarint();
+      if (!off.ok() || *off > base.size() || len > base.size() - *off) {
+        return DataLossError("delta: copy overruns base");
+      }
+      out.insert(out.end(), base.begin() + static_cast<ptrdiff_t>(*off),
+                 base.begin() + static_cast<ptrdiff_t>(*off + len));
+    } else {
+      auto lit = r.ReadRaw(len);
+      if (!lit.ok()) {
+        return DataLossError("delta: truncated literal");
+      }
+      out.insert(out.end(), *lit, *lit + len);
+    }
+  }
+  if (out.size() != *target_len) {
+    return DataLossError("delta: reconstructed length mismatch");
+  }
+  if (Crc32(out.data(), out.size()) != *target_crc) {
+    return DataLossError("delta: reconstructed bytes fail checksum");
+  }
+  return out;
+}
+
+}  // namespace rover

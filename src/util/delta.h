@@ -1,0 +1,42 @@
+// Delta encoding for object imports. A mobile client that already holds
+// version V of an object should not re-fetch the whole body to reach
+// version V+k: the server encodes the new bytes against the old version as
+// an LZ-style dictionary (copy-from-base + literal runs) and ships the
+// delta, which is tiny for the append/edit-heavy mail and calendar
+// workloads that dominate slow links (cf. Stanski et al., document
+// replication containers for mobile web users).
+//
+// The format is self-validating: the header carries CRC32s of both the
+// base and the reconstructed target, so applying a delta against the wrong
+// base version is detected (kFailedPrecondition -> caller falls back to a
+// full fetch) and a corrupt or truncated delta never yields silent garbage
+// (kDataLoss).
+//
+//   header := magic "RDL1" | fixed32 base_crc | fixed32 target_crc
+//           | varint target_len
+//   op     := varint (len << 1 | 1) varint base_offset   -> copy from base
+//           | varint (len << 1)     len raw bytes        -> literal run
+
+#ifndef ROVER_SRC_UTIL_DELTA_H_
+#define ROVER_SRC_UTIL_DELTA_H_
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace rover {
+
+// Encodes `target` against `base`. Always succeeds; the result can be
+// larger than `target` for unrelated inputs -- callers wanting a win must
+// compare sizes and ship the full body instead (the server does).
+Bytes DeltaEncode(const Bytes& base, const Bytes& target);
+
+// Reconstructs the target from `base` + `delta`.
+//   kFailedPrecondition: `base` is not the version the delta was encoded
+//     against (base CRC mismatch) -- fall back to a full fetch.
+//   kDataLoss: the delta itself is malformed/truncated, or the
+//     reconstructed bytes fail the target CRC.
+Result<Bytes> DeltaApply(const Bytes& base, const Bytes& delta);
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_UTIL_DELTA_H_

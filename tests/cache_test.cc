@@ -475,3 +475,156 @@ TEST(QueueStatusTest, FormatCoversAllStates) {
 
 }  // namespace
 }  // namespace rover
+
+// --- Delta imports: re-fetches of a cached object ship a delta against the
+// --- version the client already holds, or nothing at all when unchanged.
+
+namespace rover {
+namespace {
+
+constexpr char kPadCode[] = R"(
+proc get {} { global state; return $state }
+proc put {s} { global state; set state $s; return ok }
+)";
+
+class DeltaImportTest : public ::testing::Test {
+ protected:
+  // An object big enough that a delta is clearly cheaper than the body.
+  std::string SeedBig(Testbed* bed) {
+    std::string data(6000, 'x');
+    for (size_t i = 0; i < data.size(); i += 97) {
+      data[i] = static_cast<char>('a' + (i % 13));
+    }
+    EXPECT_TRUE(bed->server()->rover()->CreateObject(
+        MakeRdo("big", "lww", kPadCode, data)).ok());
+    return data;
+  }
+
+  // Commit a new version server-side with a small edit.
+  std::string EditBig(Testbed* bed, std::string data) {
+    data.replace(40, 8, "CHANGED!");
+    RdoDescriptor next = *bed->server()->store()->Get("big");
+    next.data = data;
+    EXPECT_TRUE(bed->server()->store()->Put(next).ok());
+    return data;
+  }
+};
+
+TEST_F(DeltaImportTest, StaleRefetchUsesDelta) {
+  Testbed bed;
+  std::string data = SeedBig(&bed);
+  RoverClientNode* client = bed.AddClient("mobile", LinkProfile::Cslip144());
+
+  ASSERT_TRUE(client->access()->Import("big").Wait(bed.loop()));
+  data = EditBig(&bed, data);
+
+  ImportOptions force;
+  force.allow_cached = false;
+  auto p = client->access()->Import("big", force);
+  ASSERT_TRUE(p.Wait(bed.loop()));
+  ASSERT_TRUE(p.value().status.ok());
+  EXPECT_EQ(p.value().version, 2u);
+  EXPECT_EQ(*client->access()->ReadCommittedData("big"), data);
+
+  EXPECT_EQ(client->access()->stats().delta_hits, 1u);
+  EXPECT_GT(client->access()->stats().delta_bytes_saved, 0u);
+  EXPECT_EQ(bed.server()->rover()->stats().deltas_sent, 1u);
+  EXPECT_GT(bed.server()->rover()->stats().delta_bytes_saved, 0u);
+}
+
+TEST_F(DeltaImportTest, UnchangedRefetchIsNotModified) {
+  Testbed bed;
+  SeedBig(&bed);
+  RoverClientNode* client = bed.AddClient("mobile", LinkProfile::Cslip144());
+  ASSERT_TRUE(client->access()->Import("big").Wait(bed.loop()));
+
+  ImportOptions force;
+  force.allow_cached = false;
+  auto p = client->access()->Import("big", force);
+  ASSERT_TRUE(p.Wait(bed.loop()));
+  ASSERT_TRUE(p.value().status.ok());
+  EXPECT_EQ(p.value().version, 1u);
+  EXPECT_EQ(client->access()->stats().delta_not_modified, 1u);
+  EXPECT_EQ(bed.server()->rover()->stats().imports_not_modified, 1u);
+}
+
+TEST_F(DeltaImportTest, CorruptCachedImageFallsBackToFullFetch) {
+  Testbed bed;
+  std::string data = SeedBig(&bed);
+  RoverClientNode* client = bed.AddClient("mobile", LinkProfile::Cslip144());
+  ASSERT_TRUE(client->access()->Import("big").Wait(bed.loop()));
+  data = EditBig(&bed, data);
+
+  // Stable-storage rot on the cached image: the delta's base CRC must catch
+  // it and the import must transparently re-fetch the full body.
+  ASSERT_TRUE(client->access()->CorruptImportImageForTest("big"));
+  ImportOptions force;
+  force.allow_cached = false;
+  auto p = client->access()->Import("big", force);
+  ASSERT_TRUE(p.Wait(bed.loop()));
+  ASSERT_TRUE(p.value().status.ok());
+  EXPECT_EQ(p.value().version, 2u);
+  EXPECT_EQ(*client->access()->ReadCommittedData("big"), data);
+  EXPECT_EQ(client->access()->stats().delta_fallbacks, 1u);
+  EXPECT_EQ(client->access()->stats().delta_hits, 0u);
+
+  // The fallback repaired the cached image; the next refetch deltas again.
+  data = EditBig(&bed, data);
+  auto p2 = client->access()->Import("big", force);
+  ASSERT_TRUE(p2.Wait(bed.loop()));
+  ASSERT_TRUE(p2.value().status.ok());
+  EXPECT_EQ(client->access()->stats().delta_hits, 1u);
+  EXPECT_EQ(*client->access()->ReadCommittedData("big"), data);
+}
+
+TEST_F(DeltaImportTest, DeltaDisabledSendsLegacyImports) {
+  Testbed bed;
+  std::string data = SeedBig(&bed);
+  ClientNodeOptions opts;
+  opts.access.delta_imports = false;
+  RoverClientNode* client =
+      bed.AddClient("mobile", LinkProfile::Cslip144(), nullptr, opts);
+  ASSERT_TRUE(client->access()->Import("big").Wait(bed.loop()));
+  data = EditBig(&bed, data);
+  ImportOptions force;
+  force.allow_cached = false;
+  auto p = client->access()->Import("big", force);
+  ASSERT_TRUE(p.Wait(bed.loop()));
+  ASSERT_TRUE(p.value().status.ok());
+  EXPECT_EQ(*client->access()->ReadCommittedData("big"), data);
+  EXPECT_EQ(client->access()->stats().delta_hits, 0u);
+  EXPECT_EQ(client->access()->stats().delta_full, 0u);
+  EXPECT_EQ(bed.server()->rover()->stats().deltas_sent, 0u);
+}
+
+TEST_F(DeltaImportTest, ImportEscalationCoalescesDuplicateRpc) {
+  // A background import escalated to foreground withdraws the queued
+  // background rpc instead of paying for the object twice.
+  Testbed bed;
+  SeedBig(&bed);
+  // Link up only from t=60s so both requests queue.
+  auto schedule = std::make_unique<PeriodicConnectivity>(
+      Duration::Seconds(1e6), Duration::Zero(),
+      TimePoint::Epoch() + Duration::Seconds(60));
+  RoverClientNode* client =
+      bed.AddClient("mobile", LinkProfile::Cslip144(), std::move(schedule));
+
+  ImportOptions background;
+  background.priority = Priority::kBackground;
+  auto slow = client->access()->Import("big", background);
+  ImportOptions foreground;
+  foreground.priority = Priority::kForeground;
+  auto fast = client->access()->Import("big", foreground);
+
+  bed.Run();
+  ASSERT_TRUE(slow.ready());
+  ASSERT_TRUE(fast.ready());
+  EXPECT_TRUE(slow.value().status.ok());
+  EXPECT_TRUE(fast.value().status.ok());
+  EXPECT_EQ(client->qrpc()->stats().coalesced, 1u);
+  // Only one import reached the server.
+  EXPECT_EQ(bed.server()->rover()->stats().imports, 1u);
+}
+
+}  // namespace
+}  // namespace rover

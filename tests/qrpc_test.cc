@@ -10,6 +10,7 @@
 #include "src/qrpc/stable_log.h"
 #include "src/sim/network.h"
 #include "src/transport/smtp.h"
+#include "src/util/rng.h"
 
 namespace rover {
 namespace {
@@ -537,7 +538,9 @@ TEST(StableLogGroupCommitTest, RecordsAppendedDuringWriteJoinNextWrite) {
 
 TEST(StableLogGroupCommitTest, SerialModeWritesPerFlush) {
   EventLoop loop;
-  StableLog log(&loop);  // group_commit off
+  StableLogCostModel model;
+  model.group_commit = false;  // opt out of the (default-on) group commit
+  StableLog log(&loop, model);
   for (int i = 0; i < 8; ++i) {
     log.Append(Bytes{static_cast<uint8_t>(i)});
     log.Flush(nullptr);
@@ -548,7 +551,9 @@ TEST(StableLogGroupCommitTest, SerialModeWritesPerFlush) {
 
 TEST(StableLogGroupCommitTest, GroupCommitFasterThanSerialForBursts) {
   EventLoop serial_loop;
-  StableLog serial(&serial_loop);
+  StableLogCostModel serial_model;
+  serial_model.group_commit = false;
+  StableLog serial(&serial_loop, serial_model);
   for (int i = 0; i < 10; ++i) {
     serial.Append(Bytes(32, 0));
     serial.Flush(nullptr);
@@ -566,6 +571,145 @@ TEST(StableLogGroupCommitTest, GroupCommitFasterThanSerialForBursts) {
   group_loop.Run();
 
   EXPECT_LT(group_loop.now().seconds(), serial_loop.now().seconds() / 3);
+}
+
+// --- Operation coalescing: a supersedable call withdraws its queued
+// --- predecessor (scheduler queue AND stable log) and chains its result.
+
+TEST_F(QrpcTest, SupersededCallCoalescesWhileQueued) {
+  // Link comes up at t=120s: both calls queue disconnected.
+  Wire(LinkProfile::Cslip144(),
+       std::make_unique<PeriodicConnectivity>(Duration::Seconds(1e6), Duration::Zero(),
+                                              TimePoint::Epoch() + Duration::Seconds(120)));
+  QrpcCallOptions opts;
+  opts.supersede_key = "obj";
+  QrpcCall a = client_->Call("server", "echo", {std::string("old")}, opts);
+  QrpcCall b = client_->Call("server", "echo", {std::string("new")}, opts);
+  loop_.RunUntil(TimePoint::Epoch() + Duration::Seconds(10));
+  // The predecessor was withdrawn: gone from the engine and the log.
+  EXPECT_EQ(client_->PendingCount(), 1u);
+  EXPECT_EQ(log_->RecordCount(), 1u);
+  EXPECT_EQ(client_->stats().coalesced, 1u);
+  EXPECT_FALSE(a.result.ready());
+
+  loop_.Run();
+  ASSERT_TRUE(a.result.ready());
+  ASSERT_TRUE(b.result.ready());
+  // Both promises resolve (exactly once -- Promise::Set asserts otherwise)
+  // with the successor's result.
+  EXPECT_TRUE(a.result.value().status.ok());
+  EXPECT_EQ(std::get<std::string>(a.result.value().value), "new");
+  EXPECT_EQ(std::get<std::string>(b.result.value().value), "new");
+  EXPECT_EQ(client_->PendingCount(), 0u);
+}
+
+TEST_F(QrpcTest, TransmittedCallIsNotCoalesced) {
+  // On CSLIP the request spends tens of ms on the wire; by t=40ms the first
+  // call has been dispatched and is transmitting, so it must run to
+  // completion -- coalescing never drops an op the server might execute.
+  Wire(LinkProfile::Cslip144());
+  QrpcCallOptions opts;
+  opts.supersede_key = "obj";
+  QrpcCall a = client_->Call("server", "echo", {std::string("old")}, opts);
+  QrpcCall b;
+  loop_.ScheduleAfter(Duration::Millis(40), [&] {
+    b = client_->Call("server", "echo", {std::string("new")}, opts);
+  });
+  loop_.Run();
+  EXPECT_EQ(client_->stats().coalesced, 0u);
+  ASSERT_TRUE(a.result.ready());
+  ASSERT_TRUE(b.result.ready());
+  EXPECT_EQ(std::get<std::string>(a.result.value().value), "old");
+  EXPECT_EQ(std::get<std::string>(b.result.value().value), "new");
+}
+
+TEST_F(QrpcTest, DistinctSupersedeKeysDoNotCoalesce) {
+  Wire(LinkProfile::Cslip144(),
+       std::make_unique<PeriodicConnectivity>(Duration::Seconds(1e6), Duration::Zero(),
+                                              TimePoint::Epoch() + Duration::Seconds(60)));
+  QrpcCallOptions a_opts;
+  a_opts.supersede_key = "obj-a";
+  QrpcCallOptions b_opts;
+  b_opts.supersede_key = "obj-b";
+  QrpcCall a = client_->Call("server", "echo", {std::string("a")}, a_opts);
+  QrpcCall b = client_->Call("server", "echo", {std::string("b")}, b_opts);
+  loop_.Run();
+  EXPECT_EQ(client_->stats().coalesced, 0u);
+  EXPECT_EQ(std::get<std::string>(a.result.value().value), "a");
+  EXPECT_EQ(std::get<std::string>(b.result.value().value), "b");
+}
+
+TEST_F(QrpcTest, CoalescingSurvivesCrashRecovery) {
+  // Coalesce while disconnected, then crash: only the successor's record is
+  // in the log, and recovery re-issues exactly that one.
+  Wire(LinkProfile::WaveLan2(),
+       std::make_unique<PeriodicConnectivity>(Duration::Seconds(1e6), Duration::Zero(),
+                                              TimePoint::Epoch() + Duration::Seconds(500)));
+  QrpcCallOptions opts;
+  opts.supersede_key = "obj";
+  client_->Call("server", "count", {}, opts);
+  client_->Call("server", "count", {}, opts);
+  loop_.RunUntil(TimePoint::Epoch() + Duration::Seconds(10));
+  EXPECT_EQ(log_->RecordCount(), 1u);
+
+  log_->SimulateCrash();
+  ASSERT_EQ(log_->Recover(), 1u);
+  client_tm_ = std::make_unique<TransportManager>(&loop_, net_.FindHost("mobile"));
+  client_ = std::make_unique<QrpcClient>(&loop_, client_tm_.get(), log_.get());
+  EXPECT_EQ(client_->RecoverFromLog(), 1u);
+  loop_.Run();
+  EXPECT_EQ(executions_, 1);  // the withdrawn predecessor never executes
+  EXPECT_EQ(client_->PendingCount(), 0u);
+}
+
+// --- Stable-log compression ---
+
+TEST(StableLogCompressionTest, CompressedRecordsRoundTripAndRecover) {
+  EventLoop loop;
+  StableLogCostModel model;
+  model.compress_log = true;
+  StableLog log(&loop, model);
+  const Bytes payload(4096, 7);  // highly compressible
+  log.Append(payload);
+  log.Flush(nullptr);
+  loop.Run();
+
+  EXPECT_EQ(log.stats().records_compressed, 1u);
+  EXPECT_LT(log.stats().stored_bytes_appended, log.stats().raw_bytes_appended);
+  std::vector<StableLog::Record> records = log.DurableRecords();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].compressed);
+  EXPECT_LT(records[0].data.size(), payload.size());
+  EXPECT_EQ(*log.RecordPayload(records[0]), payload);
+
+  // Crash + recover: the CRC covers the stored (compressed) form, and the
+  // payload still decompresses to the original.
+  log.SimulateCrash();
+  ASSERT_EQ(log.Recover(), 1u);
+  std::vector<StableLog::Record> recovered = log.DurableRecords();
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(*log.RecordPayload(recovered[0]), payload);
+}
+
+TEST(StableLogCompressionTest, IncompressibleRecordStoredRaw) {
+  EventLoop loop;
+  StableLogCostModel model;
+  model.compress_log = true;
+  StableLog log(&loop, model);
+  Rng rng(77);
+  Bytes payload(512);
+  for (uint8_t& b : payload) {
+    b = static_cast<uint8_t>(rng.NextU64());
+  }
+  log.Append(payload);
+  log.Flush(nullptr);
+  loop.Run();
+  std::vector<StableLog::Record> records = log.DurableRecords();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0].compressed);  // compression would have expanded it
+  EXPECT_EQ(records[0].data, payload);
+  EXPECT_EQ(*log.RecordPayload(records[0]), payload);
+  EXPECT_EQ(log.stats().records_compressed, 0u);
 }
 
 }  // namespace
