@@ -839,10 +839,21 @@ Promise<ExportResult> AccessManager::Export(const std::string& name, Priority pr
   QrpcCall call =
       qrpc_->Call(urn.server, "rover.export",
                   {snapshot.Encode(), static_cast<int64_t>(base_version)}, copts);
-  call.result.OnReady([this, name, promise](const QrpcResult& rpc) mutable {
+  latest_export_rpc_[name] = call.rpc_id;
+  const uint64_t my_rpc = call.rpc_id;
+  call.result.OnReady([this, name, my_rpc, promise](const QrpcResult& rpc) mutable {
+    // A coalesced export's promise is chained to the newest rpc's result,
+    // so this handler may run for a response another rpc owns: only the
+    // newest rpc installs state, bumps counters, and reports conflicts --
+    // a stale handler just relays the outcome to its caller.
+    auto latest = latest_export_rpc_.find(name);
+    const bool newest = latest != latest_export_rpc_.end() && latest->second == my_rpc;
+    if (newest) {
+      latest_export_rpc_.erase(latest);
+    }
     ExportResult result;
     result.completed_at = rpc.completed_at;
-    Entry* entry = FindEntry(name);
+    Entry* entry = newest ? FindEntry(name) : nullptr;
 
     if (rpc.status.ok()) {
       auto payload = RpcValueAsBytes(rpc.value);
@@ -868,10 +879,12 @@ Promise<ExportResult> AccessManager::Export(const std::string& name, Priority pr
       result.status = Status::Ok();
       result.new_version = committed->version;
       result.server_resolved = *was_conflict;
-      if (*was_conflict) {
-        c_conflicts_resolved_->Increment();
+      if (newest) {
+        if (*was_conflict) {
+          c_conflicts_resolved_->Increment();
+        }
+        c_exports_completed_->Increment();
       }
-      c_exports_completed_->Increment();
       if (entry != nullptr) {
         cache_bytes_ -= entry->bytes;
         committed->name = name;  // keep the caller's cache key
@@ -887,13 +900,15 @@ Promise<ExportResult> AccessManager::Export(const std::string& name, Priority pr
         // delta base for the next import.
         entry->import_image = *committed_bytes;
       }
-      NotifyStatus();
+      if (newest) {
+        NotifyStatus();
+      }
       promise.Set(result);
       return;
     }
 
     result.status = rpc.status;
-    if (rpc.status.code() == StatusCode::kConflict) {
+    if (newest && rpc.status.code() == StatusCode::kConflict) {
       c_conflicts_unresolved_->Increment();
       // The server shipped its committed descriptor along with the refusal.
       auto payload = RpcValueAsBytes(rpc.value);

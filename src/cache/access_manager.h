@@ -325,6 +325,13 @@ class AccessManager {
   // promise chained to the newest rpc's result) or a priority escalation
   // re-requested the object and the newest response drives the install.
   std::map<std::string, uint64_t> latest_import_rpc_;
+  // Newest export rpc issued per name, mirroring latest_import_rpc_: when a
+  // queued export is coalesced, the predecessor's promise is chained to the
+  // newest rpc's result, so both handlers see the same response. Only the
+  // newest rpc's handler installs state, bumps completion/conflict
+  // counters, and invokes conflict_callback_; stale handlers just relay
+  // the outcome to their caller.
+  std::map<std::string, uint64_t> latest_export_rpc_;
   std::deque<std::string> prefetch_queue_;
   size_t prefetch_in_flight_ = 0;
   bool degraded_ = false;

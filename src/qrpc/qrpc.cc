@@ -179,19 +179,19 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
     }
   }
 
-  // Coalescing happens only after this call is admitted: withdrawing the
-  // predecessor first and then refusing the successor would drop a queued
-  // operation, which coalescing must never do.
-  if (options_.coalesce_superseded && !call_options.supersede_key.empty()) {
-    TryCoalescePredecessor(dest, call_options.supersede_key, call);
-  }
-
   Outstanding out;
   out.call = call;
   out.dest = dest;
   out.priority = call_options.priority;
   out.issued_at = loop_->now();
   out.supersede_key = call_options.supersede_key;
+
+  // Coalescing happens only after this call is admitted: withdrawing the
+  // predecessor first and then refusing the successor would drop a queued
+  // operation, which coalescing must never do.
+  if (options_.coalesce_superseded && !call_options.supersede_key.empty()) {
+    TryCoalescePredecessor(dest, call_options.supersede_key, out);
+  }
 
   const Duration marshal_cost =
       options_.marshal_fixed +
@@ -202,7 +202,7 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
     g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
     Trace(call.rpc_id, obs::RpcEvent::kLogged);
   }
-  outstanding_.emplace(call.rpc_id, out);
+  outstanding_.emplace(call.rpc_id, std::move(out));
   if (!call_options.supersede_key.empty()) {
     supersede_index_[{dest, call_options.supersede_key}] = call.rpc_id;
   }
@@ -239,6 +239,9 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
         }
         Trace(rpc_id, obs::RpcEvent::kFlushedDurable);
         it2->second.call.committed.Set(loop_->now());
+        // This record is durable, so any predecessors it superseded can
+        // now safely leave the log.
+        ResolveCoalescedPreds(it2->second);
         DispatchToScheduler(rpc_id, dest, *body_ptr, call_options);
       });
     } else {
@@ -260,7 +263,7 @@ void QrpcClient::ForgetSupersedeKey(const Outstanding& out, uint64_t rpc_id) {
 }
 
 bool QrpcClient::TryCoalescePredecessor(const std::string& dest, const std::string& key,
-                                        QrpcCall& successor) {
+                                        Outstanding& successor) {
   auto idx = supersede_index_.find({dest, key});
   if (idx == supersede_index_.end()) {
     return false;
@@ -287,29 +290,58 @@ bool QrpcClient::TryCoalescePredecessor(const std::string& dest, const std::stri
     loop_->Cancel(pred.deadline_event);
   }
   // "Old log entries can be deleted when new operations supersede them"
-  // (§5.2): the successor's record carries the surviving operation.
+  // (§5.2) -- but not before the successor's own record is durable: the
+  // predecessor's record may already be flushed with its durability
+  // acknowledged, and removing it while the successor's record is not yet
+  // on disk opens a crash window where neither survives and an
+  // acknowledged operation is silently lost. Stash it on the successor
+  // (together with any records the predecessor itself inherited) and defer
+  // to ResolveCoalescedPreds(); until then a crash conservatively resends
+  // the predecessor.
+  successor.coalesced_preds.reserve(successor.coalesced_preds.size() +
+                                    pred.coalesced_preds.size() + 1);
+  for (CoalescedPred& inherited : pred.coalesced_preds) {
+    successor.coalesced_preds.push_back(std::move(inherited));
+  }
   if (pred.log_record_id != 0 && log_ != nullptr) {
-    log_->RemoveRecord(pred.log_record_id);
-    answered_log_records_.erase(pred.log_record_id);
-    g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
+    successor.coalesced_preds.push_back({pred.log_record_id, pred.call.committed});
+  } else if (!pred.call.committed.ready()) {
+    // Nothing durable at stake for an unlogged predecessor.
+    pred.call.committed.Set(loop_->now());
   }
   c_coalesced_->Increment();
   Trace(pred_id, obs::RpcEvent::kCoalesced);
-  if (!pred.call.committed.ready()) {
-    pred.call.committed.Set(loop_->now());
-  }
   // The predecessor's promise resolves with whatever the successor
   // produces -- exactly once, and transitively if the successor is itself
   // later superseded. This chain callback is attached before the caller
   // can attach its own successor callbacks, so predecessor waiters observe
   // the result first (in issue order).
-  successor.result.OnReady(
+  successor.call.result.OnReady(
       [pred_result = pred.call.result](const QrpcResult& r) mutable {
         if (!pred_result.ready()) {
           pred_result.Set(r);
         }
       });
   return true;
+}
+
+void QrpcClient::ResolveCoalescedPreds(Outstanding& out) {
+  if (out.coalesced_preds.empty()) {
+    return;
+  }
+  for (CoalescedPred& pred : out.coalesced_preds) {
+    if (log_ != nullptr) {
+      log_->RemoveRecord(pred.log_record_id);
+      answered_log_records_.erase(pred.log_record_id);
+    }
+    if (!pred.committed.ready()) {
+      pred.committed.Set(loop_->now());
+    }
+  }
+  out.coalesced_preds.clear();
+  if (log_ != nullptr) {
+    g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
+  }
 }
 
 void QrpcClient::HandleDeadline(uint64_t rpc_id) {
@@ -329,6 +361,9 @@ void QrpcClient::HandleDeadline(uint64_t rpc_id) {
     g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
   }
   transport_->scheduler()->CancelMessage(out.dest, rpc_id);
+  // Coalesced predecessors resolve with this call's deadline error and
+  // must likewise not be resent after a crash.
+  ResolveCoalescedPreds(out);
   c_deadline_exceeded_->Increment();
   Trace(rpc_id, obs::RpcEvent::kDeadlineExceeded);
   // Resolve both promises: a waiter on `committed` must not hang on a call
@@ -377,6 +412,7 @@ void QrpcClient::HandleSchedulerDrop(uint64_t rpc_id, const Status& status) {
     g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
   }
   transport_->scheduler()->CancelMessage(out.dest, rpc_id);
+  ResolveCoalescedPreds(out);
   c_background_shed_->Increment();
   Trace(rpc_id, obs::RpcEvent::kShed);
   if (!out.call.committed.ready()) {
@@ -514,6 +550,9 @@ void QrpcClient::HandleResponse(const Message& msg) {
     answered_log_records_.insert(out.log_record_id);
     MaybeTruncateLog();
   }
+  // Unlogged successors have no flush point; their coalesced predecessors
+  // leave the log here, once the operation has actually executed.
+  ResolveCoalescedPreds(out);
   out.call.result.Set(std::move(result));
 }
 
@@ -547,6 +586,7 @@ bool QrpcClient::Cancel(uint64_t rpc_id) {
     g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
   }
   transport_->scheduler()->CancelMessage(out.dest, rpc_id);
+  ResolveCoalescedPreds(out);
   c_cancelled_->Increment();
   Trace(rpc_id, obs::RpcEvent::kCancelled);
   if (!out.call.committed.ready()) {

@@ -166,6 +166,13 @@ class QrpcClient {
   uint64_t LastSeenEpoch(const std::string& server) const;
 
  private:
+  // A predecessor withdrawn by coalescing whose stable-log record -- and
+  // committed ack, if still pending -- must survive until the successor is
+  // itself durable (see ResolveCoalescedPreds()).
+  struct CoalescedPred {
+    uint64_t log_record_id = 0;
+    Promise<TimePoint> committed;
+  };
   struct Outstanding {
     QrpcCall call;
     uint64_t log_record_id = 0;  // 0 when unlogged
@@ -177,6 +184,12 @@ class QrpcClient {
     // successful CancelMessage (queued, not yet on the wire).
     bool dispatched = false;
     std::string supersede_key;  // empty = not supersedable
+    // Logged predecessors this call coalesced away. Their records stay in
+    // the log -- a crash before this call's own record is durable
+    // conservatively resends them -- and are withdrawn only once this
+    // call's record is flushed (or, for unlogged calls, once this call
+    // resolves).
+    std::vector<CoalescedPred> coalesced_preds;
   };
   struct ParsedLogRecord {
     uint64_t rpc_id = 0;
@@ -200,10 +213,17 @@ class QrpcClient {
   // been shed or none remain. Returns how many were shed.
   size_t ShedBackgroundCalls(size_t needed);
   // Withdraws a pending same-(dest, key) predecessor that has not reached
-  // the wire and chains its result promise to `successor`'s. Returns true
+  // the wire, chains its result promise to `successor`'s, and stashes its
+  // stable-log record on `successor` for deferred withdrawal. Returns true
   // when a predecessor was coalesced away.
   bool TryCoalescePredecessor(const std::string& dest, const std::string& key,
-                              QrpcCall& successor);
+                              Outstanding& successor);
+  // Withdraws the log records of predecessors coalesced into `out` and
+  // resolves their committed promises. Called once `out`'s own record is
+  // durably flushed, or on any path that finishes `out` (response,
+  // deadline, shed, cancel): removing an acknowledged predecessor's record
+  // any earlier would let a crash lose the operation entirely.
+  void ResolveCoalescedPreds(Outstanding& out);
   // Drops the supersede-index entry if it still points at `rpc_id`.
   void ForgetSupersedeKey(const Outstanding& out, uint64_t rpc_id);
   bool OverBudget(size_t body_size, bool logged) const;

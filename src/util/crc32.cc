@@ -49,6 +49,14 @@ uint32_t Crc32Extend(uint32_t seed, const void* data, size_t n) {
     uint32_t hi;
     std::memcpy(&lo, p, 4);
     std::memcpy(&hi, p + 4, 4);
+#if defined(__BYTE_ORDER__) && defined(__ORDER_BIG_ENDIAN__) && \
+    __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    // The slicing formula below indexes the tables as if the words were
+    // loaded little-endian (byte 0 in the low lane); swap on big-endian
+    // hosts so it matches the byte-at-a-time tail loop.
+    lo = __builtin_bswap32(lo);
+    hi = __builtin_bswap32(hi);
+#endif
     lo ^= c;
     c = tb.t[7][lo & 0xffu] ^ tb.t[6][(lo >> 8) & 0xffu] ^
         tb.t[5][(lo >> 16) & 0xffu] ^ tb.t[4][lo >> 24] ^

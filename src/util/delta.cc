@@ -101,9 +101,22 @@ Result<Bytes> DeltaApply(const Bytes& base, const Bytes& delta) {
   if (Crc32(base.data(), base.size()) != *base_crc) {
     return FailedPreconditionError("delta: base version mismatch");
   }
+  // The header length is wire data, so sanity-check it before trusting it
+  // with an allocation: a corrupt varint can claim up to 2^64-1, and
+  // reserve() on that throws instead of returning the documented kDataLoss.
+  // A well-formed delta cannot reconstruct more than its ops allow -- each
+  // op costs at least two bytes and emits at most max(base.size(), 1)
+  // bytes (copies are capped by the base; literals carry their own bytes)
+  // -- so anything past that bound is corruption. Division keeps the
+  // comparison overflow-free.
+  const uint64_t per_op_max = std::max<uint64_t>(base.size(), 1);
+  if (*target_len > delta.size() &&
+      *target_len / per_op_max > delta.size() / 2 + 1) {
+    return DataLossError("delta: implausible target length");
+  }
 
   Bytes out;
-  out.reserve(*target_len);
+  out.reserve(static_cast<size_t>(*target_len));
   while (!r.AtEnd()) {
     auto op = r.ReadVarint();
     if (!op.ok()) {

@@ -276,6 +276,68 @@ TEST_F(AccessManagerTest, UnresolvableConflictKeepsTentativeAndNotifies) {
   EXPECT_EQ(b->access()->stats().conflicts_unresolved, 1u);
 }
 
+TEST_F(AccessManagerTest, CoalescedExportProcessesResponseOnce) {
+  // Two exports of the same object queue on a down link and coalesce into
+  // one rpc; both promises are chained to the same response, so both
+  // handlers run -- but only the newest rpc's handler may install state and
+  // bump counters, or one wire export would be counted twice.
+  Testbed bed;
+  Seed(&bed);
+  auto schedule = std::make_unique<PeriodicConnectivity>(Duration::Seconds(60),
+                                                         Duration::Seconds(60));
+  RoverClientNode* client =
+      bed.AddClient("mobile", LinkProfile::WaveLan2(), std::move(schedule));
+  client->access()->Import("counter").Wait(bed.loop());
+  client->access()->Invoke("counter", "add", {"5"}).Wait(bed.loop());
+
+  bed.loop()->RunUntil(TimePoint::Epoch() + Duration::Seconds(65));  // link down
+  auto p1 = client->access()->Export("counter");
+  auto p2 = client->access()->Export("counter");
+  EXPECT_FALSE(p1.ready());
+  bed.Run();  // link returns at t=120
+  ASSERT_TRUE(p1.ready());
+  ASSERT_TRUE(p2.ready());
+  EXPECT_TRUE(p1.value().status.ok());
+  EXPECT_TRUE(p2.value().status.ok());
+  EXPECT_EQ(client->qrpc()->stats().coalesced, 1u);
+  EXPECT_EQ(client->access()->stats().exports_completed, 1u);
+  EXPECT_FALSE(client->access()->IsTentative("counter"));
+  EXPECT_EQ(bed.server()->store()->Get("counter")->data, "5");
+}
+
+TEST_F(AccessManagerTest, CoalescedExportReportsConflictOnce) {
+  Testbed bed;
+  Seed(&bed);
+  RoverClientNode* a = bed.AddClient("a", LinkProfile::WaveLan2());
+  auto schedule = std::make_unique<PeriodicConnectivity>(Duration::Seconds(60),
+                                                         Duration::Seconds(60));
+  RoverClientNode* b =
+      bed.AddClient("b", LinkProfile::WaveLan2(), std::move(schedule));
+  a->access()->Import("cal").Wait(bed.loop());
+  b->access()->Import("cal").Wait(bed.loop());
+  a->access()->Invoke("cal", "book", {"10am", "staff"}).Wait(bed.loop());
+  b->access()->Invoke("cal", "book", {"10am", "dentist"}).Wait(bed.loop());
+  ASSERT_TRUE(a->access()->Export("cal").Wait(bed.loop()));
+
+  int conflicts_reported = 0;
+  b->access()->SetConflictCallback(
+      [&](const std::string&, const std::string&, const RdoDescriptor&) {
+        ++conflicts_reported;
+      });
+  bed.loop()->RunUntil(TimePoint::Epoch() + Duration::Seconds(65));  // b down
+  auto p1 = b->access()->Export("cal");
+  auto p2 = b->access()->Export("cal");
+  bed.Run();
+  ASSERT_TRUE(p1.ready());
+  ASSERT_TRUE(p2.ready());
+  EXPECT_EQ(p1.value().status.code(), StatusCode::kConflict);
+  EXPECT_EQ(p2.value().status.code(), StatusCode::kConflict);
+  EXPECT_EQ(b->qrpc()->stats().coalesced, 1u);
+  // One conflict on the wire -> one callback, one counter bump.
+  EXPECT_EQ(conflicts_reported, 1);
+  EXPECT_EQ(b->access()->stats().conflicts_unresolved, 1u);
+}
+
 TEST_F(AccessManagerTest, EvictionIsLruAndSparesTentativePinned) {
   Testbed bed;
   // Many small objects.

@@ -14,6 +14,7 @@
 
 #include "src/core/toolkit.h"
 #include "src/store/conflict.h"
+#include "src/util/crc32.h"
 #include "src/util/delta.h"
 #include "src/tclite/interp.h"
 #include "src/tclite/value.h"
@@ -551,6 +552,22 @@ TEST_P(DeltaCodecTest, TruncatedOrCorruptDeltaNeverAppliesSilently) {
                   applied.status().code() == StatusCode::kFailedPrecondition);
     }
   }
+}
+
+TEST(DeltaCodecEdgeTest, ImplausibleTargetLengthRejectedNotThrown) {
+  const Bytes base = BytesFromString("0123456789abcdef");
+  // Hand-build a header claiming a ~2^63-byte target: reserve() on that
+  // value would throw std::length_error/std::bad_alloc and crash the
+  // client; the codec must instead return kDataLoss so the import path
+  // falls back to a full fetch.
+  WireWriter w;
+  w.WriteFixed32(0x314c4452u);  // "RDL1"
+  w.WriteFixed32(Crc32(base.data(), base.size()));
+  w.WriteFixed32(0);  // target CRC, never reached
+  w.WriteVarint(uint64_t{1} << 63);
+  auto applied = DeltaApply(base, w.data());
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code(), StatusCode::kDataLoss);
 }
 
 TEST_P(DeltaCodecTest, MismatchedBaseIsFailedPrecondition) {

@@ -662,6 +662,39 @@ TEST_F(QrpcTest, CoalescingSurvivesCrashRecovery) {
   EXPECT_EQ(client_->PendingCount(), 0u);
 }
 
+TEST_F(QrpcTest, CrashBetweenCoalesceAndSuccessorFlushResendsPredecessor) {
+  // The predecessor commits (durably flushed, committed ack delivered) and
+  // sits queued on the disconnected link. A successor then coalesces it,
+  // and the client crashes before the successor's own record reaches the
+  // disk. The predecessor's record must still be in the log -- withdrawing
+  // it before the successor is durable would silently lose an operation
+  // whose durability was already acknowledged -- so recovery conservatively
+  // resends the predecessor and it executes exactly once.
+  Wire(LinkProfile::WaveLan2(),
+       std::make_unique<PeriodicConnectivity>(Duration::Seconds(1e6), Duration::Zero(),
+                                              TimePoint::Epoch() + Duration::Seconds(500)));
+  QrpcCallOptions opts;
+  opts.supersede_key = "obj";
+  QrpcCall a = client_->Call("server", "count", {}, opts);
+  loop_.RunUntil(TimePoint::Epoch() + Duration::Seconds(5));
+  ASSERT_TRUE(a.committed.ready());  // durability acknowledged
+  ASSERT_EQ(log_->RecordCount(), 1u);
+
+  client_->Call("server", "count", {}, opts);
+  EXPECT_EQ(client_->stats().coalesced, 1u);
+  // Crash immediately: the successor's record is appended but not flushed,
+  // so it is lost with the volatile tail -- the predecessor's durable
+  // record must be what survives.
+  log_->SimulateCrash();
+  ASSERT_EQ(log_->Recover(), 1u);
+  client_tm_ = std::make_unique<TransportManager>(&loop_, net_.FindHost("mobile"));
+  client_ = std::make_unique<QrpcClient>(&loop_, client_tm_.get(), log_.get());
+  EXPECT_EQ(client_->RecoverFromLog(), 1u);
+  loop_.Run();
+  EXPECT_EQ(executions_, 1);  // the acknowledged operation is not lost
+  EXPECT_EQ(client_->PendingCount(), 0u);
+}
+
 // --- Stable-log compression ---
 
 TEST(StableLogCompressionTest, CompressedRecordsRoundTripAndRecover) {
