@@ -397,6 +397,10 @@ Promise<ImportResult> AccessManager::Import(const std::string& name, ImportOptio
     result.name = name;
     result.version = entry->committed.version;
     result.from_cache = true;
+    if (check_ != nullptr && options.session != nullptr) {
+      check_->OnSessionImportServed(transport_->local_host(), name,
+                                    entry->committed.version, required, true);
+    }
     loop_->ScheduleAfter(Duration::Zero(),
                          [this, weak = std::weak_ptr<char>(alive_), promise,
                           result]() mutable {
@@ -411,7 +415,14 @@ Promise<ImportResult> AccessManager::Import(const std::string& name, ImportOptio
 
   c_cache_misses_->Increment();
   auto [it, first] = pending_imports_.try_emplace(name);
-  it->second.waiters.push_back(promise);
+  ImportWaiter waiter;
+  waiter.promise = promise;
+  waiter.required = required;
+  waiter.has_session = options.session != nullptr;
+  it->second.waiters.push_back(std::move(waiter));
+  if (required > it->second.required_version) {
+    it->second.required_version = required;
+  }
   if (options.pin) {
     it->second.pin = true;
   }
@@ -489,10 +500,18 @@ void AccessManager::StartImportRpc(const std::string& name, Priority priority,
         case ImportReplyKind::kNotModified: {
           auto version = reader.ReadVarint();
           Entry* entry = FindEntry(name);
+          auto pending = pending_imports_.find(name);
+          const uint64_t floor = pending != pending_imports_.end()
+                                     ? pending->second.required_version
+                                     : 0;
           if (!version.ok() || entry == nullptr ||
-              entry->committed.version != *version) {
-            // The entry changed (or vanished) while the rpc was in flight;
-            // the cached copy is not the version the server confirmed.
+              entry->committed.version != *version ||
+              entry->committed.version < floor) {
+            // The entry changed (or vanished) while the rpc was in flight,
+            // or a session waiter needs a newer version than the one the
+            // server just confirmed (its state may predate an export the
+            // session saw committed elsewhere); the cached copy cannot
+            // answer this import.
             c_delta_fallbacks_->Increment();
             StartImportRpc(name, priority, /*allow_delta=*/false);
             return;
@@ -501,7 +520,6 @@ void AccessManager::StartImportRpc(const std::string& name, Priority priority,
           c_delta_bytes_saved_->Increment(entry->import_image.size());
           entry->stale = false;
           Touch(entry);
-          auto pending = pending_imports_.find(name);
           if (pending != pending_imports_.end() && pending->second.pin) {
             entry->pinned = true;
           }
@@ -661,10 +679,25 @@ void AccessManager::FinishImport(const std::string& name, const ImportResult& re
   if (it == pending_imports_.end()) {
     return;  // a faster duplicate request already resolved the waiters
   }
-  std::vector<Promise<ImportResult>> waiters = std::move(it->second.waiters);
+  std::vector<ImportWaiter> waiters = std::move(it->second.waiters);
   pending_imports_.erase(it);
-  for (auto& promise : waiters) {
-    promise.Set(result);
+  for (auto& waiter : waiters) {
+    ImportResult r = result;
+    if (r.status.ok() && r.version < waiter.required) {
+      // The fetch succeeded but at a version below this waiter's session
+      // floor (e.g. the home server lost state and restarted older).
+      // Failing the import preserves monotonic reads / read-your-writes
+      // rather than silently handing the session the past.
+      r.status = FailedPreconditionError(
+          "session requires " + name + " version >= " +
+          std::to_string(waiter.required) + ", import returned " +
+          std::to_string(r.version));
+    }
+    if (check_ != nullptr && waiter.has_session) {
+      check_->OnSessionImportServed(transport_->local_host(), name, r.version,
+                                    waiter.required, r.status.ok());
+    }
+    waiter.promise.Set(r);
   }
   NotifyStatus();
 }

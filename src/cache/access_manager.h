@@ -209,6 +209,10 @@ class AccessManager {
     conflict_callback_ = std::move(callback);
   }
 
+  // Reports session-tracked import outcomes to an external invariant
+  // checker. Null disables (the default).
+  void SetCheckListener(obs::CheckListener* listener) { check_ = listener; }
+
   // Re-homes the manager's instruments into `registry` under "<prefix>."
   // names, carrying current values over.
   void BindMetrics(obs::Registry* registry, const std::string& prefix = "access_manager");
@@ -280,6 +284,7 @@ class AccessManager {
   TransportManager* transport_;
   QrpcClient* qrpc_;
   AccessManagerOptions options_;
+  obs::CheckListener* check_ = nullptr;
   obs::Registry own_metrics_;  // used until BindMetrics() points elsewhere
   obs::Counter* c_cache_hits_ = nullptr;
   obs::Counter* c_cache_misses_ = nullptr;
@@ -312,12 +317,24 @@ class AccessManager {
   // while a background fetch for the same object is pending, a second RPC
   // is issued at the higher priority (imports are idempotent), so user
   // requests never wait at prefetch priority.
+  struct ImportWaiter {
+    Promise<ImportResult> promise;
+    // Session floor recorded at join time: the version below which this
+    // waiter must NOT be handed an ok result (monotonic reads /
+    // read-your-writes). 0 = no session constraint.
+    uint64_t required = 0;
+    bool has_session = false;
+  };
   struct PendingImport {
-    std::vector<Promise<ImportResult>> waiters;
+    std::vector<ImportWaiter> waiters;
     Priority priority = Priority::kBackground;
     // Pin applies at install, before EvictIfNeeded runs: an entry imported
     // with pin=true must not evict itself when it alone exceeds capacity.
     bool pin = false;
+    // Max of the waiters' session floors: a kNotModified reply confirming a
+    // version below this cannot satisfy every waiter and falls back to a
+    // full re-fetch.
+    uint64_t required_version = 0;
   };
   std::map<std::string, PendingImport> pending_imports_;
   // Newest import rpc issued per name. An import response handler whose rpc

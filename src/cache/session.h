@@ -51,7 +51,22 @@ class Session {
     }
   }
 
-  size_t ObjectsTouched() const { return reads_.size() + writes_.size(); }
+  // Distinct objects this session has read or written. An object both read
+  // and written counts once (the maps are keyed by name, so the union is a
+  // sorted-merge of their keys).
+  size_t ObjectsTouched() const {
+    size_t touched = reads_.size();
+    auto r = reads_.begin();
+    for (const auto& [name, version] : writes_) {
+      while (r != reads_.end() && r->first < name) {
+        ++r;
+      }
+      if (r == reads_.end() || r->first != name) {
+        ++touched;
+      }
+    }
+    return touched;
+  }
 
  private:
   uint64_t id_;

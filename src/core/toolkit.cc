@@ -32,9 +32,22 @@ void RoverClientNode::Build() {
   access_manager_->BindMetrics(&metrics_, "access_manager");
   qrpc_client_->SetTracer(&tracer_);
   transport_->scheduler()->SetTracer(&tracer_);
+  if (check_ != nullptr) {
+    qrpc_client_->SetCheckListener(check_);
+    access_manager_->SetCheckListener(check_);
+  }
+}
+
+void RoverClientNode::SetCheckListener(obs::CheckListener* listener) {
+  check_ = listener;
+  qrpc_client_->SetCheckListener(listener);
+  access_manager_->SetCheckListener(listener);
 }
 
 size_t RoverClientNode::SimulateCrashAndRestart(bool tear_last_log_record) {
+  if (check_ != nullptr) {
+    check_->OnClientCrashed(host_name());
+  }
   // Stable storage at crash time: the cache snapshot, the rpc-id counter
   // (both persisted alongside the log), and the durable log records.
   const Bytes cache_snapshot = access_manager_->SerializeCache();
@@ -72,9 +85,22 @@ void RoverServerNode::Build() {
       options_.durable ? &stable_store_ : nullptr);
   transport_->scheduler()->BindMetrics(&metrics_, "scheduler");
   qrpc_server_->BindMetrics(&metrics_, "qrpc_server");
+  if (check_ != nullptr) {
+    qrpc_server_->SetCheckListener(check_);
+    rover_server_->SetCheckListener(check_);
+  }
+}
+
+void RoverServerNode::SetCheckListener(obs::CheckListener* listener) {
+  check_ = listener;
+  qrpc_server_->SetCheckListener(listener);
+  rover_server_->SetCheckListener(listener);
 }
 
 RecoveredServerState RoverServerNode::SimulateCrashAndRestart(bool tear_last_wal_record) {
+  if (check_ != nullptr) {
+    check_->OnServerCrashed(host_name());
+  }
   stable_store_.SimulateCrash(tear_last_wal_record);
 
   // Process state dies with the process.
@@ -101,6 +127,9 @@ RoverServerNode* Testbed::AddServer(const std::string& name, ServerNodeOptions o
   Host* host = network_.AddHost(name);
   auto node = std::make_unique<RoverServerNode>(&loop_, host, options);
   RoverServerNode* raw = node.get();
+  if (check_ != nullptr) {
+    raw->SetCheckListener(check_);
+  }
   extra_servers_.emplace(name, std::move(node));
   return raw;
 }
@@ -132,6 +161,9 @@ RoverClientNode* Testbed::AddClient(const std::string& name, LinkProfile profile
   auto node =
       std::make_unique<RoverClientNode>(&loop_, network_.FindHost(name), options);
   RoverClientNode* raw = node.get();
+  if (check_ != nullptr) {
+    raw->SetCheckListener(check_);
+  }
   clients_.emplace(name, std::move(node));
   return raw;
 }
@@ -148,6 +180,9 @@ RoverClientNode* Testbed::AddDetachedClient(const std::string& name,
   Host* host = network_.AddHost(name);
   auto node = std::make_unique<RoverClientNode>(&loop_, host, options);
   RoverClientNode* raw = node.get();
+  if (check_ != nullptr) {
+    raw->SetCheckListener(check_);
+  }
   clients_.emplace(name, std::move(node));
   return raw;
 }
@@ -168,6 +203,36 @@ SmtpRelay* Testbed::AddRelay(const std::string& relay_name, const std::string& c
 RoverClientNode* Testbed::client(const std::string& name) {
   auto it = clients_.find(name);
   return it == clients_.end() ? nullptr : it->second.get();
+}
+
+std::vector<RoverClientNode*> Testbed::AllClients() {
+  std::vector<RoverClientNode*> out;
+  out.reserve(clients_.size());
+  for (auto& [name, node] : clients_) {
+    out.push_back(node.get());
+  }
+  return out;
+}
+
+std::vector<RoverServerNode*> Testbed::AllServers() {
+  std::vector<RoverServerNode*> out;
+  out.reserve(1 + extra_servers_.size());
+  out.push_back(server_.get());
+  for (auto& [name, node] : extra_servers_) {
+    out.push_back(node.get());
+  }
+  return out;
+}
+
+void Testbed::SetCheckListener(obs::CheckListener* listener) {
+  check_ = listener;
+  server_->SetCheckListener(listener);
+  for (auto& [name, node] : extra_servers_) {
+    node->SetCheckListener(listener);
+  }
+  for (auto& [name, node] : clients_) {
+    node->SetCheckListener(listener);
+  }
 }
 
 RdoDescriptor MakeRdo(const std::string& name, const std::string& type,

@@ -60,12 +60,18 @@ class RoverClientNode {
   obs::Registry* metrics() { return &metrics_; }
   obs::RpcTracer* tracer() { return &tracer_; }
 
+  // Attaches an invariant checker to the qrpc client and access manager.
+  // Survives SimulateCrashAndRestart (the rebuilt components are re-wired),
+  // and the crash itself is reported via OnClientCrashed.
+  void SetCheckListener(obs::CheckListener* listener);
+
  private:
   void Build();
 
   EventLoop* loop_;
   Host* host_;
   ClientNodeOptions options_;
+  obs::CheckListener* check_ = nullptr;
   // Declared before the components so it outlives their metric handles.
   obs::Registry metrics_;
   obs::RpcTracer tracer_;
@@ -109,12 +115,20 @@ class RoverServerNode {
   // Counters are cumulative across crash-restarts.
   obs::Registry* metrics() { return &metrics_; }
 
+  // Attaches an invariant checker to the qrpc server and rover server.
+  // Survives SimulateCrashAndRestart; the crash is reported via
+  // OnServerCrashed and recovery via OnServerRecovered.
+  void SetCheckListener(obs::CheckListener* listener);
+
+  const std::string& host_name() const { return transport_->local_host(); }
+
  private:
   void Build();
 
   EventLoop* loop_;
   Host* host_;
   ServerNodeOptions options_;
+  obs::CheckListener* check_ = nullptr;
   // Declared before the components so it outlives their metric handles.
   obs::Registry metrics_;
   // The stable store models the device itself, so it survives crashes.
@@ -168,11 +182,20 @@ class Testbed {
 
   RoverClientNode* client(const std::string& name);
 
+  // Every client / server node currently in the bed (for whole-deployment
+  // sweeps such as SimCheck's quiesce audit).
+  std::vector<RoverClientNode*> AllClients();
+  std::vector<RoverServerNode*> AllServers();
+
+  // Attaches an invariant checker to every node, current and future.
+  void SetCheckListener(obs::CheckListener* listener);
+
   // Runs the simulation until quiescent.
   void Run() { loop_.Run(); }
   void RunFor(Duration d) { loop_.RunFor(d); }
 
  private:
+  obs::CheckListener* check_ = nullptr;
   Options options_;
   EventLoop loop_;
   Network network_;

@@ -1,0 +1,103 @@
+// Cross-layer correctness check hooks. Components (QRPC client/server,
+// access manager, server store, toolkit nodes) report lifecycle events
+// through this interface so an external invariant checker -- SimCheck,
+// src/check -- can assert global properties (at-most-once execution,
+// acknowledged-durability, session guarantees, promise hygiene) while a
+// simulation runs. Every method has an empty default body: production code
+// pays one null-pointer test per event and nothing else, and no component
+// grows a dependency on the checker.
+//
+// Identity convention: `client` and `server` are transport host names (the
+// same names message headers carry), and rpc ids are the QRPC ids the
+// duplicate-response cache is keyed by, so (client, rpc_id) names one
+// logical operation across crashes and resends.
+
+#ifndef ROVER_SRC_OBS_CHECK_HOOKS_H_
+#define ROVER_SRC_OBS_CHECK_HOOKS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rover {
+namespace obs {
+
+class CheckListener {
+ public:
+  virtual ~CheckListener() = default;
+
+  // --- QRPC client engine ---
+
+  // A call entered the engine (fires before admission; an admission refusal
+  // is reported as a "admission" resolution of the same id).
+  virtual void OnCallIssued(const std::string& client, uint64_t rpc_id, bool logged) {}
+  // The call's stable-log record flushed and its committed promise resolved
+  // -- the durability acknowledgement. Unlogged calls never fire this.
+  virtual void OnCallDurable(const std::string& client, uint64_t rpc_id) {}
+  // The call's durable log record was deliberately withdrawn (deadline,
+  // shed, cancel): it must NOT be resent after a crash, and its durability
+  // obligation is released.
+  virtual void OnCallWithdrawn(const std::string& client, uint64_t rpc_id) {}
+  // `pred_rpc_id` was withdrawn pre-wire because `successor_rpc_id`
+  // supersedes it; the predecessor's operation and result are subsumed by
+  // the successor from here on.
+  virtual void OnCallCoalesced(const std::string& client, uint64_t pred_rpc_id,
+                               uint64_t successor_rpc_id) {}
+  // Terminal resolution of the call's result promise. `path` names the exit:
+  // "response", "deadline", "shed", "cancel", "admission". Exactly one
+  // resolution per issued call (coalesced predecessors resolve implicitly
+  // with their successor and are tracked through OnCallCoalesced).
+  virtual void OnCallResolved(const std::string& client, uint64_t rpc_id,
+                              const char* path, bool ok) {}
+  // The client host crashed: every unresolved promise dies with the
+  // process; only durable log records survive.
+  virtual void OnClientCrashed(const std::string& client) {}
+  // Recovery re-sent `resent` rpc ids from the durable log (fires after
+  // every RecoverFromLog, crash-triggered or not).
+  virtual void OnClientRecovered(const std::string& client,
+                                 const std::vector<uint64_t>& resent) {}
+
+  // --- QRPC server engine ---
+
+  // A handler is about to execute for (client, rpc_id) -- the application
+  // of the operation. At-most-once means this fires at most once per key
+  // within a server incarnation (unless the duplicate cache evicted the
+  // key) and never for a key whose response survived recovery.
+  virtual void OnServerExecute(const std::string& server, const std::string& client,
+                               uint64_t rpc_id) {}
+  // A duplicate request was answered from the duplicate-response cache.
+  // `durable` reports whether the entry's response journal write (when
+  // journaling is active) had completed -- replaying an entry whose
+  // transaction could still be lost to a crash would acknowledge work the
+  // server might forget.
+  virtual void OnServerReplay(const std::string& server, const std::string& client,
+                              uint64_t rpc_id, bool durable) {}
+  // The response journal reported (client, rpc_id)'s transaction durable.
+  virtual void OnServerResponseDurable(const std::string& server,
+                                       const std::string& client, uint64_t rpc_id) {}
+  // The bounded duplicate cache evicted (client, rpc_id): a later resend of
+  // that id may legitimately re-execute.
+  virtual void OnServerDupCacheEvict(const std::string& server,
+                                     const std::string& client, uint64_t rpc_id) {}
+  virtual void OnServerCrashed(const std::string& server) {}
+  // Recovery finished: `epoch` is the new incarnation and
+  // `survived_responses` the (client, rpc_id) keys whose cached responses
+  // were restored -- resends of those keys must replay, never re-execute.
+  virtual void OnServerRecovered(
+      const std::string& server, uint64_t epoch,
+      const std::vector<std::pair<std::string, uint64_t>>& survived_responses) {}
+
+  // --- access-manager sessions ---
+
+  // An import tracked by a Session resolved: `version` is what the caller
+  // got, `required` the session's RequiredVersion at serve time. Session
+  // guarantees demand ok => version >= required.
+  virtual void OnSessionImportServed(const std::string& client, const std::string& name,
+                                     uint64_t version, uint64_t required, bool ok) {}
+};
+
+}  // namespace obs
+}  // namespace rover
+
+#endif  // ROVER_SRC_OBS_CHECK_HOOKS_H_

@@ -32,6 +32,7 @@ void QrpcClient::WireMetrics(obs::Registry* registry, const std::string& prefix)
   c_pushback_honored_ = registry->counter(prefix + ".pushback_honored");
   c_pushback_exhausted_ = registry->counter(prefix + ".pushback_budget_exhausted");
   c_coalesced_ = registry->counter(prefix + ".coalesced");
+  c_recovered_retries_ = registry->counter(prefix + ".recovered_retries");
   g_log_bytes_ = registry->gauge(prefix + ".log_bytes");
   h_rpc_seconds_ = registry->histogram(prefix + ".rpc_seconds");
 }
@@ -49,6 +50,7 @@ void QrpcClient::BindMetrics(obs::Registry* registry, const std::string& prefix)
   c_pushback_honored_->Increment(carried.pushback_honored);
   c_pushback_exhausted_->Increment(carried.pushback_budget_exhausted);
   c_coalesced_->Increment(carried.coalesced);
+  c_recovered_retries_->Increment(carried.recovered_retries);
   if (log_ != nullptr) {
     g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
   }
@@ -66,6 +68,7 @@ QrpcClientStats QrpcClient::stats() const {
   s.pushback_honored = c_pushback_honored_->value();
   s.pushback_budget_exhausted = c_pushback_exhausted_->value();
   s.coalesced = c_coalesced_->value();
+  s.recovered_retries = c_recovered_retries_->value();
   return s;
 }
 
@@ -146,6 +149,10 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
   QrpcCall call;
   call.rpc_id = next_rpc_id_++;
   Trace(call.rpc_id, obs::RpcEvent::kEnqueued);
+  if (check_ != nullptr) {
+    check_->OnCallIssued(self(), call.rpc_id,
+                         call_options.log_request && log_ != nullptr);
+  }
 
   RpcRequestBody request;
   request.method = method;
@@ -174,6 +181,9 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
       QrpcResult result;
       result.status = ResourceExhaustedError("qrpc admission: over call/log budget");
       result.completed_at = loop_->now();
+      if (check_ != nullptr) {
+        check_->OnCallResolved(self(), call.rpc_id, "admission", false);
+      }
       call.result.Set(std::move(result));
       return call;
     }
@@ -239,6 +249,9 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
         }
         Trace(rpc_id, obs::RpcEvent::kFlushedDurable);
         it2->second.call.committed.Set(loop_->now());
+        if (check_ != nullptr) {
+          check_->OnCallDurable(self(), rpc_id);
+        }
         // This record is durable, so any predecessors it superseded can
         // now safely leave the log.
         ResolveCoalescedPreds(it2->second);
@@ -304,13 +317,27 @@ bool QrpcClient::TryCoalescePredecessor(const std::string& dest, const std::stri
     successor.coalesced_preds.push_back(std::move(inherited));
   }
   if (pred.log_record_id != 0 && log_ != nullptr) {
-    successor.coalesced_preds.push_back({pred.log_record_id, pred.call.committed});
+    if (options_.unsafe_eager_coalesce_withdraw_for_test) {
+      // Deliberately wrong (see QrpcClientOptions): drop the predecessor's
+      // record now, before the successor's record is durable.
+      log_->RemoveRecord(pred.log_record_id);
+      answered_log_records_.erase(pred.log_record_id);
+      g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
+      if (!pred.call.committed.ready()) {
+        pred.call.committed.Set(loop_->now());
+      }
+    } else {
+      successor.coalesced_preds.push_back({pred.log_record_id, pred.call.committed});
+    }
   } else if (!pred.call.committed.ready()) {
     // Nothing durable at stake for an unlogged predecessor.
     pred.call.committed.Set(loop_->now());
   }
   c_coalesced_->Increment();
   Trace(pred_id, obs::RpcEvent::kCoalesced);
+  if (check_ != nullptr) {
+    check_->OnCallCoalesced(self(), pred_id, successor.call.rpc_id);
+  }
   // The predecessor's promise resolves with whatever the successor
   // produces -- exactly once, and transitively if the successor is itself
   // later superseded. This chain callback is attached before the caller
@@ -359,6 +386,9 @@ void QrpcClient::HandleDeadline(uint64_t rpc_id) {
     log_->RemoveRecord(out.log_record_id);
     answered_log_records_.erase(out.log_record_id);
     g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
+    if (check_ != nullptr) {
+      check_->OnCallWithdrawn(self(), rpc_id);
+    }
   }
   transport_->scheduler()->CancelMessage(out.dest, rpc_id);
   // Coalesced predecessors resolve with this call's deadline error and
@@ -374,6 +404,9 @@ void QrpcClient::HandleDeadline(uint64_t rpc_id) {
   QrpcResult result;
   result.status = DeadlineExceededError("rpc deadline exceeded");
   result.completed_at = loop_->now();
+  if (check_ != nullptr) {
+    check_->OnCallResolved(self(), rpc_id, "deadline", false);
+  }
   out.call.result.Set(std::move(result));
 }
 
@@ -383,7 +416,9 @@ size_t QrpcClient::ShedBackgroundCalls(size_t needed) {
   std::vector<uint64_t> victims;
   for (auto it = outstanding_.rbegin(); it != outstanding_.rend() && victims.size() < needed;
        ++it) {
-    if (it->second.priority == Priority::kBackground) {
+    // Crash-recovered calls carry a durable obligation with no live caller
+    // to observe a refusal; they are never shed.
+    if (it->second.priority == Priority::kBackground && !it->second.recovered) {
       victims.push_back(it->first);
     }
   }
@@ -398,6 +433,15 @@ void QrpcClient::HandleSchedulerDrop(uint64_t rpc_id, const Status& status) {
   if (it == outstanding_.end()) {
     return;  // already answered, cancelled, or deadline-expired
   }
+  if (it->second.recovered && it->second.log_record_id != 0 && log_ != nullptr) {
+    // A crash-recovered request is the stable-log record of an operation
+    // whose caller died with the old incarnation. Nobody observes a shed
+    // status, and withdrawing the record would silently lose an
+    // acknowledged-durable update -- keep it and re-dispatch once the
+    // scheduler has drained.
+    RetryRecoveredDispatch(rpc_id);
+    return;
+  }
   Outstanding out = std::move(it->second);
   outstanding_.erase(it);
   ForgetSupersedeKey(out, rpc_id);
@@ -410,6 +454,9 @@ void QrpcClient::HandleSchedulerDrop(uint64_t rpc_id, const Status& status) {
     log_->RemoveRecord(out.log_record_id);
     answered_log_records_.erase(out.log_record_id);
     g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
+    if (check_ != nullptr) {
+      check_->OnCallWithdrawn(self(), rpc_id);
+    }
   }
   transport_->scheduler()->CancelMessage(out.dest, rpc_id);
   ResolveCoalescedPreds(out);
@@ -422,8 +469,42 @@ void QrpcClient::HandleSchedulerDrop(uint64_t rpc_id, const Status& status) {
     QrpcResult result;
     result.status = status;
     result.completed_at = loop_->now();
+    if (check_ != nullptr) {
+      check_->OnCallResolved(self(), rpc_id, "shed", false);
+    }
     out.call.result.Set(std::move(result));
   }
+}
+
+void QrpcClient::RetryRecoveredDispatch(uint64_t rpc_id) {
+  c_recovered_retries_->Increment();
+  loop_->ScheduleAfter(
+      options_.recovered_retry_backoff,
+      [this, rpc_id, alive = std::weak_ptr<char>(alive_)] {
+        if (alive.expired()) {
+          return;  // crashed again: the record is still logged, the next
+                   // incarnation's RecoverFromLog resends it
+        }
+        auto it = outstanding_.find(rpc_id);
+        if (it == outstanding_.end()) {
+          return;  // answered or cancelled meanwhile
+        }
+        const StableLog::Record* rec =
+            log_ == nullptr ? nullptr : log_->FindRecord(it->second.log_record_id);
+        if (rec == nullptr) {
+          return;
+        }
+        auto payload = log_->RecordPayload(*rec);
+        if (!payload.ok()) {
+          return;
+        }
+        auto parsed = DecodeLogRecord(*payload);
+        if (!parsed.ok()) {
+          return;
+        }
+        DispatchToScheduler(rpc_id, parsed->dest, std::move(parsed->body),
+                            parsed->call_options);
+      });
 }
 
 void QrpcClient::DispatchToScheduler(uint64_t rpc_id, const std::string& dest, Bytes body,
@@ -553,6 +634,9 @@ void QrpcClient::HandleResponse(const Message& msg) {
   // Unlogged successors have no flush point; their coalesced predecessors
   // leave the log here, once the operation has actually executed.
   ResolveCoalescedPreds(out);
+  if (check_ != nullptr) {
+    check_->OnCallResolved(self(), rpc_id, "response", result.status.ok());
+  }
   out.call.result.Set(std::move(result));
 }
 
@@ -584,6 +668,9 @@ bool QrpcClient::Cancel(uint64_t rpc_id) {
     log_->RemoveRecord(out.log_record_id);
     answered_log_records_.erase(out.log_record_id);
     g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
+    if (check_ != nullptr) {
+      check_->OnCallWithdrawn(self(), rpc_id);
+    }
   }
   transport_->scheduler()->CancelMessage(out.dest, rpc_id);
   ResolveCoalescedPreds(out);
@@ -596,16 +683,29 @@ bool QrpcClient::Cancel(uint64_t rpc_id) {
     QrpcResult result;
     result.status = CancelledError("call cancelled by application");
     result.completed_at = loop_->now();
+    if (check_ != nullptr) {
+      check_->OnCallResolved(self(), rpc_id, "cancel", false);
+    }
     out.call.result.Set(std::move(result));
   }
   return true;
+}
+
+std::vector<uint64_t> QrpcClient::OutstandingIds() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(outstanding_.size());
+  for (const auto& [id, out] : outstanding_) {
+    ids.push_back(id);
+  }
+  return ids;
 }
 
 size_t QrpcClient::RecoverFromLog() {
   if (log_ == nullptr) {
     return 0;
   }
-  size_t resent = 0;
+  std::vector<ParsedLogRecord> resends;
+  std::vector<uint64_t> resent_ids;
   for (const StableLog::Record& rec : log_->DurableRecords()) {
     auto payload = log_->RecordPayload(rec);
     if (!payload.ok()) {
@@ -628,6 +728,7 @@ size_t QrpcClient::RecoverFromLog() {
       out.log_record_id = rec.id;
       out.priority = parsed->call_options.priority;
       out.issued_at = loop_->now();
+      out.recovered = true;
       outstanding_.emplace(parsed->rpc_id, std::move(out));
     }
     // If the call is still tracked (same engine survived, e.g. only the
@@ -635,14 +736,23 @@ size_t QrpcClient::RecoverFromLog() {
     // cache guarantees at-most-once execution and the existing promise
     // resolves when any response arrives.
 
-    Trace(parsed->rpc_id, obs::RpcEvent::kRecovered);
-    DispatchToScheduler(parsed->rpc_id, parsed->dest, std::move(parsed->body),
-                        parsed->call_options);
-    ++resent;
-    c_recovered_->Increment();
+    resent_ids.push_back(parsed->rpc_id);
+    resends.push_back(std::move(*parsed));
   }
   g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
-  return resent;
+  // Announce the full recovery set before the first re-dispatch: a dispatch
+  // can fail synchronously under queue pressure, and any observer must
+  // already know those ids belong to the new incarnation.
+  if (check_ != nullptr) {
+    check_->OnClientRecovered(self(), resent_ids);
+  }
+  for (ParsedLogRecord& parsed : resends) {
+    Trace(parsed.rpc_id, obs::RpcEvent::kRecovered);
+    DispatchToScheduler(parsed.rpc_id, parsed.dest, std::move(parsed.body),
+                        parsed.call_options);
+    c_recovered_->Increment();
+  }
+  return resends.size();
 }
 
 QrpcServer::QrpcServer(EventLoop* loop, TransportManager* transport,
@@ -709,14 +819,22 @@ std::vector<QrpcServer::CachedResponse> QrpcServer::CachedResponses() const {
   return out;
 }
 
+void QrpcServer::EvictDupCacheOverflow() {
+  while (done_order_.size() > options_.duplicate_cache_max) {
+    const auto victim = done_order_.front();
+    done_.erase(victim);
+    done_order_.pop_front();
+    if (check_ != nullptr) {
+      check_->OnServerDupCacheEvict(self(), victim.first, victim.second);
+    }
+  }
+}
+
 void QrpcServer::RestoreCachedResponse(std::string client, uint64_t rpc_id, Bytes response) {
   const auto key = std::make_pair(std::move(client), rpc_id);
   if (done_.emplace(key, std::move(response)).second) {
     done_order_.push_back(key);
-    while (done_order_.size() > options_.duplicate_cache_max) {
-      done_.erase(done_order_.front());
-      done_order_.pop_front();
-    }
+    EvictDupCacheOverflow();
   }
 }
 
@@ -762,6 +880,21 @@ void QrpcServer::HandleRequest(const Message& msg) {
   auto done_it = done_.find(key);
   if (done_it != done_.end()) {
     c_duplicates_->Increment();
+    if (undurable_responses_.count(key) > 0) {
+      // The entry's response journal has not reported durable yet: a crash
+      // could still lose the transaction this response acknowledges, so a
+      // replay now would hand the client an answer the server might forget.
+      // Drop the duplicate; the journal-gated original send (pending on the
+      // same release) will answer, or the client resends after it.
+      return;
+    }
+    if (check_ != nullptr) {
+      // Reports the journal state as-is rather than asserting it: the gate
+      // above makes this always durable, and a regression of that gate then
+      // shows up as an undurable-replay violation in SimCheck.
+      check_->OnServerReplay(self(), key.first, key.second,
+                             /*durable=*/undurable_responses_.count(key) == 0);
+    }
     auto decoded = RpcResponseBody::Decode(done_it->second);
     if (!decoded.ok()) {
       // The cached bytes are corrupt. Replying with a default-constructed
@@ -847,20 +980,23 @@ void QrpcServer::HandleRequest(const Message& msg) {
     Bytes encoded = body.Encode();  // cached/journaled without an epoch stamp
     done_[key] = encoded;
     done_order_.push_back(key);
-    while (done_order_.size() > options_.duplicate_cache_max) {
-      done_.erase(done_order_.front());
-      done_order_.pop_front();
-    }
+    EvictDupCacheOverflow();
     if (response_journal_) {
       // Write-ahead: the response leaves only after the journal reports the
       // entry durable. A crash in between means the client never saw an
-      // answer and safely resends.
+      // answer and safely resends. Until then the cached entry must not be
+      // replayed to duplicates either -- see undurable_responses_.
+      undurable_responses_.insert(key);
       auto body_ptr = std::make_shared<RpcResponseBody>(std::move(body));
       response_journal_(
           src, rpc_id, encoded,
-          [this, src, rpc_id, priority, reply_via, body_ptr,
+          [this, key, src, rpc_id, priority, reply_via, body_ptr,
            alive2 = std::weak_ptr<char>(alive_)] {
             if (!alive2.expired()) {
+              undurable_responses_.erase(key);
+              if (check_ != nullptr) {
+                check_->OnServerResponseDurable(self(), src, rpc_id);
+              }
               SendResponse(src, rpc_id, priority, reply_via, std::move(*body_ptr));
             }
           });
@@ -880,6 +1016,9 @@ void QrpcServer::HandleRequest(const Message& msg) {
        alive = std::weak_ptr<char>(alive_)] {
         if (alive.expired()) {
           return;  // server torn down before dispatch
+        }
+        if (check_ != nullptr) {
+          check_->OnServerExecute(self(), key.first, key.second);
         }
         current_request_ = key;
         has_current_request_ = true;

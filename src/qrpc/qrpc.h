@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/check_hooks.h"
 #include "src/obs/metrics.h"
 #include "src/obs/rpc_trace.h"
 #include "src/qrpc/marshal.h"
@@ -83,6 +84,19 @@ struct QrpcClientOptions {
   // predecessors (off = every queued call is transmitted; the delta bench
   // uses that as its baseline).
   bool coalesce_superseded = true;
+  // How long to wait before re-dispatching a crash-recovered request the
+  // network scheduler refused under queue pressure. Recovered requests are
+  // exempt from shedding -- their caller died with the old incarnation, so
+  // nobody would observe the refusal, and withdrawing the record would
+  // silently lose an acknowledged-durable operation.
+  Duration recovered_retry_backoff = Duration::Millis(250);
+  // TEST-ONLY. Re-introduces the pre-fix coalescing behavior: a superseded
+  // predecessor's stable-log record is removed the moment it is coalesced,
+  // instead of waiting for the successor's own record to be durable. A
+  // crash between the two then loses an acknowledged operation. Exists so
+  // the SimCheck fuzzer can demonstrate it catches this bug class
+  // (tests/simcheck_test.cc meta-test); never enable outside tests.
+  bool unsafe_eager_coalesce_withdraw_for_test = false;
 };
 
 // Snapshot assembled from the metrics registry (see stats()).
@@ -97,6 +111,7 @@ struct QrpcClientStats {
   uint64_t pushback_honored = 0;    // re-dispatched after server retry-after
   uint64_t pushback_budget_exhausted = 0;  // pushback surfaced as an error
   uint64_t coalesced = 0;  // withdrawn pre-wire, answered by a successor
+  uint64_t recovered_retries = 0;  // recovered calls re-queued after refusal
 };
 
 // Handle returned by Call(). Both promises resolve on the event loop.
@@ -144,6 +159,13 @@ class QrpcClient {
   // the network scheduler contributes transmitted events).
   void SetTracer(obs::RpcTracer* tracer) { tracer_ = tracer; }
 
+  // Reports call lifecycle events (issue/durable/coalesce/resolve/recover)
+  // to an external invariant checker. Null disables (the default).
+  void SetCheckListener(obs::CheckListener* listener) { check_ = listener; }
+
+  // Rpc ids of every call awaiting a response.
+  std::vector<uint64_t> OutstandingIds() const;
+
   // Snapshot adapter over the registry counters (kept for existing callers).
   QrpcClientStats stats() const;
 
@@ -183,6 +205,10 @@ class QrpcClient {
     // Handed to the network scheduler: from here on withdrawal requires a
     // successful CancelMessage (queued, not yet on the wire).
     bool dispatched = false;
+    // Re-issued from the stable log by RecoverFromLog after a crash. The
+    // original caller is gone; this entry exists only to discharge the
+    // durable obligation, so it must never be shed (see HandleSchedulerDrop).
+    bool recovered = false;
     std::string supersede_key;  // empty = not supersedable
     // Logged predecessors this call coalesced away. Their records stay in
     // the log -- a crash before this call's own record is durable
@@ -224,6 +250,9 @@ class QrpcClient {
   // deadline, shed, cancel): removing an acknowledged predecessor's record
   // any earlier would let a crash lose the operation entirely.
   void ResolveCoalescedPreds(Outstanding& out);
+  // Schedules a fresh dispatch of a crash-recovered request after the
+  // scheduler refused it; the stable-log record stays in place meanwhile.
+  void RetryRecoveredDispatch(uint64_t rpc_id);
   // Drops the supersede-index entry if it still points at `rpc_id`.
   void ForgetSupersedeKey(const Outstanding& out, uint64_t rpc_id);
   bool OverBudget(size_t body_size, bool logged) const;
@@ -231,6 +260,7 @@ class QrpcClient {
   void MaybeTruncateLog();
   void WireMetrics(obs::Registry* registry, const std::string& prefix);
   void Trace(uint64_t rpc_id, obs::RpcEvent event);
+  const std::string& self() const { return transport_->local_host(); }
 
   static Bytes EncodeLogRecord(uint64_t rpc_id, const std::string& dest,
                                const QrpcCallOptions& call_options, const Bytes& body);
@@ -260,6 +290,7 @@ class QrpcClient {
 
   obs::Registry own_metrics_;  // used until BindMetrics() points elsewhere
   obs::RpcTracer* tracer_ = nullptr;
+  obs::CheckListener* check_ = nullptr;
   obs::Counter* c_calls_ = nullptr;
   obs::Counter* c_completed_ = nullptr;
   obs::Counter* c_recovered_ = nullptr;
@@ -270,6 +301,7 @@ class QrpcClient {
   obs::Counter* c_pushback_honored_ = nullptr;
   obs::Counter* c_pushback_exhausted_ = nullptr;
   obs::Counter* c_coalesced_ = nullptr;
+  obs::Counter* c_recovered_retries_ = nullptr;
   obs::Gauge* g_log_bytes_ = nullptr;  // stable-log byte budget occupancy
   obs::Histogram* h_rpc_seconds_ = nullptr;  // Call() -> response matched
 };
@@ -353,6 +385,10 @@ class QrpcServer {
     return has_current_request_ ? &current_request_ : nullptr;
   }
 
+  // Reports execute/replay/durability/eviction events to an external
+  // invariant checker. Null disables (the default).
+  void SetCheckListener(obs::CheckListener* listener) { check_ = listener; }
+
   // Re-homes the server's instruments into `registry` under "<prefix>."
   // names, carrying current values over.
   void BindMetrics(obs::Registry* registry, const std::string& prefix = "qrpc_server");
@@ -369,6 +405,8 @@ class QrpcServer {
   void SendResponse(const std::string& dst, uint64_t rpc_id, Priority priority,
                     const std::string& reply_via, RpcResponseBody body);
   void WireMetrics(obs::Registry* registry, const std::string& prefix);
+  void EvictDupCacheOverflow();
+  const std::string& self() const { return transport_->local_host(); }
 
   EventLoop* loop_;
   TransportManager* transport_;
@@ -382,6 +420,7 @@ class QrpcServer {
   // cannot be touched by callbacks that outlive it.
   std::shared_ptr<char> alive_ = std::make_shared<char>(0);
   obs::Registry own_metrics_;  // used until BindMetrics() points elsewhere
+  obs::CheckListener* check_ = nullptr;
   obs::Counter* c_requests_ = nullptr;
   obs::Counter* c_duplicates_ = nullptr;
   obs::Counter* c_unknown_methods_ = nullptr;
@@ -395,6 +434,13 @@ class QrpcServer {
   std::map<std::pair<std::string, uint64_t>, Bytes> done_;
   std::deque<std::pair<std::string, uint64_t>> done_order_;
   std::set<std::pair<std::string, uint64_t>> in_progress_;
+  // Keys in done_ whose response-journal write has not yet been reported
+  // durable. A duplicate request for such a key is dropped, not replayed:
+  // the cached response acknowledges a transaction a crash could still
+  // lose, and the journal-gated original send answers the client anyway
+  // once the entry is durable. Entries leave via the journal release; a
+  // crash discards the whole set with the rest of process state.
+  std::set<std::pair<std::string, uint64_t>> undurable_responses_;
 };
 
 }  // namespace rover

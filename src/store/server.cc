@@ -108,6 +108,17 @@ void RoverServer::MaybeCompact() {
   if (!stable_store_->NeedsCompaction()) {
     return;
   }
+  // Compaction must not run while any RPC has applied mutations whose
+  // transaction is not yet journaled (buffered in pending_ops_): the
+  // snapshot would capture those mutations WITHOUT their duplicate-cache
+  // responses, and a crash before the straggler's transaction flushes would
+  // recover the mutation with no record that its RPC completed -- the
+  // client's resend then re-executes it (double-apply). Defer; this is
+  // re-checked at every subsequent response journal, and pending_ops_
+  // drains as soon as the in-flight handlers respond.
+  if (!pending_ops_.empty()) {
+    return;
+  }
   std::vector<CachedResponseEntry> responses;
   for (auto& cached : qrpc_->CachedResponses()) {
     responses.push_back({cached.client, cached.rpc_id, std::move(cached.response)});
@@ -117,6 +128,7 @@ void RoverServer::MaybeCompact() {
 
 void RoverServer::RestoreFromRecovery(const RecoveredServerState& recovered) {
   replaying_ = true;
+  std::vector<std::pair<std::string, uint64_t>> survived;
   if (!recovered.object_image.empty()) {
     Status loaded = store_.Load(recovered.object_image);
     if (!loaded.ok()) {
@@ -125,6 +137,7 @@ void RoverServer::RestoreFromRecovery(const RecoveredServerState& recovered) {
   }
   for (const CachedResponseEntry& entry : recovered.snapshot_responses) {
     qrpc_->RestoreCachedResponse(entry.client, entry.rpc_id, entry.response);
+    survived.emplace_back(entry.client, entry.rpc_id);
   }
   for (const ServerTransaction& txn : recovered.wal) {
     for (const ReplayOp& op : txn.ops) {
@@ -136,6 +149,7 @@ void RoverServer::RestoreFromRecovery(const RecoveredServerState& recovered) {
     }
     if (txn.has_response) {
       qrpc_->RestoreCachedResponse(txn.client, txn.rpc_id, txn.response);
+      survived.emplace_back(txn.client, txn.rpc_id);
     }
   }
   replaying_ = false;
@@ -146,6 +160,9 @@ void RoverServer::RestoreFromRecovery(const RecoveredServerState& recovered) {
   subscribers_.clear();
   pending_ops_.clear();
   invalidation_failures_.clear();
+  if (check_ != nullptr) {
+    check_->OnServerRecovered(transport_->local_host(), recovered.epoch, survived);
+  }
 }
 
 void RoverServer::RegisterMethods() {

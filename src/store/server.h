@@ -89,6 +89,10 @@ class RoverServer {
   // Subscriptions and live RDO instances are volatile and start empty.
   void RestoreFromRecovery(const RecoveredServerState& recovered);
 
+  // Reports recovery outcomes (the survived duplicate-response keys) to an
+  // external invariant checker. Null disables (the default).
+  void SetCheckListener(obs::CheckListener* listener) { check_ = listener; }
+
   size_t SubscriberCount(const std::string& name) const {
     auto it = subscribers_.find(name);
     return it == subscribers_.end() ? 0 : it->second.size();
@@ -131,6 +135,7 @@ class RoverServer {
   QrpcServer* qrpc_;
   RoverServerOptions options_;
   ServerStableStore* stable_store_;  // may be null: volatile server
+  obs::CheckListener* check_ = nullptr;
   RoverServerStats stats_;
   ObjectStore store_;
   ConflictResolverRegistry resolvers_;

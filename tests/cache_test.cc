@@ -690,3 +690,238 @@ TEST_F(DeltaImportTest, ImportEscalationCoalescesDuplicateRpc) {
 
 }  // namespace
 }  // namespace rover
+
+// --- Session guarantees end to end: version floors survive delta-import
+// --- short-cuts and server state loss, ObjectsTouched counts each object
+// --- once, and a mid-session client restart round-trips the cache
+// --- snapshot, the rpc-id counter, and the queued-export log.
+
+namespace rover {
+namespace {
+
+TEST(SessionTest, ObjectsTouchedCountsReadWriteOverlapOnce) {
+  Session s(7);
+  s.RecordRead("a", 1);
+  s.RecordWrite("a", 2);  // read and written: one object, not two
+  EXPECT_EQ(s.ObjectsTouched(), 1u);
+  s.RecordRead("a", 3);  // repeat accesses never add touches
+  s.RecordWrite("a", 4);
+  EXPECT_EQ(s.ObjectsTouched(), 1u);
+  EXPECT_EQ(s.RequiredVersion("a"), 4u);  // floor is the max over both maps
+  s.RecordWrite("b", 1);  // write-only object
+  s.RecordRead("c", 1);   // read-only object
+  EXPECT_EQ(s.ObjectsTouched(), 3u);
+  EXPECT_EQ(s.RequiredVersion("nothing"), 0u);
+}
+
+TEST(SessionTest, ObjectsTouchedMergesInterleavedNames) {
+  // Names that alternate between the read and write sets exercise the
+  // sorted-merge walk: the old per-write linear rescan double-counted any
+  // written name that also appeared among later reads.
+  Session s;
+  s.RecordRead("b", 1);
+  s.RecordRead("d", 1);
+  s.RecordWrite("a", 1);
+  s.RecordWrite("c", 1);
+  s.RecordWrite("e", 1);
+  EXPECT_EQ(s.ObjectsTouched(), 5u);
+  s.RecordWrite("b", 2);
+  s.RecordWrite("d", 2);
+  EXPECT_EQ(s.ObjectsTouched(), 5u);
+}
+
+constexpr char kSessionPadCode[] = R"(
+proc get {} { global state; return $state }
+proc put {s} { global state; set state $s; return ok }
+)";
+
+constexpr char kSessionCounterCode[] = R"(
+proc get {} { global state; return $state }
+proc add {n} { global state; set state [expr {$state + $n}]; return $state }
+)";
+
+class SessionGuaranteeTest : public ::testing::Test {
+ protected:
+  // An object big enough that re-fetches go down the delta path.
+  std::string SeedPad(Testbed* bed) {
+    std::string data(6000, 'x');
+    for (size_t i = 0; i < data.size(); i += 89) {
+      data[i] = static_cast<char>('a' + (i % 17));
+    }
+    EXPECT_TRUE(bed->server()->rover()->CreateObject(
+        MakeRdo("pad", "lww", kSessionPadCode, data)).ok());
+    return data;
+  }
+
+  void SeedCounter(Testbed* bed) {
+    ASSERT_TRUE(bed->server()->rover()->CreateObject(
+        MakeRdo("counter", "lww", kSessionCounterCode, "0")).ok());
+  }
+
+  // Commit a new version server-side behind the client's back.
+  std::string EditPad(Testbed* bed, std::string data) {
+    data.replace(100, 7, "EDITED!");
+    RdoDescriptor next = *bed->server()->store()->Get("pad");
+    next.data = data;
+    EXPECT_TRUE(bed->server()->store()->Put(next).ok());
+    return data;
+  }
+};
+
+TEST_F(SessionGuaranteeTest, ImportBelowSessionFloorFailsAfterServerLosesState) {
+  Testbed::Options topts;
+  topts.server.durable = false;  // a crash loses every committed update
+  Testbed bed(topts);
+  SeedCounter(&bed);
+  RoverClientNode* client = bed.AddClient("mobile", LinkProfile::WaveLan2());
+  Session session(1);
+  ImportOptions iopts;
+  iopts.session = &session;
+
+  ASSERT_TRUE(client->access()->Import("counter", iopts).Wait(bed.loop()));
+  ASSERT_TRUE(client->access()->Invoke("counter", "add", {"2"}).Wait(bed.loop()));
+  auto exp = client->access()->Export("counter");
+  ASSERT_TRUE(exp.Wait(bed.loop()));
+  ASSERT_TRUE(exp.value().status.ok());
+  session.RecordWrite("counter", exp.value().new_version);
+  EXPECT_EQ(session.RequiredVersion("counter"), 2u);
+
+  // The volatile server forgets the export and comes back at version 1.
+  client->access()->Evict("counter");
+  bed.server()->SimulateCrashAndRestart();
+  SeedCounter(&bed);
+
+  // Read-your-writes: handing this session the regressed version would
+  // silently rewind its own committed export, so the import must fail.
+  auto p = client->access()->Import("counter", iopts);
+  ASSERT_TRUE(p.Wait(bed.loop()));
+  EXPECT_EQ(p.value().status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(p.value().status.message().find("session requires"), std::string::npos);
+
+  // A session-free import of the same object still works: the failure is
+  // the session's guarantee, not the object's availability.
+  auto bare = client->access()->Import("counter");
+  ASSERT_TRUE(bare.Wait(bed.loop()));
+  EXPECT_TRUE(bare.value().status.ok());
+  EXPECT_EQ(bare.value().version, 1u);
+}
+
+TEST_F(SessionGuaranteeTest, NotModifiedBelowSessionFloorIsNotServed) {
+  // The client caches pad@1 (with its delta base image). The session then
+  // learns of version 2 -- an export it saw committed from another device.
+  // A re-fetch goes out as a delta request with base 1; the server (still
+  // at version 1 here) answers kNotModified. Serving the cached copy on
+  // that short-cut would hand the session the past: the manager must fall
+  // back to a full fetch, whose version-1 result then fails the floor.
+  Testbed bed;
+  SeedPad(&bed);
+  RoverClientNode* client = bed.AddClient("mobile", LinkProfile::WaveLan2());
+  ASSERT_TRUE(client->access()->Import("pad").Wait(bed.loop()));
+
+  Session session(1);
+  session.RecordWrite("pad", 2);
+  ImportOptions force;
+  force.allow_cached = false;
+  force.session = &session;
+  auto p = client->access()->Import("pad", force);
+  ASSERT_TRUE(p.Wait(bed.loop()));
+  EXPECT_EQ(p.value().status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(p.value().status.message().find("session requires"), std::string::npos);
+  EXPECT_EQ(client->access()->stats().delta_not_modified, 0u);
+  EXPECT_EQ(client->access()->stats().delta_fallbacks, 1u);
+}
+
+TEST_F(SessionGuaranteeTest, DeltaReplySatisfiesSessionFloor) {
+  // Happy path of the same machinery: when the server really has the
+  // version the session needs, the delta reply both saves bytes and
+  // satisfies the floor.
+  Testbed bed;
+  std::string data = SeedPad(&bed);
+  RoverClientNode* client = bed.AddClient("mobile", LinkProfile::WaveLan2());
+  ASSERT_TRUE(client->access()->Import("pad").Wait(bed.loop()));
+  data = EditPad(&bed, data);
+
+  Session session(1);
+  session.RecordWrite("pad", 2);
+  ImportOptions force;
+  force.allow_cached = false;
+  force.session = &session;
+  auto p = client->access()->Import("pad", force);
+  ASSERT_TRUE(p.Wait(bed.loop()));
+  ASSERT_TRUE(p.value().status.ok());
+  EXPECT_EQ(p.value().version, 2u);
+  EXPECT_EQ(*client->access()->ReadCommittedData("pad"), data);
+  EXPECT_EQ(client->access()->stats().delta_hits, 1u);
+  EXPECT_EQ(session.RequiredVersion("pad"), 2u);
+  EXPECT_EQ(session.ObjectsTouched(), 1u);
+}
+
+TEST_F(SessionGuaranteeTest, MidSessionRestartRoundTripsCacheAndRpcIds) {
+  // A session spanning a client crash: the cache snapshot (committed data,
+  // tentative state, delta base images) and the rpc-id counter persist on
+  // the client's stable storage next to the QRPC log, so the restarted
+  // node resumes the session -- replaying the queued export, serving
+  // cached imports offline, and delta-importing against the restored
+  // image -- without ever reusing an rpc id.
+  Testbed bed;
+  SeedCounter(&bed);
+  std::string data = SeedPad(&bed);
+  auto schedule = std::make_unique<IntervalConnectivity>(
+      std::vector<IntervalConnectivity::Interval>{
+          {TimePoint::Epoch(), TimePoint::Epoch() + Duration::Seconds(10)},
+          {TimePoint::Epoch() + Duration::Seconds(100),
+           TimePoint::Epoch() + Duration::Seconds(100000)}});
+  RoverClientNode* client =
+      bed.AddClient("laptop", LinkProfile::WaveLan2(), std::move(schedule));
+  Session session(1);
+  ImportOptions iopts;
+  iopts.session = &session;
+
+  ASSERT_TRUE(client->access()->Import("counter", iopts).Wait(bed.loop()));
+  ASSERT_TRUE(client->access()->Import("pad", iopts).Wait(bed.loop()));
+  bed.loop()->RunUntil(TimePoint::Epoch() + Duration::Seconds(20));  // offline now
+
+  ASSERT_TRUE(client->access()->Invoke("counter", "add", {"5"}).Wait(bed.loop()));
+  auto exp = client->access()->Export("counter");
+  bed.loop()->RunUntil(TimePoint::Epoch() + Duration::Seconds(30));
+  ASSERT_FALSE(exp.ready());  // queued for the link, durable in the log
+  const uint64_t next_id_before = client->qrpc()->next_rpc_id();
+
+  ASSERT_GE(client->SimulateCrashAndRestart(), 1u);
+
+  // Still offline: the restored snapshot serves the session from cache.
+  EXPECT_GE(client->qrpc()->next_rpc_id(), next_id_before);
+  EXPECT_TRUE(client->access()->IsTentative("counter"));
+  EXPECT_EQ(*client->access()->ReadData("counter"), "5");
+  auto hit = client->access()->Import("pad", iopts);
+  ASSERT_TRUE(hit.Wait(bed.loop()));
+  EXPECT_TRUE(hit.value().from_cache);
+
+  // Reconnect: the replayed export commits exactly once.
+  bed.Run();
+  EXPECT_EQ(bed.server()->store()->Get("counter")->data, "5");
+  EXPECT_EQ(*bed.server()->store()->VersionOf("counter"), 2u);
+  session.RecordWrite("counter", 2);
+
+  // The pad's delta base image survived the snapshot round-trip: the next
+  // re-fetch within the session ships a delta, not the full body.
+  data = EditPad(&bed, data);
+  ImportOptions force = iopts;
+  force.allow_cached = false;
+  auto p = client->access()->Import("pad", force);
+  ASSERT_TRUE(p.Wait(bed.loop()));
+  ASSERT_TRUE(p.value().status.ok());
+  EXPECT_EQ(p.value().version, 2u);
+  EXPECT_EQ(*client->access()->ReadCommittedData("pad"), data);
+  EXPECT_EQ(client->access()->stats().delta_hits, 1u);
+
+  // The persisted rpc-id counter kept post-restart calls out of the dup
+  // cache's shadow: nothing the new incarnation sent collided with an id
+  // the dead one already used.
+  EXPECT_EQ(bed.server()->qrpc()->stats().duplicates, 0u);
+  EXPECT_EQ(session.ObjectsTouched(), 2u);
+  EXPECT_EQ(session.RequiredVersion("counter"), 2u);
+}
+
+}  // namespace
+}  // namespace rover

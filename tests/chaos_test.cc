@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "src/check/simcheck.h"
 #include "src/core/fault_plan.h"
 #include "src/core/toolkit.h"
 #include "src/store/server_store.h"
@@ -238,6 +239,9 @@ TEST(CrashRecoveryTest, ServerCrashAfterDurableResponseRepliesFromDupCache) {
   // queued behind a dead link (instead of delivered) when the server dies.
   topts.server.qrpc.dispatch_cost = Duration::Seconds(5);
   Testbed bed(topts);
+
+  check::SimCheck simcheck;
+  simcheck.Attach(&bed);
   ASSERT_TRUE(bed.server()->rover()->CreateObject(
       MakeRdo("counter", "lww", kCounterCode, "0")).ok());
 
@@ -280,6 +284,9 @@ TEST(CrashRecoveryTest, ServerCrashAfterDurableResponseRepliesFromDupCache) {
   EXPECT_EQ(client->qrpc()->LogDepth(), 0u);
   EXPECT_EQ(client->qrpc()->PendingCount(), 0u);
   EXPECT_EQ(client->qrpc()->LastSeenEpoch("server"), 2u);
+
+  simcheck.CheckQuiesced();
+  EXPECT_TRUE(simcheck.ok()) << simcheck.Report() << simcheck.TraceTail(150);
 }
 
 // A power cut mid-journal-write tears the transaction: mutation AND cached
@@ -292,6 +299,9 @@ TEST(CrashRecoveryTest, TornWalWriteRollsBackAtomicallyAndResendReexecutes) {
   ASSERT_TRUE(bed.server()->rover()->CreateObject(
       MakeRdo("counter", "lww", kCounterCode, "0")).ok());
   RoverClientNode* client = bed.AddClient("mobile", LinkProfile::Cslip144());
+
+  check::SimCheck simcheck;
+  simcheck.Attach(&bed);
 
   bed.loop()->ScheduleAt(TimePoint::Epoch() + Duration::Seconds(1), [&] {
     InvokeOptions io;
@@ -321,12 +331,17 @@ TEST(CrashRecoveryTest, TornWalWriteRollsBackAtomicallyAndResendReexecutes) {
   EXPECT_EQ(*bed.server()->store()->VersionOf("counter"), 2u);
   EXPECT_EQ(bed.server()->store()->Get("counter")->data, "5");
   EXPECT_EQ(client->qrpc()->LogDepth(), 0u);
+
+  simcheck.CheckQuiesced();
+  EXPECT_TRUE(simcheck.ok()) << simcheck.Report() << simcheck.TraceTail(150);
 }
 
 // A torn client log record loses only the not-yet-committed call: the
 // request never reaches the server and is not resent after recovery.
 TEST(CrashRecoveryTest, TornClientLogRecordLosesUncommittedCall) {
   Testbed bed;
+  check::SimCheck simcheck;
+  simcheck.Attach(&bed);
   ASSERT_TRUE(bed.server()->rover()->CreateObject(
       MakeRdo("counter", "lww", kCounterCode, "0")).ok());
   RoverClientNode* client = bed.AddClient("mobile", LinkProfile::Cslip144());
@@ -344,6 +359,9 @@ TEST(CrashRecoveryTest, TornClientLogRecordLosesUncommittedCall) {
   EXPECT_EQ(bed.server()->qrpc()->stats().requests, 0u);
   EXPECT_EQ(*bed.server()->store()->VersionOf("counter"), 1u);
   EXPECT_EQ(client->qrpc()->LogDepth(), 0u);
+
+  simcheck.CheckQuiesced();
+  EXPECT_TRUE(simcheck.ok()) << simcheck.Report() << simcheck.TraceTail(150);
 }
 
 // --- Part 3: subscriptions across restarts --------------------------------
@@ -468,6 +486,9 @@ TEST_P(ChaosTest, InvariantsHoldUnderRandomFaults) {
   topts.server.rover.invalidation_ttl = Duration::Seconds(30);
   Testbed bed(topts);
   bed.loop()->set_event_limit(20'000'000);
+
+  check::SimCheck simcheck;
+  simcheck.Attach(&bed);
   ASSERT_TRUE(bed.server()->rover()->CreateObject(
       MakeRdo("journal", "lww", kJournalCode, "")).ok());
 
@@ -545,6 +566,9 @@ TEST_P(ChaosTest, InvariantsHoldUnderRandomFaults) {
   EXPECT_EQ(*client->access()->ReadCommittedData("journal"), server_data);
   EXPECT_EQ(client->qrpc()->LastSeenEpoch("server"),
             bed.server()->stable_store()->epoch());
+
+  simcheck.CheckQuiesced();
+  EXPECT_TRUE(simcheck.ok()) << simcheck.Report() << simcheck.TraceTail(150);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "src/check/simcheck.h"
 #include "src/core/fault_plan.h"
 #include "src/core/toolkit.h"
 #include "src/sim/network.h"
@@ -646,6 +647,9 @@ TEST_P(OverloadChaosTest, SustainedOverloadDegradesGracefullyAndDrains) {
   topts.server.qrpc.pushback_retry_after = Duration::Millis(200);
   Testbed bed(topts);
   bed.loop()->set_event_limit(20'000'000);
+
+  check::SimCheck simcheck;
+  simcheck.Attach(&bed);
   ASSERT_TRUE(bed.server()->rover()->CreateObject(
       MakeRdo("journal", "lww", kJournalCode, "")).ok());
   const std::string page_data(400, 'p');
@@ -778,6 +782,9 @@ TEST_P(OverloadChaosTest, SustainedOverloadDegradesGracefullyAndDrains) {
   ASSERT_TRUE(converge.Wait(bed.loop()));
   ASSERT_TRUE(converge.value().status.ok());
   EXPECT_EQ(*client->access()->ReadCommittedData("journal"), server_data);
+
+  simcheck.CheckQuiesced();
+  EXPECT_TRUE(simcheck.ok()) << simcheck.Report() << simcheck.TraceTail(150);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OverloadChaosTest,

@@ -747,3 +747,177 @@ TEST(StableLogCompressionTest, IncompressibleRecordStoredRaw) {
 
 }  // namespace
 }  // namespace rover
+
+// --- Promise hygiene: every issued call resolves its result promise
+// --- exactly once, whatever ends it -- response, deadline, cancel, shed,
+// --- admission rejection, or coalescing -- and a crash in the middle
+// --- neither drops a durable call nor resurrects a withdrawn one.
+
+namespace rover {
+namespace {
+
+// A call plus a count of how often its result promise fired. Promise::Set
+// already asserts on a second Set; the counter additionally catches a
+// path that never resolves at all.
+struct TrackedCall {
+  const char* label = "";
+  QrpcCall call;
+  int resolutions = 0;
+};
+
+TEST_F(QrpcTest, ResolutionMatrixEveryPathResolvesExactlyOnce) {
+  // Link up only at t=300s: every call below queues disconnected, so the
+  // shed/deadline/cancel/coalesce paths race nothing on the wire.
+  Wire(LinkProfile::WaveLan2(),
+       std::make_unique<PeriodicConnectivity>(Duration::Seconds(1e6), Duration::Zero(),
+                                              TimePoint::Epoch() + Duration::Seconds(300)));
+  QrpcClientOptions copts;
+  copts.max_outstanding_calls = 5;
+  client_ = std::make_unique<QrpcClient>(&loop_, client_tm_.get(), log_.get(), copts);
+
+  std::vector<std::shared_ptr<TrackedCall>> calls;
+  auto issue = [&](const char* label, QrpcCallOptions opts = {}) {
+    auto t = std::make_shared<TrackedCall>();
+    t->label = label;
+    t->call = client_->Call("server", "count", {}, opts);
+    t->call.result.OnReady([t](const QrpcResult&) { ++t->resolutions; });
+    calls.push_back(t);
+    return t;
+  };
+
+  QrpcCallOptions supersede;
+  supersede.supersede_key = "obj";
+  auto pred = issue("coalesced-predecessor", supersede);
+  auto succ = issue("coalescing-successor", supersede);
+  EXPECT_EQ(client_->stats().coalesced, 1u);
+
+  QrpcCallOptions with_deadline;
+  with_deadline.deadline = Duration::Seconds(30);
+  auto dead = issue("deadline-expired", with_deadline);
+
+  auto canc = issue("cancelled");
+  EXPECT_TRUE(client_->Cancel(canc->call.rpc_id));
+
+  QrpcCallOptions background;
+  background.priority = Priority::kBackground;
+  auto victim = issue("shed-victim", background);
+  auto kept1 = issue("kept-1");
+  auto kept2 = issue("kept-2");
+  // Outstanding is now at the bound of 5 (succ, dead, victim, kept1,
+  // kept2): admitting one more foreground call sheds the background
+  // victim; the background call after that finds nothing sheddable left
+  // and is refused at Call().
+  auto kept3 = issue("overflow-foreground");
+  EXPECT_EQ(client_->stats().background_shed, 1u);
+  auto rejected = issue("admission-rejected", background);
+  EXPECT_EQ(client_->stats().admission_rejected, 1u);
+
+  loop_.RunUntil(TimePoint::Epoch() + Duration::Seconds(60));  // deadline fired at 30s
+  EXPECT_EQ(client_->stats().deadline_exceeded, 1u);
+  EXPECT_EQ(client_->stats().cancelled, 1u);
+
+  // Terminal paths resolved exactly once, with their own status.
+  EXPECT_EQ(canc->resolutions, 1);
+  EXPECT_EQ(canc->call.result.value().status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(dead->resolutions, 1);
+  EXPECT_EQ(dead->call.result.value().status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(victim->resolutions, 1);
+  EXPECT_EQ(victim->call.result.value().status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(rejected->resolutions, 1);
+  EXPECT_EQ(rejected->call.result.value().status.code(), StatusCode::kResourceExhausted);
+  // The survivors wait for connectivity; nobody resolved them early, but
+  // every one of them has its durability commit acknowledged.
+  for (const auto& t : {pred, succ, kept1, kept2, kept3}) {
+    EXPECT_EQ(t->resolutions, 0) << t->label;
+    EXPECT_TRUE(t->call.committed.ready()) << t->label;
+  }
+  // The log holds exactly the four live requests (succ subsumed pred's
+  // record once its own flush completed); everything withdrawn stays gone.
+  EXPECT_EQ(log_->RecordCount(), 4u);
+  EXPECT_EQ(client_->PendingCount(), 4u);
+
+  // Crash before the link ever came up. The four durable records -- and
+  // only those -- are re-issued by the next incarnation; the withdrawn
+  // deadline/cancel/shed records must not resurrect.
+  log_->SimulateCrash();
+  ASSERT_EQ(log_->Recover(), 4u);
+  client_tm_ = std::make_unique<TransportManager>(&loop_, net_.FindHost("mobile"));
+  client_ = std::make_unique<QrpcClient>(&loop_, client_tm_.get(), log_.get(), copts);
+  EXPECT_EQ(client_->RecoverFromLog(), 4u);
+  loop_.Run();
+
+  EXPECT_EQ(executions_, 4);  // succ, kept1, kept2, kept3: exactly once each
+  EXPECT_EQ(server_->stats().duplicates, 0u);
+  EXPECT_EQ(client_->PendingCount(), 0u);
+  EXPECT_EQ(log_->RecordCount(), 0u);
+  // Promises owned by the dead incarnation stay unresolved -- recovery
+  // answers the log, not process state that did not survive.
+  for (const auto& t : {pred, succ, kept1, kept2, kept3}) {
+    EXPECT_EQ(t->resolutions, 0) << t->label;
+  }
+}
+
+TEST_F(QrpcTest, DeadlineOnCoalescedPredecessorIsDisarmed) {
+  // The predecessor carries a 30s deadline and is coalesced immediately.
+  // Its deadline event dies with the coalesce: the chained promise must
+  // resolve exactly once with the successor's (much later) result, not a
+  // second time when the stale deadline would have fired.
+  Wire(LinkProfile::WaveLan2(),
+       std::make_unique<PeriodicConnectivity>(Duration::Seconds(1e6), Duration::Zero(),
+                                              TimePoint::Epoch() + Duration::Seconds(300)));
+  QrpcCallOptions pred_opts;
+  pred_opts.supersede_key = "obj";
+  pred_opts.deadline = Duration::Seconds(30);
+  QrpcCall pred = client_->Call("server", "count", {}, pred_opts);
+  QrpcCallOptions succ_opts;
+  succ_opts.supersede_key = "obj";
+  QrpcCall succ = client_->Call("server", "count", {}, succ_opts);
+  EXPECT_EQ(client_->stats().coalesced, 1u);
+
+  loop_.RunUntil(TimePoint::Epoch() + Duration::Seconds(60));
+  EXPECT_FALSE(pred.result.ready());  // the disarmed deadline never fired
+  EXPECT_EQ(client_->stats().deadline_exceeded, 0u);
+
+  loop_.Run();
+  ASSERT_TRUE(pred.result.ready());
+  ASSERT_TRUE(succ.result.ready());
+  EXPECT_TRUE(pred.result.value().status.ok());
+  EXPECT_EQ(std::get<int64_t>(pred.result.value().value),
+            std::get<int64_t>(succ.result.value().value));
+  EXPECT_EQ(executions_, 1);  // the pair collapsed to one server execution
+  EXPECT_EQ(client_->PendingCount(), 0u);
+}
+
+TEST_F(QrpcTest, CancelOfCoalescedChainResolvesPredecessorOnce) {
+  Wire(LinkProfile::WaveLan2(),
+       std::make_unique<PeriodicConnectivity>(Duration::Seconds(1e6), Duration::Zero(),
+                                              TimePoint::Epoch() + Duration::Seconds(300)));
+  QrpcCallOptions opts;
+  opts.supersede_key = "obj";
+  QrpcCall pred = client_->Call("server", "count", {}, opts);
+  QrpcCall succ = client_->Call("server", "count", {}, opts);
+  EXPECT_EQ(client_->stats().coalesced, 1u);
+
+  // The predecessor already left the engine: it has no independent call to
+  // cancel any more, so Cancel must say so rather than touch the chain.
+  EXPECT_FALSE(client_->Cancel(pred.rpc_id));
+  // Cancelling the successor ends the whole chain: both promises resolve
+  // (exactly once each) with CANCELLED, and nothing survives in the log to
+  // resurrect either operation after a crash.
+  EXPECT_TRUE(client_->Cancel(succ.rpc_id));
+  loop_.RunUntil(TimePoint::Epoch() + Duration::Seconds(1));
+  ASSERT_TRUE(pred.result.ready());
+  ASSERT_TRUE(succ.result.ready());
+  EXPECT_EQ(pred.result.value().status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(succ.result.value().status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(pred.committed.ready());
+  EXPECT_EQ(log_->RecordCount(), 0u);
+
+  loop_.Run();  // link comes up at t=300s; nothing is transmitted
+  EXPECT_EQ(executions_, 0);
+  EXPECT_EQ(server_->stats().requests, 0u);
+  EXPECT_EQ(client_->PendingCount(), 0u);
+}
+
+}  // namespace
+}  // namespace rover
