@@ -5,8 +5,10 @@
 // Usage:
 //   fuzz_simcheck [seed...]            run the given seeds
 //   fuzz_simcheck --repro '<line>'     replay a SIMCHECK_REPRO line
+//   fuzz_simcheck --disk-faults [...]  mix storage faults into each plan
 //   ROVER_SIMCHECK_SEEDS="1-64" fuzz_simcheck
 //                                      seed ranges/lists via environment
+//   ROVER_SIMCHECK_DISK_FAULTS=1       same as --disk-faults
 // With no seeds given, runs the default corpus 1..24.
 
 #include <cstdio>
@@ -71,6 +73,7 @@ int main(int argc, char** argv) {
   }
 
   rover::check::FuzzRunOptions run_options;
+  rover::check::MakePlanOptions plan_options;
   std::vector<uint64_t> seeds;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--eager-bug") == 0) {
@@ -78,8 +81,17 @@ int main(int argc, char** argv) {
       run_options.eager_coalesce_bug = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--disk-faults") == 0) {
+      plan_options.disk_faults = true;
+      continue;
+    }
     for (uint64_t s : ParseSeedSpec(argv[i])) {
       seeds.push_back(s);
+    }
+  }
+  if (const char* env = std::getenv("ROVER_SIMCHECK_DISK_FAULTS")) {
+    if (env[0] != '\0' && std::strcmp(env, "0") != 0) {
+      plan_options.disk_faults = true;
     }
   }
   if (seeds.empty()) {
@@ -94,7 +106,7 @@ int main(int argc, char** argv) {
   }
 
   for (uint64_t seed : seeds) {
-    rover::check::FuzzPlan plan = rover::check::MakePlan(seed);
+    rover::check::FuzzPlan plan = rover::check::MakePlan(seed, plan_options);
     rover::check::FuzzOutcome outcome = rover::check::RunPlan(plan, run_options);
     if (outcome.ok) {
       std::printf("seed %-6llu ok    (%zu actions)\n",

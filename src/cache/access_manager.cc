@@ -24,6 +24,9 @@ std::string FormatQueueStatus(const QueueStatus& status) {
   if (status.degraded) {
     out += " | DEGRADED";
   }
+  if (status.storage_degraded) {
+    out += " | STORAGE FULL";
+  }
   return out;
 }
 
@@ -65,6 +68,7 @@ void AccessManager::WireMetrics(obs::Registry* registry, const std::string& pref
   c_delta_not_modified_ = registry->counter(prefix + ".delta_not_modified");
   c_delta_fallbacks_ = registry->counter(prefix + ".delta_fallbacks");
   c_delta_bytes_saved_ = registry->counter(prefix + ".delta_bytes_saved");
+  c_storage_stale_marks_ = registry->counter(prefix + ".storage_stale_marks");
   g_degraded_ = registry->gauge(prefix + ".degraded");
   g_cache_overflow_bytes_ = registry->gauge(prefix + ".cache_overflow_bytes");
 }
@@ -94,6 +98,7 @@ void AccessManager::BindMetrics(obs::Registry* registry, const std::string& pref
   c_delta_not_modified_->Increment(carried.delta_not_modified);
   c_delta_fallbacks_->Increment(carried.delta_fallbacks);
   c_delta_bytes_saved_->Increment(carried.delta_bytes_saved);
+  c_storage_stale_marks_->Increment(carried.storage_stale_marks);
   g_degraded_->Set(degraded_ ? 1 : 0);
   UpdateOverflowGauge();
 }
@@ -122,6 +127,7 @@ AccessManagerStats AccessManager::stats() const {
   s.delta_not_modified = c_delta_not_modified_->value();
   s.delta_fallbacks = c_delta_fallbacks_->value();
   s.delta_bytes_saved = c_delta_bytes_saved_->value();
+  s.storage_stale_marks = c_storage_stale_marks_->value();
   return s;
 }
 
@@ -300,6 +306,20 @@ void AccessManager::Evict(const std::string& name) {
   }
 }
 
+size_t AccessManager::MarkAllImportsStale() {
+  size_t marked = 0;
+  for (auto& [name, entry] : cache_) {
+    if (!entry.stale) {
+      entry.stale = true;
+      ++marked;
+    }
+  }
+  if (marked > 0) {
+    c_storage_stale_marks_->Increment(marked);
+  }
+  return marked;
+}
+
 bool AccessManager::CorruptImportImageForTest(const std::string& name) {
   Entry* entry = FindEntry(name);
   if (entry == nullptr || entry->import_image.empty()) {
@@ -360,6 +380,7 @@ void AccessManager::NotifyStatus() {
   status.tentative_objects = TentativeCount();
   status.connected = Connected();
   status.degraded = degraded_;
+  status.storage_degraded = qrpc_->StorageDegraded();
   status_callback_(status);
 }
 
@@ -969,9 +990,10 @@ void AccessManager::Prefetch(const std::vector<std::string>& names) {
     if (HasCached(name)) {
       continue;
     }
-    if (degraded_) {
-      // Cache warming is the first load we sacrifice under pressure; the
-      // caller can re-issue once the backlog drains.
+    if (degraded_ || qrpc_->StorageDegraded()) {
+      // Cache warming is the first load we sacrifice under pressure --
+      // scheduler backlog or a full stable device alike; the caller can
+      // re-issue once the condition clears.
       c_prefetches_shed_->Increment();
       continue;
     }
@@ -981,7 +1003,8 @@ void AccessManager::Prefetch(const std::vector<std::string>& names) {
 }
 
 void AccessManager::PumpPrefetchQueue() {
-  while (!degraded_ && prefetch_in_flight_ < options_.max_background_imports &&
+  while (!degraded_ && !qrpc_->StorageDegraded() &&
+         prefetch_in_flight_ < options_.max_background_imports &&
          !prefetch_queue_.empty()) {
     if (options_.prefetch_only_when_idle &&
         transport_->scheduler()->TotalQueueDepth() > 0) {

@@ -127,6 +127,8 @@ struct AccessManagerStats {
   uint64_t delta_not_modified = 0;  // cached version was already current
   uint64_t delta_fallbacks = 0;     // delta failed to apply; full re-fetch
   uint64_t delta_bytes_saved = 0;   // full-body bytes the wire never carried
+  // Cache entries marked stale by MarkAllImportsStale (storage-loss sweeps).
+  uint64_t storage_stale_marks = 0;
 };
 
 // Snapshot handed to the status callback whenever it changes -- the
@@ -136,6 +138,9 @@ struct QueueStatus {
   size_t tentative_objects = 0;  // locally modified, not yet committed
   bool connected = false;
   bool degraded = false;         // overload: prefetching suspended
+  // The stable-log device is full: new durable operations are refused
+  // (kResourceExhausted) until log compaction frees space.
+  bool storage_degraded = false;
 };
 
 // Renders the status as the one-line indicator the paper's applications
@@ -187,6 +192,12 @@ class AccessManager {
   // Drops a cached object (tentative state is lost). Pinned entries can be
   // dropped explicitly even though eviction skips them.
   void Evict(const std::string& name);
+
+  // Conservative response to detected stable-storage loss (quarantined log
+  // records): marks every cached entry stale so the next access
+  // re-validates against the home server. Tentative local state is kept --
+  // only trust in the committed view is withdrawn. Returns entries marked.
+  size_t MarkAllImportsStale();
 
   // --- persistence ---
   // Rover keeps the object cache on stable storage so a reboot does not
@@ -308,6 +319,7 @@ class AccessManager {
   obs::Counter* c_delta_not_modified_ = nullptr;
   obs::Counter* c_delta_fallbacks_ = nullptr;
   obs::Counter* c_delta_bytes_saved_ = nullptr;
+  obs::Counter* c_storage_stale_marks_ = nullptr;
   obs::Gauge* g_degraded_ = nullptr;
   obs::Gauge* g_cache_overflow_bytes_ = nullptr;
   std::map<std::string, Entry> cache_;

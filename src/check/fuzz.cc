@@ -37,6 +37,26 @@ const char* KindToken(const FuzzAction& a) {
       return "corrupt-image";
     case FuzzActionKind::kBurst:
       return "burst";
+    case FuzzActionKind::kDiskTransient:
+      return a.target == 0 ? "client1-disk-err"
+             : a.target == 1 ? "client2-disk-err"
+                             : "server-disk-err";
+    case FuzzActionKind::kDiskFull:
+      return a.target == 0 ? "client1-disk-full"
+             : a.target == 1 ? "client2-disk-full"
+                             : "server-disk-full";
+    case FuzzActionKind::kDiskFree:
+      return a.target == 0 ? "client1-disk-free"
+             : a.target == 1 ? "client2-disk-free"
+                             : "server-disk-free";
+    case FuzzActionKind::kDiskRot:
+      return a.target == 0 ? "client1-disk-rot"
+             : a.target == 1 ? "client2-disk-rot"
+                             : "server-disk-rot";
+    case FuzzActionKind::kDiskSyncFail:
+      return a.target == 0 ? "client1-disk-syncfail"
+             : a.target == 1 ? "client2-disk-syncfail"
+                             : "server-disk-syncfail";
   }
   return "unknown";
 }
@@ -67,12 +87,36 @@ bool KindFromToken(const std::string& token, FuzzAction* out) {
     out->kind = FuzzActionKind::kBurst;
     return true;
   }
-  return false;
+  auto disk = [&](const char* prefix, int target) {
+    const std::string p(prefix);
+    if (token.rfind(p, 0) != 0) {
+      return false;
+    }
+    const std::string rest = token.substr(p.size());
+    if (rest == "disk-err") {
+      out->kind = FuzzActionKind::kDiskTransient;
+    } else if (rest == "disk-full") {
+      out->kind = FuzzActionKind::kDiskFull;
+    } else if (rest == "disk-free") {
+      out->kind = FuzzActionKind::kDiskFree;
+    } else if (rest == "disk-rot") {
+      out->kind = FuzzActionKind::kDiskRot;
+    } else if (rest == "disk-syncfail") {
+      out->kind = FuzzActionKind::kDiskSyncFail;
+    } else {
+      return false;
+    }
+    out->target = target;
+    return true;
+  };
+  return disk("client1-", 0) || disk("client2-", 1) || disk("server-", 2);
 }
 
 }  // namespace
 
-FuzzPlan MakePlan(uint64_t seed) {
+FuzzPlan MakePlan(uint64_t seed) { return MakePlan(seed, MakePlanOptions{}); }
+
+FuzzPlan MakePlan(uint64_t seed, MakePlanOptions options) {
   Rng rng(seed ^ 0x51c7c4ecull);
   FuzzPlan plan;
   plan.seed = seed;
@@ -120,6 +164,42 @@ FuzzPlan MakePlan(uint64_t seed) {
         break;
     }
     plan.actions.push_back(a);
+  }
+
+  if (options.disk_faults) {
+    const size_t disk_actions = 1 + rng.NextBelow(3);
+    for (size_t i = 0; i < disk_actions; ++i) {
+      FuzzAction a;
+      a.at_ms = 3'000 + rng.NextBelow(50'000);
+      const uint64_t roll = rng.NextBelow(6);
+      if (roll <= 1) {
+        // Forced write-error burst on any device; sized past the retry
+        // budget so the terminal-failure path gets exercised too.
+        a.kind = FuzzActionKind::kDiskTransient;
+        a.target = static_cast<int>(rng.NextBelow(3));
+      } else if (roll <= 3) {
+        // Bounded ENOSPC episode, always freed again before the horizon's
+        // final sweeps (RunPlan also force-frees as a safety net).
+        a.kind = FuzzActionKind::kDiskFull;
+        a.target = static_cast<int>(rng.NextBelow(3));
+        FuzzAction free_again;
+        free_again.kind = FuzzActionKind::kDiskFree;
+        free_again.target = a.target;
+        free_again.at_ms = a.at_ms + 500 + rng.NextBelow(8'000);
+        plan.actions.push_back(free_again);
+      } else if (roll == 4) {
+        // Bit rot on a client log only: rotting an already-responded server
+        // WAL transaction is DETECTED loss (quarantine + epoch bump), which
+        // the harness's acked-loss end-to-end check cannot tell from silent
+        // loss. The server path is covered by tests/storage_fault_test.cc.
+        a.kind = FuzzActionKind::kDiskRot;
+        a.target = static_cast<int>(rng.NextBelow(2));
+      } else {
+        a.kind = FuzzActionKind::kDiskSyncFail;
+        a.target = static_cast<int>(rng.NextBelow(3));
+      }
+      plan.actions.push_back(a);
+    }
   }
 
   std::stable_sort(plan.actions.begin(), plan.actions.end(),
@@ -175,6 +255,8 @@ FuzzOutcome RunPlan(const FuzzPlan& plan, FuzzRunOptions options) {
   ClientNodeOptions c2opts;
   c2opts.access.subscribe_on_import = true;
   c2opts.qrpc.unsafe_eager_coalesce_withdraw_for_test = options.eager_coalesce_bug;
+  c2opts.qrpc.unsafe_ack_despite_flush_failure_for_test =
+      options.ack_after_failed_flush_bug;
   RoverClientNode* m2 = bed.AddClient(
       "m2", wave,
       faults.FlappyConnectivity(Duration::Seconds(7), Duration::Seconds(5),
@@ -224,6 +306,18 @@ FuzzOutcome RunPlan(const FuzzPlan& plan, FuzzRunOptions options) {
   }
 
   // --- plan actions ---
+  // Disk-fault actions address the device behind a node's stable log; the
+  // log models hardware and survives simulated crash-restarts, so the
+  // pointer stays valid for the whole run.
+  auto disk_log = [m1, m2, &bed](int target) -> StableLog* {
+    if (target == 0) {
+      return m1->log();
+    }
+    if (target == 1) {
+      return m2->log();
+    }
+    return bed.server()->stable_store()->wal();
+  };
   for (const FuzzAction& action : plan.actions) {
     const FuzzAction a = action;
     switch (a.kind) {
@@ -260,8 +354,47 @@ FuzzOutcome RunPlan(const FuzzPlan& plan, FuzzRunOptions options) {
           });
         }
         break;
+      case FuzzActionKind::kDiskTransient:
+        // Six forced errors: past the retry budget (1 + 4 retries), so the
+        // flush terminally fails and the refusal/resolution path runs.
+        loop->ScheduleAt(at(a.at_ms), [disk_log, a] {
+          disk_log(a.target)->device()->InjectTransientWriteErrors(6);
+        });
+        break;
+      case FuzzActionKind::kDiskFull:
+        loop->ScheduleAt(at(a.at_ms), [disk_log, a] {
+          disk_log(a.target)->device()->ClampCapacityToUsed(160);
+        });
+        break;
+      case FuzzActionKind::kDiskFree:
+        loop->ScheduleAt(at(a.at_ms), [disk_log, a] {
+          disk_log(a.target)->device()->SetCapacityBytes(0);
+        });
+        break;
+      case FuzzActionKind::kDiskRot:
+        loop->ScheduleAt(at(a.at_ms), [disk_log, a] {
+          disk_log(a.target)->InjectBitRot(/*selector=*/a.at_ms);
+        });
+        break;
+      case FuzzActionKind::kDiskSyncFail:
+        loop->ScheduleAt(at(a.at_ms), [disk_log, a] {
+          disk_log(a.target)->device()->FailSyncPermanently();
+        });
+        break;
     }
   }
+
+  // The fault window ends at the horizon: every device is healed (leftover
+  // injected transient errors cleared, capacity clamp lifted) before the
+  // final sweeps. Without this, a burst injected after a client's last
+  // workload call would sit unconsumed and fail the harness's own
+  // convergence imports -- a scheduling artifact, not a protocol bug.
+  loop->ScheduleAt(at(kHorizonMs + 500), [disk_log] {
+    for (int target = 0; target < 3; ++target) {
+      disk_log(target)->device()->Repair();
+      disk_log(target)->device()->SetCapacityBytes(0);
+    }
+  });
 
   // Final sweeps once the links are permanently up: each client restart
   // re-sends every durable unanswered request, so the run always quiesces

@@ -27,16 +27,24 @@ namespace rover {
 namespace check {
 
 enum class FuzzActionKind {
-  kClientCrash,   // crash-restart a client (target: 0 = m1, 1 = m2)
-  kServerCrash,   // crash-restart the home server
-  kCorruptImage,  // damage m2's cached delta base for "doc"
-  kBurst,         // m2 fires a run of coalescing invoke+export generations
+  kClientCrash,    // crash-restart a client (target: 0 = m1, 1 = m2)
+  kServerCrash,    // crash-restart the home server
+  kCorruptImage,   // damage m2's cached delta base for "doc"
+  kBurst,          // m2 fires a run of coalescing invoke+export generations
+  // Storage faults against a node's stable device (target: 0 = m1, 1 = m2,
+  // 2 = server WAL). Tokens: clientN-disk-err / -disk-full / -disk-free /
+  // -disk-rot / -disk-syncfail (server- for target 2).
+  kDiskTransient,  // burst of forced write errors (exceeds the retry budget)
+  kDiskFull,       // clamp device capacity to current use (ENOSPC)
+  kDiskFree,       // lift the capacity clamp again
+  kDiskRot,        // flip bits in a durable record (latent interior rot)
+  kDiskSyncFail,   // permanent sync failure (node fail-stops)
 };
 
 struct FuzzAction {
   FuzzActionKind kind = FuzzActionKind::kBurst;
   uint64_t at_ms = 0;  // simulated-time offset from epoch
-  int target = 0;      // client index for kClientCrash
+  int target = 0;      // client index for kClientCrash; device for disk kinds
   bool tear = false;   // power cut mid-write for the crash kinds
 };
 
@@ -45,11 +53,22 @@ struct FuzzPlan {
   std::vector<FuzzAction> actions;  // sorted by at_ms
 };
 
+struct MakePlanOptions {
+  // Also draw storage-fault actions (transient write-error bursts, bounded
+  // disk-full episodes always paired with a later free, client bit rot,
+  // rare permanent sync failures).
+  bool disk_faults = false;
+};
+
 struct FuzzRunOptions {
   // Re-introduces the PR-4 coalescing bug (eager predecessor-record
   // withdrawal before the successor is durable). Meta-testing only: the
   // checker must catch it and the shrinker must reduce it.
   bool eager_coalesce_bug = false;
+  // Injects the ack-after-failed-flush bug on m2: a call whose stable-log
+  // flush terminally failed still gets its durability acknowledgement.
+  // Meta-testing only, paired with a clientN-disk-err action.
+  bool ack_after_failed_flush_bug = false;
 };
 
 struct FuzzOutcome {
@@ -60,8 +79,10 @@ struct FuzzOutcome {
 
 // Draws a plan from the seed: crash points, corruption, and bursts over a
 // ~55s horizon, biased so a burst is often shadowed by a torn client crash
-// (the coalescing durability window).
+// (the coalescing durability window). With options.disk_faults, seeded
+// storage faults are mixed into the same schedule.
 FuzzPlan MakePlan(uint64_t seed);
+FuzzPlan MakePlan(uint64_t seed, MakePlanOptions options);
 
 // Builds the deployment, runs the workload with `plan`'s faults injected,
 // drains, and reports every violation found.

@@ -110,9 +110,57 @@ void SimCheck::OnCallIssued(const std::string& client, uint64_t rpc_id, bool log
   call.logged = logged;
 }
 
-void SimCheck::OnCallDurable(const std::string& client, uint64_t rpc_id) {
-  TraceEvent(client + " durable rpc=" + std::to_string(rpc_id));
-  Call(client, rpc_id).durable_acked = true;
+void SimCheck::OnCallDurable(const std::string& client, uint64_t rpc_id,
+                             uint64_t log_record_id) {
+  TraceEvent(client + " durable rpc=" + std::to_string(rpc_id) +
+             " rec=" + std::to_string(log_record_id));
+  ClientState& state = clients_[client];
+  CallState& call = state.calls[rpc_id];
+  if (call.flush_failed) {
+    AddViolation("ack-after-failed-flush", client,
+                 "rpc " + std::to_string(rpc_id) +
+                     " was durability-acknowledged although its stable-log "
+                     "flush terminally failed");
+  }
+  call.durable_acked = true;
+  if (log_record_id != 0) {
+    call.log_record_id = log_record_id;
+    state.record_to_rpc[log_record_id] = rpc_id;
+  }
+}
+
+void SimCheck::OnCallFlushFailed(const std::string& client, uint64_t rpc_id) {
+  TraceEvent(client + " flush-failed rpc=" + std::to_string(rpc_id));
+  CallState& call = Call(client, rpc_id);
+  call.flush_failed = true;
+  if (call.durable_acked) {
+    AddViolation("ack-after-failed-flush", client,
+                 "rpc " + std::to_string(rpc_id) +
+                     " reported flush-failed after already being "
+                     "durability-acknowledged");
+  }
+}
+
+void SimCheck::OnClientStorageQuarantine(const std::string& client,
+                                         const std::vector<uint64_t>& log_record_ids) {
+  {
+    std::string ids;
+    for (uint64_t id : log_record_ids) {
+      ids += (ids.empty() ? "" : ",") + std::to_string(id);
+    }
+    TraceEvent(client + " storage-quarantine recs=[" + ids + "]");
+  }
+  ClientState& state = clients_[client];
+  for (uint64_t record_id : log_record_ids) {
+    auto it = state.record_to_rpc.find(record_id);
+    if (it == state.record_to_rpc.end()) {
+      continue;  // record never acked (or acked before Attach): no claim
+    }
+    // The acknowledged operation is lost, but detectably: kDataLoss was
+    // surfaced and the cache re-validates. Exempt from the silent
+    // durability-loss audit.
+    state.calls[it->second].storage_lost = true;
+  }
 }
 
 void SimCheck::OnCallWithdrawn(const std::string& client, uint64_t rpc_id) {
@@ -206,7 +254,8 @@ void SimCheck::OnClientRecovered(const std::string& client,
   // record was not legitimately withdrawn must survive the crash -- resent
   // itself, or subsumed by a successor that was.
   for (auto& [id, call] : state.calls) {
-    if (!call.tracked || !call.durable_acked || call.withdrawn || call.loss_flagged) {
+    if (!call.tracked || !call.durable_acked || call.withdrawn || call.loss_flagged ||
+        call.storage_lost) {
       continue;
     }
     if (call.resolutions > 0 || call.satisfied_via_successor) {

@@ -11,7 +11,12 @@
 //   * no acknowledged-durability loss: a request whose stable-log flush was
 //     acknowledged and whose record was not legitimately withdrawn must be
 //     re-sent after a client crash, either directly or through the
-//     coalescing successor that subsumed it;
+//     coalescing successor that subsumed it (records lost to DETECTED
+//     storage corruption -- quarantined and surfaced as kDataLoss -- are
+//     the sanctioned exception);
+//   * no ack without durability: a call whose flush terminally failed
+//     (retries exhausted, device full, dead device) must never receive a
+//     durability acknowledgement;
 //   * promise hygiene: every issued QRPC resolves exactly once across the
 //     shed / deadline / coalesce / cancel / crash matrix -- no drops, no
 //     double-resolves;
@@ -69,7 +74,11 @@ class SimCheck : public obs::CheckListener {
 
   // --- obs::CheckListener ---
   void OnCallIssued(const std::string& client, uint64_t rpc_id, bool logged) override;
-  void OnCallDurable(const std::string& client, uint64_t rpc_id) override;
+  void OnCallDurable(const std::string& client, uint64_t rpc_id,
+                     uint64_t log_record_id) override;
+  void OnCallFlushFailed(const std::string& client, uint64_t rpc_id) override;
+  void OnClientStorageQuarantine(const std::string& client,
+                                 const std::vector<uint64_t>& log_record_ids) override;
   void OnCallWithdrawn(const std::string& client, uint64_t rpc_id) override;
   void OnCallCoalesced(const std::string& client, uint64_t pred_rpc_id,
                        uint64_t successor_rpc_id) override;
@@ -104,10 +113,18 @@ class SimCheck : public obs::CheckListener {
     uint64_t subsumed_by = 0;   // successor rpc id, 0 = none
     bool orphaned = false;      // unresolved at a crash, not (yet) resent
     bool loss_flagged = false;  // durability-loss already reported once
+    bool flush_failed = false;  // stable-log flush terminally failed
+    // Record quarantined (bit rot): acknowledged durability lost, but
+    // DETECTED and surfaced -- exempt from the silent durability-loss audit.
+    bool storage_lost = false;
+    uint64_t log_record_id = 0;  // stable-log record backing the ack
   };
   struct ClientState {
     std::map<uint64_t, CallState> calls;
     bool crash_pending = false;  // crashed, recovery scan not yet run
+    // Stable-log record id -> rpc id, built from OnCallDurable; attributes
+    // storage-quarantine events to the acknowledged calls they damage.
+    std::map<uint64_t, uint64_t> record_to_rpc;
   };
   using RpcKey = std::pair<std::string, uint64_t>;  // (client host, rpc id)
   struct ServerState {

@@ -28,6 +28,20 @@ struct RandomFaultOptions {
   double tear_probability = 0.5;
 };
 
+// Seeded storage-fault schedule over the same horizon: transient write-error
+// bursts, bounded disk-full episodes (always freed before the horizon ends so
+// post-fault convergence stays reachable), latent bit rot, and -- rarely --
+// a permanent sync failure (fail-stop at the node layer).
+struct DiskFaultScheduleOptions {
+  Duration horizon = Duration::Seconds(60);
+  size_t transient_bursts = 2;      // per device
+  size_t max_burst_errors = 4;      // forced errors per burst, 1..max
+  size_t disk_full_episodes = 1;    // per device
+  Duration disk_full_mean = Duration::Seconds(5);  // mean episode length
+  size_t bitrot_injections = 1;     // per device
+  double sync_fail_probability = 0.0;  // per device, at most one
+};
+
 class FaultPlan {
  public:
   FaultPlan(EventLoop* loop, uint64_t seed) : loop_(loop), rng_(seed) {}
@@ -41,6 +55,14 @@ class FaultPlan {
                             const std::vector<RoverClientNode*>& clients,
                             RandomFaultOptions options = {});
 
+  // Seeded-random storage faults against every node's stable device (the
+  // server's WAL and each client's operation log). All randomness is drawn
+  // at schedule time, so a plan replays exactly from its seed regardless of
+  // how the simulation interleaves.
+  void ScheduleRandomDiskFaults(RoverServerNode* server,
+                                const std::vector<RoverClientNode*>& clients,
+                                DiskFaultScheduleOptions options = {});
+
   // Random up/down connectivity over [0, horizon), permanently up from the
   // horizon onwards -- unlike MakeRandomConnectivity, whose schedule ends
   // down forever, so post-fault convergence is always reachable.
@@ -52,13 +74,17 @@ class FaultPlan {
   size_t server_crashes_executed() const { return server_crashes_executed_; }
   size_t client_crashes_executed() const { return client_crashes_executed_; }
   size_t client_recoveries_resent() const { return client_recoveries_resent_; }
+  size_t disk_faults_injected() const { return disk_faults_injected_; }
 
  private:
+  void ScheduleDeviceFaults(StableLog* log, const DiskFaultScheduleOptions& options);
+
   EventLoop* loop_;
   Rng rng_;
   size_t server_crashes_executed_ = 0;
   size_t client_crashes_executed_ = 0;
   size_t client_recoveries_resent_ = 0;  // total requests re-sent by RecoverFromLog
+  size_t disk_faults_injected_ = 0;      // storage-fault events executed
 };
 
 }  // namespace rover

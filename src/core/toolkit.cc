@@ -8,9 +8,39 @@ namespace rover {
 
 RoverClientNode::RoverClientNode(EventLoop* loop, Host* host, ClientNodeOptions options)
     : loop_(loop), host_(host), options_(std::move(options)) {
-  log_ = std::make_unique<StableLog>(loop_, options_.log_costs);
+  log_ = std::make_unique<StableLog>(loop_, options_.log_costs, options_.disk_faults);
   log_->BindMetrics(&metrics_, "stable_log");
+  // Permanent sync failure is fail-stop: the node treats it as a crash.
+  log_->SetFailStopHandler([this] { OnStorageFailStop(); });
   Build();
+}
+
+void RoverClientNode::OnStorageFailStop() {
+  if (!log_->device()->sync_failed()) {
+    return;  // an earlier fail-stop already replaced the device
+  }
+  ++storage_fail_stops_;
+  // Model the operator swapping the dead disk during the reboot: without a
+  // working device the node could never ack durability again, so the
+  // deployment would have no post-fault convergence path.
+  log_->device()->Repair();
+  SimulateCrashAndRestart(false);
+}
+
+size_t RoverClientNode::ScrubStorage() {
+  const StableLog::ScrubReport report = log_->Scrub();
+  if (report.quarantined.empty()) {
+    return 0;
+  }
+  if (check_ != nullptr) {
+    check_->OnClientStorageQuarantine(host_name(), report.quarantined);
+  }
+  // The quarantined records' operations were durability-acknowledged and
+  // are now lost: fail their calls loudly (kDataLoss) and conservatively
+  // re-validate the whole cache against the server.
+  qrpc_client_->FailQuarantinedRecords(report.quarantined);
+  access_manager_->MarkAllImportsStale();
+  return report.quarantined.size();
 }
 
 void RoverClientNode::Build() {
@@ -61,12 +91,22 @@ size_t RoverClientNode::SimulateCrashAndRestart(bool tear_last_log_record) {
   qrpc_client_.reset();
   transport_.reset();
 
-  log_->Recover();
+  const StableLog::RecoveryReport report = log_->RecoverWithReport();
   Build();
   qrpc_client_->set_next_rpc_id(next_rpc_id);
   Status loaded = access_manager_->LoadCache(cache_snapshot);
   if (!loaded.ok()) {
     ROVER_LOG(Warning) << "client cache reload failed: " << loaded.message();
+  }
+  if (!report.quarantined.empty()) {
+    // Interior corruption: acknowledged operations whose records rotted.
+    // Reported BEFORE RecoverFromLog so the checker exempts them from its
+    // silent-durability-loss audit, then the cache re-validates everything
+    // the lost operations might have touched.
+    if (check_ != nullptr) {
+      check_->OnClientStorageQuarantine(host_name(), report.quarantined);
+    }
+    access_manager_->MarkAllImportsStale();
   }
   return qrpc_client_->RecoverFromLog();
 }
@@ -74,8 +114,36 @@ size_t RoverClientNode::SimulateCrashAndRestart(bool tear_last_log_record) {
 RoverServerNode::RoverServerNode(EventLoop* loop, Host* host, ServerNodeOptions options)
     : loop_(loop), host_(host), options_(std::move(options)),
       stable_store_(loop, options_.stable_store) {
+  // Permanent WAL sync failure is fail-stop: the node treats it as a crash.
+  stable_store_.wal()->SetFailStopHandler([this] { OnStorageFailStop(); });
   Build();
 }
+
+void RoverServerNode::OnStorageFailStop() {
+  if (!stable_store_.wal()->device()->sync_failed()) {
+    return;  // an earlier fail-stop already replaced the device
+  }
+  RequestWalFailStop();
+}
+
+void RoverServerNode::RequestWalFailStop() {
+  if (wal_failstop_pending_) {
+    return;  // several journal flushes can fail in one episode; crash once
+  }
+  wal_failstop_pending_ = true;
+  loop_->ScheduleAfter(Duration::Zero(), [this] {
+    wal_failstop_pending_ = false;
+    ++storage_fail_stops_;
+    if (stable_store_.wal()->device()->sync_failed()) {
+      // Operator swaps the dead disk during the reboot (see the client-side
+      // counterpart): recovery then proceeds from snapshot + surviving WAL.
+      stable_store_.wal()->device()->Repair();
+    }
+    SimulateCrashAndRestart(false);
+  });
+}
+
+size_t RoverServerNode::ScrubStorage() { return rover_server_->ScrubStableStore(); }
 
 void RoverServerNode::Build() {
   transport_ = std::make_unique<TransportManager>(loop_, host_, options_.scheduler);
@@ -83,6 +151,11 @@ void RoverServerNode::Build() {
   rover_server_ = std::make_unique<RoverServer>(
       loop_, transport_.get(), qrpc_server_.get(), options_.rover,
       options_.durable ? &stable_store_ : nullptr);
+  // A response-journal flush that exhausts its retries (kUnavailable) is
+  // fail-stop, like a permanent sync failure: the in-memory image diverged
+  // from what stable storage will recover, so discard the incarnation and
+  // let resends re-execute against recovered state.
+  rover_server_->SetWalFailureHandler([this] { RequestWalFailStop(); });
   transport_->scheduler()->BindMetrics(&metrics_, "scheduler");
   qrpc_server_->BindMetrics(&metrics_, "qrpc_server");
   if (check_ != nullptr) {

@@ -28,6 +28,8 @@ namespace rover {
 struct ClientNodeOptions {
   SchedulerOptions scheduler;
   StableLogCostModel log_costs;
+  // Fault schedule for the stable-log device (healthy by default).
+  DiskFaultOptions disk_faults;
   QrpcClientOptions qrpc;
   AccessManagerOptions access;
   std::string auth_token;  // stamped on every outbound message
@@ -54,6 +56,15 @@ class RoverClientNode {
   // request re-sent. Returns the number of requests re-sent.
   size_t SimulateCrashAndRestart(bool tear_last_log_record = false);
 
+  // Proactive CRC sweep over the durable log. Quarantined records' calls
+  // fail with kDataLoss, the quarantine is reported to the checker, and the
+  // cache conservatively re-validates everything. Returns quarantined count.
+  size_t ScrubStorage();
+
+  // Times the stable device reported a permanent sync failure and the node
+  // fail-stopped (crash + disk replacement + restart) in response.
+  uint64_t storage_fail_stops() const { return storage_fail_stops_; }
+
   // Unified view over scheduler, stable log, qrpc client, and access
   // manager instruments; render with metrics()->Render(). Counters are
   // cumulative across crash-restarts.
@@ -67,11 +78,13 @@ class RoverClientNode {
 
  private:
   void Build();
+  void OnStorageFailStop();
 
   EventLoop* loop_;
   Host* host_;
   ClientNodeOptions options_;
   obs::CheckListener* check_ = nullptr;
+  uint64_t storage_fail_stops_ = 0;
   // Declared before the components so it outlives their metric handles.
   obs::Registry metrics_;
   obs::RpcTracer tracer_;
@@ -111,6 +124,15 @@ class RoverServerNode {
   // detect the restart), replays snapshot + WAL, and rebuilds the node.
   RecoveredServerState SimulateCrashAndRestart(bool tear_last_wal_record = false);
 
+  // Proactive CRC sweep over the durable WAL (see RoverServer::
+  // ScrubStableStore). Returns quarantined record count.
+  size_t ScrubStorage();
+
+  // Times the WAL device forced a fail-stop (permanent sync failure, or a
+  // response-journal flush whose retries were exhausted) and the node
+  // crash-restarted in response.
+  uint64_t storage_fail_stops() const { return storage_fail_stops_; }
+
   // Unified view over the server's scheduler and qrpc instruments.
   // Counters are cumulative across crash-restarts.
   obs::Registry* metrics() { return &metrics_; }
@@ -124,11 +146,18 @@ class RoverServerNode {
 
  private:
   void Build();
+  void OnStorageFailStop();
+  // Schedules an async crash-restart of this incarnation (at most one in
+  // flight); fired from WAL flush callbacks, which must not tear the server
+  // down re-entrantly.
+  void RequestWalFailStop();
 
   EventLoop* loop_;
   Host* host_;
   ServerNodeOptions options_;
   obs::CheckListener* check_ = nullptr;
+  uint64_t storage_fail_stops_ = 0;
+  bool wal_failstop_pending_ = false;
   // Declared before the components so it outlives their metric handles.
   obs::Registry metrics_;
   // The stable store models the device itself, so it survives crashes.

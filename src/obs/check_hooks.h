@@ -34,7 +34,16 @@ class CheckListener {
   virtual void OnCallIssued(const std::string& client, uint64_t rpc_id, bool logged) {}
   // The call's stable-log record flushed and its committed promise resolved
   // -- the durability acknowledgement. Unlogged calls never fire this.
-  virtual void OnCallDurable(const std::string& client, uint64_t rpc_id) {}
+  // `log_record_id` names the stable-log record backing the ack (0 when the
+  // caller does not track it); the checker uses it to attribute later
+  // storage-quarantine events to the acknowledged operation.
+  virtual void OnCallDurable(const std::string& client, uint64_t rpc_id,
+                             uint64_t log_record_id = 0) {}
+  // The call's stable-log flush terminally FAILED (retries exhausted, device
+  // full, or permanent sync failure): the record never became durable, so no
+  // durability acknowledgement may ever be delivered for it. An OnCallDurable
+  // after this event is the ack-after-failed-flush bug class.
+  virtual void OnCallFlushFailed(const std::string& client, uint64_t rpc_id) {}
   // The call's durable log record was deliberately withdrawn (deadline,
   // shed, cancel): it must NOT be resent after a crash, and its durability
   // obligation is released.
@@ -57,6 +66,14 @@ class CheckListener {
   // every RecoverFromLog, crash-triggered or not).
   virtual void OnClientRecovered(const std::string& client,
                                  const std::vector<uint64_t>& resent) {}
+  // Recovery (or a proactive scrub) found interior-corrupt stable-log
+  // records on `client` and quarantined them. `log_record_ids` are the
+  // damaged records; the operations they backed were durability-acknowledged
+  // and are now lost, but the loss is DETECTED and surfaced (kDataLoss,
+  // counters, conservative re-fetch) rather than silent -- the checker
+  // exempts these from its silent-durability-loss invariant.
+  virtual void OnClientStorageQuarantine(const std::string& client,
+                                         const std::vector<uint64_t>& log_record_ids) {}
 
   // --- QRPC server engine ---
 

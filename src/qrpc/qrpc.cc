@@ -33,6 +33,11 @@ void QrpcClient::WireMetrics(obs::Registry* registry, const std::string& prefix)
   c_pushback_exhausted_ = registry->counter(prefix + ".pushback_budget_exhausted");
   c_coalesced_ = registry->counter(prefix + ".coalesced");
   c_recovered_retries_ = registry->counter(prefix + ".recovered_retries");
+  c_storage_flush_failures_ = registry->counter(prefix + ".storage_flush_failures");
+  c_storage_refused_ = registry->counter(prefix + ".storage_refused");
+  c_storage_degraded_entered_ = registry->counter(prefix + ".storage_degraded_entered");
+  c_storage_quarantined_calls_ = registry->counter(prefix + ".storage_quarantined_calls");
+  g_storage_degraded_ = registry->gauge(prefix + ".storage_degraded");
   g_log_bytes_ = registry->gauge(prefix + ".log_bytes");
   h_rpc_seconds_ = registry->histogram(prefix + ".rpc_seconds");
 }
@@ -51,6 +56,11 @@ void QrpcClient::BindMetrics(obs::Registry* registry, const std::string& prefix)
   c_pushback_exhausted_->Increment(carried.pushback_budget_exhausted);
   c_coalesced_->Increment(carried.coalesced);
   c_recovered_retries_->Increment(carried.recovered_retries);
+  c_storage_flush_failures_->Increment(carried.storage_flush_failures);
+  c_storage_refused_->Increment(carried.storage_refused);
+  c_storage_degraded_entered_->Increment(carried.storage_degraded_entered);
+  c_storage_quarantined_calls_->Increment(carried.storage_quarantined_calls);
+  g_storage_degraded_->Set(storage_degraded_ ? 1 : 0);
   if (log_ != nullptr) {
     g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
   }
@@ -69,6 +79,10 @@ QrpcClientStats QrpcClient::stats() const {
   s.pushback_budget_exhausted = c_pushback_exhausted_->value();
   s.coalesced = c_coalesced_->value();
   s.recovered_retries = c_recovered_retries_->value();
+  s.storage_flush_failures = c_storage_flush_failures_->value();
+  s.storage_refused = c_storage_refused_->value();
+  s.storage_degraded_entered = c_storage_degraded_entered_->value();
+  s.storage_quarantined_calls = c_storage_quarantined_calls_->value();
   return s;
 }
 
@@ -189,6 +203,27 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
     }
   }
 
+  // Storage admission: a durable enqueue the device cannot hold is refused
+  // up front with kResourceExhausted (degraded storage mode), never accepted
+  // and then failed at flush time. Recovery is automatic -- the next call
+  // after truncation frees room clears the mode.
+  if (logged && !log_->HasSpaceFor(record.size())) {
+    EnterStorageDegraded();
+    c_storage_refused_->Increment();
+    Trace(call.rpc_id, obs::RpcEvent::kShed);
+    call.committed.Set(loop_->now());
+    QrpcResult result;
+    result.status =
+        ResourceExhaustedError("qrpc admission: stable device full (storage degraded)");
+    result.completed_at = loop_->now();
+    if (check_ != nullptr) {
+      check_->OnCallResolved(self(), call.rpc_id, "admission", false);
+    }
+    call.result.Set(std::move(result));
+    return call;
+  }
+  MaybeClearStorageDegraded();
+
   Outstanding out;
   out.call = call;
   out.dest = dest;
@@ -239,7 +274,7 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
     if (it->second.log_record_id != 0) {
       // Durability point: flush before the scheduler may transmit.
       log_->Flush([this, rpc_id, dest, body_ptr, call_options,
-                   alive = std::weak_ptr<char>(alive_)] {
+                   alive = std::weak_ptr<char>(alive_)](const Status& flush_status) {
         if (alive.expired()) {
           return;  // the log survives a crash; this client did not
         }
@@ -247,10 +282,21 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
         if (it2 == outstanding_.end()) {
           return;
         }
+        if (!flush_status.ok()) {
+          if (check_ != nullptr) {
+            check_->OnCallFlushFailed(self(), rpc_id);
+          }
+          if (!options_.unsafe_ack_despite_flush_failure_for_test) {
+            HandleFlushFailure(rpc_id, flush_status);
+            return;
+          }
+          // TEST-ONLY bug: fall through and acknowledge a record that never
+          // became durable.
+        }
         Trace(rpc_id, obs::RpcEvent::kFlushedDurable);
         it2->second.call.committed.Set(loop_->now());
         if (check_ != nullptr) {
-          check_->OnCallDurable(self(), rpc_id);
+          check_->OnCallDurable(self(), rpc_id, it2->second.log_record_id);
         }
         // This record is durable, so any predecessors it superseded can
         // now safely leave the log.
@@ -496,15 +542,107 @@ void QrpcClient::RetryRecoveredDispatch(uint64_t rpc_id) {
         }
         auto payload = log_->RecordPayload(*rec);
         if (!payload.ok()) {
+          // Latent corruption surfaced at read time: the record can never be
+          // re-sent. Quarantine it instead of leaving the call parked on a
+          // record that will fail every future read.
+          FailQuarantinedRecords({it->second.log_record_id});
           return;
         }
         auto parsed = DecodeLogRecord(*payload);
         if (!parsed.ok()) {
+          FailQuarantinedRecords({it->second.log_record_id});
           return;
         }
         DispatchToScheduler(rpc_id, parsed->dest, std::move(parsed->body),
                             parsed->call_options);
       });
+}
+
+void QrpcClient::EnterStorageDegraded() {
+  if (storage_degraded_) {
+    return;
+  }
+  storage_degraded_ = true;
+  c_storage_degraded_entered_->Increment();
+  g_storage_degraded_->Set(1);
+}
+
+void QrpcClient::MaybeClearStorageDegraded() {
+  if (!storage_degraded_ || log_ == nullptr || !log_->HasSpaceFor(0)) {
+    return;
+  }
+  storage_degraded_ = false;
+  g_storage_degraded_->Set(0);
+}
+
+void QrpcClient::FailCallOnStorage(uint64_t rpc_id, const Status& status) {
+  auto it = outstanding_.find(rpc_id);
+  if (it == outstanding_.end()) {
+    return;
+  }
+  Outstanding out = std::move(it->second);
+  outstanding_.erase(it);
+  ForgetSupersedeKey(out, rpc_id);
+  if (out.deadline_event != kInvalidEventId) {
+    loop_->Cancel(out.deadline_event);
+  }
+  if (out.log_record_id != 0 && log_ != nullptr) {
+    // The record is either non-durable (failed flush) or already quarantined
+    // out of the log; RemoveRecord is a no-op in the latter case.
+    log_->RemoveRecord(out.log_record_id);
+    answered_log_records_.erase(out.log_record_id);
+    g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
+  }
+  transport_->scheduler()->CancelMessage(out.dest, rpc_id);
+  // Predecessors this call coalesced resolve with its storage error, the
+  // same shape as the deadline and shed exits.
+  ResolveCoalescedPreds(out);
+  Trace(rpc_id, obs::RpcEvent::kShed);
+  if (!out.call.committed.ready()) {
+    // Unblocks waiters; this is NOT a durability acknowledgement -- the
+    // result carries the storage error and OnCallDurable never fired.
+    out.call.committed.Set(loop_->now());
+  }
+  if (!out.call.result.ready()) {
+    QrpcResult result;
+    result.status = status;
+    result.completed_at = loop_->now();
+    if (check_ != nullptr) {
+      check_->OnCallResolved(self(), rpc_id, "storage", false);
+    }
+    out.call.result.Set(std::move(result));
+  }
+}
+
+void QrpcClient::HandleFlushFailure(uint64_t rpc_id, const Status& status) {
+  c_storage_flush_failures_->Increment();
+  if (status.code() == StatusCode::kResourceExhausted) {
+    EnterStorageDegraded();
+  }
+  FailCallOnStorage(rpc_id, status);
+}
+
+size_t QrpcClient::FailQuarantinedRecords(const std::vector<uint64_t>& log_record_ids) {
+  size_t failed = 0;
+  for (uint64_t record_id : log_record_ids) {
+    uint64_t rpc_id = 0;
+    bool found = false;
+    for (const auto& [id, out] : outstanding_) {
+      if (out.log_record_id == record_id) {
+        rpc_id = id;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      continue;  // no live call backed by this record (e.g. crash recovery)
+    }
+    c_storage_quarantined_calls_->Increment();
+    FailCallOnStorage(rpc_id,
+                      DataLossError("stable log record quarantined (bit rot)"));
+    ++failed;
+  }
+  return failed;
 }
 
 void QrpcClient::DispatchToScheduler(uint64_t rpc_id, const std::string& dest, Bytes body,
@@ -651,6 +789,8 @@ void QrpcClient::MaybeTruncateLog() {
     front = log_->FrontRecordId();
   }
   g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
+  // Truncation returns device space: a full disk heals as responses drain.
+  MaybeClearStorageDegraded();
 }
 
 bool QrpcClient::Cancel(uint64_t rpc_id) {
@@ -771,6 +911,8 @@ void QrpcServer::WireMetrics(obs::Registry* registry, const std::string& prefix)
   c_duplicate_cache_decode_failures_ =
       registry->counter(prefix + ".duplicate_cache_decode_failures");
   c_requests_rejected_ = registry->counter(prefix + ".requests_rejected");
+  c_requests_rejected_storage_ =
+      registry->counter(prefix + ".requests_rejected_storage");
   g_inflight_requests_ = registry->gauge(prefix + ".inflight_requests");
 }
 
@@ -783,6 +925,7 @@ void QrpcServer::BindMetrics(obs::Registry* registry, const std::string& prefix)
   c_auth_failures_->Increment(carried.auth_failures);
   c_duplicate_cache_decode_failures_->Increment(carried.duplicate_cache_decode_failures);
   c_requests_rejected_->Increment(carried.requests_rejected);
+  c_requests_rejected_storage_->Increment(carried.requests_rejected_storage);
   g_inflight_requests_->Set(static_cast<int64_t>(in_progress_.size()));
 }
 
@@ -794,6 +937,7 @@ QrpcServerStats QrpcServer::stats() const {
   s.auth_failures = c_auth_failures_->value();
   s.duplicate_cache_decode_failures = c_duplicate_cache_decode_failures_->value();
   s.requests_rejected = c_requests_rejected_->value();
+  s.requests_rejected_storage = c_requests_rejected_storage_->value();
   return s;
 }
 
@@ -932,6 +1076,24 @@ void QrpcServer::HandleRequest(const Message& msg) {
     body.code = StatusCode::kUnavailable;
     body.error_message = "server over concurrency limit";
     body.retry_after_micros = static_cast<uint64_t>(hint.micros());
+    SendResponse(msg.header.src, msg.header.message_id, msg.header.priority,
+                 msg.header.reply_via, body);
+    return;
+  }
+
+  // Storage-degraded: the WAL device is full and compaction is reclaiming
+  // space. Refuse new work the same way the concurrency limit does --
+  // kUnavailable + retry-after, not cached -- rather than executing a
+  // mutation whose transaction could not be made durable. Duplicates were
+  // already answered above; replays cost no WAL write.
+  if (storage_degraded_) {
+    c_requests_rejected_->Increment();
+    c_requests_rejected_storage_->Increment();
+    RpcResponseBody body;
+    body.code = StatusCode::kUnavailable;
+    body.error_message = "server storage degraded (WAL device full)";
+    body.retry_after_micros =
+        static_cast<uint64_t>(options_.pushback_retry_after.micros());
     SendResponse(msg.header.src, msg.header.message_id, msg.header.priority,
                  msg.header.reply_via, body);
     return;

@@ -97,6 +97,12 @@ struct QrpcClientOptions {
   // the SimCheck fuzzer can demonstrate it catches this bug class
   // (tests/simcheck_test.cc meta-test); never enable outside tests.
   bool unsafe_eager_coalesce_withdraw_for_test = false;
+  // TEST-ONLY. Delivers the durability acknowledgement (committed promise +
+  // OnCallDurable + dispatch) even when the stable-log flush terminally
+  // failed -- the ack-after-failed-flush bug class the SimCheck
+  // no-ack-without-durable invariant exists to catch. Never enable outside
+  // tests (tests/storage_fault_test.cc meta-test).
+  bool unsafe_ack_despite_flush_failure_for_test = false;
 };
 
 // Snapshot assembled from the metrics registry (see stats()).
@@ -112,6 +118,10 @@ struct QrpcClientStats {
   uint64_t pushback_budget_exhausted = 0;  // pushback surfaced as an error
   uint64_t coalesced = 0;  // withdrawn pre-wire, answered by a successor
   uint64_t recovered_retries = 0;  // recovered calls re-queued after refusal
+  uint64_t storage_flush_failures = 0;  // calls failed by a failed flush
+  uint64_t storage_refused = 0;  // logged calls refused: device full
+  uint64_t storage_degraded_entered = 0;  // times storage-degraded mode began
+  uint64_t storage_quarantined_calls = 0;  // calls failed by record quarantine
 };
 
 // Handle returned by Call(). Both promises resolve on the event loop.
@@ -150,6 +160,18 @@ class QrpcClient {
   // Used after StableLog::SimulateCrash + Recover to model client restart.
   // Returns the number of requests re-sent.
   size_t RecoverFromLog();
+
+  // True while new durable enqueues are being refused because the stable
+  // device ran out of space. Cleared automatically once truncation frees
+  // room (see MaybeClearStorageDegraded). The access manager surfaces this
+  // next to its own degraded-queue signal.
+  bool StorageDegraded() const { return storage_degraded_; }
+
+  // A scrub quarantined these stable-log records while the client was live:
+  // resolve any outstanding call backed by one of them with kDataLoss
+  // ("storage" path) instead of leaving it waiting on a record that no
+  // longer exists. Returns how many calls were failed.
+  size_t FailQuarantinedRecords(const std::vector<uint64_t>& log_record_ids);
 
   // Re-homes the client's instruments into `registry` under "<prefix>."
   // names, carrying current values over.
@@ -255,6 +277,15 @@ class QrpcClient {
   void RetryRecoveredDispatch(uint64_t rpc_id);
   // Drops the supersede-index entry if it still points at `rpc_id`.
   void ForgetSupersedeKey(const Outstanding& out, uint64_t rpc_id);
+  // The call's stable-log flush terminally failed with `status`: never
+  // acknowledge, withdraw the (non-durable) record, fail the call through
+  // the "storage" path, and enter storage-degraded mode on ENOSPC.
+  void HandleFlushFailure(uint64_t rpc_id, const Status& status);
+  // Shared teardown: resolves `rpc_id` with `status` via the "storage" path
+  // and withdraws its record/queue entry.
+  void FailCallOnStorage(uint64_t rpc_id, const Status& status);
+  void EnterStorageDegraded();
+  void MaybeClearStorageDegraded();
   bool OverBudget(size_t body_size, bool logged) const;
   void ObserveServerEpoch(const std::string& server, uint64_t epoch);
   void MaybeTruncateLog();
@@ -302,6 +333,12 @@ class QrpcClient {
   obs::Counter* c_pushback_exhausted_ = nullptr;
   obs::Counter* c_coalesced_ = nullptr;
   obs::Counter* c_recovered_retries_ = nullptr;
+  obs::Counter* c_storage_flush_failures_ = nullptr;
+  obs::Counter* c_storage_refused_ = nullptr;
+  obs::Counter* c_storage_degraded_entered_ = nullptr;
+  obs::Counter* c_storage_quarantined_calls_ = nullptr;
+  obs::Gauge* g_storage_degraded_ = nullptr;
+  bool storage_degraded_ = false;
   obs::Gauge* g_log_bytes_ = nullptr;  // stable-log byte budget occupancy
   obs::Histogram* h_rpc_seconds_ = nullptr;  // Call() -> response matched
 };
@@ -334,6 +371,7 @@ struct QrpcServerStats {
   // instead of silently replying OK with an empty body.
   uint64_t duplicate_cache_decode_failures = 0;
   uint64_t requests_rejected = 0;  // refused with kUnavailable + retry-after
+  uint64_t requests_rejected_storage = 0;  // refused while WAL space recovers
 };
 
 class QrpcServer {
@@ -400,6 +438,15 @@ class QrpcServer {
   // storage corruption would. Returns false when no entry exists. Test-only.
   bool CorruptCachedResponseForTest(const std::string& client, uint64_t rpc_id);
 
+  // Storage-degraded mode: the WAL device is full and compaction is trying
+  // to reclaim space. While set, new (non-duplicate) requests are refused
+  // with kUnavailable + retry-after -- the same pushback shape as the
+  // concurrency limit, so clients keep the call queued and resend -- rather
+  // than executing a mutation the server could not make durable. The store
+  // layer toggles this around WAL space recovery.
+  void SetStorageDegraded(bool degraded) { storage_degraded_ = degraded; }
+  bool storage_degraded() const { return storage_degraded_; }
+
  private:
   void HandleRequest(const Message& msg);
   void SendResponse(const std::string& dst, uint64_t rpc_id, Priority priority,
@@ -427,7 +474,9 @@ class QrpcServer {
   obs::Counter* c_auth_failures_ = nullptr;
   obs::Counter* c_duplicate_cache_decode_failures_ = nullptr;
   obs::Counter* c_requests_rejected_ = nullptr;
+  obs::Counter* c_requests_rejected_storage_ = nullptr;
   obs::Gauge* g_inflight_requests_ = nullptr;
+  bool storage_degraded_ = false;
   std::map<std::string, Handler> handlers_;
   Handler default_handler_;
   // (client host, rpc id) -> cached response for at-most-once execution.

@@ -10,8 +10,17 @@
 
 namespace rover {
 
-StableLog::StableLog(EventLoop* loop, StableLogCostModel cost_model)
-    : loop_(loop), cost_model_(cost_model) {
+namespace {
+constexpr size_t kRecordFraming = 16;  // id + length + crc framing bytes
+}  // namespace
+
+StableLog::StableLog(EventLoop* loop, StableLogCostModel cost_model,
+                     DiskFaultOptions disk_faults)
+    : loop_(loop),
+      cost_model_(cost_model),
+      device_(disk_faults),
+      flush_backoff_(cost_model.flush_retry_base, cost_model.flush_retry_max,
+                     disk_faults.seed ^ 0xf1005bacc0ffULL) {
   WireMetrics(&own_metrics_, "stable_log");
 }
 
@@ -23,7 +32,15 @@ void StableLog::WireMetrics(obs::Registry* registry, const std::string& prefix) 
   c_raw_bytes_appended_ = registry->counter(prefix + ".raw_bytes_appended");
   c_stored_bytes_appended_ = registry->counter(prefix + ".stored_bytes_appended");
   c_records_compressed_ = registry->counter(prefix + ".records_compressed");
+  c_flush_transient_errors_ = registry->counter(prefix + ".flush_transient_errors");
+  c_flush_retries_ = registry->counter(prefix + ".flush_retries");
+  c_flush_failures_ = registry->counter(prefix + ".flush_failures");
+  c_flush_enospc_ = registry->counter(prefix + ".flush_enospc");
+  c_flush_sync_failures_ = registry->counter(prefix + ".flush_sync_failures");
+  c_records_quarantined_ = registry->counter(prefix + ".records_quarantined");
+  c_torn_tail_dropped_ = registry->counter(prefix + ".torn_tail_records_dropped");
   g_compression_ratio_pct_ = registry->gauge(prefix + ".compression_ratio_pct");
+  g_device_used_bytes_ = registry->gauge(prefix + ".device_used_bytes");
   h_flush_seconds_ = registry->histogram(prefix + ".flush_seconds");
 }
 
@@ -41,7 +58,15 @@ void StableLog::BindMetrics(obs::Registry* registry, const std::string& prefix) 
   c_raw_bytes_appended_->Increment(raw_bytes);
   c_stored_bytes_appended_->Increment(stored_bytes);
   c_records_compressed_->Increment(compressed);
+  c_flush_transient_errors_->Increment(carried.flush_transient_errors);
+  c_flush_retries_->Increment(carried.flush_retries);
+  c_flush_failures_->Increment(carried.flush_failures);
+  c_flush_enospc_->Increment(carried.flush_enospc);
+  c_flush_sync_failures_->Increment(carried.flush_sync_failures);
+  c_records_quarantined_->Increment(carried.records_quarantined);
+  c_torn_tail_dropped_->Increment(carried.torn_tail_records_dropped);
   g_compression_ratio_pct_->Set(ratio);
+  g_device_used_bytes_->Set(static_cast<int64_t>(device_.used_bytes()));
 }
 
 StableLogStats StableLog::stats() const {
@@ -53,6 +78,13 @@ StableLogStats StableLog::stats() const {
   s.raw_bytes_appended = c_raw_bytes_appended_->value();
   s.stored_bytes_appended = c_stored_bytes_appended_->value();
   s.records_compressed = c_records_compressed_->value();
+  s.flush_transient_errors = c_flush_transient_errors_->value();
+  s.flush_retries = c_flush_retries_->value();
+  s.flush_failures = c_flush_failures_->value();
+  s.flush_enospc = c_flush_enospc_->value();
+  s.flush_sync_failures = c_flush_sync_failures_->value();
+  s.records_quarantined = c_records_quarantined_->value();
+  s.torn_tail_records_dropped = c_torn_tail_dropped_->value();
   return s;
 }
 
@@ -61,6 +93,21 @@ void StableLog::ChargeWrite(size_t bytes, Duration cost) {
   c_bytes_flushed_->Increment(bytes);
   c_flush_time_micros_->Increment(static_cast<uint64_t>(cost.micros()));
   h_flush_seconds_->Observe(cost.seconds());
+}
+
+size_t StableLog::PendingStoredBytes() const {
+  size_t bytes = 0;
+  for (const Record& rec : records_) {
+    if (!rec.durable) {
+      bytes += rec.data.size() + kRecordFraming;
+    }
+  }
+  return bytes;
+}
+
+bool StableLog::HasSpaceFor(size_t payload_bytes) const {
+  // Conservative: assumes the new record stores uncompressed.
+  return device_.HasSpaceFor(PendingStoredBytes() + payload_bytes + kRecordFraming);
 }
 
 uint64_t StableLog::Append(Bytes data) {
@@ -104,6 +151,9 @@ const StableLog::Record* StableLog::FindRecord(uint64_t id) const {
 }
 
 Result<Bytes> StableLog::RecordPayload(const Record& rec) const {
+  if (Crc32(rec.data.data(), rec.data.size()) != rec.crc) {
+    return DataLossError("stable log: record CRC mismatch (latent corruption)");
+  }
   if (!rec.compressed) {
     return rec.data;
   }
@@ -114,13 +164,20 @@ Result<Bytes> StableLog::RecordPayload(const Record& rec) const {
   return raw;
 }
 
+void StableLog::Flush(FlushCallback done) { FlushInternal(std::move(done)); }
+
 void StableLog::Flush(std::function<void()> done) {
+  if (!done) {
+    FlushInternal(FlushCallback{});
+    return;
+  }
+  // Legacy callers observe completion, not the outcome.
+  FlushInternal([done = std::move(done)](const Status&) { done(); });
+}
+
+void StableLog::FlushInternal(FlushCallback done) {
   if (cost_model_.group_commit) {
-    if (done) {
-      waiting_flushes_.push_back(std::move(done));
-    } else {
-      waiting_flushes_.push_back([] {});
-    }
+    waiting_flushes_.push_back(std::move(done));
     if (!write_in_progress_) {
       StartGroupWrite();
     }
@@ -129,88 +186,183 @@ void StableLog::Flush(std::function<void()> done) {
   // Collect only records no write is covering yet: an overlapping flush
   // must not re-write (and re-charge for) bytes already on their way to
   // the device.
-  size_t bytes = 0;
-  std::vector<uint64_t> ids;
+  auto job = std::make_shared<WriteJob>();
+  job->group = false;
+  job->generation = crash_generation_;
   for (const Record& rec : records_) {
     if (!rec.durable && flush_in_flight_ids_.count(rec.id) == 0) {
-      bytes += rec.data.size() + 16;  // record framing: id + length + crc
-      ids.push_back(rec.id);
+      job->bytes += rec.data.size() + kRecordFraming;
+      job->ids.push_back(rec.id);
     }
   }
-  if (ids.empty()) {
+  if (job->ids.empty()) {
     // Nothing new to write. Completion still waits for any in-flight
     // writes (the durability point this flush was asked to reach), or runs
-    // asynchronously right away when the log is already durable.
+    // asynchronously right away when the log is already durable. NOTE: the
+    // serial path's overlap shortcut reports Ok without re-checking the
+    // overlapped write's outcome; group commit is the fault-accurate path.
     if (done) {
+      auto run = [done = std::move(done)] { done(Status::Ok()); };
       if (flush_in_flight_ids_.empty()) {
-        loop_->ScheduleAfter(Duration::Zero(), std::move(done));
+        loop_->ScheduleAfter(Duration::Zero(), std::move(run));
       } else {
-        loop_->ScheduleAt(flush_busy_until_, std::move(done));
+        loop_->ScheduleAt(flush_busy_until_, std::move(run));
       }
     }
     return;
   }
-  const Duration cost = cost_model_.FlushCost(bytes);
-  const TimePoint start = std::max(loop_->now(), flush_busy_until_);
-  const TimePoint finish = start + cost;
-  flush_busy_until_ = finish;
-  ChargeWrite(bytes, cost);
-  flush_in_flight_ids_.insert(ids.begin(), ids.end());
-
-  loop_->ScheduleAt(finish, [this, ids = std::move(ids), done = std::move(done)] {
-    for (Record& rec : records_) {
-      if (std::binary_search(ids.begin(), ids.end(), rec.id)) {
-        rec.durable = true;
-      }
-    }
-    for (uint64_t id : ids) {
-      flush_in_flight_ids_.erase(id);
-    }
-    if (done) {
-      done();
-    }
-  });
+  if (done) {
+    job->callbacks.push_back(std::move(done));
+  }
+  flush_in_flight_ids_.insert(job->ids.begin(), job->ids.end());
+  ScheduleAttempt(std::move(job));
 }
 
 void StableLog::StartGroupWrite() {
   // One device write covers every record appended so far; flush requests
   // arriving while it runs join the *next* write.
-  size_t bytes = 0;
-  std::vector<uint64_t> ids;
+  auto job = std::make_shared<WriteJob>();
+  job->group = true;
+  job->generation = crash_generation_;
   for (const Record& rec : records_) {
     if (!rec.durable) {
-      bytes += rec.data.size() + 16;
-      ids.push_back(rec.id);
+      job->bytes += rec.data.size() + kRecordFraming;
+      job->ids.push_back(rec.id);
     }
   }
-  auto callbacks = std::make_shared<std::vector<std::function<void()>>>(
-      std::move(waiting_flushes_));
+  job->callbacks = std::move(waiting_flushes_);
   waiting_flushes_.clear();
-  if (ids.empty()) {
-    loop_->ScheduleAfter(Duration::Zero(), [callbacks] {
-      for (auto& cb : *callbacks) {
-        cb();
+  if (job->ids.empty()) {
+    loop_->ScheduleAfter(Duration::Zero(), [job] {
+      for (auto& cb : job->callbacks) {
+        if (cb) {
+          cb(Status::Ok());
+        }
       }
     });
     return;
   }
   write_in_progress_ = true;
-  const Duration cost = cost_model_.FlushCost(bytes);
-  ChargeWrite(bytes, cost);
-  loop_->ScheduleAfter(cost, [this, ids = std::move(ids), callbacks] {
-    for (Record& rec : records_) {
-      if (std::binary_search(ids.begin(), ids.end(), rec.id)) {
-        rec.durable = true;
+  ScheduleAttempt(std::move(job));
+}
+
+void StableLog::ScheduleAttempt(std::shared_ptr<WriteJob> job) {
+  // Fail fast -- without burning device time -- when the write cannot
+  // possibly succeed: the sync is permanently dead, or capacity cannot hold
+  // the job. Completion still runs asynchronously so callers never see
+  // their callback re-enter them from inside Flush().
+  Status precheck = Status::Ok();
+  if (device_.sync_failed()) {
+    c_flush_sync_failures_->Increment();
+    precheck = DataLossError("stable device: sync permanently failed");
+  } else if (!device_.HasSpaceFor(job->bytes)) {
+    c_flush_enospc_->Increment();
+    precheck = ResourceExhaustedError("stable device: out of space");
+  }
+  if (!precheck.ok()) {
+    loop_->ScheduleAfter(Duration::Zero(), [this, job, precheck] {
+      if (job->generation != crash_generation_) {
+        return;
       }
+      CompleteWrite(job, precheck);
+    });
+    return;
+  }
+  const Duration cost = cost_model_.FlushCost(job->bytes);
+  TimePoint finish;
+  if (job->group) {
+    finish = loop_->now() + cost;
+  } else {
+    const TimePoint start = std::max(loop_->now(), flush_busy_until_);
+    finish = start + cost;
+    flush_busy_until_ = finish;
+  }
+  ChargeWrite(job->bytes, cost);
+  loop_->ScheduleAt(finish, [this, job] {
+    if (job->generation != crash_generation_) {
+      return;  // the node crashed mid-write; recovery re-validates the log
     }
-    write_in_progress_ = false;
-    for (auto& cb : *callbacks) {
-      cb();
-    }
-    if (!waiting_flushes_.empty()) {
-      StartGroupWrite();
+    switch (device_.Write(job->bytes)) {
+      case StableDevice::WriteOutcome::kOk:
+        MarkDurable(*job);
+        CompleteWrite(job, Status::Ok());
+        return;
+      case StableDevice::WriteOutcome::kTransientError: {
+        c_flush_transient_errors_->Increment();
+        if (job->attempt >= cost_model_.flush_max_retries) {
+          CompleteWrite(job, UnavailableError(
+                                 "stable device: flush retries exhausted"));
+          return;
+        }
+        ++job->attempt;
+        c_flush_retries_->Increment();
+        const Duration delay = flush_backoff_.Next();
+        if (!job->group) {
+          flush_busy_until_ = std::max(flush_busy_until_, loop_->now() + delay);
+        }
+        loop_->ScheduleAfter(delay, [this, job] {
+          if (job->generation != crash_generation_) {
+            return;
+          }
+          ScheduleAttempt(job);
+        });
+        return;
+      }
+      case StableDevice::WriteOutcome::kNoSpace:
+        c_flush_enospc_->Increment();
+        CompleteWrite(job, ResourceExhaustedError("stable device: out of space"));
+        return;
+      case StableDevice::WriteOutcome::kSyncFailed:
+        c_flush_sync_failures_->Increment();
+        CompleteWrite(job, DataLossError("stable device: sync permanently failed"));
+        return;
     }
   });
+}
+
+void StableLog::MarkDurable(const WriteJob& job) {
+  for (Record& rec : records_) {
+    if (std::binary_search(job.ids.begin(), job.ids.end(), rec.id)) {
+      rec.durable = true;
+      // The write succeeded, but flash can still rot: plant latent damage
+      // the CRC scan will surface at read/recovery time.
+      if (!rec.data.empty() && device_.DrawBitRot()) {
+        rec.data[rec.data.size() / 3] ^= 0x24;
+      }
+    }
+  }
+  g_device_used_bytes_->Set(static_cast<int64_t>(device_.used_bytes()));
+  flush_backoff_.Reset();
+}
+
+void StableLog::CompleteWrite(const std::shared_ptr<WriteJob>& job,
+                              const Status& status) {
+  if (job->group) {
+    write_in_progress_ = false;
+  } else {
+    for (uint64_t id : job->ids) {
+      flush_in_flight_ids_.erase(id);
+    }
+  }
+  if (!status.ok()) {
+    c_flush_failures_->Increment();
+    if (status.code() == StatusCode::kDataLoss && fail_stop_handler_) {
+      // Permanent sync failure: hand control to the node's fail-stop policy
+      // (crash + device replacement). Deduplication happens there -- the
+      // handler checks whether the device is still broken.
+      loop_->ScheduleAfter(Duration::Zero(), [handler = fail_stop_handler_] {
+        handler();
+      });
+    }
+  }
+  for (auto& cb : job->callbacks) {
+    if (cb) {
+      cb(status);
+    }
+  }
+  if (job->group && !waiting_flushes_.empty()) {
+    StartGroupWrite();
+  }
 }
 
 bool StableLog::FullyDurable() const {
@@ -225,15 +377,23 @@ bool StableLog::FullyDurable() const {
 void StableLog::Truncate(uint64_t up_to_id) {
   while (!records_.empty() && records_.front().id <= up_to_id) {
     total_bytes_ -= records_.front().data.size();
+    if (records_.front().durable) {
+      device_.Release(records_.front().data.size() + kRecordFraming);
+    }
     records_.pop_front();
   }
+  g_device_used_bytes_->Set(static_cast<int64_t>(device_.used_bytes()));
 }
 
 bool StableLog::RemoveRecord(uint64_t id) {
   for (auto it = records_.begin(); it != records_.end(); ++it) {
     if (it->id == id) {
       total_bytes_ -= it->data.size();
+      if (it->durable) {
+        device_.Release(it->data.size() + kRecordFraming);
+      }
       records_.erase(it);
+      g_device_used_bytes_->Set(static_cast<int64_t>(device_.used_bytes()));
       return true;
     }
   }
@@ -271,6 +431,9 @@ void StableLog::SimulateCrash(bool tear_last_record) {
         } else {
           it->data[it->data.size() / 2] ^= 0x5a;
         }
+        // The partial write occupies device space even though its Write()
+        // never completed.
+        device_.Charge(it->data.size() + kRecordFraming);
         tore_in_flight = true;
         break;
       }
@@ -290,31 +453,104 @@ void StableLog::SimulateCrash(bool tear_last_record) {
       last.data[last.data.size() / 2] ^= 0x5a;
     }
   }
-  // In-flight flush completions refer to ids that may be gone; Recover()
-  // re-validates everything, so stale completions are harmless.
+  // Pending write completions and retries stamp the old generation and do
+  // nothing when they fire; Recover() re-validates everything.
+  ++crash_generation_;
   flush_busy_until_ = loop_->now();
   flush_in_flight_ids_.clear();
   write_in_progress_ = false;
   waiting_flushes_.clear();
+  flush_backoff_.Reset();
 }
 
-size_t StableLog::Recover() {
-  std::deque<Record> valid;
+StableLog::RecoveryReport StableLog::RecoverWithReport() {
+  RecoveryReport report;
+  // Gather durable records (the volatile tail died with the crash) and find
+  // the last one whose CRC still checks out: failures after it form the
+  // torn tail -- legitimate power-cut damage, truncated silently as a real
+  // redo log would -- while failures before it are interior corruption on
+  // records whose writes were acknowledged, which must be surfaced.
+  std::deque<Record> durable;
   for (Record& rec : records_) {
-    if (!rec.durable) {
+    if (rec.durable) {
+      durable.push_back(std::move(rec));
+    }
+  }
+  std::vector<bool> valid(durable.size(), false);
+  size_t last_valid = durable.size();  // i.e. "none"
+  for (size_t i = 0; i < durable.size(); ++i) {
+    valid[i] = Crc32(durable[i].data.data(), durable[i].data.size()) ==
+               durable[i].crc;
+    if (valid[i]) {
+      last_valid = i;
+    }
+  }
+  std::deque<Record> out;
+  for (size_t i = 0; i < durable.size(); ++i) {
+    if (valid[i]) {
+      out.push_back(std::move(durable[i]));
       continue;
     }
-    if (Crc32(rec.data.data(), rec.data.size()) != rec.crc) {
-      continue;  // torn write; drop
+    device_.Release(durable[i].data.size() + kRecordFraming);
+    if (last_valid != durable.size() && i < last_valid) {
+      report.quarantined.push_back(durable[i].id);
+      c_records_quarantined_->Increment();
+    } else {
+      ++report.torn_tail_dropped;
+      c_torn_tail_dropped_->Increment();
     }
-    valid.push_back(std::move(rec));
   }
-  records_ = std::move(valid);
+  records_ = std::move(out);
   total_bytes_ = 0;
   for (const Record& rec : records_) {
     total_bytes_ += rec.data.size();
   }
-  return records_.size();
+  g_device_used_bytes_->Set(static_cast<int64_t>(device_.used_bytes()));
+  report.valid = records_.size();
+  return report;
+}
+
+size_t StableLog::Recover() { return RecoverWithReport().valid; }
+
+StableLog::ScrubReport StableLog::Scrub() {
+  ScrubReport report;
+  std::deque<Record> out;
+  for (Record& rec : records_) {
+    if (rec.durable) {
+      ++report.scanned;
+      if (Crc32(rec.data.data(), rec.data.size()) != rec.crc) {
+        report.quarantined.push_back(rec.id);
+        c_records_quarantined_->Increment();
+        device_.Release(rec.data.size() + kRecordFraming);
+        total_bytes_ -= rec.data.size();
+        continue;
+      }
+    }
+    out.push_back(std::move(rec));
+  }
+  records_ = std::move(out);
+  g_device_used_bytes_->Set(static_cast<int64_t>(device_.used_bytes()));
+  return report;
+}
+
+uint64_t StableLog::InjectBitRot(uint64_t selector) {
+  std::vector<Record*> candidates;
+  for (Record& rec : records_) {
+    if (rec.durable && !rec.data.empty()) {
+      candidates.push_back(&rec);
+    }
+  }
+  if (candidates.empty()) {
+    return 0;
+  }
+  // Prefer an interior record: the last durable record could be mistaken
+  // for a torn tail, which is exactly the distinction under test.
+  if (candidates.size() > 1) {
+    candidates.pop_back();
+  }
+  Record* victim = candidates[selector % candidates.size()];
+  victim->data[victim->data.size() / 2] ^= 0x3c;
+  return victim->id;
 }
 
 }  // namespace rover

@@ -4,9 +4,14 @@
 // the critical path for message sending", which experiment E2 measures.
 //
 // The simulated device charges a fixed per-flush cost (seek + sync) plus a
-// per-byte transfer cost. Records carry a CRC32; SimulateCrash can tear the
-// tail record, and Recover() drops any record that fails its checksum --
-// the prototype's behaviour for a torn write.
+// per-byte transfer cost, and can fail: transient write errors are retried
+// with bounded jittered backoff, capacity exhaustion refuses the flush with
+// kResourceExhausted, and a permanently failed sync is fail-stop (see
+// SetFailStopHandler). Records carry a CRC32; SimulateCrash can tear the
+// tail record, and recovery distinguishes a legitimate torn tail (truncated
+// silently, as a real redo log would) from interior corruption -- bit rot in
+// a record whose write was acknowledged -- which is quarantined and reported
+// so upper layers can surface kDataLoss instead of silently losing work.
 
 #ifndef ROVER_SRC_QRPC_STABLE_LOG_H_
 #define ROVER_SRC_QRPC_STABLE_LOG_H_
@@ -14,13 +19,17 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/qrpc/stable_device.h"
 #include "src/sim/event_loop.h"
+#include "src/transport/overload.h"
 #include "src/util/bytes.h"
+#include "src/util/status.h"
 #include "src/util/time.h"
 
 namespace rover {
@@ -42,6 +51,11 @@ struct StableLogCostModel {
   // RecordPayload() transparently decompress. Opt-in: it trades CPU for
   // flush bytes, which only pays off on byte-constrained stable stores.
   bool compress_log = false;
+  // Transient device write errors are retried up to this many times with
+  // decorrelated-jitter backoff before the flush fails with kUnavailable.
+  size_t flush_max_retries = 4;
+  Duration flush_retry_base = Duration::Millis(2);
+  Duration flush_retry_max = Duration::Millis(200);
 
   Duration FlushCost(size_t bytes) const {
     return flush_base + Duration::Seconds(static_cast<double>(bytes) / write_bytes_per_sec);
@@ -57,6 +71,13 @@ struct StableLogStats {
   uint64_t raw_bytes_appended = 0;     // payload bytes before compression
   uint64_t stored_bytes_appended = 0;  // bytes the device actually holds
   uint64_t records_compressed = 0;
+  uint64_t flush_transient_errors = 0;  // device write errors observed
+  uint64_t flush_retries = 0;           // retry attempts scheduled
+  uint64_t flush_failures = 0;          // flushes that terminally failed
+  uint64_t flush_enospc = 0;            // flushes refused for capacity
+  uint64_t flush_sync_failures = 0;     // flushes failed by a dead sync
+  uint64_t records_quarantined = 0;     // interior-corrupt records removed
+  uint64_t torn_tail_records_dropped = 0;
 };
 
 class StableLog {
@@ -70,16 +91,38 @@ class StableLog {
     size_t raw_size = 0;  // pre-compression payload size (== data.size() if raw)
   };
 
-  StableLog(EventLoop* loop, StableLogCostModel cost_model = {});
+  // Outcome of a recovery scan (see RecoverWithReport).
+  struct RecoveryReport {
+    size_t valid = 0;              // records that survive
+    size_t torn_tail_dropped = 0;  // trailing CRC failures, silently truncated
+    std::vector<uint64_t> quarantined;  // interior-corrupt record ids removed
+  };
+
+  struct ScrubReport {
+    size_t scanned = 0;
+    std::vector<uint64_t> quarantined;
+  };
+
+  // Runs when the flush terminally completes; a non-ok status means the
+  // covered records did NOT become durable (kUnavailable: retries exhausted,
+  // kResourceExhausted: device full, kDataLoss: permanent sync failure).
+  using FlushCallback = std::function<void(const Status&)>;
+
+  StableLog(EventLoop* loop, StableLogCostModel cost_model = {},
+            DiskFaultOptions disk_faults = {});
 
   // Appends a record to the in-memory tail (not yet durable). Returns its id.
   uint64_t Append(Bytes data);
 
   // Makes all appended records durable. `done` runs once the (simulated)
-  // device write completes; flushes are serialized in FIFO order. Records
-  // already covered by an in-flight write are not written again -- an
-  // overlapping flush only pays for (and charges stats for) the remainder.
+  // device write terminally completes -- successfully or not; flushes are
+  // serialized in FIFO order. Records already covered by an in-flight write
+  // are not written again -- an overlapping flush only pays for (and charges
+  // stats for) the remainder.
+  void Flush(FlushCallback done);
+  // Legacy form for callers that do not inspect the outcome.
   void Flush(std::function<void()> done);
+  void Flush(std::nullptr_t) { Flush(FlushCallback{}); }
 
   // True when no appended record is awaiting a flush.
   bool FullyDurable() const;
@@ -91,6 +134,12 @@ class StableLog {
   bool WriteInFlight() const {
     return write_in_progress_ || !flush_in_flight_ids_.empty();
   }
+
+  // True when the device has room for a new record of `payload_bytes` on
+  // top of everything already appended but not yet stored. The admission
+  // path checks this before accepting a durable enqueue so a full disk
+  // surfaces as kResourceExhausted at call time, not as a failed flush.
+  bool HasSpaceFor(size_t payload_bytes) const;
 
   // Removes records with id <= `up_to_id` (they have been acknowledged).
   void Truncate(uint64_t up_to_id);
@@ -113,7 +162,8 @@ class StableLog {
 
   // The record's original (uncompressed) payload. Readers must use this
   // instead of touching `data` directly -- with compress_log on, `data`
-  // holds the stored form. kDataLoss if a compressed record is corrupt.
+  // holds the stored form. kDataLoss if the record is corrupt (CRC
+  // mismatch, i.e. latent bit rot surfacing at read time).
   Result<Bytes> RecordPayload(const Record& rec) const;
 
   // Id of the oldest record still in the log, or 0 when empty.
@@ -128,9 +178,35 @@ class StableLog {
   // the final durable record is corrupted as a torn write would.
   void SimulateCrash(bool tear_last_record = false);
 
-  // Recovery scan: validates CRCs, drops corrupt records. Returns the
-  // number of valid records that survive.
+  // Recovery scan: validates CRCs. Trailing CRC failures are a torn tail
+  // and truncate silently (the pre-fault behaviour); a CRC failure with a
+  // valid record after it is interior corruption -- the write was
+  // acknowledged and later rotted -- and is quarantined and reported so the
+  // caller can surface kDataLoss instead of silently losing work.
+  RecoveryReport RecoverWithReport();
+
+  // Compatibility wrapper: returns the number of surviving records.
   size_t Recover();
+
+  // Proactive CRC sweep over durable records; interior corruption found
+  // outside recovery is quarantined the same way.
+  ScrubReport Scrub();
+
+  // Plants latent corruption in a stored (durable) record, preferring an
+  // interior one; `selector` picks among candidates deterministically.
+  // Returns the damaged record's id, or 0 when no durable record exists.
+  uint64_t InjectBitRot(uint64_t selector);
+
+  // Runs (once per failure episode, asynchronously) when a flush fails
+  // because the device's sync is permanently broken. The node layer treats
+  // this as fail-stop: crash + device replacement, never an ack over a
+  // lying device.
+  void SetFailStopHandler(std::function<void()> handler) {
+    fail_stop_handler_ = std::move(handler);
+  }
+
+  StableDevice* device() { return &device_; }
+  const StableDevice* device() const { return &device_; }
 
   // Re-homes the log's instruments into `registry` under "<prefix>." names,
   // carrying current values over.
@@ -141,12 +217,32 @@ class StableLog {
   const StableLogCostModel& cost_model() const { return cost_model_; }
 
  private:
+  // One terminal device write: the id set it covers, the bytes it charges,
+  // and the flush callbacks waiting on it. Retries re-use the job; a crash
+  // invalidates it via the generation stamp.
+  struct WriteJob {
+    std::vector<uint64_t> ids;  // sorted
+    size_t bytes = 0;
+    size_t attempt = 0;
+    bool group = false;
+    uint64_t generation = 0;
+    std::vector<FlushCallback> callbacks;
+  };
+
+  void FlushInternal(FlushCallback done);
   void StartGroupWrite();
+  void ScheduleAttempt(std::shared_ptr<WriteJob> job);
+  void CompleteWrite(const std::shared_ptr<WriteJob>& job, const Status& status);
+  void MarkDurable(const WriteJob& job);
   void WireMetrics(obs::Registry* registry, const std::string& prefix);
   void ChargeWrite(size_t bytes, Duration cost);
+  size_t PendingStoredBytes() const;
 
   EventLoop* loop_;
   StableLogCostModel cost_model_;
+  StableDevice device_;
+  DecorrelatedJitterBackoff flush_backoff_;
+  std::function<void()> fail_stop_handler_;
   std::deque<Record> records_;
   uint64_t next_id_ = 1;
   size_t total_bytes_ = 0;  // sum of records_[i].data.size()
@@ -156,7 +252,10 @@ class StableLog {
   std::set<uint64_t> flush_in_flight_ids_;
   // Group-commit state.
   bool write_in_progress_ = false;
-  std::vector<std::function<void()>> waiting_flushes_;
+  std::vector<FlushCallback> waiting_flushes_;
+  // Bumped by SimulateCrash; pending write completions and retries from
+  // before the crash notice the stamp changed and do nothing.
+  uint64_t crash_generation_ = 0;
 
   obs::Registry own_metrics_;  // used until BindMetrics() points elsewhere
   obs::Counter* c_appends_ = nullptr;
@@ -166,7 +265,15 @@ class StableLog {
   obs::Counter* c_raw_bytes_appended_ = nullptr;
   obs::Counter* c_stored_bytes_appended_ = nullptr;
   obs::Counter* c_records_compressed_ = nullptr;
+  obs::Counter* c_flush_transient_errors_ = nullptr;
+  obs::Counter* c_flush_retries_ = nullptr;
+  obs::Counter* c_flush_failures_ = nullptr;
+  obs::Counter* c_flush_enospc_ = nullptr;
+  obs::Counter* c_flush_sync_failures_ = nullptr;
+  obs::Counter* c_records_quarantined_ = nullptr;
+  obs::Counter* c_torn_tail_dropped_ = nullptr;
   obs::Gauge* g_compression_ratio_pct_ = nullptr;
+  obs::Gauge* g_device_used_bytes_ = nullptr;
   obs::Histogram* h_flush_seconds_ = nullptr;
 };
 

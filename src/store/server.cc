@@ -82,9 +82,160 @@ void RoverServer::WireDurability() {
     txn.rpc_id = rpc_id;
     txn.response = encoded_response;
     stable_store_->LogTransaction(txn);
-    stable_store_->Flush(std::move(release));
+    stable_store_->Flush([this, weak = std::weak_ptr<char>(alive_),
+                          release = std::move(release)](const Status& flushed) mutable {
+      if (weak.expired()) {
+        return;  // server crashed while the journal write was in flight
+      }
+      if (flushed.ok()) {
+        release();
+        return;
+      }
+      if (flushed.code() == StatusCode::kResourceExhausted) {
+        // Journal device full. The transaction still sits in the WAL's
+        // volatile tail; hold the response, refuse new work, and compact to
+        // reclaim space. The snapshot captures the already-applied store
+        // mutations AND the (undurable) duplicate-cache entry, so the
+        // reclaim makes this transaction durable and the release can fire.
+        ++stats_.wal_space_exhausted;
+        RecoverWalSpace(std::move(release));
+        return;
+      }
+      // Terminal failure: the response must not leave, and the in-memory
+      // image (mutations already applied, response cached) has diverged from
+      // what stable storage will recover. Fail-stop this incarnation so the
+      // client's resend re-executes against recovered state; holding the
+      // undurable cached response instead would wedge the call forever.
+      // kDataLoss (permanent sync failure) already fail-stops via the WAL's
+      // own handler; kUnavailable (retries exhausted) needs ours.
+      ++stats_.wal_flush_failures;
+      if (flushed.code() == StatusCode::kUnavailable && wal_failure_handler_) {
+        wal_failure_handler_();
+      }
+    });
     MaybeCompact();
   });
+}
+
+void RoverServer::RecoverWalSpace(std::function<void()> release) {
+  if (release) {
+    wal_space_waiters_.push_back(std::move(release));
+  }
+  if (!wal_space_degraded_) {
+    wal_space_degraded_ = true;
+    qrpc_->SetStorageDegraded(true);
+  }
+  if (wal_reclaim_in_progress_) {
+    return;  // the running reclaim will drain the waiter queue
+  }
+  wal_reclaim_in_progress_ = true;
+  wal_reclaim_attempts_ = 0;
+  TryReclaimWalSpace();
+}
+
+void RoverServer::TryReclaimWalSpace() {
+  // Bounded: a permanently full device must not keep the event loop alive
+  // with reclaim retries forever. On exhaustion the episode ends in failure
+  // (waiters drop, responses never leave); the next journal ENOSPC re-arms.
+  constexpr size_t kMaxReclaimAttempts = 40;
+  if (++wal_reclaim_attempts_ > kMaxReclaimAttempts) {
+    FinishWalRecovery(false);
+    return;
+  }
+  auto weak = std::weak_ptr<char>(alive_);
+  // Same atomicity rule as MaybeCompact: never snapshot while a handler has
+  // mutations buffered but unjournaled. Also wait out any snapshot already
+  // in flight (it may free the space itself).
+  if (!pending_ops_.empty() || stable_store_->CompactionInProgress()) {
+    loop_->ScheduleAfter(Duration::Millis(50), [this, weak] {
+      if (!weak.expired()) {
+        TryReclaimWalSpace();
+      }
+    });
+    return;
+  }
+  ++stats_.wal_compactions_forced;
+  std::vector<CachedResponseEntry> responses;
+  for (auto& cached : qrpc_->CachedResponses()) {
+    responses.push_back({cached.client, cached.rpc_id, std::move(cached.response)});
+  }
+  stable_store_->WriteSnapshot(store_.Serialize(), std::move(responses), [this, weak] {
+    if (weak.expired()) {
+      return;
+    }
+    // Snapshot written and the WAL truncated through its back record --
+    // including the volatile tail the ENOSPC'd transactions occupy, which
+    // the snapshot's duplicate-cache image now covers. Re-flush whatever
+    // remains; with the tail reclaimed this normally has nothing to write.
+    stable_store_->Flush([this, weak](const Status& reflushed) {
+      if (weak.expired()) {
+        return;
+      }
+      if (reflushed.ok()) {
+        FinishWalRecovery(true);
+        return;
+      }
+      if (reflushed.code() == StatusCode::kResourceExhausted) {
+        loop_->ScheduleAfter(Duration::Millis(250), [this, weak] {
+          if (!weak.expired()) {
+            TryReclaimWalSpace();
+          }
+        });
+        return;
+      }
+      ++stats_.wal_flush_failures;
+      FinishWalRecovery(false);
+    });
+  });
+}
+
+void RoverServer::FinishWalRecovery(bool ok) {
+  wal_reclaim_in_progress_ = false;
+  // Cleared even on failure: leaving the refusal up with no reclaim running
+  // would wedge the server permanently (refused requests never journal, so
+  // nothing would ever re-arm recovery). Letting requests back in means the
+  // next ENOSPC restarts a bounded episode -- and succeeds once space frees.
+  wal_space_degraded_ = false;
+  qrpc_->SetStorageDegraded(false);
+  std::vector<std::function<void()>> waiters;
+  waiters.swap(wal_space_waiters_);
+  if (!ok) {
+    // Reclaim could not make the journal durable. The dropped responses stay
+    // cached but gated undurable, so resends would wait on releases that can
+    // never fire -- fail-stop instead: the crash wipes the duplicate cache
+    // and resends re-execute against recovered state.
+    if (wal_failure_handler_) {
+      wal_failure_handler_();
+    }
+    return;
+  }
+  ++stats_.wal_space_recoveries;
+  for (auto& release : waiters) {
+    release();
+  }
+}
+
+size_t RoverServer::ScrubStableStore() {
+  if (stable_store_ == nullptr) {
+    return 0;
+  }
+  const StableLog::ScrubReport report = stable_store_->ScrubWal();
+  if (report.quarantined.empty()) {
+    return 0;
+  }
+  // The in-memory image is intact; re-snapshot it so the quarantined
+  // transactions' effects are re-covered by stable state. Skipped when a
+  // handler is mid-transaction (same rule as MaybeCompact) -- the next
+  // regular compaction closes the hole instead.
+  if (pending_ops_.empty() && !stable_store_->CompactionInProgress()) {
+    ++stats_.wal_compactions_forced;
+    std::vector<CachedResponseEntry> responses;
+    for (auto& cached : qrpc_->CachedResponses()) {
+      responses.push_back({cached.client, cached.rpc_id, std::move(cached.response)});
+    }
+    stable_store_->WriteSnapshot(store_.Serialize(), std::move(responses));
+  }
+  return report.quarantined.size();
 }
 
 void RoverServer::RecordOp(ReplayOp op) {

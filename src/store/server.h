@@ -49,6 +49,11 @@ struct RoverServerStats {
   uint64_t deltas_sent = 0;            // imports answered with a delta
   uint64_t imports_not_modified = 0;   // client already held the version
   uint64_t delta_bytes_saved = 0;      // full-body bytes not shipped
+  // Storage fault handling (journal device).
+  uint64_t wal_space_exhausted = 0;    // journal flushes refused with ENOSPC
+  uint64_t wal_space_recoveries = 0;   // degraded episodes ended by compaction
+  uint64_t wal_compactions_forced = 0; // compactions run to reclaim WAL space
+  uint64_t wal_flush_failures = 0;     // journal flushes terminally failed
 };
 
 // Invalidation control-message payload helpers (shared with the client
@@ -93,6 +98,27 @@ class RoverServer {
   // external invariant checker. Null disables (the default).
   void SetCheckListener(obs::CheckListener* listener) { check_ = listener; }
 
+  // Proactive WAL scrub: CRC-sweeps the durable journal, quarantines
+  // interior-corrupt records, and -- when anything was quarantined and no
+  // transaction is mid-journal -- forces a compaction snapshot so the
+  // intact in-memory image re-covers the hole. Returns quarantined count.
+  size_t ScrubStableStore();
+
+  // Invoked (asynchronously, by the owning node) when a response journal
+  // flush terminally fails with kUnavailable -- retries exhausted, device
+  // misbehaving beyond the transient model. The in-memory image has then
+  // diverged from what stable storage will recover, so the node should
+  // fail-stop this incarnation: the client's resend re-executes against
+  // recovered state. (Permanent sync failure, kDataLoss, rides the WAL's
+  // own fail-stop handler instead.)
+  void SetWalFailureHandler(std::function<void()> handler) {
+    wal_failure_handler_ = std::move(handler);
+  }
+
+  // True while the journal device is out of space and responses are gated
+  // on a reclaim compaction.
+  bool WalSpaceDegraded() const { return wal_space_degraded_; }
+
   size_t SubscriberCount(const std::string& name) const {
     auto it = subscribers_.find(name);
     return it == subscribers_.end() ? 0 : it->second.size();
@@ -103,6 +129,12 @@ class RoverServer {
   void WireDurability();
   void RecordOp(ReplayOp op);
   void MaybeCompact();
+  // Journal ENOSPC path: queue the blocked response release, put the QRPC
+  // server into storage-degraded refusal, and drive compaction until the
+  // re-flush succeeds (or the retry budget runs out).
+  void RecoverWalSpace(std::function<void()> release);
+  void TryReclaimWalSpace();
+  void FinishWalRecovery(bool ok);
   void OnInvalidationDelivered(const std::string& host, const Status& status);
   void DropSubscriber(const std::string& host);
   void HandleImport(const RpcRequestBody& req, const Message& envelope,
@@ -149,6 +181,14 @@ class RoverServer {
   // True while RestoreFromRecovery replays the WAL: journal hooks must not
   // re-log the replayed mutations.
   bool replaying_ = false;
+  // Journal-device ENOSPC recovery: while degraded, new requests are refused
+  // (QrpcServer::SetStorageDegraded) and the releases of responses whose
+  // journal flush hit ENOSPC wait here for a reclaim compaction.
+  bool wal_space_degraded_ = false;
+  bool wal_reclaim_in_progress_ = false;
+  size_t wal_reclaim_attempts_ = 0;
+  std::vector<std::function<void()>> wal_space_waiters_;
+  std::function<void()> wal_failure_handler_;
   // Invalidation delivered-callbacks capture a weak_ptr to this token and
   // bail out if the server was destroyed (simulated crash) first.
   std::shared_ptr<char> alive_ = std::make_shared<char>(0);

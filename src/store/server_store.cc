@@ -58,11 +58,17 @@ Result<ServerTransaction> ServerTransaction::Decode(const Bytes& data) {
 }
 
 ServerStableStore::ServerStableStore(EventLoop* loop, ServerStoreOptions options)
-    : loop_(loop), options_(options), wal_(loop, options.wal_costs) {}
+    : loop_(loop),
+      options_(options),
+      wal_(loop, options.wal_costs, options.wal_disk_faults) {}
 
 uint64_t ServerStableStore::LogTransaction(const ServerTransaction& txn) {
   ++stats_.transactions_logged;
   return wal_.Append(txn.Encode());
+}
+
+void ServerStableStore::Flush(StableLog::FlushCallback done) {
+  wal_.Flush(std::move(done));
 }
 
 void ServerStableStore::Flush(std::function<void()> done) {
@@ -112,11 +118,16 @@ void ServerStableStore::SimulateCrash(bool tear_last_record) {
 RecoveredServerState ServerStableStore::Recover() {
   ++stats_.recoveries;
   ++epoch_;
-  const size_t before = wal_.RecordCount();
-  const size_t after = wal_.Recover();
+  const StableLog::RecoveryReport report = wal_.RecoverWithReport();
 
   RecoveredServerState out;
-  out.records_dropped = before - after;  // torn writes rejected by CRC
+  out.records_dropped = report.torn_tail_dropped;
+  // Interior corruption is a different event class from a torn tail: the
+  // transaction it held was acknowledged durable. The epoch bump above
+  // already invalidates client-side trust in this server's state; surface
+  // the count so callers and checkers can tell silent loss from detected.
+  out.interior_quarantined = report.quarantined.size();
+  stats_.wal_interior_quarantined += report.quarantined.size();
   out.epoch = epoch_;
   if (snapshot_.valid) {
     out.object_image = snapshot_.object_image;
@@ -141,6 +152,12 @@ RecoveredServerState ServerStableStore::Recover() {
   }
   stats_.wal_records_dropped += out.records_dropped;
   return out;
+}
+
+StableLog::ScrubReport ServerStableStore::ScrubWal() {
+  StableLog::ScrubReport report = wal_.Scrub();
+  stats_.wal_interior_quarantined += report.quarantined.size();
+  return report;
 }
 
 }  // namespace rover

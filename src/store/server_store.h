@@ -37,13 +37,21 @@ struct ServerStoreOptions {
                                /*group_commit=*/true};
   // Snapshot + truncate once the WAL holds this many records.
   size_t compact_after_records = 256;
+  // Fault schedule for the WAL device (healthy by default). The snapshot
+  // area is modelled as a separate preallocated region: snapshot writes do
+  // not consume WAL device capacity, which is what lets compaction reclaim
+  // space from a full WAL.
+  DiskFaultOptions wal_disk_faults;
 };
 
 struct ServerStoreStats {
   uint64_t transactions_logged = 0;
   uint64_t snapshots_written = 0;
   uint64_t recoveries = 0;
-  uint64_t wal_records_dropped = 0;  // torn/corrupt records rejected by CRC
+  uint64_t wal_records_dropped = 0;  // torn-tail/undecodable records rejected
+  // Interior-corrupt WAL records (bit rot on an acknowledged transaction)
+  // quarantined by recovery or a scrub -- detected data loss, not a torn tail.
+  uint64_t wal_interior_quarantined = 0;
 };
 
 // One replayable store mutation inside a transaction.
@@ -79,6 +87,10 @@ struct RecoveredServerState {
   std::vector<CachedResponseEntry> snapshot_responses;
   std::vector<ServerTransaction> wal;  // oldest first
   size_t records_dropped = 0;
+  // Interior-corrupt records quarantined by this recovery: acknowledged
+  // transactions whose bytes rotted. The epoch bump that every recovery
+  // performs already forces clients to re-subscribe and refresh.
+  size_t interior_quarantined = 0;
 };
 
 class ServerStableStore {
@@ -89,8 +101,13 @@ class ServerStableStore {
   uint64_t LogTransaction(const ServerTransaction& txn);
 
   // Durability point: `done` runs when every appended record is on the
-  // device. Response sends gate on this.
+  // device -- or when the write terminally fails (non-ok status: the
+  // transaction is NOT durable and its response must not leave). Response
+  // sends gate on this.
+  void Flush(StableLog::FlushCallback done);
+  // Legacy form for callers that do not inspect the outcome.
   void Flush(std::function<void()> done);
+  void Flush(std::nullptr_t) { Flush(StableLog::FlushCallback{}); }
 
   bool NeedsCompaction() const {
     return !compaction_in_progress_ && wal_.RecordCount() >= options_.compact_after_records;
@@ -113,9 +130,17 @@ class ServerStableStore {
   // counted.
   RecoveredServerState Recover();
 
+  // Proactive CRC sweep over the durable WAL; interior corruption is
+  // quarantined and counted. The caller should force a compaction snapshot
+  // afterwards so the intact in-memory image re-covers the hole.
+  StableLog::ScrubReport ScrubWal();
+
   uint64_t epoch() const { return epoch_; }
   size_t WalRecordCount() const { return wal_.RecordCount(); }
+  bool CompactionInProgress() const { return compaction_in_progress_; }
   const ServerStoreStats& stats() const { return stats_; }
+  // The WAL log (and through it the fault-injectable device).
+  StableLog* wal() { return &wal_; }
   StableLog* wal_for_test() { return &wal_; }
 
  private:
