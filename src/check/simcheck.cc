@@ -303,14 +303,22 @@ void SimCheck::OnServerReplay(const std::string& server, const std::string& clie
   }
 }
 
-void SimCheck::OnServerResponseDurable(const std::string& /*server*/,
-                                       const std::string& /*client*/,
-                                       uint64_t /*rpc_id*/) {}
+void SimCheck::OnServerResponseDurable(const std::string& server,
+                                       const std::string& client,
+                                       uint64_t rpc_id) {
+  // Fires when the response journal write completed AND (under semi-sync
+  // replication) the backup's acked watermark covered it -- i.e. the moment
+  // the response is released toward the client. Cumulative: a later failover
+  // audits this set against what the backup actually holds.
+  servers_[server].released_ever.insert({client, rpc_id});
+}
 
 void SimCheck::OnServerDupCacheEvict(const std::string& server,
                                      const std::string& client, uint64_t rpc_id) {
   TraceEvent(server + " dup-evict " + client + "/" + std::to_string(rpc_id));
-  servers_[server].evicted.insert({client, rpc_id});
+  ServerState& state = servers_[server];
+  state.evicted.insert({client, rpc_id});
+  state.evicted_ever.insert({client, rpc_id});
 }
 
 void SimCheck::OnServerCrashed(const std::string& server) {
@@ -336,6 +344,56 @@ void SimCheck::OnServerRecovered(
   }
   state.epoch = epoch;
   state.survived = std::set<RpcKey>(survived_responses.begin(), survived_responses.end());
+}
+
+void SimCheck::OnFailover(
+    const std::string& failed_primary, const std::string& backup, uint64_t epoch,
+    const std::vector<std::pair<std::string, uint64_t>>& replicated_responses) {
+  TraceEvent(backup + " failover from=" + failed_primary +
+             " epoch=" + std::to_string(epoch) +
+             " replicated=" + std::to_string(replicated_responses.size()));
+  ServerState& primary = servers_[failed_primary];
+  ServerState& promoted = servers_[backup];
+  // Fencing: the promotion epoch must exceed every epoch either node has
+  // used, so a stale primary (or its in-flight writes) can never be
+  // mistaken for the current incarnation.
+  if (epoch <= primary.epoch) {
+    AddViolation("failover-fencing", backup,
+                 "promoted with epoch " + std::to_string(epoch) +
+                     " but dead primary " + failed_primary + " reached epoch " +
+                     std::to_string(primary.epoch));
+  }
+  if (epoch < promoted.epoch) {
+    AddViolation("epoch-regression", backup,
+                 "promotion epoch " + std::to_string(epoch) + " < previous " +
+                     std::to_string(promoted.epoch));
+  }
+  promoted.epoch = epoch;
+  // No acknowledged-work loss: every response the primary released (post
+  // backup-ack under semi-sync) must be in the backup's replicated set,
+  // minus sanctioned duplicate-cache evictions -- unless the sender had
+  // degraded to async, which withdraws the guarantee for this primary.
+  const std::set<RpcKey> replicated(replicated_responses.begin(),
+                                    replicated_responses.end());
+  if (!primary.repl_degraded) {
+    for (const RpcKey& key : primary.released_ever) {
+      if (primary.evicted_ever.count(key) > 0 || replicated.count(key) > 0) {
+        continue;
+      }
+      AddViolation("failover-acked-loss", failed_primary,
+                   "rpc " + std::to_string(key.second) + " from " + key.first +
+                       " was released to the client but is missing from the "
+                       "promoted backup " + backup);
+    }
+  }
+  // Resends of replicated keys at the new primary must replay, never
+  // re-execute: fold them into the survived set the execute check consults.
+  promoted.survived.insert(replicated.begin(), replicated.end());
+}
+
+void SimCheck::OnReplicationDegraded(const std::string& primary) {
+  TraceEvent(primary + " replication-degraded");
+  servers_[primary].repl_degraded = true;
 }
 
 void SimCheck::OnSessionImportServed(const std::string& client, const std::string& name,
@@ -397,6 +455,9 @@ void SimCheck::CheckQuiesced() {
     }
   }
   for (RoverServerNode* node : bed_->AllServers()) {
+    if (node->dead()) {
+      continue;  // killed primary: its process-level structures are gone
+    }
     const std::string& host = node->host_name();
     const obs::Gauge* depth = node->metrics()->FindGauge("scheduler.queue_depth");
     const size_t actual_depth = node->transport()->scheduler()->TotalQueueDepth();

@@ -22,6 +22,11 @@
 //     double-resolves;
 //   * session guarantees: an import served to a Session never returns a
 //     version below the session's floor (monotonic reads, read-your-writes);
+//   * failover safety: a backup promotes with an epoch that fences the dead
+//     primary, and every response the primary released to a client (minus
+//     sanctioned duplicate-cache evictions) is present in the replicated
+//     set the backup took over -- unless the primary's replication sender
+//     had announced degraded (async) shipping;
 //   * conservation of accounting: at quiesce, the scheduler and stable-log
 //     gauges equal the structures they mirror.
 //
@@ -99,6 +104,11 @@ class SimCheck : public obs::CheckListener {
   void OnServerRecovered(const std::string& server, uint64_t epoch,
                          const std::vector<std::pair<std::string, uint64_t>>&
                              survived_responses) override;
+  void OnFailover(const std::string& failed_primary, const std::string& backup,
+                  uint64_t epoch,
+                  const std::vector<std::pair<std::string, uint64_t>>&
+                      replicated_responses) override;
+  void OnReplicationDegraded(const std::string& primary) override;
   void OnSessionImportServed(const std::string& client, const std::string& name,
                              uint64_t version, uint64_t required, bool ok) override;
 
@@ -132,6 +142,16 @@ class SimCheck : public obs::CheckListener {
     std::set<RpcKey> executed;  // dispatched this incarnation
     std::set<RpcKey> survived;  // responses that survived the last recovery
     std::set<RpcKey> evicted;   // dropped from the duplicate cache
+    // Cumulative across incarnations (never cleared by OnServerCrashed):
+    // responses actually RELEASED to a client (under semi-sync replication
+    // the release hook fires only after the backup acked) and every
+    // duplicate-cache eviction ever. Their difference is what a failover
+    // must find replicated on the backup.
+    std::set<RpcKey> released_ever;
+    std::set<RpcKey> evicted_ever;
+    // Replication sender degraded to async: released responses are no
+    // longer guaranteed to survive a failover of this primary.
+    bool repl_degraded = false;
   };
 
   void AddViolation(const std::string& invariant, const std::string& node,

@@ -35,6 +35,27 @@ void FaultPlan::ScheduleRandomFaults(RoverServerNode* server,
   }
 }
 
+void FaultPlan::ScheduleFailover(RoverServerNode* primary, RoverServerNode* backup,
+                                 const std::vector<RoverClientNode*>& clients,
+                                 FailoverOptions options) {
+  TimePoint kill_at = options.at;
+  if (kill_at == TimePoint::Epoch()) {
+    const uint64_t span = static_cast<uint64_t>(options.horizon.micros());
+    kill_at = TimePoint::FromMicros(
+        static_cast<int64_t>(rng_.NextBelow(span > 0 ? span : 1)));
+  }
+  loop_->ScheduleAt(kill_at, [this, primary] {
+    primary->Kill();
+    ++failovers_executed_;
+  });
+  loop_->ScheduleAt(kill_at + options.detection_delay, [backup, clients] {
+    backup->Promote();
+    for (RoverClientNode* client : clients) {
+      client->qrpc()->TriggerFailover();
+    }
+  });
+}
+
 void FaultPlan::ScheduleRandomDiskFaults(RoverServerNode* server,
                                          const std::vector<RoverClientNode*>& clients,
                                          DiskFaultScheduleOptions options) {

@@ -28,6 +28,18 @@ struct RandomFaultOptions {
   double tear_probability = 0.5;
 };
 
+// Failover injection: kill the primary for good at a (possibly seeded-
+// random) time, then -- one failure-detection delay later -- promote the
+// backup and engage every client's failover route. The delay models the
+// time real detectors (missed heartbeats, broken connections) need; during
+// it, in-flight work is neither answered nor re-routed.
+struct FailoverOptions {
+  // Explicit kill time; unset (epoch) = drawn uniformly over [0, horizon).
+  TimePoint at = TimePoint::Epoch();
+  Duration horizon = Duration::Seconds(60);
+  Duration detection_delay = Duration::Millis(200);
+};
+
 // Seeded storage-fault schedule over the same horizon: transient write-error
 // bursts, bounded disk-full episodes (always freed before the horizon ends so
 // post-fault convergence stays reachable), latent bit rot, and -- rarely --
@@ -55,6 +67,14 @@ class FaultPlan {
                             const std::vector<RoverClientNode*>& clients,
                             RandomFaultOptions options = {});
 
+  // Kills `primary` permanently (Kill(), links down for good), then after
+  // `detection_delay` promotes `backup` and calls TriggerFailover on every
+  // client's QRPC engine. Works with any kill time, including mid-WAL-flush
+  // or mid-coalesce -- whatever the simulation happens to be doing then.
+  void ScheduleFailover(RoverServerNode* primary, RoverServerNode* backup,
+                        const std::vector<RoverClientNode*>& clients,
+                        FailoverOptions options = {});
+
   // Seeded-random storage faults against every node's stable device (the
   // server's WAL and each client's operation log). All randomness is drawn
   // at schedule time, so a plan replays exactly from its seed regardless of
@@ -75,6 +95,7 @@ class FaultPlan {
   size_t client_crashes_executed() const { return client_crashes_executed_; }
   size_t client_recoveries_resent() const { return client_recoveries_resent_; }
   size_t disk_faults_injected() const { return disk_faults_injected_; }
+  size_t failovers_executed() const { return failovers_executed_; }
 
  private:
   void ScheduleDeviceFaults(StableLog* log, const DiskFaultScheduleOptions& options);
@@ -85,6 +106,7 @@ class FaultPlan {
   size_t client_crashes_executed_ = 0;
   size_t client_recoveries_resent_ = 0;  // total requests re-sent by RecoverFromLog
   size_t disk_faults_injected_ = 0;      // storage-fault events executed
+  size_t failovers_executed_ = 0;        // primary kills + promotions executed
 };
 
 }  // namespace rover

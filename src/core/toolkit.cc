@@ -13,6 +13,21 @@ RoverClientNode::RoverClientNode(EventLoop* loop, Host* host, ClientNodeOptions 
   // Permanent sync failure is fail-stop: the node treats it as a crash.
   log_->SetFailStopHandler([this] { OnStorageFailStop(); });
   Build();
+  ArmScrubTimer();
+}
+
+void RoverClientNode::ArmScrubTimer() {
+  if (options_.scrub_interval.is_zero()) {
+    return;
+  }
+  // The node outlives every loop event (the testbed tears the loop down
+  // with the nodes), so a plain `this` capture is safe here.
+  loop_->ScheduleAfter(options_.scrub_interval, [this] {
+    metrics_.counter("storage_scrub.runs")->Increment();
+    const size_t quarantined = ScrubStorage();
+    metrics_.counter("storage_scrub.quarantined")->Increment(quarantined);
+    ArmScrubTimer();
+  });
 }
 
 void RoverClientNode::OnStorageFailStop() {
@@ -58,6 +73,7 @@ void RoverClientNode::Build() {
   // rebuilt component starts at zero, so re-binding after a crash keeps the
   // registry's counters cumulative.
   transport_->scheduler()->BindMetrics(&metrics_, "scheduler");
+  transport_->BindMetrics(&metrics_, "transport");
   qrpc_client_->BindMetrics(&metrics_, "qrpc_client");
   access_manager_->BindMetrics(&metrics_, "access_manager");
   qrpc_client_->SetTracer(&tracer_);
@@ -79,9 +95,13 @@ size_t RoverClientNode::SimulateCrashAndRestart(bool tear_last_log_record) {
     check_->OnClientCrashed(host_name());
   }
   // Stable storage at crash time: the cache snapshot, the rpc-id counter
-  // (both persisted alongside the log), and the durable log records.
+  // (both persisted alongside the log), and the durable log records. The
+  // failover engagement travels with them: once the primary has been
+  // declared dead it stays dead, so the rebuilt client must re-route its
+  // recovered resends to the backup, not fire them at a fenced corpse.
   const Bytes cache_snapshot = access_manager_->SerializeCache();
   const uint64_t next_rpc_id = qrpc_client_->next_rpc_id();
+  const bool failover_engaged = qrpc_client_->failover_engaged();
   // A tear models a power cut mid-write; records whose flush completed
   // (whose commit promises may have resolved) cannot be torn after the fact.
   log_->SimulateCrash(tear_last_log_record && log_->WriteInFlight());
@@ -94,6 +114,9 @@ size_t RoverClientNode::SimulateCrashAndRestart(bool tear_last_log_record) {
   const StableLog::RecoveryReport report = log_->RecoverWithReport();
   Build();
   qrpc_client_->set_next_rpc_id(next_rpc_id);
+  if (failover_engaged) {
+    qrpc_client_->TriggerFailover();  // re-engage before RecoverFromLog re-sends
+  }
   Status loaded = access_manager_->LoadCache(cache_snapshot);
   if (!loaded.ok()) {
     ROVER_LOG(Warning) << "client cache reload failed: " << loaded.message();
@@ -117,6 +140,110 @@ RoverServerNode::RoverServerNode(EventLoop* loop, Host* host, ServerNodeOptions 
   // Permanent WAL sync failure is fail-stop: the node treats it as a crash.
   stable_store_.wal()->SetFailStopHandler([this] { OnStorageFailStop(); });
   Build();
+  ArmScrubTimer();
+}
+
+void RoverServerNode::ArmScrubTimer() {
+  if (options_.scrub_interval.is_zero() || dead_) {
+    return;
+  }
+  loop_->ScheduleAfter(options_.scrub_interval, [this] {
+    if (dead_) {
+      return;
+    }
+    metrics_.counter("storage_scrub.runs")->Increment();
+    const size_t quarantined = ScrubStorage();
+    metrics_.counter("storage_scrub.quarantined")->Increment(quarantined);
+    ArmScrubTimer();
+  });
+}
+
+void RoverServerNode::EnableReplicationPrimary(const std::string& backup_host,
+                                               Duration sync_timeout) {
+  repl_primary_peer_ = backup_host;
+  repl_backup_peer_.clear();
+  repl_sync_timeout_ = sync_timeout;
+  BuildReplication();
+}
+
+void RoverServerNode::EnableReplicationBackup(const std::string& primary_host) {
+  repl_backup_peer_ = primary_host;
+  repl_primary_peer_.clear();
+  BuildReplication();
+}
+
+void RoverServerNode::BuildReplication() {
+  // Both roles claim the host's kControl handler, which is why a node holds
+  // at most one of them.
+  repl_sender_.reset();
+  repl_receiver_.reset();
+  if (rover_server_ != nullptr) {
+    rover_server_->SetReplicationSender(nullptr);
+  }
+  if (!repl_primary_peer_.empty()) {
+    ReplicationOptions ropts;
+    ropts.peer = repl_primary_peer_;
+    ropts.sync_timeout = repl_sync_timeout_;
+    repl_sender_ = std::make_unique<ReplicationSender>(loop_, transport_.get(), ropts);
+    repl_sender_->SetResyncProvider([this] {
+      ReplicationSender::ResyncImage img;
+      img.object_image = rover_server_->store()->Serialize();
+      for (const QrpcServer::CachedResponse& cr : qrpc_server_->CachedResponses()) {
+        img.responses.push_back(CachedResponseEntry{cr.client, cr.rpc_id, cr.response});
+      }
+      img.baseline_seq = stable_store_.last_logged_id();
+      img.epoch = stable_store_.epoch();
+      return img;
+    });
+    repl_sender_->SetDegradeListener([this] {
+      ROVER_LOG(Warning) << host_name()
+                         << ": replication degraded to async (backup not acking)";
+      if (check_ != nullptr) {
+        check_->OnReplicationDegraded(host_name());
+      }
+    });
+    repl_sender_->BindMetrics(&metrics_, "replication_sender");
+    rover_server_->SetReplicationSender(repl_sender_.get());
+  } else if (!repl_backup_peer_.empty()) {
+    ReplicationOptions ropts;
+    ropts.peer = repl_backup_peer_;
+    repl_receiver_ = std::make_unique<ReplicationReceiver>(
+        loop_, transport_.get(), rover_server_.get(),
+        options_.durable ? &stable_store_ : nullptr, qrpc_server_.get(), ropts);
+    if (check_ != nullptr) {
+      repl_receiver_->SetCheckListener(check_);
+    }
+    repl_receiver_->BindMetrics(&metrics_, "replication_receiver");
+  }
+}
+
+uint64_t RoverServerNode::Promote() {
+  if (repl_receiver_ == nullptr || dead_) {
+    return 0;
+  }
+  return repl_receiver_->Promote();
+}
+
+void RoverServerNode::Kill() {
+  if (dead_) {
+    return;
+  }
+  dead_ = true;
+  if (check_ != nullptr) {
+    check_->OnServerCrashed(host_name());
+  }
+  // The dead host's interfaces never come back: parked client queues
+  // conclude the destination is unreachable, which force-opens their
+  // breaker and (via the breaker observer) triggers failover.
+  for (Link* link : host_->links()) {
+    link->ForceDown();
+  }
+  repl_sender_.reset();
+  repl_receiver_.reset();
+  rover_server_.reset();
+  qrpc_server_.reset();
+  transport_.reset();
+  stable_store_.SimulateCrash(false);
 }
 
 void RoverServerNode::OnStorageFailStop() {
@@ -127,13 +254,24 @@ void RoverServerNode::OnStorageFailStop() {
 }
 
 void RoverServerNode::RequestWalFailStop() {
-  if (wal_failstop_pending_) {
+  if (wal_failstop_pending_ || dead_) {
     return;  // several journal flushes can fail in one episode; crash once
   }
   wal_failstop_pending_ = true;
   loop_->ScheduleAfter(Duration::Zero(), [this] {
     wal_failstop_pending_ = false;
+    if (dead_) {
+      return;
+    }
     ++storage_fail_stops_;
+    if (failstop_failover_handler_) {
+      // A backup exists: storage death is terminal for this node, and the
+      // handler moves the service instead of resurrecting the disk.
+      auto handler = failstop_failover_handler_;
+      Kill();
+      handler();
+      return;
+    }
     if (stable_store_.wal()->device()->sync_failed()) {
       // Operator swaps the dead disk during the reboot (see the client-side
       // counterpart): recovery then proceeds from snapshot + surviving WAL.
@@ -143,7 +281,9 @@ void RoverServerNode::RequestWalFailStop() {
   });
 }
 
-size_t RoverServerNode::ScrubStorage() { return rover_server_->ScrubStableStore(); }
+size_t RoverServerNode::ScrubStorage() {
+  return dead_ ? 0 : rover_server_->ScrubStableStore();
+}
 
 void RoverServerNode::Build() {
   transport_ = std::make_unique<TransportManager>(loop_, host_, options_.scheduler);
@@ -158,25 +298,40 @@ void RoverServerNode::Build() {
   rover_server_->SetWalFailureHandler([this] { RequestWalFailStop(); });
   transport_->scheduler()->BindMetrics(&metrics_, "scheduler");
   qrpc_server_->BindMetrics(&metrics_, "qrpc_server");
+  transport_->BindMetrics(&metrics_, "transport");
   if (check_ != nullptr) {
     qrpc_server_->SetCheckListener(check_);
     rover_server_->SetCheckListener(check_);
   }
+  BuildReplication();
 }
 
 void RoverServerNode::SetCheckListener(obs::CheckListener* listener) {
   check_ = listener;
-  qrpc_server_->SetCheckListener(listener);
-  rover_server_->SetCheckListener(listener);
+  if (qrpc_server_ != nullptr) {
+    qrpc_server_->SetCheckListener(listener);
+  }
+  if (rover_server_ != nullptr) {
+    rover_server_->SetCheckListener(listener);
+  }
+  if (repl_receiver_ != nullptr) {
+    repl_receiver_->SetCheckListener(listener);
+  }
 }
 
 RecoveredServerState RoverServerNode::SimulateCrashAndRestart(bool tear_last_wal_record) {
+  if (dead_) {
+    return RecoveredServerState{};  // killed for good; nothing restarts
+  }
   if (check_ != nullptr) {
     check_->OnServerCrashed(host_name());
   }
   stable_store_.SimulateCrash(tear_last_wal_record);
 
-  // Process state dies with the process.
+  // Process state dies with the process. The replication endpoints hold the
+  // transport, so they go first.
+  repl_sender_.reset();
+  repl_receiver_.reset();
   rover_server_.reset();
   qrpc_server_.reset();
   transport_.reset();
@@ -205,6 +360,15 @@ RoverServerNode* Testbed::AddServer(const std::string& name, ServerNodeOptions o
   }
   extra_servers_.emplace(name, std::move(node));
   return raw;
+}
+
+RoverServerNode* Testbed::AddBackup(const std::string& name, LinkProfile repl_link,
+                                    ServerNodeOptions options, Duration sync_timeout) {
+  RoverServerNode* backup = AddServer(name, std::move(options));
+  AddLink(options_.server_name, name, std::move(repl_link));
+  server_->EnableReplicationPrimary(name, sync_timeout);
+  backup->EnableReplicationBackup(options_.server_name);
+  return backup;
 }
 
 RoverServerNode* Testbed::FindServer(const std::string& name) {

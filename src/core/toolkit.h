@@ -19,6 +19,7 @@
 #include "src/qrpc/qrpc.h"
 #include "src/qrpc/stable_log.h"
 #include "src/sim/network.h"
+#include "src/store/replication.h"
 #include "src/store/server.h"
 #include "src/transport/smtp.h"
 #include "src/transport/transport.h"
@@ -33,6 +34,11 @@ struct ClientNodeOptions {
   QrpcClientOptions qrpc;
   AccessManagerOptions access;
   std::string auth_token;  // stamped on every outbound message
+  // Non-zero: proactively CRC-sweep the stable log every interval, so latent
+  // bit rot is quarantined (and surfaced) before the next crash recovery
+  // trips over it. The periodic timer keeps the event loop non-quiescent --
+  // drive simulations that enable it with RunFor, not Run.
+  Duration scrub_interval = Duration::Zero();
 };
 
 // A mobile host: access manager over QRPC over the network scheduler,
@@ -79,6 +85,7 @@ class RoverClientNode {
  private:
   void Build();
   void OnStorageFailStop();
+  void ArmScrubTimer();
 
   EventLoop* loop_;
   Host* host_;
@@ -105,6 +112,9 @@ struct ServerNodeOptions {
   // store (write-ahead, per-RPC atomic transactions). Off = the seed's
   // volatile server: a crash loses everything.
   bool durable = true;
+  // Non-zero: proactively CRC-sweep the WAL every interval (see the client
+  // counterpart). Keeps the event loop non-quiescent; use RunFor.
+  Duration scrub_interval = Duration::Zero();
 };
 
 // A home server: object store + QRPC dispatch over a stable store.
@@ -117,6 +127,41 @@ class RoverServerNode {
   QrpcServer* qrpc() { return qrpc_server_.get(); }
   TransportManager* transport() { return transport_.get(); }
   ServerStableStore* stable_store() { return &stable_store_; }
+
+  // --- primary/backup replication ---
+  // Makes this node the replication primary: every committed WAL transaction
+  // ships to `backup_host`, and response release waits for the backup's ack
+  // (up to `sync_timeout`; see ReplicationOptions). Requires durable = true.
+  // Mutually exclusive with EnableReplicationBackup on the same node.
+  // Survives SimulateCrashAndRestart.
+  void EnableReplicationPrimary(const std::string& backup_host,
+                                Duration sync_timeout = Duration::Seconds(5));
+  // Makes this node the hot standby for `primary_host`: shipped transactions
+  // are applied (and journaled, when durable) as they arrive, and a full
+  // resync is requested on attach or after any sequence gap.
+  void EnableReplicationBackup(const std::string& primary_host);
+  ReplicationSender* replication_sender() { return repl_sender_.get(); }
+  ReplicationReceiver* replication_receiver() { return repl_receiver_.get(); }
+
+  // Fences the dead primary and takes over (see ReplicationReceiver::
+  // Promote). Returns the new epoch, or 0 if this node is not a backup.
+  uint64_t Promote();
+
+  // Permanent fail-stop, the failover trigger: reports the crash, downs
+  // every attached link for good, and tears the process down without
+  // rebuilding it. Unlike SimulateCrashAndRestart the node never comes
+  // back -- the backup owns the service from here on. Idempotent.
+  void Kill();
+  bool dead() const { return dead_; }
+
+  // When set, a WAL fail-stop (permanent sync failure, exhausted response-
+  // journal flush retries) Kill()s the node and invokes the handler instead
+  // of crash-restarting in place -- the deployment-level failover path for
+  // storage death. The handler typically promotes the backup and triggers
+  // client failover.
+  void SetFailStopFailoverHandler(std::function<void()> handler) {
+    failstop_failover_handler_ = std::move(handler);
+  }
 
   // Simulated crash + reboot. Volatile state (subscriptions, live RDO
   // instances, queued/in-flight responses, unflushed WAL tail) vanishes;
@@ -146,7 +191,9 @@ class RoverServerNode {
 
  private:
   void Build();
+  void BuildReplication();
   void OnStorageFailStop();
+  void ArmScrubTimer();
   // Schedules an async crash-restart of this incarnation (at most one in
   // flight); fired from WAL flush callbacks, which must not tear the server
   // down re-entrantly.
@@ -158,6 +205,12 @@ class RoverServerNode {
   obs::CheckListener* check_ = nullptr;
   uint64_t storage_fail_stops_ = 0;
   bool wal_failstop_pending_ = false;
+  bool dead_ = false;
+  // Replication role (at most one non-empty), re-applied on every rebuild.
+  std::string repl_primary_peer_;  // set = this node ships to that backup
+  std::string repl_backup_peer_;   // set = this node receives from that primary
+  Duration repl_sync_timeout_ = Duration::Seconds(5);
+  std::function<void()> failstop_failover_handler_;
   // Declared before the components so it outlives their metric handles.
   obs::Registry metrics_;
   // The stable store models the device itself, so it survives crashes.
@@ -165,6 +218,8 @@ class RoverServerNode {
   std::unique_ptr<TransportManager> transport_;
   std::unique_ptr<QrpcServer> qrpc_server_;
   std::unique_ptr<RoverServer> rover_server_;
+  std::unique_ptr<ReplicationSender> repl_sender_;
+  std::unique_ptr<ReplicationReceiver> repl_receiver_;
 };
 
 // A complete simulated deployment.
@@ -190,6 +245,16 @@ class Testbed {
   // home server).
   Link* AddLink(const std::string& host_a, const std::string& host_b, LinkProfile profile,
                 std::unique_ptr<ConnectivitySchedule> schedule = nullptr);
+
+  // Adds a hot-standby backup for the main server: a new server node,
+  // linked to the primary by `repl_link` (the replication channel), with
+  // the primary shipping to it and the backup receiving. Clients that
+  // should survive the primary's death also need their own link to the
+  // backup (AddLink) and the failover route in ClientNodeOptions::
+  // qrpc.failover_primary / failover_backup.
+  RoverServerNode* AddBackup(const std::string& name, LinkProfile repl_link,
+                             ServerNodeOptions options = {},
+                             Duration sync_timeout = Duration::Seconds(5));
 
   // Adds a mobile client connected to the server by `profile` (with an
   // optional connectivity schedule). Call again with the same name to add

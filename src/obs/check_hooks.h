@@ -105,6 +105,24 @@ class CheckListener {
       const std::string& server, uint64_t epoch,
       const std::vector<std::pair<std::string, uint64_t>>& survived_responses) {}
 
+  // --- primary/backup replication ---
+
+  // The backup `backup` promoted itself after `failed_primary` died. `epoch`
+  // is the fence the backup adopted (it must exceed every epoch the primary
+  // ever used) and `replicated_responses` the (client, rpc_id) keys whose
+  // responses the primary shipped before dying -- resends of those keys at
+  // the backup must replay, never re-execute, and every response the primary
+  // RELEASED to a client must appear here (no acknowledged work is lost
+  // across the failover).
+  virtual void OnFailover(
+      const std::string& failed_primary, const std::string& backup, uint64_t epoch,
+      const std::vector<std::pair<std::string, uint64_t>>& replicated_responses) {}
+  // The primary's replication sender gave up on synchronous shipping (the
+  // backup stopped acking past the sync timeout): responses released while
+  // degraded are no longer guaranteed to survive a failover, so the checker
+  // must stop holding the no-acknowledged-work-loss line for this primary.
+  virtual void OnReplicationDegraded(const std::string& primary) {}
+
   // --- access-manager sessions ---
 
   // An import tracked by a Session resolved: `version` is what the caller

@@ -30,6 +30,8 @@ const char* RpcEventName(RpcEvent event) {
       return "pushback";
     case RpcEvent::kCoalesced:
       return "coalesced";
+    case RpcEvent::kFailover:
+      return "failover";
   }
   return "unknown";
 }

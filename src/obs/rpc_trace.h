@@ -39,6 +39,8 @@ enum class RpcEvent {
   kPushback,        // server pushback honored: re-dispatch after retry-after
   kCoalesced,       // withdrawn pre-transmission; a supersedable successor
                     // targeting the same (dest, key) answers for it
+  kFailover,        // re-routed to the backup after the primary was declared
+                    // dead (repeats per re-dispatched attempt)
 };
 
 const char* RpcEventName(RpcEvent event);

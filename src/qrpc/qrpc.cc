@@ -19,6 +19,23 @@ QrpcClient::QrpcClient(EventLoop* loop, TransportManager* transport, StableLog* 
   WireMetrics(&own_metrics_, "qrpc_client");
   transport_->SetHandler(MessageType::kResponse,
                          [this](const Message& msg) { HandleResponse(msg); });
+  if (!options_.failover_primary.empty() && !options_.failover_backup.empty()) {
+    // Failure detector: the scheduler force-opens the primary's breaker when
+    // no link to it will ever come up again (or enough sends failed), which
+    // is this client's cue to fail over.
+    transport_->scheduler()->SetBreakerObserver(
+        [this, alive = std::weak_ptr<char>(alive_)](const std::string& dest,
+                                                    BreakerState state) {
+          if (alive.expired() || failover_engaged_) {
+            return;
+          }
+          if (dest == options_.failover_primary && state == BreakerState::kOpen) {
+            ROVER_LOG(Info) << self() << ": breaker open on primary " << dest
+                            << "; failing over to " << options_.failover_backup;
+            TriggerFailover();
+          }
+        });
+  }
 }
 
 void QrpcClient::WireMetrics(obs::Registry* registry, const std::string& prefix) {
@@ -37,6 +54,8 @@ void QrpcClient::WireMetrics(obs::Registry* registry, const std::string& prefix)
   c_storage_refused_ = registry->counter(prefix + ".storage_refused");
   c_storage_degraded_entered_ = registry->counter(prefix + ".storage_degraded_entered");
   c_storage_quarantined_calls_ = registry->counter(prefix + ".storage_quarantined_calls");
+  c_failovers_ = registry->counter(prefix + ".failovers");
+  c_failover_redispatches_ = registry->counter(prefix + ".failover_redispatches");
   g_storage_degraded_ = registry->gauge(prefix + ".storage_degraded");
   g_log_bytes_ = registry->gauge(prefix + ".log_bytes");
   h_rpc_seconds_ = registry->histogram(prefix + ".rpc_seconds");
@@ -60,6 +79,8 @@ void QrpcClient::BindMetrics(obs::Registry* registry, const std::string& prefix)
   c_storage_refused_->Increment(carried.storage_refused);
   c_storage_degraded_entered_->Increment(carried.storage_degraded_entered);
   c_storage_quarantined_calls_->Increment(carried.storage_quarantined_calls);
+  c_failovers_->Increment(carried.failovers);
+  c_failover_redispatches_->Increment(carried.failover_redispatches);
   g_storage_degraded_->Set(storage_degraded_ ? 1 : 0);
   if (log_ != nullptr) {
     g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
@@ -83,7 +104,64 @@ QrpcClientStats QrpcClient::stats() const {
   s.storage_refused = c_storage_refused_->value();
   s.storage_degraded_entered = c_storage_degraded_entered_->value();
   s.storage_quarantined_calls = c_storage_quarantined_calls_->value();
+  s.failovers = c_failovers_->value();
+  s.failover_redispatches = c_failover_redispatches_->value();
   return s;
+}
+
+const std::string& QrpcClient::ResolveDest(const std::string& dest) const {
+  if (failover_engaged_ && dest == options_.failover_primary) {
+    return options_.failover_backup;
+  }
+  return dest;
+}
+
+size_t QrpcClient::TriggerFailover() {
+  if (options_.failover_primary.empty() || options_.failover_backup.empty()) {
+    return 0;
+  }
+  const bool first = !failover_engaged_;
+  failover_engaged_ = true;
+  if (first) {
+    c_failovers_->Increment();
+  }
+  // Queued (never-transmitted) messages move wholesale, preserving order.
+  const std::vector<uint64_t> rebound = transport_->scheduler()->RebindDestination(
+      options_.failover_primary, options_.failover_backup);
+  std::set<uint64_t> rebound_set(rebound.begin(), rebound.end());
+  for (uint64_t id : rebound) {
+    Trace(id, obs::RpcEvent::kFailover);
+  }
+  // Calls already on the wire get a fresh dispatch from their retained
+  // bodies: whatever the primary never answered is re-sent to the backup,
+  // whose replicated duplicate cache dedupes anything already executed.
+  std::vector<uint64_t> redispatch;
+  for (const auto& [id, out] : outstanding_) {
+    if (out.dest == options_.failover_primary && out.dispatched &&
+        rebound_set.count(id) == 0 && !out.body.empty()) {
+      redispatch.push_back(id);
+    }
+  }
+  for (uint64_t id : redispatch) {
+    auto it = outstanding_.find(id);
+    if (it == outstanding_.end()) {
+      continue;  // resolved by an earlier re-dispatch's synchronous refusal
+    }
+    QrpcCallOptions call_options;
+    call_options.priority = it->second.priority;
+    c_failover_redispatches_->Increment();
+    Trace(id, obs::RpcEvent::kFailover);
+    DispatchToScheduler(id, it->second.dest, it->second.body, call_options);
+  }
+  if (first && epoch_observer_) {
+    // The logical server "restarted": volatile state (subscriptions) on the
+    // dead primary is gone, and the backup answers with a fenced epoch. Fire
+    // the same signal a natural epoch bump would, so the access layer
+    // stale-marks and re-subscribes without waiting for the next response.
+    epoch_observer_(options_.failover_primary,
+                    LastSeenEpoch(options_.failover_primary) + 1);
+  }
+  return rebound.size() + redispatch.size();
 }
 
 uint64_t QrpcClient::LastSeenEpoch(const std::string& server) const {
@@ -230,6 +308,7 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
   out.priority = call_options.priority;
   out.issued_at = loop_->now();
   out.supersede_key = call_options.supersede_key;
+  out.body = body;  // retained for failover re-dispatch
 
   // Coalescing happens only after this call is admitted: withdrawing the
   // predecessor first and then refusing the successor would drop a queued
@@ -339,7 +418,7 @@ bool QrpcClient::TryCoalescePredecessor(const std::string& dest, const std::stri
   // and agrees to cancel. A message in flight or already transmitted may
   // execute at the server, so its own response must resolve it.
   if (it->second.dispatched &&
-      !transport_->scheduler()->CancelMessage(dest, pred_id)) {
+      !transport_->scheduler()->CancelMessage(ResolveDest(dest), pred_id)) {
     return false;
   }
   Outstanding pred = std::move(it->second);
@@ -436,7 +515,7 @@ void QrpcClient::HandleDeadline(uint64_t rpc_id) {
       check_->OnCallWithdrawn(self(), rpc_id);
     }
   }
-  transport_->scheduler()->CancelMessage(out.dest, rpc_id);
+  transport_->scheduler()->CancelMessage(ResolveDest(out.dest), rpc_id);
   // Coalesced predecessors resolve with this call's deadline error and
   // must likewise not be resent after a crash.
   ResolveCoalescedPreds(out);
@@ -504,7 +583,7 @@ void QrpcClient::HandleSchedulerDrop(uint64_t rpc_id, const Status& status) {
       check_->OnCallWithdrawn(self(), rpc_id);
     }
   }
-  transport_->scheduler()->CancelMessage(out.dest, rpc_id);
+  transport_->scheduler()->CancelMessage(ResolveDest(out.dest), rpc_id);
   ResolveCoalescedPreds(out);
   c_background_shed_->Increment();
   Trace(rpc_id, obs::RpcEvent::kShed);
@@ -593,7 +672,7 @@ void QrpcClient::FailCallOnStorage(uint64_t rpc_id, const Status& status) {
     answered_log_records_.erase(out.log_record_id);
     g_log_bytes_->Set(static_cast<int64_t>(log_->TotalBytes()));
   }
-  transport_->scheduler()->CancelMessage(out.dest, rpc_id);
+  transport_->scheduler()->CancelMessage(ResolveDest(out.dest), rpc_id);
   // Predecessors this call coalesced resolve with its storage error, the
   // same shape as the deadline and shed exits.
   ResolveCoalescedPreds(out);
@@ -654,7 +733,7 @@ void QrpcClient::DispatchToScheduler(uint64_t rpc_id, const std::string& dest, B
   msg.header.message_id = rpc_id;
   msg.header.type = MessageType::kRequest;
   msg.header.priority = call_options.priority;
-  msg.header.dst = dest;
+  msg.header.dst = ResolveDest(dest);
   msg.payload = std::move(body);
   if (call_options.via_relay) {
     // Ask the server to route the response back through the same relay.
@@ -812,7 +891,7 @@ bool QrpcClient::Cancel(uint64_t rpc_id) {
       check_->OnCallWithdrawn(self(), rpc_id);
     }
   }
-  transport_->scheduler()->CancelMessage(out.dest, rpc_id);
+  transport_->scheduler()->CancelMessage(ResolveDest(out.dest), rpc_id);
   ResolveCoalescedPreds(out);
   c_cancelled_->Increment();
   Trace(rpc_id, obs::RpcEvent::kCancelled);
@@ -865,10 +944,12 @@ size_t QrpcClient::RecoverFromLog() {
       call.committed.Set(loop_->now());  // it is already durable
       Outstanding out;
       out.call = call;
+      out.dest = parsed->dest;
       out.log_record_id = rec.id;
       out.priority = parsed->call_options.priority;
       out.issued_at = loop_->now();
       out.recovered = true;
+      out.body = parsed->body;  // retained for failover re-dispatch
       outstanding_.emplace(parsed->rpc_id, std::move(out));
     }
     // If the call is still tracked (same engine survived, e.g. only the

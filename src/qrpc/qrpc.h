@@ -103,6 +103,15 @@ struct QrpcClientOptions {
   // no-ack-without-durable invariant exists to catch. Never enable outside
   // tests (tests/storage_fault_test.cc meta-test).
   bool unsafe_ack_despite_flush_failure_for_test = false;
+  // Primary/backup failover route. When both are set, `failover_primary` is
+  // a *logical* destination: after TriggerFailover() engages (explicitly, or
+  // via the scheduler's breaker opening on the primary), every message bound
+  // for the primary -- queued, in-flight resends, and all future calls -- is
+  // physically routed to `failover_backup` instead. Callers keep addressing
+  // the primary by name; the backup's duplicate cache (fed by replication)
+  // keeps re-routed resends at-most-once.
+  std::string failover_primary;
+  std::string failover_backup;
 };
 
 // Snapshot assembled from the metrics registry (see stats()).
@@ -122,6 +131,8 @@ struct QrpcClientStats {
   uint64_t storage_refused = 0;  // logged calls refused: device full
   uint64_t storage_degraded_entered = 0;  // times storage-degraded mode began
   uint64_t storage_quarantined_calls = 0;  // calls failed by record quarantine
+  uint64_t failovers = 0;  // times the primary->backup route engaged
+  uint64_t failover_redispatches = 0;  // in-flight calls re-sent to the backup
 };
 
 // Handle returned by Call(). Both promises resolve on the event loop.
@@ -199,6 +210,24 @@ class QrpcClient {
   uint64_t next_rpc_id() const { return next_rpc_id_; }
   void set_next_rpc_id(uint64_t id) { next_rpc_id_ = std::max(next_rpc_id_, id); }
 
+  // Engages the primary->backup failover route (no-op unless both
+  // QrpcClientOptions::failover_primary and failover_backup are set):
+  //  1. queued messages addressed to the primary move wholesale onto the
+  //     backup's scheduler queue, preserving priority and order;
+  //  2. calls already handed to the wire are re-dispatched to the backup
+  //     from their retained request bodies (the backup's replicated
+  //     duplicate cache dedupes any that the primary already executed);
+  //  3. on first engagement the epoch observer fires for the primary, so
+  //     the access layer treats the failover as a restart of the logical
+  //     server (stale-marks imports, re-subscribes -- now via the backup).
+  // All later traffic addressed to the primary is transparently re-routed.
+  // Idempotent; safe to call with nothing outstanding (e.g. to re-engage
+  // the route on a rebuilt client before RecoverFromLog re-sends). Invoked
+  // automatically when the scheduler's circuit breaker on the primary
+  // opens. Returns how many messages were rebound or re-dispatched.
+  size_t TriggerFailover();
+  bool failover_engaged() const { return failover_engaged_; }
+
   // Fired when a response reveals a server incarnation newer than the last
   // one this client observed -- the server restarted, so its volatile state
   // (subscriptions) is gone. The access manager re-subscribes and marks
@@ -232,6 +261,10 @@ class QrpcClient {
     // durable obligation, so it must never be shed (see HandleSchedulerDrop).
     bool recovered = false;
     std::string supersede_key;  // empty = not supersedable
+    // Marshalled request body, retained so failover can re-dispatch an
+    // in-flight call to the backup without a log read (unlogged calls have
+    // no other copy).
+    Bytes body;
     // Logged predecessors this call coalesced away. Their records stay in
     // the log -- a crash before this call's own record is durable
     // conservatively resends them -- and are withdrawn only once this
@@ -288,6 +321,9 @@ class QrpcClient {
   void MaybeClearStorageDegraded();
   bool OverBudget(size_t body_size, bool logged) const;
   void ObserveServerEpoch(const std::string& server, uint64_t epoch);
+  // Physical destination for `dest`: the backup when the failover route has
+  // engaged and `dest` is the (logical) primary, otherwise `dest` itself.
+  const std::string& ResolveDest(const std::string& dest) const;
   void MaybeTruncateLog();
   void WireMetrics(obs::Registry* registry, const std::string& prefix);
   void Trace(uint64_t rpc_id, obs::RpcEvent event);
@@ -313,6 +349,10 @@ class QrpcClient {
   // Newest epoch observed per server host; drives the epoch observer.
   std::map<std::string, uint64_t> seen_server_epochs_;
   EpochObserver epoch_observer_;
+  // True once TriggerFailover() has engaged the primary->backup route; the
+  // flag never clears (fail-back is a deliberate non-goal -- the fenced
+  // primary must not silently resume serving).
+  bool failover_engaged_ = false;
   // Deferred loop callbacks (marshal, flush completion, deadlines) capture
   // a weak_ptr to this token and bail out once it is gone, so a client
   // destroyed by a simulated crash never has freed state touched by events
@@ -337,6 +377,8 @@ class QrpcClient {
   obs::Counter* c_storage_refused_ = nullptr;
   obs::Counter* c_storage_degraded_entered_ = nullptr;
   obs::Counter* c_storage_quarantined_calls_ = nullptr;
+  obs::Counter* c_failovers_ = nullptr;
+  obs::Counter* c_failover_redispatches_ = nullptr;
   obs::Gauge* g_storage_degraded_ = nullptr;
   bool storage_degraded_ = false;
   obs::Gauge* g_log_bytes_ = nullptr;  // stable-log byte budget occupancy

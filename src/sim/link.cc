@@ -128,9 +128,14 @@ std::string Link::PeerOf(const std::string& host) const {
   return "";
 }
 
-bool Link::IsUp() const { return schedule_->IsUp(loop_->now()); }
+bool Link::IsUp() const { return !forced_down_ && schedule_->IsUp(loop_->now()); }
 
-TimePoint Link::NextUpTime() const { return schedule_->NextUpTime(loop_->now()); }
+TimePoint Link::NextUpTime() const {
+  if (forced_down_) {
+    return TimePoint::FromMicros(INT64_MAX);
+  }
+  return schedule_->NextUpTime(loop_->now());
+}
 
 void Link::SetFrameHandler(const std::string& receiving_host, FrameHandler handler) {
   // Direction 0 carries a->b traffic, so host_b_ receives it.
@@ -176,7 +181,7 @@ void Link::SendFrame(const std::string& from_host, Bytes frame, DeliveryCallback
     return;
   }
   const TimePoint now = loop_->now();
-  if (!schedule_->IsUp(now)) {
+  if (forced_down_ || !schedule_->IsUp(now)) {
     c_frames_rejected_->Increment();
     if (done) {
       // Fail asynchronously so callers never observe re-entrant completion.

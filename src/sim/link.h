@@ -102,6 +102,13 @@ class Link {
   bool IsUp() const;
   TimePoint NextUpTime() const;
 
+  // Administratively downs the link for good, overriding the connectivity
+  // schedule -- models the interfaces of a host that died (failover kills).
+  // Irreversible; frames already in transit complete or are lost per the
+  // schedule as it stood when they were sent.
+  void ForceDown() { forced_down_ = true; }
+  bool forced_down() const { return forced_down_; }
+
   void SetFrameHandler(const std::string& receiving_host, FrameHandler handler);
 
   // Sends `frame` from `from_host` to its peer. `done` may be null.
@@ -126,6 +133,7 @@ class Link {
   std::string host_b_;
   LinkProfile profile_;
   std::unique_ptr<ConnectivitySchedule> schedule_;
+  bool forced_down_ = false;
   Rng loss_rng_;
   obs::Registry own_metrics_;  // used until BindMetrics() points elsewhere
   obs::Counter* c_frames_sent_ = nullptr;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/store/replication.h"
 #include "src/tclite/value.h"
 #include "src/util/delta.h"
 #include "src/util/logging.h"
@@ -81,14 +82,25 @@ void RoverServer::WireDurability() {
     txn.client = client;
     txn.rpc_id = rpc_id;
     txn.response = encoded_response;
-    stable_store_->LogTransaction(txn);
-    stable_store_->Flush([this, weak = std::weak_ptr<char>(alive_),
+    const uint64_t seq = stable_store_->LogTransaction(txn);
+    if (replication_ != nullptr) {
+      replication_->Ship(seq, stable_store_->epoch(), txn);
+    }
+    stable_store_->Flush([this, seq, weak = std::weak_ptr<char>(alive_),
                           release = std::move(release)](const Status& flushed) mutable {
       if (weak.expired()) {
         return;  // server crashed while the journal write was in flight
       }
       if (flushed.ok()) {
-        release();
+        // Semi-synchronous replication: the response may only leave once
+        // the transaction is durable locally AND covered by the backup's
+        // acked watermark -- that pairing is what lets a failover promise
+        // that no acknowledged work is lost.
+        if (replication_ != nullptr) {
+          replication_->GateRelease(seq, std::move(release));
+        } else {
+          release();
+        }
         return;
       }
       if (flushed.code() == StatusCode::kResourceExhausted) {
@@ -98,7 +110,17 @@ void RoverServer::WireDurability() {
         // mutations AND the (undurable) duplicate-cache entry, so the
         // reclaim makes this transaction durable and the release can fire.
         ++stats_.wal_space_exhausted;
-        RecoverWalSpace(std::move(release));
+        if (replication_ != nullptr) {
+          RecoverWalSpace([this, seq, release = std::move(release)]() mutable {
+            if (replication_ != nullptr) {
+              replication_->GateRelease(seq, std::move(release));
+            } else {
+              release();
+            }
+          });
+        } else {
+          RecoverWalSpace(std::move(release));
+        }
         return;
       }
       // Terminal failure: the response must not leave, and the in-memory
@@ -251,8 +273,68 @@ void RoverServer::RecordOp(ReplayOp op) {
   // single-op transaction, flushed best-effort.
   ServerTransaction txn;
   txn.ops.push_back(std::move(op));
-  stable_store_->LogTransaction(txn);
+  const uint64_t seq = stable_store_->LogTransaction(txn);
+  if (replication_ != nullptr) {
+    replication_->Ship(seq, stable_store_->epoch(), txn);
+  }
   stable_store_->Flush(nullptr);
+}
+
+void RoverServer::ApplyReplicatedTransaction(const ServerTransaction& txn,
+                                             std::function<void(const Status&)> done) {
+  replaying_ = true;  // journal hooks must not re-log the shipped mutations
+  for (const ReplayOp& op : txn.ops) {
+    if (op.is_remove) {
+      (void)store_.Remove(op.name);
+      DropInstance(op.name);
+    } else {
+      store_.RestoreCommit(op.committed);
+      DropInstance(op.committed.name);
+    }
+  }
+  replaying_ = false;
+  if (txn.has_response) {
+    qrpc_->RestoreCachedResponse(txn.client, txn.rpc_id, txn.response);
+  }
+  if (stable_store_ == nullptr) {
+    if (done) {
+      done(Status::Ok());
+    }
+    return;
+  }
+  stable_store_->LogTransaction(txn);
+  stable_store_->Flush([weak = std::weak_ptr<char>(alive_),
+                        done = std::move(done)](const Status& flushed) {
+    if (weak.expired() || !done) {
+      return;
+    }
+    done(flushed);
+  });
+  MaybeCompact();
+}
+
+void RoverServer::AdoptReplicatedSnapshot(Bytes object_image,
+                                          std::vector<CachedResponseEntry> responses,
+                                          std::function<void()> done) {
+  replaying_ = true;
+  if (!object_image.empty()) {
+    Status loaded = store_.Load(object_image);
+    if (!loaded.ok()) {
+      ROVER_LOG(Warning) << "replicated snapshot load failed: " << loaded.message();
+    }
+  }
+  replaying_ = false;
+  for (const CachedResponseEntry& entry : responses) {
+    qrpc_->RestoreCachedResponse(entry.client, entry.rpc_id, entry.response);
+  }
+  instances_.clear();
+  if (stable_store_ == nullptr) {
+    if (done) {
+      done();
+    }
+    return;
+  }
+  stable_store_->WriteSnapshot(store_.Serialize(), std::move(responses), std::move(done));
 }
 
 void RoverServer::MaybeCompact() {

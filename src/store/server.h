@@ -23,6 +23,8 @@
 
 namespace rover {
 
+class ReplicationSender;
+
 struct RoverServerOptions {
   ExecLimits rdo_limits;
   RdoCostModel rdo_costs;
@@ -119,6 +121,26 @@ class RoverServer {
   // on a reclaim compaction.
   bool WalSpaceDegraded() const { return wal_space_degraded_; }
 
+  // Primary role: every journaled transaction is shipped through `sender`
+  // and response releases gate on the acked replication watermark (see
+  // replication.h). Null (the default) disables shipping.
+  void SetReplicationSender(ReplicationSender* sender) { replication_ = sender; }
+
+  // Backup role: applies one transaction shipped by the primary -- store
+  // mutations plus the duplicate-cache response entry -- with journal hooks
+  // suppressed, then journals it to the local WAL. `done` runs with the
+  // local durability outcome; the transaction must only be acked upstream
+  // when it is durable here.
+  void ApplyReplicatedTransaction(const ServerTransaction& txn,
+                                  std::function<void(const Status&)> done);
+
+  // Backup role: replaces the whole server image with a resync snapshot
+  // from the primary (object store + duplicate cache) and persists it as a
+  // local snapshot. `done` runs once the snapshot is durable locally.
+  void AdoptReplicatedSnapshot(Bytes object_image,
+                               std::vector<CachedResponseEntry> responses,
+                               std::function<void()> done);
+
   size_t SubscriberCount(const std::string& name) const {
     auto it = subscribers_.find(name);
     return it == subscribers_.end() ? 0 : it->second.size();
@@ -167,6 +189,7 @@ class RoverServer {
   QrpcServer* qrpc_;
   RoverServerOptions options_;
   ServerStableStore* stable_store_;  // may be null: volatile server
+  ReplicationSender* replication_ = nullptr;  // non-null on a primary
   obs::CheckListener* check_ = nullptr;
   RoverServerStats stats_;
   ObjectStore store_;

@@ -64,7 +64,8 @@ ServerStableStore::ServerStableStore(EventLoop* loop, ServerStoreOptions options
 
 uint64_t ServerStableStore::LogTransaction(const ServerTransaction& txn) {
   ++stats_.transactions_logged;
-  return wal_.Append(txn.Encode());
+  last_logged_id_ = wal_.Append(txn.Encode());
+  return last_logged_id_;
 }
 
 void ServerStableStore::Flush(StableLog::FlushCallback done) {

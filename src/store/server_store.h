@@ -14,6 +14,7 @@
 #ifndef ROVER_SRC_STORE_SERVER_STORE_H_
 #define ROVER_SRC_STORE_SERVER_STORE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -136,6 +137,17 @@ class ServerStableStore {
   StableLog::ScrubReport ScrubWal();
 
   uint64_t epoch() const { return epoch_; }
+
+  // Promotion fence: raises the durable epoch to at least `epoch` (never
+  // lowers it). A backup taking over adopts one above anything the dead
+  // primary ever used, so its responses are distinguishable from stale ones.
+  void AdoptEpoch(uint64_t epoch) { epoch_ = std::max(epoch_, epoch); }
+
+  // Highest WAL record id ever assigned by LogTransaction -- monotone across
+  // crashes and compactions (the device outlives both). Doubles as the
+  // replication sequence baseline when serving a resync snapshot.
+  uint64_t last_logged_id() const { return last_logged_id_; }
+
   size_t WalRecordCount() const { return wal_.RecordCount(); }
   bool CompactionInProgress() const { return compaction_in_progress_; }
   const ServerStoreStats& stats() const { return stats_; }
@@ -157,6 +169,7 @@ class ServerStableStore {
   // Server incarnation; persisted trivially (a tiny durable cell), bumped by
   // every Recover() so clients can detect the restart.
   uint64_t epoch_ = 1;
+  uint64_t last_logged_id_ = 0;
   bool compaction_in_progress_ = false;
   // Bumped by SimulateCrash so snapshot-completion events scheduled before
   // the crash abandon their swap.

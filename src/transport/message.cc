@@ -1,5 +1,7 @@
 #include "src/transport/message.h"
 
+#include "src/util/crc32.h"
+
 namespace rover {
 
 std::string_view MessageTypeName(MessageType type) {
@@ -76,18 +78,35 @@ Result<Message> Message::Decode(const Bytes& data) {
 }
 
 Bytes EncodeFrame(const std::vector<Message>& messages) {
-  WireWriter writer;
-  writer.WriteVarint(messages.size());
+  WireWriter body_writer;
+  body_writer.WriteVarint(messages.size());
   for (const Message& msg : messages) {
-    msg.EncodeTo(&writer);
+    msg.EncodeTo(&body_writer);
   }
+  const Bytes body = body_writer.TakeData();
+  // The frame body is covered by a CRC so a bit flip anywhere -- header or
+  // payload -- fails decode at the receiving transport instead of delivering
+  // damaged payload bytes to the layers above.
+  WireWriter writer;
+  writer.Reserve(body.size() + 12);
+  writer.WriteVarint(Crc32(body.data(), body.size()));
+  writer.WriteBytes(body);
   return writer.TakeData();
 }
 
 Result<std::vector<Message>> DecodeFrame(const Bytes& frame) {
-  WireReader reader(frame);
+  WireReader outer(frame);
+  ROVER_ASSIGN_OR_RETURN(uint64_t crc, outer.ReadVarint());
+  ROVER_ASSIGN_OR_RETURN(Bytes body, outer.ReadBytes());
+  if (!outer.AtEnd()) {
+    return DataLossError("trailing bytes after frame");
+  }
+  if (Crc32(body.data(), body.size()) != static_cast<uint32_t>(crc)) {
+    return DataLossError("frame checksum mismatch");
+  }
+  WireReader reader(body);
   ROVER_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
-  if (count > frame.size()) {  // each message is at least 1 byte
+  if (count > body.size()) {  // each message is at least 1 byte
     return DataLossError("frame message count implausible");
   }
   std::vector<Message> messages;

@@ -155,6 +155,13 @@ void CircuitBreaker::Reset() {
   open_until_ = TimePoint::Epoch();
 }
 
+void CircuitBreaker::ForceOpen(TimePoint now) {
+  if (options_.failure_threshold == 0 || state_ == BreakerState::kOpen) {
+    return;
+  }
+  Open(now);
+}
+
 void CircuitBreaker::Open(TimePoint now) {
   state_ = BreakerState::kOpen;
   probe_outstanding_ = false;

@@ -119,6 +119,11 @@ class CircuitBreaker {
   // went down); permits another probe rather than wedging half-open.
   void AbortProbe();
 
+  // Opens the circuit immediately regardless of failure count -- for
+  // out-of-band death verdicts (destination unreachable with no scheduled
+  // reconnection). No-op when the breaker is disabled (threshold 0).
+  void ForceOpen(TimePoint now);
+
   // Forget all failure history (e.g. the link to the destination was
   // replaced or reconnected: old conditions say nothing about new ones).
   void Reset();

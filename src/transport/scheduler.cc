@@ -257,6 +257,35 @@ bool NetworkScheduler::CancelMessage(const std::string& dest, uint64_t message_i
   return false;
 }
 
+std::vector<uint64_t> NetworkScheduler::RebindDestination(const std::string& from,
+                                                          const std::string& to) {
+  std::vector<uint64_t> moved;
+  auto it = queues_.find(from);
+  if (it == queues_.end() || from == to) {
+    return moved;
+  }
+  // GetQueue may insert into queues_, but map insertion never invalidates
+  // existing element references.
+  DestQueue& src = it->second;
+  DestQueue& dst = GetQueue(to);
+  for (int prio = 0; prio < kNumPriorities; ++prio) {
+    auto& spq = src.by_priority[prio];
+    auto& dpq = dst.by_priority[prio];
+    while (!spq.empty()) {
+      Pending p = std::move(spq.front());
+      spq.pop_front();
+      p.msg.header.dst = to;
+      moved.push_back(p.msg.header.message_id);
+      dpq.push_back(std::move(p));
+    }
+  }
+  if (!moved.empty()) {
+    NotifyObserver();
+    TryDrain(to);
+  }
+  return moved;
+}
+
 size_t NetworkScheduler::TotalQueueDepth() const {
   size_t n = 0;
   for (const auto& [dest, q] : queues_) {
@@ -295,13 +324,15 @@ void NetworkScheduler::TryDrain(const std::string& dest) {
   }
   Link* link = PickLink(dest);
   if (link == nullptr) {
-    ArmUpWakeup(dest);
+    if (!ArmUpWakeup(dest)) {
+      NoteDestUnreachable(dest);
+    }
     return;
   }
   const TimePoint now = loop_->now();
   const BreakerState before_attempt = q.breaker.state();
   const bool attempt_allowed = q.breaker.AllowAttempt(now);
-  NoteBreakerChange(before_attempt, q.breaker.state());
+  NoteBreakerChange(dest, before_attempt, q.breaker.state());
   if (!attempt_allowed) {
     // Open circuit: park until the cooldown passes, then probe.
     if (!q.breaker_wait_armed) {
@@ -388,7 +419,7 @@ void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
     q.backoff->Reset();
     const BreakerState before = q.breaker.state();
     q.breaker.RecordSuccess();
-    NoteBreakerChange(before, q.breaker.state());
+    NoteBreakerChange(dest, before, q.breaker.state());
     c_messages_delivered_->Increment(batch.size());
     for (Pending& p : batch) {
       // Payload accounting at the delivery point: only bytes a link carried
@@ -419,8 +450,10 @@ void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
     // frame was a half-open probe, allow a fresh probe after reconnection.
     const BreakerState before = q.breaker.state();
     q.breaker.AbortProbe();
-    NoteBreakerChange(before, q.breaker.state());
-    ArmUpWakeup(dest);
+    NoteBreakerChange(dest, before, q.breaker.state());
+    if (!ArmUpWakeup(dest)) {
+      NoteDestUnreachable(dest);
+    }
   } else {
     // Random loss: decorrelated-jitter backoff (drawn from [base,
     // 3 * previous], capped), gated by the shared retry budget and counted
@@ -429,7 +462,7 @@ void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
     ++q.consecutive_losses;
     const BreakerState before = q.breaker.state();
     q.breaker.RecordFailure(now);
-    NoteBreakerChange(before, q.breaker.state());
+    NoteBreakerChange(dest, before, q.breaker.state());
     if (q.breaker.state() == BreakerState::kOpen && before != BreakerState::kOpen) {
       c_breaker_opened_->Increment();
       NotifyObserver();
@@ -455,25 +488,30 @@ void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
   }
 }
 
-void NetworkScheduler::ArmUpWakeup(const std::string& dest) {
+bool NetworkScheduler::ArmUpWakeup(const std::string& dest) {
   DestQueue& q = GetQueue(dest);
   if (q.waiting_for_up) {
-    return;
+    return true;
   }
   // Find the link to `dest` that comes up soonest and schedule a wakeup.
   // The computation is only valid for the link set as it stands right now;
   // ReevaluateWakeups() re-runs it when a link is attached later.
   Link* soonest = nullptr;
+  bool has_link = false;
   TimePoint best = TimePoint::FromMicros(INT64_MAX);
   for (Link* link : host_->LinksTo(dest)) {
+    has_link = true;
     const TimePoint up = link->NextUpTime();
     if (up < best) {
       best = up;
       soonest = link;
     }
   }
-  if (soonest == nullptr || best == TimePoint::FromMicros(INT64_MAX)) {
-    return;  // no route exists today; ReevaluateWakeups() retries on attach
+  if (soonest == nullptr) {
+    // No wakeup to arm. With no link at all a route may still be attached
+    // later (ReevaluateWakeups retries); with links that will never come up
+    // again the destination is dead -- report that to the caller.
+    return !has_link;
   }
   q.waiting_for_up = true;
   q.up_wakeup_event =
@@ -492,9 +530,10 @@ void NetworkScheduler::ArmUpWakeup(const std::string& dest) {
         dq.backoff->Reset();
         const BreakerState before = dq.breaker.state();
         dq.breaker.Reset();
-        NoteBreakerChange(before, dq.breaker.state());
+        NoteBreakerChange(dest, before, dq.breaker.state());
         TryDrain(dest);
       });
+  return true;
 }
 
 void NetworkScheduler::ReevaluateWakeups() {
@@ -513,9 +552,28 @@ void NetworkScheduler::ReevaluateWakeups() {
   }
 }
 
-void NetworkScheduler::NoteBreakerChange(BreakerState before, BreakerState after) {
+void NetworkScheduler::NoteDestUnreachable(const std::string& dest) {
+  DestQueue& q = GetQueue(dest);
+  if (q.empty() || q.breaker.state() == BreakerState::kOpen) {
+    return;
+  }
+  const BreakerState before = q.breaker.state();
+  q.breaker.ForceOpen(loop_->now());
+  if (q.breaker.state() != BreakerState::kOpen) {
+    return;  // breaker disabled; nothing to report
+  }
+  c_breaker_opened_->Increment();
+  NoteBreakerChange(dest, before, q.breaker.state());
+  NotifyObserver();
+}
+
+void NetworkScheduler::NoteBreakerChange(const std::string& dest, BreakerState before,
+                                         BreakerState after) {
   open_breakers_ += (after != BreakerState::kClosed ? 1 : 0) -
                     (before != BreakerState::kClosed ? 1 : 0);
+  if (before != after && breaker_observer_) {
+    breaker_observer_(dest, after);
+  }
 }
 
 void NetworkScheduler::NotifyObserver() {

@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/obs/rpc_trace.h"
@@ -81,6 +82,10 @@ class NetworkScheduler {
   // Observes total queued-message count after every change; drives the
   // toolkit's user notification ("N requests waiting for connectivity").
   using QueueObserver = std::function<void(size_t depth)>;
+  // Observes per-destination circuit-breaker transitions (fires on every
+  // state change, with the new state). The QRPC client uses the kOpen edge
+  // on its primary as the failure-detector input for failover.
+  using BreakerObserver = std::function<void(const std::string& dest, BreakerState state)>;
 
   NetworkScheduler(EventLoop* loop, Host* host, SchedulerOptions options = {});
 
@@ -107,6 +112,16 @@ class NetworkScheduler {
   BreakerState BreakerStateFor(const std::string& dest) const;
 
   void SetQueueObserver(QueueObserver observer) { observer_ = std::move(observer); }
+  void SetBreakerObserver(BreakerObserver observer) {
+    breaker_observer_ = std::move(observer);
+  }
+
+  // Destination rebind (failover): moves every queued -- not in-flight --
+  // message addressed to `from` onto `to`'s queues, preserving priority and
+  // order, and rewrites their headers. Returns the message ids moved.
+  // Messages already in flight are untouched; the caller owns re-sending
+  // whatever `from` never answered.
+  std::vector<uint64_t> RebindDestination(const std::string& from, const std::string& to);
 
   // Re-homes the scheduler's instruments into `registry` under
   // "<prefix>." names, carrying current values over. Call before or after
@@ -161,11 +176,18 @@ class NetworkScheduler {
   void SendBatch(const std::string& dest, Link* link);
   void HandleBatchOutcome(const std::string& dest, std::vector<Pending> batch,
                           const Status& status);
-  void ArmUpWakeup(const std::string& dest);
+  // Returns false when no wakeup could be armed because no link to `dest`
+  // will ever come up again (dead destination).
+  bool ArmUpWakeup(const std::string& dest);
+  // Verdict for a destination with queued traffic, no up link, and no
+  // scheduled reconnection: force the breaker open so observers (failover)
+  // learn the destination is gone.
+  void NoteDestUnreachable(const std::string& dest);
   void NotifyObserver();
-  // Folds a breaker state transition into open_breakers_; called at every
-  // mutation site so NotifyObserver never rescans queues_.
-  void NoteBreakerChange(BreakerState before, BreakerState after);
+  // Folds a breaker state transition into open_breakers_ and fires the
+  // breaker observer; called at every mutation site so NotifyObserver never
+  // rescans queues_.
+  void NoteBreakerChange(const std::string& dest, BreakerState before, BreakerState after);
   void WireMetrics(obs::Registry* registry, const std::string& prefix);
 
   EventLoop* loop_;
@@ -178,6 +200,7 @@ class NetworkScheduler {
   // (queues_ entries are never removed, so this cannot drift).
   int64_t open_breakers_ = 0;
   QueueObserver observer_;
+  BreakerObserver breaker_observer_;
   // Deferred callbacks (up-wakeups, loss-backoff retries, frame
   // completions) capture a weak_ptr to this token and bail out when it is
   // gone, so events queued past the scheduler's destruction -- e.g. a

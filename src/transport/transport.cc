@@ -9,6 +9,7 @@ namespace rover {
 
 TransportManager::TransportManager(EventLoop* loop, Host* host, SchedulerOptions options)
     : loop_(loop), host_(host), scheduler_(loop, host, options) {
+  WireMetrics(&own_metrics_, "transport");
   host_->SetReceiver([this](const Bytes& frame, const std::string& from) {
     HandleFrame(frame, from);
   }, this);
@@ -75,9 +76,23 @@ void TransportManager::SetHandler(MessageType type, MessageHandler handler) {
   handlers_[static_cast<size_t>(type)] = std::move(handler);
 }
 
+void TransportManager::WireMetrics(obs::Registry* registry, const std::string& prefix) {
+  c_frames_corrupt_dropped_ = registry->counter(prefix + ".frames_corrupt_dropped");
+  c_messages_undecodable_ = registry->counter(prefix + ".messages_undecodable");
+}
+
+void TransportManager::BindMetrics(obs::Registry* registry, const std::string& prefix) {
+  const uint64_t frames = c_frames_corrupt_dropped_->value();
+  const uint64_t messages = c_messages_undecodable_->value();
+  WireMetrics(registry, prefix);
+  c_frames_corrupt_dropped_->Increment(frames);
+  c_messages_undecodable_->Increment(messages);
+}
+
 void TransportManager::HandleFrame(const Bytes& frame, const std::string& from) {
   auto decoded = DecodeFrame(frame);
   if (!decoded.ok()) {
+    c_frames_corrupt_dropped_->Increment();
     ROVER_LOG(Warning) << host_->name() << ": dropping corrupt frame from " << from << ": "
                        << decoded.status();
     return;
@@ -86,6 +101,7 @@ void TransportManager::HandleFrame(const Bytes& frame, const std::string& from) 
     if (msg.header.compressed) {
       auto raw = LzDecompress(msg.payload);
       if (!raw.ok()) {
+        c_messages_undecodable_->Increment();
         ROVER_LOG(Warning) << host_->name() << ": dropping message "
                            << msg.header.message_id << ": " << raw.status();
         continue;

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "src/obs/metrics.h"
 #include "src/sim/network.h"
 #include "src/transport/message.h"
 #include "src/transport/scheduler.h"
@@ -62,8 +63,21 @@ class TransportManager {
   static Bytes EncodeEnvelope(const Message& inner);
   static Result<Message> DecodeEnvelope(const Bytes& payload);
 
+  // Re-homes the transport's instruments into `registry` under "<prefix>."
+  // names, carrying current values over.
+  void BindMetrics(obs::Registry* registry, const std::string& prefix = "transport");
+
+  // Inbound frames dropped at the decode boundary (bit-corrupted on the
+  // wire). Corruption never propagates past this point: no partial message
+  // reaches a handler.
+  uint64_t frames_corrupt_dropped() const { return c_frames_corrupt_dropped_->value(); }
+  // Individual messages dropped because their compressed payload failed to
+  // decompress (the rest of the frame's batch still dispatches).
+  uint64_t messages_undecodable() const { return c_messages_undecodable_->value(); }
+
  private:
   void HandleFrame(const Bytes& frame, const std::string& from);
+  void WireMetrics(obs::Registry* registry, const std::string& prefix);
 
   EventLoop* loop_;
   Host* host_;
@@ -71,6 +85,9 @@ class TransportManager {
   std::array<MessageHandler, 4> handlers_;
   uint64_t next_message_id_ = 1;
   std::string auth_token_;
+  obs::Registry own_metrics_;  // used until BindMetrics() points elsewhere
+  obs::Counter* c_frames_corrupt_dropped_ = nullptr;
+  obs::Counter* c_messages_undecodable_ = nullptr;
 };
 
 }  // namespace rover

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "src/check/simcheck.h"
+#include "src/core/toolkit.h"
 #include "src/qrpc/marshal.h"
 #include "src/rdo/rdo.h"
 #include "src/store/server.h"
@@ -131,6 +133,52 @@ TEST_P(FuzzTest, RandomListsEitherSplitOrErrorCleanly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(uint64_t{1}, uint64_t{7}));
+
+// End-to-end containment of wire corruption: frames damaged by a noisy
+// radio must die at the transport's CRC decode boundary -- counted by
+// frames_corrupt_dropped -- and never surface to QRPC, whose retries then
+// converge on the correct result.
+TEST(CorruptionIsolationTest, DamagedFramesDropAtTransportNeverReachQrpc) {
+  constexpr char kCounterCode[] = R"(
+proc get {} { global state; return $state }
+proc add {n} { global state; set state [expr {$state + $n}]; return $state }
+)";
+  Testbed bed;
+  check::SimCheck simcheck;
+  simcheck.Attach(&bed);
+  ASSERT_TRUE(bed.server()->rover()->CreateObject(
+      MakeRdo("counter", "lww", kCounterCode, "0")).ok());
+  LinkProfile noisy = LinkProfile::WaveLan2();
+  noisy.corrupt_prob = 0.3;
+  RoverClientNode* client = bed.AddClient("mobile", noisy);
+
+  constexpr int kOps = 8;
+  std::vector<Promise<InvokeResult>> results(kOps);
+  for (int i = 0; i < kOps; ++i) {
+    bed.loop()->ScheduleAt(TimePoint::Epoch() + Duration::Seconds(1 + i),
+                           [&, i] {
+                             InvokeOptions io;
+                             io.force_site = ExecutionSite::kServer;
+                             results[i] = client->access()->Invoke(
+                                 "counter", "add", {"1"}, io);
+                           });
+  }
+  bed.Run();
+
+  for (auto& r : results) {
+    ASSERT_TRUE(r.ready());
+    EXPECT_TRUE(r.value().status.ok());
+  }
+  EXPECT_EQ(bed.server()->store()->Get("counter")->data,
+            std::to_string(kOps));
+  // Corruption really happened on the wire, and every damaged frame was
+  // dropped at decode rather than handed upward.
+  EXPECT_GT(client->transport()->frames_corrupt_dropped() +
+                bed.server()->transport()->frames_corrupt_dropped(),
+            0u);
+  simcheck.CheckQuiesced();
+  EXPECT_TRUE(simcheck.ok()) << simcheck.Report();
+}
 
 }  // namespace
 }  // namespace rover

@@ -479,6 +479,75 @@ TEST(StorageFaultServerTest, ScrubResnapshotsAroundQuarantinedWalRecords) {
   }
 }
 
+// scrub_interval turns the recovery-time rot check into a background
+// patrol: the timer finds the damaged WAL record between crashes, counts
+// the run and the quarantine, and the forced snapshot covers the hole long
+// before the next recovery would have tripped over it.
+TEST(StorageFaultServerTest, PeriodicScrubTimerQuarantinesRotBetweenCrashes) {
+  Testbed::Options topts;
+  topts.server.scrub_interval = Duration::Seconds(5);
+  Testbed bed(topts);
+  for (const char* name : {"a", "b", "c"}) {
+    ASSERT_TRUE(bed.server()->rover()->CreateObject(
+        MakeRdo(name, "lww", kCounterCode, name)).ok());
+  }
+  bed.loop()->RunUntil(At(1));  // journal flushes settle
+  ASSERT_NE(bed.server()->stable_store()->wal()->InjectBitRot(1), 0u);
+
+  // The timer re-arms itself, so drive the loop by horizon rather than to
+  // quiescence: three periods pass, the first one after the rot finds it.
+  bed.loop()->RunUntil(At(16));
+  EXPECT_GE(bed.server()->metrics()->counter("storage_scrub.runs")->value(), 3u);
+  EXPECT_EQ(bed.server()->metrics()->counter("storage_scrub.quarantined")->value(),
+            1u);
+
+  bed.server()->SimulateCrashAndRestart(false);
+  for (const char* name : {"a", "b", "c"}) {
+    auto obj = bed.server()->store()->Get(name);
+    ASSERT_TRUE(obj.ok()) << name;
+    EXPECT_EQ(obj->data, name);
+  }
+}
+
+// The client-side periodic scrub fails a rotted durable call loudly (the
+// record can no longer be replayed faithfully) and conservatively marks
+// cached imports stale -- all without waiting for a crash-recovery cycle.
+TEST(StorageFaultClientTest, PeriodicScrubFailsRottedCallWithoutCrash) {
+  Testbed bed;
+  ASSERT_TRUE(bed.server()->rover()->CreateObject(
+      MakeRdo("journal", "lww", kJournalCode, "")).ok());
+  // Link up for the first 10s, down for 10s, then up for good: calls issued
+  // in the gap sit durably in the log where the rot can reach them.
+  auto schedule = std::make_unique<IntervalConnectivity>(
+      std::vector<IntervalConnectivity::Interval>{{At(0), At(10)},
+                                                  {At(20), At(10'000)}});
+  ClientNodeOptions copts;
+  copts.scrub_interval = Duration::Seconds(3);
+  RoverClientNode* m = bed.AddClient("mobile", LinkProfile::WaveLan2(),
+                                     std::move(schedule), copts);
+
+  // A cached import gives the conservative stale-mark something to mark.
+  bed.loop()->ScheduleAt(At(1), [&] { m->access()->Import("journal"); });
+  bed.loop()->ScheduleAt(At(12), [&] {
+    InvokeOptions io;
+    io.force_site = ExecutionSite::kServer;
+    m->access()->Invoke("journal", "add", {"late-a"}, io);
+    m->access()->Invoke("journal", "add", {"late-b"}, io);
+  });
+  uint64_t rotted = 0;
+  bed.loop()->ScheduleAt(At(14), [&] { rotted = m->log()->InjectBitRot(3); });
+  bed.loop()->RunUntil(At(40));
+
+  ASSERT_NE(rotted, 0u);  // the interior record (late-a) was damaged
+  EXPECT_GE(m->metrics()->counter("storage_scrub.runs")->value(), 4u);
+  EXPECT_EQ(m->metrics()->counter("storage_scrub.quarantined")->value(), 1u);
+  EXPECT_GE(m->access()->stats().storage_stale_marks, 1u);
+  // The intact record was resent once the link returned; the quarantined
+  // call failed loudly instead of acking data it cannot replay.
+  EXPECT_EQ(bed.server()->store()->Get("journal")->data, "late-b");
+  EXPECT_EQ(m->qrpc()->LogDepth(), 0u);
+}
+
 // --- Part 4: seeded chaos with disk faults ----------------------------------
 
 // Random storage faults (write-error bursts, bounded disk-full episodes,
