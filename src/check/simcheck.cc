@@ -431,20 +431,33 @@ void SimCheck::CheckQuiesced() {
       }
     }
     // Conservation: at quiesce each gauge equals the structure it mirrors.
-    const obs::Gauge* depth = node->metrics()->FindGauge("scheduler.queue_depth");
+    // The gauges and TotalQueueDepth() now read the same incremental
+    // counters, so the independent witness is AuditQueues(): a structural
+    // walk of every destination queue, skipping tombstones.
+    const SchedulerQueueAudit audit = node->transport()->scheduler()->AuditQueues();
+    if (!audit.per_dest_consistent) {
+      AddViolation("queue-index-drift", host,
+                   "a per-destination counter disagrees with its queue walk");
+    }
     const size_t actual_depth = node->transport()->scheduler()->TotalQueueDepth();
-    if (depth != nullptr && depth->value() != static_cast<int64_t>(actual_depth)) {
+    if (audit.messages != actual_depth) {
+      AddViolation("queue-index-drift", host,
+                   "TotalQueueDepth=" + std::to_string(actual_depth) +
+                       " but the structural walk counts " +
+                       std::to_string(audit.messages));
+    }
+    const obs::Gauge* depth = node->metrics()->FindGauge("scheduler.queue_depth");
+    if (depth != nullptr && depth->value() != static_cast<int64_t>(audit.messages)) {
       AddViolation("gauge-drift", host,
                    "scheduler.queue_depth=" + std::to_string(depth->value()) +
-                       " but scheduler holds " + std::to_string(actual_depth));
+                       " but scheduler holds " + std::to_string(audit.messages));
     }
     const obs::Gauge* qbytes =
         node->metrics()->FindGauge("scheduler.queued_payload_bytes");
-    const size_t actual_bytes = node->transport()->scheduler()->QueuedPayloadBytes();
-    if (qbytes != nullptr && qbytes->value() != static_cast<int64_t>(actual_bytes)) {
+    if (qbytes != nullptr && qbytes->value() != static_cast<int64_t>(audit.payload_bytes)) {
       AddViolation("gauge-drift", host,
                    "scheduler.queued_payload_bytes=" + std::to_string(qbytes->value()) +
-                       " but scheduler holds " + std::to_string(actual_bytes));
+                       " but scheduler holds " + std::to_string(audit.payload_bytes));
     }
     const obs::Gauge* lbytes = node->metrics()->FindGauge("qrpc_client.log_bytes");
     const size_t actual_log = node->log()->TotalBytes();
@@ -459,12 +472,20 @@ void SimCheck::CheckQuiesced() {
       continue;  // killed primary: its process-level structures are gone
     }
     const std::string& host = node->host_name();
+    const SchedulerQueueAudit audit = node->transport()->scheduler()->AuditQueues();
+    if (!audit.per_dest_consistent) {
+      AddViolation("queue-index-drift", host,
+                   "a per-destination counter disagrees with its queue walk");
+    }
+    if (audit.messages != node->transport()->scheduler()->TotalQueueDepth()) {
+      AddViolation("queue-index-drift", host,
+                   "TotalQueueDepth disagrees with the structural walk");
+    }
     const obs::Gauge* depth = node->metrics()->FindGauge("scheduler.queue_depth");
-    const size_t actual_depth = node->transport()->scheduler()->TotalQueueDepth();
-    if (depth != nullptr && depth->value() != static_cast<int64_t>(actual_depth)) {
+    if (depth != nullptr && depth->value() != static_cast<int64_t>(audit.messages)) {
       AddViolation("gauge-drift", host,
                    "scheduler.queue_depth=" + std::to_string(depth->value()) +
-                       " but scheduler holds " + std::to_string(actual_depth));
+                       " but scheduler holds " + std::to_string(audit.messages));
     }
   }
 }

@@ -79,12 +79,25 @@ Bytes RpcRequestBody::Encode() const {
   return writer.TakeData();
 }
 
+namespace {
+
+Result<RpcRequestBody> DecodeRequestFrom(WireReader* reader) {
+  RpcRequestBody body;
+  ROVER_ASSIGN_OR_RETURN(body.method, reader->ReadString());
+  ROVER_ASSIGN_OR_RETURN(body.args, DecodeRpcArgs(reader));
+  return body;
+}
+
+}  // namespace
+
 Result<RpcRequestBody> RpcRequestBody::Decode(const Bytes& payload) {
   WireReader reader(payload);
-  RpcRequestBody body;
-  ROVER_ASSIGN_OR_RETURN(body.method, reader.ReadString());
-  ROVER_ASSIGN_OR_RETURN(body.args, DecodeRpcArgs(&reader));
-  return body;
+  return DecodeRequestFrom(&reader);
+}
+
+Result<RpcRequestBody> RpcRequestBody::Decode(const Buffer& payload) {
+  WireReader reader(payload.data(), payload.size());
+  return DecodeRequestFrom(&reader);
 }
 
 Status RpcResponseBody::ToStatus() const {
@@ -104,8 +117,26 @@ Bytes RpcResponseBody::Encode() const {
   return writer.TakeData();
 }
 
+namespace {
+
+Result<RpcResponseBody> DecodeResponseFrom(WireReader* reader);
+
+}  // namespace
+
 Result<RpcResponseBody> RpcResponseBody::Decode(const Bytes& payload) {
   WireReader reader(payload);
+  return DecodeResponseFrom(&reader);
+}
+
+Result<RpcResponseBody> RpcResponseBody::Decode(const Buffer& payload) {
+  WireReader reader(payload.data(), payload.size());
+  return DecodeResponseFrom(&reader);
+}
+
+namespace {
+
+Result<RpcResponseBody> DecodeResponseFrom(WireReader* reader_ptr) {
+  WireReader& reader = *reader_ptr;
   RpcResponseBody body;
   ROVER_ASSIGN_OR_RETURN(uint64_t code, reader.ReadVarint());
   if (code > static_cast<uint64_t>(StatusCode::kPermissionDenied)) {
@@ -123,6 +154,8 @@ Result<RpcResponseBody> RpcResponseBody::Decode(const Bytes& payload) {
   }
   return body;
 }
+
+}  // namespace
 
 Result<int64_t> RpcValueAsInt(const RpcValue& value) {
   if (const auto* i = std::get_if<int64_t>(&value)) {

@@ -11,6 +11,7 @@
 #include <variant>
 #include <vector>
 
+#include "src/util/buffer.h"
 #include "src/util/bytes.h"
 #include "src/util/result.h"
 
@@ -32,6 +33,8 @@ struct RpcRequestBody {
 
   Bytes Encode() const;
   static Result<RpcRequestBody> Decode(const Bytes& payload);
+  // Decodes straight out of a payload view (no copy of the input bytes).
+  static Result<RpcRequestBody> Decode(const Buffer& payload);
 };
 
 // Response payload: a status and a result value, stamped with the
@@ -51,6 +54,7 @@ struct RpcResponseBody {
 
   Bytes Encode() const;
   static Result<RpcResponseBody> Decode(const Bytes& payload);
+  static Result<RpcResponseBody> Decode(const Buffer& payload);
 };
 
 // Convenience accessors with type checking.

@@ -190,7 +190,7 @@ void QrpcClient::Trace(uint64_t rpc_id, obs::RpcEvent event) {
 }
 
 Bytes QrpcClient::EncodeLogRecord(uint64_t rpc_id, const std::string& dest,
-                                  const QrpcCallOptions& call_options, const Bytes& body) {
+                                  const QrpcCallOptions& call_options, const Buffer& body) {
   WireWriter writer;
   writer.Reserve(32 + dest.size() + call_options.relay_host.size() + body.size());
   writer.WriteVarint(kLogRecordRequest);
@@ -199,12 +199,15 @@ Bytes QrpcClient::EncodeLogRecord(uint64_t rpc_id, const std::string& dest,
   writer.WriteVarint(static_cast<uint64_t>(call_options.priority));
   writer.WriteBool(call_options.via_relay);
   writer.WriteString(call_options.relay_host);
-  writer.WriteBytes(body);
+  writer.WriteVarint(body.size());
+  // The one charged copy on the durable path: body bytes land in the record.
+  ChargePayloadCopy(body.size());
+  writer.WriteRaw(body.data(), body.size());
   return writer.TakeData();
 }
 
-Result<QrpcClient::ParsedLogRecord> QrpcClient::DecodeLogRecord(const Bytes& data) {
-  WireReader reader(data);
+Result<QrpcClient::ParsedLogRecord> QrpcClient::DecodeLogRecord(const Buffer& data) {
+  WireReader reader(data.data(), data.size());
   ROVER_ASSIGN_OR_RETURN(uint64_t kind, reader.ReadVarint());
   if (kind != kLogRecordRequest) {
     return InvalidArgumentError("not a qrpc request log record");
@@ -215,7 +218,14 @@ Result<QrpcClient::ParsedLogRecord> QrpcClient::DecodeLogRecord(const Bytes& dat
   ROVER_ASSIGN_OR_RETURN(uint64_t priority, reader.ReadVarint());
   ROVER_ASSIGN_OR_RETURN(out.call_options.via_relay, reader.ReadBool());
   ROVER_ASSIGN_OR_RETURN(out.call_options.relay_host, reader.ReadString());
-  ROVER_ASSIGN_OR_RETURN(out.body, reader.ReadBytes());
+  ROVER_ASSIGN_OR_RETURN(uint64_t body_len, reader.ReadVarint());
+  if (body_len > reader.remaining()) {
+    return DataLossError("truncated body in log record");
+  }
+  ROVER_ASSIGN_OR_RETURN(const uint8_t* body_ptr, reader.ReadRaw(body_len));
+  // The body is a slice of the record's storage: recovery re-dispatch pays
+  // no copy.
+  out.body = data.Slice(static_cast<size_t>(body_ptr - data.data()), body_len);
   if (priority >= kNumPriorities) {
     return InvalidArgumentError("bad priority in log record");
   }
@@ -249,7 +259,9 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
   RpcRequestBody request;
   request.method = method;
   request.args = std::move(args);
-  Bytes body = request.Encode();
+  // One allocation for the body's whole lifetime: retained copy, queued
+  // message payload, and failover re-dispatch all share it by refcount.
+  Buffer body(request.Encode());
 
   const bool logged = call_options.log_request && log_ != nullptr;
   Bytes record;
@@ -340,8 +352,7 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
           }
         });
   }
-  auto body_ptr = std::make_shared<Bytes>(std::move(body));
-  loop_->ScheduleAfter(marshal_cost, [this, rpc_id, dest, body_ptr, call_options,
+  loop_->ScheduleAfter(marshal_cost, [this, rpc_id, dest, body, call_options,
                                       alive = std::weak_ptr<char>(alive_)] {
     if (alive.expired()) {
       return;  // client torn down (simulated crash) before marshalling ran
@@ -352,7 +363,7 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
     }
     if (it->second.log_record_id != 0) {
       // Durability point: flush before the scheduler may transmit.
-      log_->Flush([this, rpc_id, dest, body_ptr, call_options,
+      log_->Flush([this, rpc_id, dest, body, call_options,
                    alive = std::weak_ptr<char>(alive_)](const Status& flush_status) {
         if (alive.expired()) {
           return;  // the log survives a crash; this client did not
@@ -380,11 +391,11 @@ QrpcCall QrpcClient::Call(const std::string& dest, const std::string& method, Rp
         // This record is durable, so any predecessors it superseded can
         // now safely leave the log.
         ResolveCoalescedPreds(it2->second);
-        DispatchToScheduler(rpc_id, dest, *body_ptr, call_options);
+        DispatchToScheduler(rpc_id, dest, body, call_options);
       });
     } else {
       it->second.call.committed.Set(loop_->now());
-      DispatchToScheduler(rpc_id, dest, *body_ptr, call_options);
+      DispatchToScheduler(rpc_id, dest, body, call_options);
     }
   });
   return call;
@@ -724,7 +735,7 @@ size_t QrpcClient::FailQuarantinedRecords(const std::vector<uint64_t>& log_recor
   return failed;
 }
 
-void QrpcClient::DispatchToScheduler(uint64_t rpc_id, const std::string& dest, Bytes body,
+void QrpcClient::DispatchToScheduler(uint64_t rpc_id, const std::string& dest, Buffer body,
                                      const QrpcCallOptions& call_options) {
   if (auto it = outstanding_.find(rpc_id); it != outstanding_.end()) {
     it->second.dispatched = true;
@@ -1023,11 +1034,19 @@ QrpcServerStats QrpcServer::stats() const {
 }
 
 bool QrpcServer::CorruptCachedResponseForTest(const std::string& client, uint64_t rpc_id) {
-  auto it = done_.find(std::make_pair(client, rpc_id));
+  auto it = done_.find(ClientRpcKeyView{client, rpc_id});
   if (it == done_.end()) {
     return false;
   }
-  it->second = Bytes{0xff, 0xff, 0xff};  // undecodable garbage
+  // In-place damage through the copy-on-write door: snapshots or journal
+  // entries sharing these bytes keep the intact original.
+  uint8_t* p = it->second.MutableData();
+  for (size_t i = 0; i < it->second.size(); ++i) {
+    p[i] = 0xff;  // undecodable garbage (0xff is not a valid status varint)
+  }
+  if (it->second.empty()) {
+    it->second = Buffer(Bytes{0xff, 0xff, 0xff});
+  }
   return true;
 }
 
@@ -1055,7 +1074,7 @@ void QrpcServer::EvictDupCacheOverflow() {
   }
 }
 
-void QrpcServer::RestoreCachedResponse(std::string client, uint64_t rpc_id, Bytes response) {
+void QrpcServer::RestoreCachedResponse(std::string client, uint64_t rpc_id, Buffer response) {
   const auto key = std::make_pair(std::move(client), rpc_id);
   if (done_.emplace(key, std::move(response)).second) {
     done_order_.push_back(key);
@@ -1098,14 +1117,17 @@ void QrpcServer::HandleRequest(const Message& msg) {
                  msg.header.reply_via, body);
     return;
   }
-  const auto key = std::make_pair(msg.header.src, msg.header.message_id);
+  // Probe the dup-cache with a view over the header -- no std::string is
+  // materialized unless this request actually starts executing.
+  const ClientRpcKeyView lookup{std::string_view(msg.header.src),
+                                msg.header.message_id};
 
   // At-most-once: a completed request is answered from the cache; an
   // in-progress one is dropped (its response is already on the way).
-  auto done_it = done_.find(key);
+  auto done_it = done_.find(lookup);
   if (done_it != done_.end()) {
     c_duplicates_->Increment();
-    if (undurable_responses_.count(key) > 0) {
+    if (undurable_responses_.count(lookup) > 0) {
       // The entry's response journal has not reported durable yet: a crash
       // could still lose the transaction this response acknowledges, so a
       // replay now would hand the client an answer the server might forget.
@@ -1117,8 +1139,8 @@ void QrpcServer::HandleRequest(const Message& msg) {
       // Reports the journal state as-is rather than asserting it: the gate
       // above makes this always durable, and a regression of that gate then
       // shows up as an undurable-replay violation in SimCheck.
-      check_->OnServerReplay(self(), key.first, key.second,
-                             /*durable=*/undurable_responses_.count(key) == 0);
+      check_->OnServerReplay(self(), msg.header.src, msg.header.message_id,
+                             /*durable=*/undurable_responses_.count(lookup) == 0);
     }
     auto decoded = RpcResponseBody::Decode(done_it->second);
     if (!decoded.ok()) {
@@ -1137,7 +1159,7 @@ void QrpcServer::HandleRequest(const Message& msg) {
                  msg.header.reply_via, *decoded);
     return;
   }
-  if (in_progress_.count(key) > 0) {
+  if (in_progress_.count(lookup) > 0) {
     c_duplicates_->Increment();
     return;
   }
@@ -1207,6 +1229,8 @@ void QrpcServer::HandleRequest(const Message& msg) {
     return;
   }
 
+  // The request executes: now build the owning key that outlives the header.
+  const ClientRpcKey key = std::make_pair(msg.header.src, msg.header.message_id);
   in_progress_.insert(key);
   g_inflight_requests_->Set(static_cast<int64_t>(in_progress_.size()));
   const std::string src = msg.header.src;
@@ -1220,7 +1244,9 @@ void QrpcServer::HandleRequest(const Message& msg) {
     }
     in_progress_.erase(key);
     g_inflight_requests_->Set(static_cast<int64_t>(in_progress_.size()));
-    Bytes encoded = body.Encode();  // cached/journaled without an epoch stamp
+    // Cached/journaled without an epoch stamp. One allocation: the cache
+    // entry and the journal's copy share it by refcount.
+    Buffer encoded(body.Encode());
     done_[key] = encoded;
     done_order_.push_back(key);
     EvictDupCacheOverflow();

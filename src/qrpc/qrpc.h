@@ -263,8 +263,9 @@ class QrpcClient {
     std::string supersede_key;  // empty = not supersedable
     // Marshalled request body, retained so failover can re-dispatch an
     // in-flight call to the backup without a log read (unlogged calls have
-    // no other copy).
-    Bytes body;
+    // no other copy). Shares storage with the queued message's payload --
+    // retention costs a refcount, not a copy.
+    Buffer body;
     // Logged predecessors this call coalesced away. Their records stay in
     // the log -- a crash before this call's own record is durable
     // conservatively resends them -- and are withdrawn only once this
@@ -276,10 +277,10 @@ class QrpcClient {
     uint64_t rpc_id = 0;
     std::string dest;
     QrpcCallOptions call_options;
-    Bytes body;
+    Buffer body;  // slice of the log record's storage (no copy on recovery)
   };
 
-  void DispatchToScheduler(uint64_t rpc_id, const std::string& dest, Bytes body,
+  void DispatchToScheduler(uint64_t rpc_id, const std::string& dest, Buffer body,
                            const QrpcCallOptions& call_options);
   void HandleResponse(const Message& msg);
   void HandleDeadline(uint64_t rpc_id);
@@ -330,8 +331,8 @@ class QrpcClient {
   const std::string& self() const { return transport_->local_host(); }
 
   static Bytes EncodeLogRecord(uint64_t rpc_id, const std::string& dest,
-                               const QrpcCallOptions& call_options, const Bytes& body);
-  static Result<ParsedLogRecord> DecodeLogRecord(const Bytes& data);
+                               const QrpcCallOptions& call_options, const Buffer& body);
+  static Result<ParsedLogRecord> DecodeLogRecord(const Buffer& data);
 
   EventLoop* loop_;
   TransportManager* transport_;
@@ -445,7 +446,7 @@ class QrpcServer {
   // malformed request) are not journaled, matching the cache itself.
   using ResponseJournal =
       std::function<void(const std::string& client, uint64_t rpc_id,
-                         const Bytes& encoded_response, std::function<void()> release)>;
+                         const Buffer& encoded_response, std::function<void()> release)>;
   void SetResponseJournal(ResponseJournal journal) { response_journal_ = std::move(journal); }
 
   // Duplicate-cache persistence: snapshot for compaction, restore on
@@ -453,10 +454,10 @@ class QrpcServer {
   struct CachedResponse {
     std::string client;
     uint64_t rpc_id = 0;
-    Bytes response;
+    Buffer response;  // shares storage with the cache entry
   };
   std::vector<CachedResponse> CachedResponses() const;
-  void RestoreCachedResponse(std::string client, uint64_t rpc_id, Bytes response);
+  void RestoreCachedResponse(std::string client, uint64_t rpc_id, Buffer response);
 
   // Identity of the request whose handler is executing right now, or
   // nullptr outside handler dispatch. Lets store-level journaling attribute
@@ -490,6 +491,24 @@ class QrpcServer {
   bool storage_degraded() const { return storage_degraded_; }
 
  private:
+  // Dup-cache key: (client host, rpc id). The transparent comparator lets
+  // the per-request lookups probe with a string_view over the message
+  // header instead of materializing a std::string first (the owning key is
+  // built only when an entry is actually inserted).
+  using ClientRpcKey = std::pair<std::string, uint64_t>;
+  using ClientRpcKeyView = std::pair<std::string_view, uint64_t>;
+  struct ClientRpcKeyLess {
+    using is_transparent = void;
+    static ClientRpcKeyView View(const ClientRpcKey& k) {
+      return {std::string_view(k.first), k.second};
+    }
+    static ClientRpcKeyView View(const ClientRpcKeyView& k) { return k; }
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const {
+      return View(a) < View(b);
+    }
+  };
+
   void HandleRequest(const Message& msg);
   void SendResponse(const std::string& dst, uint64_t rpc_id, Priority priority,
                     const std::string& reply_via, RpcResponseBody body);
@@ -522,16 +541,18 @@ class QrpcServer {
   std::map<std::string, Handler> handlers_;
   Handler default_handler_;
   // (client host, rpc id) -> cached response for at-most-once execution.
-  std::map<std::pair<std::string, uint64_t>, Bytes> done_;
-  std::deque<std::pair<std::string, uint64_t>> done_order_;
-  std::set<std::pair<std::string, uint64_t>> in_progress_;
+  // Buffer values: caching, journaling, replication shipping, and the
+  // replay send all share one allocation of the encoded response.
+  std::map<ClientRpcKey, Buffer, ClientRpcKeyLess> done_;
+  std::deque<ClientRpcKey> done_order_;
+  std::set<ClientRpcKey, ClientRpcKeyLess> in_progress_;
   // Keys in done_ whose response-journal write has not yet been reported
   // durable. A duplicate request for such a key is dropped, not replayed:
   // the cached response acknowledges a transaction a crash could still
   // lose, and the journal-gated original send answers the client anyway
   // once the entry is durable. Entries leave via the journal release; a
   // crash discards the whole set with the rest of process state.
-  std::set<std::pair<std::string, uint64_t>> undurable_responses_;
+  std::set<ClientRpcKey, ClientRpcKeyLess> undurable_responses_;
 };
 
 }  // namespace rover

@@ -110,12 +110,12 @@ bool StableLog::HasSpaceFor(size_t payload_bytes) const {
   return device_.HasSpaceFor(PendingStoredBytes() + payload_bytes + kRecordFraming);
 }
 
-uint64_t StableLog::Append(Bytes data) {
+uint64_t StableLog::Append(Buffer data) {
   Record rec;
   rec.id = next_id_++;
   rec.raw_size = data.size();
   if (cost_model_.compress_log) {
-    Bytes packed = LzCompress(data);
+    Bytes packed = LzCompress(data.data(), data.size());
     if (packed.size() < data.size()) {
       rec.compressed = true;
       rec.data = std::move(packed);
@@ -150,18 +150,19 @@ const StableLog::Record* StableLog::FindRecord(uint64_t id) const {
   return nullptr;
 }
 
-Result<Bytes> StableLog::RecordPayload(const Record& rec) const {
+Result<Buffer> StableLog::RecordPayload(const Record& rec) const {
   if (Crc32(rec.data.data(), rec.data.size()) != rec.crc) {
     return DataLossError("stable log: record CRC mismatch (latent corruption)");
   }
   if (!rec.compressed) {
-    return rec.data;
+    return rec.data;  // refcount bump; no copy
   }
-  ROVER_ASSIGN_OR_RETURN(Bytes raw, LzDecompress(rec.data));
+  ROVER_ASSIGN_OR_RETURN(Bytes raw,
+                         LzDecompress(rec.data.data(), rec.data.size()));
   if (raw.size() != rec.raw_size) {
     return DataLossError("stable log: decompressed record size mismatch");
   }
-  return raw;
+  return Buffer(std::move(raw));
 }
 
 void StableLog::Flush(FlushCallback done) { FlushInternal(std::move(done)); }
@@ -325,9 +326,11 @@ void StableLog::MarkDurable(const WriteJob& job) {
     if (std::binary_search(job.ids.begin(), job.ids.end(), rec.id)) {
       rec.durable = true;
       // The write succeeded, but flash can still rot: plant latent damage
-      // the CRC scan will surface at read/recovery time.
+      // the CRC scan will surface at read/recovery time. MutableData() is
+      // copy-on-write: rot on the device never reaches other holders of
+      // the same payload bytes (in-flight messages, caches).
       if (!rec.data.empty() && device_.DrawBitRot()) {
-        rec.data[rec.data.size() / 3] ^= 0x24;
+        rec.data.MutableData()[rec.data.size() / 3] ^= 0x24;
       }
     }
   }
@@ -426,10 +429,10 @@ void StableLog::SimulateCrash(bool tear_last_record) {
       if (being_written) {
         it->durable = true;
         if (it->data.empty()) {
-          it->data.push_back(0xff);
+          it->data = Buffer(Bytes{0xff});
           ++total_bytes_;
         } else {
-          it->data[it->data.size() / 2] ^= 0x5a;
+          it->data.MutableData()[it->data.size() / 2] ^= 0x5a;
         }
         // The partial write occupies device space even though its Write()
         // never completed.
@@ -447,10 +450,10 @@ void StableLog::SimulateCrash(bool tear_last_record) {
   if (tear_last_record && !tore_in_flight && !records_.empty()) {
     Record& last = records_.back();
     if (last.data.empty()) {
-      last.data.push_back(0xff);  // garbage byte; CRC of empty no longer matches
+      last.data = Buffer(Bytes{0xff});  // garbage byte; CRC of empty no longer matches
       ++total_bytes_;
     } else {
-      last.data[last.data.size() / 2] ^= 0x5a;
+      last.data.MutableData()[last.data.size() / 2] ^= 0x5a;
     }
   }
   // Pending write completions and retries stamp the old generation and do
@@ -549,7 +552,9 @@ uint64_t StableLog::InjectBitRot(uint64_t selector) {
     candidates.pop_back();
   }
   Record* victim = candidates[selector % candidates.size()];
-  victim->data[victim->data.size() / 2] ^= 0x3c;
+  // CoW mutation: rot lands on the stored record only, never on live
+  // aliases of the payload elsewhere in the system.
+  victim->data.MutableData()[victim->data.size() / 2] ^= 0x3c;
   return victim->id;
 }
 

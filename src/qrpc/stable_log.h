@@ -28,6 +28,7 @@
 #include "src/qrpc/stable_device.h"
 #include "src/sim/event_loop.h"
 #include "src/transport/overload.h"
+#include "src/util/buffer.h"
 #include "src/util/bytes.h"
 #include "src/util/status.h"
 #include "src/util/time.h"
@@ -84,7 +85,11 @@ class StableLog {
  public:
   struct Record {
     uint64_t id = 0;
-    Bytes data;  // stored form: LZ-compressed when `compressed` is set
+    // Stored form: LZ-compressed when `compressed` is set. A Buffer so the
+    // log can retain the caller's payload without copying it; simulated
+    // device damage (bit rot, torn writes) goes through MutableData(),
+    // whose copy-on-write keeps other holders of the same bytes intact.
+    Buffer data;
     uint32_t crc = 0;  // CRC of the stored form (what the device holds)
     bool durable = false;
     bool compressed = false;
@@ -111,8 +116,10 @@ class StableLog {
   StableLog(EventLoop* loop, StableLogCostModel cost_model = {},
             DiskFaultOptions disk_faults = {});
 
-  // Appends a record to the in-memory tail (not yet durable). Returns its id.
-  uint64_t Append(Bytes data);
+  // Appends a record to the in-memory tail (not yet durable). Returns its
+  // id. Takes a Buffer: an rvalue Bytes adopts without copying, and a
+  // payload already living in a Buffer is retained by refcount.
+  uint64_t Append(Buffer data);
 
   // Makes all appended records durable. `done` runs once the (simulated)
   // device write terminally completes -- successfully or not; flushes are
@@ -162,9 +169,10 @@ class StableLog {
 
   // The record's original (uncompressed) payload. Readers must use this
   // instead of touching `data` directly -- with compress_log on, `data`
-  // holds the stored form. kDataLoss if the record is corrupt (CRC
-  // mismatch, i.e. latent bit rot surfacing at read time).
-  Result<Bytes> RecordPayload(const Record& rec) const;
+  // holds the stored form. Uncompressed records cost a refcount bump, not
+  // a copy. kDataLoss if the record is corrupt (CRC mismatch, i.e. latent
+  // bit rot surfacing at read time).
+  Result<Buffer> RecordPayload(const Record& rec) const;
 
   // Id of the oldest record still in the log, or 0 when empty.
   uint64_t FrontRecordId() const { return records_.empty() ? 0 : records_.front().id; }

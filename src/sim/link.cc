@@ -267,7 +267,7 @@ void Link::SendFrame(const std::string& from_host, Bytes frame, DeliveryCallback
     auto damaged_ptr = std::make_shared<Bytes>(std::move(damaged));
     loop_->ScheduleAt(arrival, [this, dir, damaged_ptr, from_host] {
       if (handlers_[dir]) {
-        handlers_[dir](*damaged_ptr, from_host);
+        handlers_[dir](std::move(*damaged_ptr), from_host);
       }
     });
     loop_->ScheduleAt(arrival + profile_.latency, [done] {
@@ -295,11 +295,14 @@ void Link::SendFrame(const std::string& from_host, Bytes frame, DeliveryCallback
 
   const size_t payload = frame.size();
   auto frame_ptr = std::make_shared<Bytes>(std::move(frame));
-  loop_->ScheduleAt(deliver_at, [this, dir, frame_ptr, done, payload, from_host] {
+  loop_->ScheduleAt(deliver_at, [this, dir, frame_ptr, done, payload, from_host,
+                                 duplicate] {
     c_frames_delivered_->Increment();
     c_payload_bytes_->Increment(payload);
     if (handlers_[dir]) {
-      handlers_[dir](*frame_ptr, from_host);
+      // A pending duplicate delivery still needs the bytes; otherwise hand
+      // the storage to the receiver outright.
+      handlers_[dir](duplicate ? *frame_ptr : std::move(*frame_ptr), from_host);
     }
     if (done) {
       done(Status::Ok());
@@ -309,7 +312,7 @@ void Link::SendFrame(const std::string& from_host, Bytes frame, DeliveryCallback
     c_frames_duplicated_->Increment();
     loop_->ScheduleAt(deliver_at + profile_.latency, [this, dir, frame_ptr, from_host] {
       if (handlers_[dir]) {
-        handlers_[dir](*frame_ptr, from_host);
+        handlers_[dir](std::move(*frame_ptr), from_host);
       }
     });
   }

@@ -79,8 +79,10 @@ class Link {
   // kUnavailable if the link was/went down, kDataLoss for random packet loss
   // (models the sender's retransmission timer expiring).
   using DeliveryCallback = std::function<void(const Status&)>;
-  // Invoked at the *receiver* when a frame arrives.
-  using FrameHandler = std::function<void(const Bytes& frame, const std::string& from)>;
+  // Invoked at the *receiver* when a frame arrives. The frame is passed by
+  // value so the link can move its storage straight into the receiving
+  // transport (which adopts it and slices message payloads out of it).
+  using FrameHandler = std::function<void(Bytes frame, const std::string& from)>;
 
   Link(EventLoop* loop, std::string host_a, std::string host_b, LinkProfile profile,
        std::unique_ptr<ConnectivitySchedule> schedule, uint64_t loss_seed = 1);

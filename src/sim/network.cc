@@ -49,17 +49,17 @@ void Host::ClearLinkChangeListener(const void* owner) {
 
 void Host::Attach(Link* link) {
   links_.push_back(link);
-  link->SetFrameHandler(name_, [this](const Bytes& frame, const std::string& from) {
-    HandleFrame(frame, from);
+  link->SetFrameHandler(name_, [this](Bytes frame, const std::string& from) {
+    HandleFrame(std::move(frame), from);
   });
   if (link_change_listener_) {
     link_change_listener_();
   }
 }
 
-void Host::HandleFrame(const Bytes& frame, const std::string& from) {
+void Host::HandleFrame(Bytes frame, const std::string& from) {
   if (receiver_) {
-    receiver_(frame, from);
+    receiver_(std::move(frame), from);
   }
 }
 

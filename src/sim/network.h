@@ -22,7 +22,9 @@ class Network;
 
 class Host {
  public:
-  using Receiver = std::function<void(const Bytes& frame, const std::string& from_host)>;
+  // By-value frame: the host forwards the link's storage to the transport
+  // without copying.
+  using Receiver = std::function<void(Bytes frame, const std::string& from_host)>;
 
   const std::string& name() const { return name_; }
 
@@ -53,7 +55,7 @@ class Host {
   explicit Host(std::string name) : name_(std::move(name)) {}
 
   void Attach(Link* link);
-  void HandleFrame(const Bytes& frame, const std::string& from);
+  void HandleFrame(Bytes frame, const std::string& from);
 
   std::string name_;
   std::vector<Link*> links_;

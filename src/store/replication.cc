@@ -52,7 +52,9 @@ Bytes EncodeSnapshotMessage(const ReplicationSender::ResyncImage& image) {
   for (const CachedResponseEntry& r : image.responses) {
     writer.WriteString(r.client);
     writer.WriteVarint(r.rpc_id);
-    writer.WriteBytes(r.response);
+    writer.WriteVarint(r.response.size());
+    ChargePayloadCopy(r.response.size());
+    writer.WriteRaw(r.response.data(), r.response.size());
   }
   return writer.TakeData();
 }
@@ -107,7 +109,7 @@ void ReplicationSender::GateRelease(uint64_t seq, std::function<void()> release)
 }
 
 void ReplicationSender::HandleControl(const Message& msg) {
-  WireReader reader(msg.payload);
+  WireReader reader(msg.payload.data(), msg.payload.size());
   auto tag = reader.ReadString();
   if (!tag.ok()) {
     return;
@@ -272,7 +274,7 @@ uint64_t ReplicationReceiver::Promote() {
 }
 
 void ReplicationReceiver::HandleControl(const Message& msg) {
-  WireReader reader(msg.payload);
+  WireReader reader(msg.payload.data(), msg.payload.size());
   auto tag = reader.ReadString();
   if (!tag.ok()) {
     return;
@@ -280,11 +282,21 @@ void ReplicationReceiver::HandleControl(const Message& msg) {
   if (*tag == kTagTxn) {
     auto seq = reader.ReadVarint();
     auto epoch = reader.ReadVarint();
-    auto encoded = reader.ReadBytes();
-    if (!seq.ok() || !epoch.ok() || !encoded.ok()) {
+    auto encoded_len = reader.ReadVarint();
+    if (!seq.ok() || !epoch.ok() || !encoded_len.ok() ||
+        *encoded_len > reader.remaining()) {
       return;
     }
-    auto txn = ServerTransaction::Decode(*encoded);
+    auto encoded_ptr = reader.ReadRaw(*encoded_len);
+    if (!encoded_ptr.ok()) {
+      return;
+    }
+    // Decode straight out of the control payload; the transaction's response
+    // slice keeps the frame storage alive through the duplicate cache.
+    const Buffer encoded = msg.payload.Slice(
+        static_cast<size_t>(*encoded_ptr - msg.payload.data()),
+        static_cast<size_t>(*encoded_len));
+    auto txn = ServerTransaction::Decode(encoded);
     if (!txn.ok()) {
       ROVER_LOG(Warning) << "dropping undecodable replicated transaction seq "
                       << *seq;
@@ -305,13 +317,20 @@ void ReplicationReceiver::HandleControl(const Message& msg) {
       CachedResponseEntry entry;
       auto client = reader.ReadString();
       auto rpc_id = reader.ReadVarint();
-      auto response = reader.ReadBytes();
-      if (!client.ok() || !rpc_id.ok() || !response.ok()) {
+      auto response_len = reader.ReadVarint();
+      if (!client.ok() || !rpc_id.ok() || !response_len.ok() ||
+          *response_len > reader.remaining()) {
+        return;
+      }
+      auto response_ptr = reader.ReadRaw(*response_len);
+      if (!response_ptr.ok()) {
         return;
       }
       entry.client = *std::move(client);
       entry.rpc_id = *rpc_id;
-      entry.response = *std::move(response);
+      entry.response = msg.payload.Slice(
+          static_cast<size_t>(*response_ptr - msg.payload.data()),
+          static_cast<size_t>(*response_len));
       responses.push_back(std::move(entry));
     }
     HandleSnapshot(*baseline, *epoch, *std::move(image), std::move(responses));

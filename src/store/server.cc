@@ -17,16 +17,29 @@ Bytes EncodeInvalidation(const std::string& name, uint64_t version) {
   return writer.TakeData();
 }
 
-Result<Invalidation> DecodeInvalidation(const Bytes& payload) {
-  WireReader reader(payload);
-  ROVER_ASSIGN_OR_RETURN(std::string tag, reader.ReadString());
+namespace {
+
+Result<Invalidation> DecodeInvalidationFrom(WireReader* reader) {
+  ROVER_ASSIGN_OR_RETURN(std::string tag, reader->ReadString());
   if (tag != "INVAL") {
     return DataLossError("not an invalidation message");
   }
   Invalidation inval;
-  ROVER_ASSIGN_OR_RETURN(inval.name, reader.ReadString());
-  ROVER_ASSIGN_OR_RETURN(inval.version, reader.ReadVarint());
+  ROVER_ASSIGN_OR_RETURN(inval.name, reader->ReadString());
+  ROVER_ASSIGN_OR_RETURN(inval.version, reader->ReadVarint());
   return inval;
+}
+
+}  // namespace
+
+Result<Invalidation> DecodeInvalidation(const Bytes& payload) {
+  WireReader reader(payload);
+  return DecodeInvalidationFrom(&reader);
+}
+
+Result<Invalidation> DecodeInvalidation(const Buffer& payload) {
+  WireReader reader(payload.data(), payload.size());
+  return DecodeInvalidationFrom(&reader);
 }
 
 namespace {
@@ -70,7 +83,7 @@ void RoverServer::WireDurability() {
         RecordOp(std::move(op));
       });
   qrpc_->SetResponseJournal([this](const std::string& client, uint64_t rpc_id,
-                                   const Bytes& encoded_response,
+                                   const Buffer& encoded_response,
                                    std::function<void()> release) {
     ServerTransaction txn;
     auto pending = pending_ops_.find({client, rpc_id});

@@ -66,6 +66,7 @@ struct Invalidation {
   uint64_t version = 0;
 };
 Result<Invalidation> DecodeInvalidation(const Bytes& payload);
+Result<Invalidation> DecodeInvalidation(const Buffer& payload);
 
 // Reply wrapper for the two-argument form of rover.import
 // ([path, cached_version]); the one-argument form still returns the bare

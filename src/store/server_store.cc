@@ -24,13 +24,16 @@ Bytes ServerTransaction::Encode() const {
   if (has_response) {
     writer.WriteString(client);
     writer.WriteVarint(rpc_id);
-    writer.WriteBytes(response);
+    writer.WriteVarint(response.size());
+    // The charged copy on the durable path: response bytes land in the record.
+    ChargePayloadCopy(response.size());
+    writer.WriteRaw(response.data(), response.size());
   }
   return writer.TakeData();
 }
 
-Result<ServerTransaction> ServerTransaction::Decode(const Bytes& data) {
-  WireReader reader(data);
+Result<ServerTransaction> ServerTransaction::Decode(const Buffer& data) {
+  WireReader reader(data.data(), data.size());
   ROVER_ASSIGN_OR_RETURN(std::string tag, reader.ReadString());
   if (tag != kTxnTag) {
     return DataLossError("not a server transaction record");
@@ -52,7 +55,13 @@ Result<ServerTransaction> ServerTransaction::Decode(const Bytes& data) {
   if (txn.has_response) {
     ROVER_ASSIGN_OR_RETURN(txn.client, reader.ReadString());
     ROVER_ASSIGN_OR_RETURN(txn.rpc_id, reader.ReadVarint());
-    ROVER_ASSIGN_OR_RETURN(txn.response, reader.ReadBytes());
+    ROVER_ASSIGN_OR_RETURN(uint64_t response_len, reader.ReadVarint());
+    if (response_len > reader.remaining()) {
+      return DataLossError("truncated response in server transaction");
+    }
+    ROVER_ASSIGN_OR_RETURN(const uint8_t* response_ptr, reader.ReadRaw(response_len));
+    txn.response = data.Slice(static_cast<size_t>(response_ptr - data.data()),
+                              static_cast<size_t>(response_len));
   }
   return txn;
 }

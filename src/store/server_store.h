@@ -25,6 +25,7 @@
 #include "src/qrpc/stable_log.h"
 #include "src/rdo/rdo.h"
 #include "src/sim/event_loop.h"
+#include "src/util/buffer.h"
 #include "src/util/bytes.h"
 
 namespace rover {
@@ -65,7 +66,8 @@ struct ReplayOp {
 struct CachedResponseEntry {
   std::string client;
   uint64_t rpc_id = 0;
-  Bytes response;
+  // Shares storage with the dup-cache entry / WAL record it came from.
+  Buffer response;
 };
 
 // The unit of server durability: everything one RPC changed, journaled
@@ -75,10 +77,11 @@ struct ServerTransaction {
   bool has_response = false;
   std::string client;
   uint64_t rpc_id = 0;
-  Bytes response;
+  Buffer response;
 
   Bytes Encode() const;
-  static Result<ServerTransaction> Decode(const Bytes& data);
+  // Decoded `response` is a slice of `data`'s storage (no copy).
+  static Result<ServerTransaction> Decode(const Buffer& data);
 };
 
 // Everything Recover() salvages from stable storage.

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/util/buffer.h"
 #include "src/util/bytes.h"
 #include "src/util/result.h"
 
@@ -51,21 +52,38 @@ struct MessageHeader {
 
 struct Message {
   MessageHeader header;
-  Bytes payload;
+  // Ref-counted slice view: copying a Message bumps a refcount instead of
+  // memcpy'ing the payload. On the receive path the payload aliases the
+  // frame it arrived in.
+  Buffer payload;
 
-  // Serialized size, for scheduler accounting (header + payload).
+  // Serialized size, for scheduler accounting (header + payload). Computed
+  // without touching the payload bytes.
   size_t EncodedSize() const;
 
   void EncodeTo(WireWriter* writer) const;
+  // Copying decode: payload is copied out of the reader's window. Use the
+  // backing overload on hot paths.
   static Result<Message> DecodeFrom(WireReader* reader);
+  // Zero-copy decode: `backing` must be the storage the reader walks over;
+  // the payload becomes a slice of it (no copy).
+  static Result<Message> DecodeFrom(WireReader* reader, const Buffer& backing);
 
   Bytes Encode() const;
   static Result<Message> Decode(const Bytes& data);
 };
 
-// Frame = batch of messages shipped as one link-layer unit.
+// Frame = batch of messages shipped as one link-layer unit. Wire layout:
+//   [varint count] [messages...] [fixed32 CRC over everything before it]
+// The trailing CRC lets the sender encode straight into the final buffer
+// (no body-then-wrap recopy) while still failing decode on any bit flip.
 Bytes EncodeFrame(const std::vector<Message>& messages);
-Result<std::vector<Message>> DecodeFrame(const Bytes& frame);
+// Pointer form: lets the scheduler frame queued messages without copying
+// their headers into a temporary vector first.
+Bytes EncodeFrame(const std::vector<const Message*>& messages);
+// Takes the frame by value: the storage is adopted and delivered messages'
+// payloads alias it. Receive costs zero payload copies.
+Result<std::vector<Message>> DecodeFrame(Bytes frame);
 
 std::string_view MessageTypeName(MessageType type);
 

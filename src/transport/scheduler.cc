@@ -1,6 +1,7 @@
 #include "src/transport/scheduler.h"
 
 #include <algorithm>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -9,48 +10,45 @@
 
 namespace rover {
 
-bool NetworkScheduler::DestQueue::empty() const {
-  for (const auto& q : by_priority) {
-    if (!q.empty()) {
-      return false;
-    }
-  }
-  return true;
-}
-
-size_t NetworkScheduler::DestQueue::size() const {
-  size_t n = 0;
-  for (const auto& q : by_priority) {
-    n += q.size();
-  }
-  return n;
-}
-
 NetworkScheduler::NetworkScheduler(EventLoop* loop, Host* host, SchedulerOptions options)
     : loop_(loop), host_(host), options_(options),
       retry_budget_(options.retry_budget_capacity, options.retry_budget_refill_per_sec) {
   WireMetrics(&own_metrics_, "scheduler");
 }
 
-NetworkScheduler::DestQueue& NetworkScheduler::GetQueue(const std::string& dest) {
-  auto [it, inserted] = queues_.try_emplace(dest);
+NetworkScheduler::DestId NetworkScheduler::InternDest(const std::string& dest) {
+  auto [it, inserted] = dest_ids_.try_emplace(dest, static_cast<DestId>(dests_.size()));
   if (inserted) {
+    dests_.emplace_back();
+    DestQueue& q = dests_.back();
+    q.name = dest;
     // Per-destination seed: decorrelates this queue's jitter from other
     // destinations (and, via the options seed, from other hosts).
     uint64_t seed = options_.backoff_seed;
     for (char c : dest) {
       seed = seed * 1099511628211ull + static_cast<unsigned char>(c);
     }
-    it->second.backoff = std::make_unique<DecorrelatedJitterBackoff>(
+    q.backoff = std::make_unique<DecorrelatedJitterBackoff>(
         options_.loss_retry_backoff, options_.loss_retry_backoff_max, seed);
-    it->second.breaker = CircuitBreaker(options_.breaker);
+    q.breaker = CircuitBreaker(options_.breaker);
   }
   return it->second;
 }
 
+const NetworkScheduler::DestQueue* NetworkScheduler::FindDest(
+    const std::string& dest) const {
+  auto it = dest_ids_.find(dest);
+  return it == dest_ids_.end() ? nullptr : &dests_[it->second];
+}
+
+NetworkScheduler::DestQueue* NetworkScheduler::FindDest(const std::string& dest) {
+  auto it = dest_ids_.find(dest);
+  return it == dest_ids_.end() ? nullptr : &dests_[it->second];
+}
+
 BreakerState NetworkScheduler::BreakerStateFor(const std::string& dest) const {
-  auto it = queues_.find(dest);
-  return it == queues_.end() ? BreakerState::kClosed : it->second.breaker.state();
+  const DestQueue* q = FindDest(dest);
+  return q == nullptr ? BreakerState::kClosed : q->breaker.state();
 }
 
 void NetworkScheduler::WireMetrics(obs::Registry* registry, const std::string& prefix) {
@@ -88,8 +86,9 @@ void NetworkScheduler::BindMetrics(obs::Registry* registry, const std::string& p
   c_enqueue_rejected_->Increment(carried.enqueue_rejected);
   c_retry_budget_waits_->Increment(carried.retry_budget_waits);
   c_breaker_opened_->Increment(carried.breaker_open_transitions);
-  g_queue_depth_->Set(static_cast<int64_t>(TotalQueueDepth()));
+  g_queue_depth_->Set(static_cast<int64_t>(total_queued_));
   g_queued_bytes_->Set(static_cast<int64_t>(queued_payload_bytes_));
+  g_breakers_open_->Set(open_breakers_);
 }
 
 SchedulerStats NetworkScheduler::stats() const {
@@ -110,6 +109,59 @@ SchedulerStats NetworkScheduler::stats() const {
   return s;
 }
 
+void NetworkScheduler::NoteLiveAdded(DestId id, int prio, size_t payload_bytes) {
+  DestQueue& q = dests_[id];
+  if (q.queued_count++ == 0) {
+    nonempty_dests_.insert(id);
+  }
+  q.queued_bytes += payload_bytes;
+  if (prio == static_cast<int>(Priority::kBackground) && q.background_count++ == 0) {
+    background_dests_.insert(id);
+  }
+  ++total_queued_;
+  queued_payload_bytes_ += payload_bytes;
+}
+
+void NetworkScheduler::NoteLiveRemoved(DestId id, int prio, size_t payload_bytes) {
+  DestQueue& q = dests_[id];
+  if (--q.queued_count == 0) {
+    nonempty_dests_.erase(id);
+  }
+  q.queued_bytes -= payload_bytes;
+  if (prio == static_cast<int>(Priority::kBackground) && --q.background_count == 0) {
+    background_dests_.erase(id);
+  }
+  --total_queued_;
+  queued_payload_bytes_ -= payload_bytes;
+}
+
+void NetworkScheduler::Tombstone(DestId id, int prio, Pending* p, const Status& why) {
+  DestQueue& q = dests_[id];
+  NoteLiveRemoved(id, prio, p->msg.payload.size());
+  auto it = q.index.find(p->msg.header.message_id);
+  if (it != q.index.end() && it->second == p) {
+    q.index.erase(it);
+  }
+  p->cancelled = true;
+  p->msg.payload = Buffer();  // release the payload storage now, not at trim
+  DeliveredCallback cb = std::move(p->delivered);
+  p->delivered = nullptr;
+  if (cb) {
+    cb(why);
+  }
+}
+
+void NetworkScheduler::TrimTombstones(DestQueue& q) {
+  for (auto& pq : q.by_priority) {
+    while (!pq.empty() && pq.front().cancelled) {
+      pq.pop_front();
+    }
+    while (!pq.empty() && pq.back().cancelled) {
+      pq.pop_back();
+    }
+  }
+}
+
 void NetworkScheduler::Enqueue(Message msg, DeliveredCallback delivered, Duration ttl) {
   c_payload_bytes_original_->Increment(msg.payload.size());
 
@@ -118,14 +170,13 @@ void NetworkScheduler::Enqueue(Message msg, DeliveredCallback delivered, Duratio
   // would credit cancelled and still-queued messages as "sent".
   if (options_.compress && !msg.header.compressed &&
       msg.payload.size() >= options_.compress_min_bytes) {
-    Bytes packed = LzCompress(msg.payload);
+    Bytes packed = LzCompress(msg.payload.data(), msg.payload.size());
     if (packed.size() < msg.payload.size()) {
       msg.payload = std::move(packed);
       msg.header.compressed = true;
     }
   }
 
-  const std::string dest = msg.header.dst;
   const int prio = static_cast<int>(msg.header.priority);
   const size_t payload_size = msg.payload.size();
 
@@ -134,7 +185,7 @@ void NetworkScheduler::Enqueue(Message msg, DeliveredCallback delivered, Duratio
   // which are then always accepted (the QRPC layer bounds them upstream,
   // and refusing them here would strand durable application ops).
   const bool over_depth = options_.max_queued_messages > 0 &&
-                          TotalQueueDepth() + 1 > options_.max_queued_messages;
+                          total_queued_ + 1 > options_.max_queued_messages;
   const bool over_bytes = options_.max_queued_bytes > 0 &&
                           queued_payload_bytes_ + payload_size > options_.max_queued_bytes;
   if (over_depth || over_bytes) {
@@ -150,28 +201,33 @@ void NetworkScheduler::Enqueue(Message msg, DeliveredCallback delivered, Duratio
   }
 
   c_messages_enqueued_->Increment();
+  const DestId id = InternDest(msg.header.dst);
+  const uint64_t message_id = msg.header.message_id;
   Pending pending{std::move(msg), std::move(delivered)};
   if (!ttl.is_zero()) {
     pending.expires_at = loop_->now() + ttl;
     // A purge event at the deadline covers the queue-asleep case (a dest
     // that never connects drains nothing, so SendBatch never looks at it).
+    // O(1) at fire time: the index finds exactly this message.
     loop_->ScheduleAt(pending.expires_at,
-                      [this, dest, alive = std::weak_ptr<char>(alive_)] {
+                      [this, id, message_id, alive = std::weak_ptr<char>(alive_)] {
                         if (!alive.expired()) {
-                          PurgeExpired(dest);
+                          ExpireMessage(id, message_id);
                         }
                       });
   }
-  GetQueue(dest).by_priority[prio].push_back(std::move(pending));
-  queued_payload_bytes_ += payload_size;
+  DestQueue& q = dests_[id];
+  q.by_priority[prio].push_back(std::move(pending));
+  q.index.try_emplace(message_id, &q.by_priority[prio].back());
+  NoteLiveAdded(id, prio, payload_size);
   NotifyObserver();
-  TryDrain(dest);
+  TryDrain(id);
 }
 
 size_t NetworkScheduler::ShedBackground(size_t incoming_bytes) {
   auto fits = [&] {
     const bool depth_ok = options_.max_queued_messages == 0 ||
-                          TotalQueueDepth() + 1 <= options_.max_queued_messages;
+                          total_queued_ + 1 <= options_.max_queued_messages;
     const bool bytes_ok =
         options_.max_queued_bytes == 0 ||
         queued_payload_bytes_ + incoming_bytes <= options_.max_queued_bytes;
@@ -179,15 +235,29 @@ size_t NetworkScheduler::ShedBackground(size_t incoming_bytes) {
   };
   // Collect victims first, fire their callbacks after: a delivered callback
   // may re-enter the scheduler (e.g. resolve a promise whose continuation
-  // issues a new call), which must not happen mid-iteration.
+  // issues a new call), which must not happen mid-iteration. Only
+  // destinations with live background traffic are visited.
   std::vector<Pending> victims;
-  for (auto& [dest, q] : queues_) {
+  const std::vector<DestId> candidates(background_dests_.begin(), background_dests_.end());
+  for (DestId id : candidates) {
+    DestQueue& q = dests_[id];
     auto& bq = q.by_priority[static_cast<int>(Priority::kBackground)];
     // Newest first: the oldest queued background message has waited longest
-    // and is closest to going out.
+    // and is closest to going out. Shedding from the back also reclaims any
+    // tombstones in passing instead of creating mid-queue ones.
     while (!bq.empty() && !fits()) {
-      queued_payload_bytes_ -= bq.back().msg.payload.size();
-      victims.push_back(std::move(bq.back()));
+      Pending& victim = bq.back();
+      if (victim.cancelled) {
+        bq.pop_back();
+        continue;
+      }
+      NoteLiveRemoved(id, static_cast<int>(Priority::kBackground),
+                      victim.msg.payload.size());
+      auto it = q.index.find(victim.msg.header.message_id);
+      if (it != q.index.end() && it->second == &victim) {
+        q.index.erase(it);
+      }
+      victims.push_back(std::move(victim));
       bq.pop_back();
     }
     if (fits()) {
@@ -207,96 +277,128 @@ size_t NetworkScheduler::ShedBackground(size_t incoming_bytes) {
   return victims.size();
 }
 
-void NetworkScheduler::PurgeExpired(const std::string& dest) {
-  auto it = queues_.find(dest);
-  if (it == queues_.end()) {
-    return;
+void NetworkScheduler::ExpireMessage(DestId id, uint64_t message_id) {
+  DestQueue& q = dests_[id];
+  auto it = q.index.find(message_id);
+  if (it == q.index.end()) {
+    return;  // delivered, cancelled, in flight, or rebound meanwhile
   }
-  const TimePoint now = loop_->now();
-  bool dropped = false;
-  for (auto& pq : it->second.by_priority) {
-    for (auto p = pq.begin(); p != pq.end();) {
-      if (p->expires_at <= now) {
-        c_messages_expired_->Increment();
-        c_payload_bytes_cancelled_->Increment(p->msg.payload.size());
-        queued_payload_bytes_ -= p->msg.payload.size();
-        if (p->delivered) {
-          p->delivered(DeadlineExceededError("message ttl expired in queue"));
-        }
-        p = pq.erase(p);
-        dropped = true;
-      } else {
-        ++p;
-      }
-    }
+  Pending* p = it->second;
+  if (p->expires_at > loop_->now()) {
+    return;  // a different message reusing the id (fresh TTL)
   }
-  if (dropped) {
-    NotifyObserver();
-  }
+  const int prio = static_cast<int>(p->msg.header.priority);
+  c_messages_expired_->Increment();
+  c_payload_bytes_cancelled_->Increment(p->msg.payload.size());
+  Tombstone(id, prio, p, DeadlineExceededError("message ttl expired in queue"));
+  TrimTombstones(q);
+  NotifyObserver();
 }
 
 bool NetworkScheduler::CancelMessage(const std::string& dest, uint64_t message_id) {
-  auto it = queues_.find(dest);
-  if (it == queues_.end()) {
+  auto dit = dest_ids_.find(dest);
+  if (dit == dest_ids_.end()) {
     return false;
   }
-  for (auto& pq : it->second.by_priority) {
-    for (auto p = pq.begin(); p != pq.end(); ++p) {
-      if (p->msg.header.message_id == message_id) {
-        c_payload_bytes_cancelled_->Increment(p->msg.payload.size());
-        queued_payload_bytes_ -= p->msg.payload.size();
-        if (p->delivered) {
-          p->delivered(CancelledError("cancelled before transmission"));
-        }
-        pq.erase(p);
-        NotifyObserver();
-        return true;
-      }
-    }
+  const DestId id = dit->second;
+  DestQueue& q = dests_[id];
+  auto it = q.index.find(message_id);
+  if (it == q.index.end()) {
+    return false;  // unknown or already in flight
   }
-  return false;
+  Pending* p = it->second;
+  const int prio = static_cast<int>(p->msg.header.priority);
+  c_payload_bytes_cancelled_->Increment(p->msg.payload.size());
+  Tombstone(id, prio, p, CancelledError("cancelled before transmission"));
+  TrimTombstones(q);
+  NotifyObserver();
+  return true;
 }
 
 std::vector<uint64_t> NetworkScheduler::RebindDestination(const std::string& from,
                                                           const std::string& to) {
   std::vector<uint64_t> moved;
-  auto it = queues_.find(from);
-  if (it == queues_.end() || from == to) {
+  auto it = dest_ids_.find(from);
+  if (it == dest_ids_.end() || from == to) {
     return moved;
   }
-  // GetQueue may insert into queues_, but map insertion never invalidates
-  // existing element references.
-  DestQueue& src = it->second;
-  DestQueue& dst = GetQueue(to);
+  const DestId src_id = it->second;
+  const DestId dst_id = InternDest(to);  // may grow dests_; deque keeps refs valid
+  DestQueue& src = dests_[src_id];
+  DestQueue& dst = dests_[dst_id];
   for (int prio = 0; prio < kNumPriorities; ++prio) {
     auto& spq = src.by_priority[prio];
     auto& dpq = dst.by_priority[prio];
     while (!spq.empty()) {
       Pending p = std::move(spq.front());
       spq.pop_front();
+      if (p.cancelled) {
+        continue;  // tombstone: already counted out, nothing to move
+      }
+      const uint64_t message_id = p.msg.header.message_id;
+      const size_t bytes = p.msg.payload.size();
+      auto sit = src.index.find(message_id);
+      if (sit != src.index.end()) {
+        src.index.erase(sit);
+      }
       p.msg.header.dst = to;
-      moved.push_back(p.msg.header.message_id);
+      moved.push_back(message_id);
+      NoteLiveRemoved(src_id, prio, bytes);
       dpq.push_back(std::move(p));
+      dst.index.try_emplace(message_id, &dpq.back());
+      NoteLiveAdded(dst_id, prio, bytes);
     }
   }
   if (!moved.empty()) {
     NotifyObserver();
-    TryDrain(to);
+    TryDrain(dst_id);
   }
   return moved;
 }
 
-size_t NetworkScheduler::TotalQueueDepth() const {
-  size_t n = 0;
-  for (const auto& [dest, q] : queues_) {
-    n += q.size();
-  }
-  return n;
+size_t NetworkScheduler::QueueDepthFor(const std::string& dest) const {
+  const DestQueue* q = FindDest(dest);
+  return q == nullptr ? 0 : q->queued_count;
 }
 
-size_t NetworkScheduler::QueueDepthFor(const std::string& dest) const {
-  auto it = queues_.find(dest);
-  return it == queues_.end() ? 0 : it->second.size();
+SchedulerQueueAudit NetworkScheduler::AuditQueues() const {
+  SchedulerQueueAudit audit;
+  for (const DestQueue& q : dests_) {
+    size_t live = 0;
+    size_t bytes = 0;
+    size_t background = 0;
+    std::unordered_set<const Pending*> live_entries;
+    for (int prio = 0; prio < kNumPriorities; ++prio) {
+      for (const Pending& p : q.by_priority[prio]) {
+        if (p.cancelled) {
+          continue;
+        }
+        ++live;
+        bytes += p.msg.payload.size();
+        if (prio == static_cast<int>(Priority::kBackground)) {
+          ++background;
+        }
+        live_entries.insert(&p);
+      }
+    }
+    if (live != q.queued_count || bytes != q.queued_bytes ||
+        background != q.background_count) {
+      audit.per_dest_consistent = false;
+    }
+    // Every index entry must point at a live entry of this destination with
+    // the matching id (a dangling or mis-keyed pointer is a structural bug).
+    for (const auto& [message_id, p] : q.index) {
+      if (live_entries.count(p) == 0 || p->msg.header.message_id != message_id) {
+        audit.per_dest_consistent = false;
+      }
+    }
+    audit.messages += live;
+    audit.payload_bytes += bytes;
+  }
+  if (audit.messages != total_queued_ || audit.payload_bytes != queued_payload_bytes_) {
+    audit.per_dest_consistent = false;
+  }
+  return audit;
 }
 
 Link* NetworkScheduler::PickLink(const std::string& dest) const {
@@ -312,54 +414,50 @@ Link* NetworkScheduler::PickLink(const std::string& dest) const {
   return best;
 }
 
-void NetworkScheduler::TryDrain(const std::string& dest) {
-  PurgeExpired(dest);
-  auto it = queues_.find(dest);
-  if (it == queues_.end()) {
-    return;
-  }
-  DestQueue& q = it->second;
+void NetworkScheduler::TryDrain(DestId id) {
+  DestQueue& q = dests_[id];
   if (q.in_flight || q.empty()) {
     return;
   }
-  Link* link = PickLink(dest);
+  Link* link = PickLink(q.name);
   if (link == nullptr) {
-    if (!ArmUpWakeup(dest)) {
-      NoteDestUnreachable(dest);
+    if (!ArmUpWakeup(id)) {
+      NoteDestUnreachable(id);
     }
     return;
   }
   const TimePoint now = loop_->now();
   const BreakerState before_attempt = q.breaker.state();
   const bool attempt_allowed = q.breaker.AllowAttempt(now);
-  NoteBreakerChange(dest, before_attempt, q.breaker.state());
+  NoteBreakerChange(q.name, before_attempt, q.breaker.state());
   if (!attempt_allowed) {
     // Open circuit: park until the cooldown passes, then probe.
     if (!q.breaker_wait_armed) {
       q.breaker_wait_armed = true;
       const TimePoint at =
           std::max(q.breaker.open_until(), now + options_.loss_retry_backoff);
-      loop_->ScheduleAt(at, [this, dest, alive = std::weak_ptr<char>(alive_)] {
+      loop_->ScheduleAt(at, [this, id, alive = std::weak_ptr<char>(alive_)] {
         if (alive.expired()) {
           return;
         }
-        GetQueue(dest).breaker_wait_armed = false;
-        TryDrain(dest);
+        dests_[id].breaker_wait_armed = false;
+        TryDrain(id);
       });
     }
     return;
   }
-  SendBatch(dest, link);
+  SendBatch(id, link);
 }
 
-void NetworkScheduler::SendBatch(const std::string& dest, Link* link) {
-  DestQueue& q = GetQueue(dest);
+void NetworkScheduler::SendBatch(DestId id, Link* link) {
+  DestQueue& q = dests_[id];
   const size_t max_msgs = options_.batching ? options_.max_batch_messages : 1;
   const size_t max_bytes = options_.batching ? options_.max_batch_bytes : SIZE_MAX;
+  const TimePoint now = loop_->now();
 
   std::vector<Pending> batch;
-  std::vector<Message> wire;
   size_t bytes = 0;
+  bool dropped_expired = false;
   // Frames carry a single priority class: mixing background traffic into a
   // frame with (or ahead of) foreground traffic would extend the frame's
   // airtime and delay the interactive response behind it. Background
@@ -371,22 +469,55 @@ void NetworkScheduler::SendBatch(const std::string& dest, Link* link) {
     const size_t prio_max =
         prio == static_cast<int>(Priority::kBackground) ? 1 : max_msgs;
     while (!pq.empty() && batch.size() < prio_max) {
-      const size_t sz = pq.front().msg.EncodedSize();
+      Pending& front = pq.front();
+      if (front.cancelled) {
+        pq.pop_front();  // reclaim a tombstone that reached the head
+        continue;
+      }
+      if (front.expires_at <= now) {
+        // TTL lapsed while queued; drop here rather than transmit. Pop the
+        // entry out BEFORE firing its callback -- the callback may re-enter
+        // the scheduler and must not find a half-dead slot at the head.
+        c_messages_expired_->Increment();
+        c_payload_bytes_cancelled_->Increment(front.msg.payload.size());
+        NoteLiveRemoved(id, prio, front.msg.payload.size());
+        auto eit = q.index.find(front.msg.header.message_id);
+        if (eit != q.index.end() && eit->second == &front) {
+          q.index.erase(eit);
+        }
+        Pending dead = std::move(front);
+        pq.pop_front();
+        dropped_expired = true;
+        if (dead.delivered) {
+          dead.delivered(DeadlineExceededError("message ttl expired in queue"));
+        }
+        continue;
+      }
+      const size_t sz = front.msg.EncodedSize();
       if (!batch.empty() && bytes + sz > max_bytes) {
         break;
       }
       bytes += sz;
-      queued_payload_bytes_ -= pq.front().msg.payload.size();
-      batch.push_back(std::move(pq.front()));
+      NoteLiveRemoved(id, prio, front.msg.payload.size());
+      // In-flight messages are not cancellable: drop the index entry.
+      auto iit = q.index.find(front.msg.header.message_id);
+      if (iit != q.index.end() && iit->second == &front) {
+        q.index.erase(iit);
+      }
+      batch.push_back(std::move(front));
       pq.pop_front();
     }
+  }
+  if (dropped_expired) {
+    NotifyObserver();
   }
   if (batch.empty()) {
     return;
   }
+  std::vector<const Message*> wire;
   wire.reserve(batch.size());
   for (const Pending& p : batch) {
-    wire.push_back(p.msg);
+    wire.push_back(&p.msg);
     if (tracer_ != nullptr && p.msg.header.type == MessageType::kRequest) {
       tracer_->Record(p.msg.header.message_id, obs::RpcEvent::kTransmitted, loop_->now());
     }
@@ -400,18 +531,18 @@ void NetworkScheduler::SendBatch(const std::string& dest, Link* link) {
   // lambda copyable for std::function.
   auto batch_ptr = std::make_shared<std::vector<Pending>>(std::move(batch));
   link->SendFrame(host_->name(), std::move(frame),
-                  [this, dest, batch_ptr, alive = std::weak_ptr<char>(alive_)](
+                  [this, id, batch_ptr, alive = std::weak_ptr<char>(alive_)](
                       const Status& status) {
                     if (alive.expired()) {
                       return;  // scheduler torn down while the frame flew
                     }
-                    HandleBatchOutcome(dest, std::move(*batch_ptr), status);
+                    HandleBatchOutcome(id, std::move(*batch_ptr), status);
                   });
 }
 
-void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
-                                          std::vector<Pending> batch, const Status& status) {
-  DestQueue& q = GetQueue(dest);
+void NetworkScheduler::HandleBatchOutcome(DestId id, std::vector<Pending> batch,
+                                          const Status& status) {
+  DestQueue& q = dests_[id];
   q.in_flight = false;
 
   if (status.ok()) {
@@ -419,7 +550,7 @@ void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
     q.backoff->Reset();
     const BreakerState before = q.breaker.state();
     q.breaker.RecordSuccess();
-    NoteBreakerChange(dest, before, q.breaker.state());
+    NoteBreakerChange(q.name, before, q.breaker.state());
     c_messages_delivered_->Increment(batch.size());
     for (Pending& p : batch) {
       // Payload accounting at the delivery point: only bytes a link carried
@@ -430,17 +561,21 @@ void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
       }
     }
     NotifyObserver();
-    TryDrain(dest);
+    TryDrain(id);
     return;
   }
 
   // Failure: requeue at the front of each message's priority queue,
-  // preserving the original order.
+  // preserving the original order, and restore their index entries.
   c_retries_->Increment();
   for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
     const int prio = static_cast<int>(it->msg.header.priority);
-    queued_payload_bytes_ += it->msg.payload.size();
-    q.by_priority[prio].push_front(std::move(*it));
+    const size_t bytes = it->msg.payload.size();
+    const uint64_t message_id = it->msg.header.message_id;
+    auto& pq = q.by_priority[prio];
+    pq.push_front(std::move(*it));
+    q.index.try_emplace(message_id, &pq.front());
+    NoteLiveAdded(id, prio, bytes);
   }
   NotifyObserver();
 
@@ -450,9 +585,9 @@ void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
     // frame was a half-open probe, allow a fresh probe after reconnection.
     const BreakerState before = q.breaker.state();
     q.breaker.AbortProbe();
-    NoteBreakerChange(dest, before, q.breaker.state());
-    if (!ArmUpWakeup(dest)) {
-      NoteDestUnreachable(dest);
+    NoteBreakerChange(q.name, before, q.breaker.state());
+    if (!ArmUpWakeup(id)) {
+      NoteDestUnreachable(id);
     }
   } else {
     // Random loss: decorrelated-jitter backoff (drawn from [base,
@@ -462,7 +597,7 @@ void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
     ++q.consecutive_losses;
     const BreakerState before = q.breaker.state();
     q.breaker.RecordFailure(now);
-    NoteBreakerChange(dest, before, q.breaker.state());
+    NoteBreakerChange(q.name, before, q.breaker.state());
     if (q.breaker.state() == BreakerState::kOpen && before != BreakerState::kOpen) {
       c_breaker_opened_->Increment();
       NotifyObserver();
@@ -480,16 +615,16 @@ void NetworkScheduler::HandleBatchOutcome(const std::string& dest,
         fire_at = token_at;
       }
     }
-    loop_->ScheduleAt(fire_at, [this, dest, alive = std::weak_ptr<char>(alive_)] {
+    loop_->ScheduleAt(fire_at, [this, id, alive = std::weak_ptr<char>(alive_)] {
       if (!alive.expired()) {
-        TryDrain(dest);
+        TryDrain(id);
       }
     });
   }
 }
 
-bool NetworkScheduler::ArmUpWakeup(const std::string& dest) {
-  DestQueue& q = GetQueue(dest);
+bool NetworkScheduler::ArmUpWakeup(DestId id) {
+  DestQueue& q = dests_[id];
   if (q.waiting_for_up) {
     return true;
   }
@@ -499,7 +634,7 @@ bool NetworkScheduler::ArmUpWakeup(const std::string& dest) {
   Link* soonest = nullptr;
   bool has_link = false;
   TimePoint best = TimePoint::FromMicros(INT64_MAX);
-  for (Link* link : host_->LinksTo(dest)) {
+  for (Link* link : host_->LinksTo(q.name)) {
     has_link = true;
     const TimePoint up = link->NextUpTime();
     if (up < best) {
@@ -515,11 +650,11 @@ bool NetworkScheduler::ArmUpWakeup(const std::string& dest) {
   }
   q.waiting_for_up = true;
   q.up_wakeup_event =
-      loop_->ScheduleAt(best, [this, dest, alive = std::weak_ptr<char>(alive_)] {
+      loop_->ScheduleAt(best, [this, id, alive = std::weak_ptr<char>(alive_)] {
         if (alive.expired()) {
           return;  // scheduler torn down while waiting for the link
         }
-        DestQueue& dq = GetQueue(dest);
+        DestQueue& dq = dests_[id];
         dq.waiting_for_up = false;
         dq.up_wakeup_event = kInvalidEventId;
         // A fresh connection starts with a fresh loss history: the backoff
@@ -530,14 +665,18 @@ bool NetworkScheduler::ArmUpWakeup(const std::string& dest) {
         dq.backoff->Reset();
         const BreakerState before = dq.breaker.state();
         dq.breaker.Reset();
-        NoteBreakerChange(dest, before, dq.breaker.state());
-        TryDrain(dest);
+        NoteBreakerChange(dq.name, before, dq.breaker.state());
+        TryDrain(id);
       });
   return true;
 }
 
 void NetworkScheduler::ReevaluateWakeups() {
-  for (auto& [dest, q] : queues_) {
+  // Only destinations with queued traffic can hold a stale wakeup worth
+  // recomputing; TryDrain may mutate the set, so iterate a snapshot.
+  const std::vector<DestId> queued(nonempty_dests_.begin(), nonempty_dests_.end());
+  for (DestId id : queued) {
+    DestQueue& q = dests_[id];
     if (q.in_flight || q.empty()) {
       continue;
     }
@@ -548,12 +687,12 @@ void NetworkScheduler::ReevaluateWakeups() {
       q.waiting_for_up = false;
       q.up_wakeup_event = kInvalidEventId;
     }
-    TryDrain(dest);
+    TryDrain(id);
   }
 }
 
-void NetworkScheduler::NoteDestUnreachable(const std::string& dest) {
-  DestQueue& q = GetQueue(dest);
+void NetworkScheduler::NoteDestUnreachable(DestId id) {
+  DestQueue& q = dests_[id];
   if (q.empty() || q.breaker.state() == BreakerState::kOpen) {
     return;
   }
@@ -563,7 +702,7 @@ void NetworkScheduler::NoteDestUnreachable(const std::string& dest) {
     return;  // breaker disabled; nothing to report
   }
   c_breaker_opened_->Increment();
-  NoteBreakerChange(dest, before, q.breaker.state());
+  NoteBreakerChange(q.name, before, q.breaker.state());
   NotifyObserver();
 }
 
@@ -577,11 +716,11 @@ void NetworkScheduler::NoteBreakerChange(const std::string& dest, BreakerState b
 }
 
 void NetworkScheduler::NotifyObserver() {
-  g_queue_depth_->Set(static_cast<int64_t>(TotalQueueDepth()));
+  g_queue_depth_->Set(static_cast<int64_t>(total_queued_));
   g_queued_bytes_->Set(static_cast<int64_t>(queued_payload_bytes_));
   g_breakers_open_->Set(open_breakers_);
   if (observer_) {
-    observer_(TotalQueueDepth());
+    observer_(total_queued_);
   }
 }
 

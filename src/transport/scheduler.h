@@ -10,6 +10,17 @@
 //
 // Delivery is reliable: frames rejected or dropped by a link are requeued
 // (in order) and retried when a link to the destination next comes up.
+//
+// Hot-path design (see docs/architecture.md "Hot-path memory and
+// scheduling"): destination names are interned to dense uint32 ids at the
+// public boundary -- one hash lookup per call, integer indexing inside.
+// Each destination keeps a message_id -> entry index so CancelMessage /
+// supersede-withdraw are O(1) instead of a queue scan; cancellation
+// tombstones the entry in place (std::deque middle-erase would invalidate
+// the index's pointers) and the stone is reclaimed when it reaches either
+// end of its deque. Depth and byte gauges are maintained incrementally;
+// TotalQueueDepth() is O(1), and AuditQueues() provides the independent
+// structural recount the SimCheck conservation invariants compare against.
 
 #ifndef ROVER_SRC_TRANSPORT_SCHEDULER_H_
 #define ROVER_SRC_TRANSPORT_SCHEDULER_H_
@@ -17,9 +28,10 @@
 #include <array>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/obs/metrics.h"
@@ -76,6 +88,16 @@ struct SchedulerStats {
   uint64_t breaker_open_transitions = 0;  // closed/half-open -> open edges
 };
 
+// Independent structural recount of the queues, for invariant checking
+// (SimCheck compares these against the incrementally-maintained gauges).
+struct SchedulerQueueAudit {
+  size_t messages = 0;       // live (non-tombstone) queued messages
+  size_t payload_bytes = 0;  // their payload bytes
+  // False if any per-destination incremental counter disagrees with the
+  // structural walk -- an index/queue consistency violation.
+  bool per_dest_consistent = true;
+};
+
 class NetworkScheduler {
  public:
   using DeliveredCallback = std::function<void(const Status&)>;
@@ -101,15 +123,20 @@ class NetworkScheduler {
                Duration ttl = Duration::Zero());
 
   // Removes a not-yet-transmitted message from the queues. Returns false
-  // if it is unknown or already in flight.
+  // if it is unknown or already in flight. O(1): indexed by message id.
   bool CancelMessage(const std::string& dest, uint64_t message_id);
 
-  size_t TotalQueueDepth() const;
+  // O(1): incremental counters, never a queue walk.
+  size_t TotalQueueDepth() const { return total_queued_; }
   size_t QueueDepthFor(const std::string& dest) const;
   // Payload bytes sitting in queues (excludes the in-flight batch).
   size_t QueuedPayloadBytes() const { return queued_payload_bytes_; }
   // Circuit-breaker state for `dest` (kClosed if the dest is unknown).
   BreakerState BreakerStateFor(const std::string& dest) const;
+
+  // Full structural walk (O(queued)); used by invariant checks and tests to
+  // verify the incremental counters and the per-dest indexes never drift.
+  SchedulerQueueAudit AuditQueues() const;
 
   void SetQueueObserver(QueueObserver observer) { observer_ = std::move(observer); }
   void SetBreakerObserver(BreakerObserver observer) {
@@ -120,7 +147,7 @@ class NetworkScheduler {
   // message addressed to `from` onto `to`'s queues, preserving priority and
   // order, and rewrites their headers. Returns the message ids moved.
   // Messages already in flight are untouched; the caller owns re-sending
-  // whatever `from` never answered.
+  // whatever `from` never answered. O(moved), not O(queue scan).
   std::vector<uint64_t> RebindDestination(const std::string& from, const std::string& to);
 
   // Re-homes the scheduler's instruments into `registry` under
@@ -141,63 +168,109 @@ class NetworkScheduler {
   // Re-examines every parked destination queue: wakeups armed against the
   // link set as it stood earlier are torn down and recomputed. Called when
   // the host's link set changes (a link attached after a queue went to
-  // sleep, or after concluding "no route will ever exist").
+  // sleep, or after concluding "no route will ever exist"). O(destinations
+  // with queued traffic), not O(all destinations ever seen).
   void ReevaluateWakeups();
 
  private:
+  // Dense interned destination id; index into dests_.
+  using DestId = uint32_t;
+
   struct Pending {
     Message msg;
     DeliveredCallback delivered;
     TimePoint expires_at = TimePoint::FromMicros(INT64_MAX);  // TTL deadline
+    // Tombstone: the entry was cancelled/expired/shed in place (callback
+    // already fired, payload released, counters adjusted). It is skipped by
+    // every consumer and physically reclaimed when it reaches a deque end.
+    bool cancelled = false;
   };
+
   struct DestQueue {
+    std::string name;  // interned destination name
     std::array<std::deque<Pending>, kNumPriorities> by_priority;
+    // message_id -> live queue entry. Entries leave the index when they are
+    // tombstoned, pulled into a batch (in-flight messages are not
+    // cancellable), or rebound to another destination. On the rare id
+    // collision (distinct id spaces can reuse a value against one dest) the
+    // later message is simply not indexed: it stays deliverable but is not
+    // individually cancellable, matching the old scan's first-match pick.
+    std::unordered_map<uint64_t, Pending*> index;
+    // Incremental per-destination accounting (live entries only).
+    size_t queued_count = 0;
+    size_t queued_bytes = 0;
+    size_t background_count = 0;
     bool in_flight = false;
     bool waiting_for_up = false;
     EventId up_wakeup_event = kInvalidEventId;
     int consecutive_losses = 0;
-    // Retry pacing and overload state (configured lazily in GetQueue).
+    // Retry pacing and overload state (configured lazily in InternDest).
     std::unique_ptr<DecorrelatedJitterBackoff> backoff;
     CircuitBreaker breaker;
     bool breaker_wait_armed = false;
 
-    bool empty() const;
-    size_t size() const;
+    bool empty() const { return queued_count == 0; }
   };
 
-  // queues_[dest] with overload state initialised from options on first use.
-  DestQueue& GetQueue(const std::string& dest);
+  // Interns `dest`, creating its queue (with overload state initialised
+  // from options) on first use. Ids are dense and never invalidated;
+  // dests_ is a deque so element references survive growth.
+  DestId InternDest(const std::string& dest);
+  const DestQueue* FindDest(const std::string& dest) const;
+  DestQueue* FindDest(const std::string& dest);
+
+  // Incremental accounting for a live entry entering/leaving the queues
+  // (also maintains the nonempty/background active-destination sets).
+  void NoteLiveAdded(DestId id, int prio, size_t payload_bytes);
+  void NoteLiveRemoved(DestId id, int prio, size_t payload_bytes);
+
+  // Tombstones a live entry in place: fires `why` through its delivered
+  // callback, releases the payload, erases it from the index, and adjusts
+  // counters. The caller picks the drop counter to bump.
+  void Tombstone(DestId id, int prio, Pending* p, const Status& why);
+  // Reclaims tombstones sitting at either end of each priority deque.
+  static void TrimTombstones(DestQueue& q);
+
   // Sheds queued background messages (newest first) until the bounds fit
   // `incoming_bytes` more or no background remains. Returns freed count.
   size_t ShedBackground(size_t incoming_bytes);
-  void TryDrain(const std::string& dest);
-  // Drops queued (not in-flight) messages whose TTL has lapsed.
-  void PurgeExpired(const std::string& dest);
-  void SendBatch(const std::string& dest, Link* link);
-  void HandleBatchOutcome(const std::string& dest, std::vector<Pending> batch,
-                          const Status& status);
+  void TryDrain(DestId id);
+  // TTL purge for one message (scheduled at its deadline; O(1) via index).
+  void ExpireMessage(DestId id, uint64_t message_id);
+  void SendBatch(DestId id, Link* link);
+  void HandleBatchOutcome(DestId id, std::vector<Pending> batch, const Status& status);
   // Returns false when no wakeup could be armed because no link to `dest`
   // will ever come up again (dead destination).
-  bool ArmUpWakeup(const std::string& dest);
+  bool ArmUpWakeup(DestId id);
   // Verdict for a destination with queued traffic, no up link, and no
   // scheduled reconnection: force the breaker open so observers (failover)
   // learn the destination is gone.
-  void NoteDestUnreachable(const std::string& dest);
+  void NoteDestUnreachable(DestId id);
   void NotifyObserver();
   // Folds a breaker state transition into open_breakers_ and fires the
   // breaker observer; called at every mutation site so NotifyObserver never
-  // rescans queues_.
+  // rescans the queues.
   void NoteBreakerChange(const std::string& dest, BreakerState before, BreakerState after);
   void WireMetrics(obs::Registry* registry, const std::string& prefix);
 
   EventLoop* loop_;
   Host* host_;
   SchedulerOptions options_;
-  std::map<std::string, DestQueue> queues_;
+  // Boundary interning: string keys only here; everything below indexes by
+  // DestId. dests_ is a deque: growth never moves existing DestQueues, so
+  // references (and the per-dest index's Pending pointers) stay valid.
+  std::unordered_map<std::string, DestId> dest_ids_;
+  std::deque<DestQueue> dests_;
+  // Active-destination sets, maintained on 0 <-> nonzero transitions of the
+  // per-dest counters. Ordered so iteration order is deterministic (the
+  // simulator replays byte-identically from a seed).
+  std::set<DestId> nonempty_dests_;
+  std::set<DestId> background_dests_;
   RetryBudget retry_budget_;
+  size_t total_queued_ = 0;
   size_t queued_payload_bytes_ = 0;
   // Destinations whose breaker is not kClosed, maintained incrementally
-  // (queues_ entries are never removed, so this cannot drift).
+  // (dests_ entries are never removed, so this cannot drift).
   int64_t open_breakers_ = 0;
   QueueObserver observer_;
   BreakerObserver breaker_observer_;

@@ -10,8 +10,8 @@ namespace rover {
 TransportManager::TransportManager(EventLoop* loop, Host* host, SchedulerOptions options)
     : loop_(loop), host_(host), scheduler_(loop, host, options) {
   WireMetrics(&own_metrics_, "transport");
-  host_->SetReceiver([this](const Bytes& frame, const std::string& from) {
-    HandleFrame(frame, from);
+  host_->SetReceiver([this](Bytes frame, const std::string& from) {
+    HandleFrame(std::move(frame), from);
   }, this);
   // A link attached after a queue parked itself (waiting for the wrong
   // link, or having concluded no route exists) must re-trigger scheduling.
@@ -63,13 +63,14 @@ Bytes TransportManager::EncodeEnvelope(const Message& inner) {
   return writer.TakeData();
 }
 
-Result<Message> TransportManager::DecodeEnvelope(const Bytes& payload) {
-  WireReader reader(payload);
+Result<Message> TransportManager::DecodeEnvelope(const Buffer& payload) {
+  WireReader reader(payload.data(), payload.size());
   ROVER_ASSIGN_OR_RETURN(std::string tag, reader.ReadString());
   if (tag != "RFC822") {
     return DataLossError("bad envelope tag");
   }
-  return Message::DecodeFrom(&reader);
+  // The inner payload becomes a slice of the envelope's storage.
+  return Message::DecodeFrom(&reader, payload);
 }
 
 void TransportManager::SetHandler(MessageType type, MessageHandler handler) {
@@ -89,8 +90,8 @@ void TransportManager::BindMetrics(obs::Registry* registry, const std::string& p
   c_messages_undecodable_->Increment(messages);
 }
 
-void TransportManager::HandleFrame(const Bytes& frame, const std::string& from) {
-  auto decoded = DecodeFrame(frame);
+void TransportManager::HandleFrame(Bytes frame, const std::string& from) {
+  auto decoded = DecodeFrame(std::move(frame));
   if (!decoded.ok()) {
     c_frames_corrupt_dropped_->Increment();
     ROVER_LOG(Warning) << host_->name() << ": dropping corrupt frame from " << from << ": "
@@ -99,7 +100,7 @@ void TransportManager::HandleFrame(const Bytes& frame, const std::string& from) 
   }
   for (Message& msg : *decoded) {
     if (msg.header.compressed) {
-      auto raw = LzDecompress(msg.payload);
+      auto raw = LzDecompress(msg.payload.data(), msg.payload.size());
       if (!raw.ok()) {
         c_messages_undecodable_->Increment();
         ROVER_LOG(Warning) << host_->name() << ": dropping message "

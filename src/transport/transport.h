@@ -59,9 +59,10 @@ class TransportManager {
   void set_auth_token(std::string token) { auth_token_ = std::move(token); }
   const std::string& auth_token() const { return auth_token_; }
 
-  // Builds the SMTP envelope payload (exposed for tests).
+  // Builds the SMTP envelope payload (exposed for tests). Decode slices the
+  // inner payload out of `payload`'s storage without copying.
   static Bytes EncodeEnvelope(const Message& inner);
-  static Result<Message> DecodeEnvelope(const Bytes& payload);
+  static Result<Message> DecodeEnvelope(const Buffer& payload);
 
   // Re-homes the transport's instruments into `registry` under "<prefix>."
   // names, carrying current values over.
@@ -76,7 +77,7 @@ class TransportManager {
   uint64_t messages_undecodable() const { return c_messages_undecodable_->value(); }
 
  private:
-  void HandleFrame(const Bytes& frame, const std::string& from);
+  void HandleFrame(Bytes frame, const std::string& from);
   void WireMetrics(obs::Registry* registry, const std::string& prefix);
 
   EventLoop* loop_;

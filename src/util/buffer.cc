@@ -1,0 +1,20 @@
+#include "src/util/buffer.h"
+
+namespace rover {
+namespace {
+
+// Plain (non-atomic) process counters: the simulator is single-threaded.
+uint64_t g_copy_bytes = 0;
+uint64_t g_copy_count = 0;
+
+}  // namespace
+
+uint64_t PayloadCopyBytes() { return g_copy_bytes; }
+uint64_t PayloadCopyCount() { return g_copy_count; }
+
+void ChargePayloadCopy(size_t bytes) {
+  g_copy_bytes += bytes;
+  ++g_copy_count;
+}
+
+}  // namespace rover

@@ -1,0 +1,157 @@
+// Zero-copy payload buffer. A Buffer is an immutable, ref-counted slice
+// view (shared storage + offset/length) over a byte array. Copying a
+// Buffer bumps a refcount; slicing aliases the same storage. Payloads
+// therefore pay ONE allocation per lifetime instead of a memcpy at every
+// layer hop (enqueue -> frame -> deliver -> journal -> ship).
+//
+// Ownership rules (see docs/architecture.md "Hot-path memory and
+// scheduling"):
+//   * Construction from Bytes&& adopts the storage without copying; from
+//     const Bytes& it copies once (and charges the copy counter).
+//   * Views are immutable. The only mutation door is MutableData(), which
+//     is copy-on-write: it detaches into private storage unless this view
+//     is the sole owner of the whole allocation. In-place damage (fault
+//     injection, bit rot) therefore never leaks into other holders.
+//   * Slices keep the WHOLE underlying allocation alive. Slicing a tiny
+//     header out of a huge frame pins the frame; call Compact()/ToBytes()
+//     when a long-lived slice should drop the backing storage.
+//
+// Every byte memcpy'd into or out of a Buffer is charged to a process-wide
+// counter (PayloadCopyBytes / PayloadCopyCount) so benches can report
+// bytes-copied-per-op and regressions show up as a number, not a vibe.
+
+#ifndef ROVER_SRC_UTIL_BUFFER_H_
+#define ROVER_SRC_UTIL_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/util/bytes.h"
+
+namespace rover {
+
+// Process-wide copy accounting (single-threaded simulator; plain counters).
+uint64_t PayloadCopyBytes();
+uint64_t PayloadCopyCount();
+void ChargePayloadCopy(size_t bytes);
+
+class Buffer {
+ public:
+  Buffer() = default;
+
+  // Adopts `bytes` -- no copy, the vector's allocation becomes the shared
+  // storage. This is THE way payloads enter the zero-copy world.
+  Buffer(Bytes&& bytes)  // NOLINT(google-explicit-constructor)
+      : storage_(bytes.empty() ? nullptr
+                               : std::make_shared<Bytes>(std::move(bytes))),
+        len_(storage_ ? storage_->size() : 0) {}
+
+  // Copies `bytes` (charged). Implicit so pre-Buffer call sites keep
+  // compiling; hot paths should move instead, and the counter says which
+  // ones forgot.
+  Buffer(const Bytes& bytes)  // NOLINT(google-explicit-constructor)
+      : Buffer(Bytes(bytes)) {
+    ChargePayloadCopy(len_);
+  }
+
+  static Buffer FromString(std::string_view s) {
+    Buffer b{Bytes(s.begin(), s.end())};
+    ChargePayloadCopy(b.size());
+    return b;
+  }
+  static Buffer CopyRaw(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    Buffer b{Bytes(p, p + n)};
+    ChargePayloadCopy(n);
+    return b;
+  }
+
+  // Aliasing sub-view; no copy. Clamped to this view's bounds.
+  Buffer Slice(size_t offset, size_t length) const {
+    Buffer out;
+    if (offset >= len_) {
+      return out;
+    }
+    out.storage_ = storage_;
+    out.off_ = off_ + offset;
+    out.len_ = std::min(length, len_ - offset);
+    return out;
+  }
+
+  const uint8_t* data() const { return storage_ ? storage_->data() + off_ : nullptr; }
+  size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  const uint8_t* begin() const { return data(); }
+  const uint8_t* end() const { return data() + len_; }
+  uint8_t operator[](size_t i) const { return data()[i]; }
+
+  std::string_view view() const {
+    return std::string_view(reinterpret_cast<const char*>(data()), len_);
+  }
+
+  // Explicit copies out (charged).
+  Bytes ToBytes() const {
+    ChargePayloadCopy(len_);
+    return Bytes(begin(), end());
+  }
+  std::string ToString() const {
+    ChargePayloadCopy(len_);
+    return std::string(view());
+  }
+
+  // Copy-on-write mutable access, fixed size. Detaches into private storage
+  // (charged) unless this view already uniquely owns its whole allocation.
+  // Mutating through the returned pointer never affects other views.
+  uint8_t* MutableData() {
+    if (len_ == 0) {
+      return nullptr;
+    }
+    if (storage_.use_count() != 1 || off_ != 0 || len_ != storage_->size()) {
+      Detach();
+    }
+    return storage_->data() + off_;
+  }
+
+  // Drops excess backing storage: after Compact() the view owns exactly its
+  // bytes. No-op when already minimal; otherwise one charged copy.
+  void Compact() {
+    if (storage_ && (off_ != 0 || len_ != storage_->size())) {
+      Detach();
+    }
+  }
+
+  // True when both views alias the same allocation (regardless of range).
+  bool SharesStorageWith(const Buffer& other) const {
+    return storage_ != nullptr && storage_ == other.storage_;
+  }
+
+  friend bool operator==(const Buffer& a, const Buffer& b) {
+    return a.len_ == b.len_ &&
+           (a.len_ == 0 || std::memcmp(a.data(), b.data(), a.len_) == 0);
+  }
+  friend bool operator!=(const Buffer& a, const Buffer& b) { return !(a == b); }
+  friend bool operator==(const Buffer& a, const Bytes& b) {
+    return a.len_ == b.size() &&
+           (a.len_ == 0 || std::memcmp(a.data(), b.data(), a.len_) == 0);
+  }
+  friend bool operator==(const Bytes& a, const Buffer& b) { return b == a; }
+
+ private:
+  void Detach() {
+    ChargePayloadCopy(len_);
+    storage_ = std::make_shared<Bytes>(begin(), end());
+    off_ = 0;
+  }
+
+  std::shared_ptr<Bytes> storage_;
+  size_t off_ = 0;
+  size_t len_ = 0;
+};
+
+}  // namespace rover
+
+#endif  // ROVER_SRC_UTIL_BUFFER_H_

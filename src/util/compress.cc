@@ -18,22 +18,21 @@ uint32_t Hash3(const uint8_t* p) {
   return (v * 2654435761u) >> (32 - kHashBits);
 }
 
-void FlushLiterals(const Bytes& input, size_t start, size_t end, Bytes* out) {
+void FlushLiterals(const uint8_t* input, size_t start, size_t end, Bytes* out) {
   while (start < end) {
     const size_t run = std::min(end - start, kMaxLiteralRun);
     out->push_back(static_cast<uint8_t>(run - 1));
-    out->insert(out->end(), input.begin() + static_cast<ptrdiff_t>(start),
-                input.begin() + static_cast<ptrdiff_t>(start + run));
+    out->insert(out->end(), input + start, input + start + run);
     start += run;
   }
 }
 
 }  // namespace
 
-Bytes LzCompress(const Bytes& input) {
+Bytes LzCompress(const uint8_t* input, size_t size) {
   Bytes out;
-  out.reserve(input.size() / 2 + 16);
-  const size_t n = input.size();
+  out.reserve(size / 2 + 16);
+  const size_t n = size;
   // head[h] is the most recent position with hash h; prev[] forms chains.
   std::vector<int64_t> head(size_t{1} << kHashBits, -1);
   std::vector<int64_t> prev(n, -1);
@@ -89,10 +88,10 @@ Bytes LzCompress(const Bytes& input) {
   return out;
 }
 
-Result<Bytes> LzDecompress(const Bytes& input) {
+Result<Bytes> LzDecompress(const uint8_t* input, size_t size) {
   Bytes out;
   size_t i = 0;
-  const size_t n = input.size();
+  const size_t n = size;
   while (i < n) {
     const uint8_t token = input[i++];
     if ((token & 0x80) == 0) {
@@ -100,8 +99,7 @@ Result<Bytes> LzDecompress(const Bytes& input) {
       if (i + run > n) {
         return DataLossError("LZ literal run past end of input");
       }
-      out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(i),
-                 input.begin() + static_cast<ptrdiff_t>(i + run));
+      out.insert(out.end(), input + i, input + i + run);
       i += run;
     } else {
       if (i + 2 > n) {

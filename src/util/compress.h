@@ -19,11 +19,18 @@ namespace rover {
 
 // Compresses `input`. Output is never more than input.size() + overhead;
 // callers that require non-expansion should compare sizes and keep the raw
-// form (QRPC does this per-message).
-Bytes LzCompress(const Bytes& input);
+// form (QRPC does this per-message). The (ptr, len) forms let zero-copy
+// payload views compress/decompress without materializing a Bytes first.
+Bytes LzCompress(const uint8_t* input, size_t size);
+inline Bytes LzCompress(const Bytes& input) {
+  return LzCompress(input.data(), input.size());
+}
 
 // Inverse of LzCompress. Fails with kDataLoss on malformed input.
-Result<Bytes> LzDecompress(const Bytes& input);
+Result<Bytes> LzDecompress(const uint8_t* input, size_t size);
+inline Result<Bytes> LzDecompress(const Bytes& input) {
+  return LzDecompress(input.data(), input.size());
+}
 
 }  // namespace rover
 

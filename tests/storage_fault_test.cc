@@ -160,6 +160,34 @@ TEST(StableDeviceTest, TornTailStillTruncatesSilently) {
   EXPECT_EQ(log.stats().records_quarantined, 0u);
 }
 
+// Regression for the copy bug the zero-copy refactor exposed: the WAL
+// retains appended payloads by refcount, so simulated device corruption
+// (bit rot, torn writes) mutating a record in place would silently damage
+// the application's own in-RAM copy of the same bytes -- an in-flight
+// message or a cached response. MutableData() is copy-on-write: the damage
+// must land in a private detached copy.
+TEST(StableDeviceTest, BitRotNeverDamagesSharedInRamPayload) {
+  EventLoop loop;
+  StableLog log(&loop);
+  const std::string text = "the application still holds this payload";
+  Buffer payload(BytesFromString(text));
+  Buffer app_copy = payload;  // the app's handle, e.g. an in-flight message
+  const uint64_t id = log.Append(payload);
+  log.Flush(nullptr);
+  loop.Run();
+  const StableLog::Record* rec = log.FindRecord(id);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_TRUE(rec->data.SharesStorageWith(app_copy));  // zero-copy retention
+
+  ASSERT_EQ(log.InjectBitRot(/*selector=*/0), id);
+  // The record is damaged (CRC catches it at read time)...
+  EXPECT_EQ(log.RecordPayload(*log.FindRecord(id)).status().code(),
+            StatusCode::kDataLoss);
+  // ...but both application handles still read the original bytes.
+  EXPECT_EQ(app_copy.view(), text);
+  EXPECT_EQ(payload.view(), text);
+}
+
 TEST(StableDeviceTest, InteriorCorruptionQuarantinedOnRecovery) {
   EventLoop loop;
   StableLog log(&loop);

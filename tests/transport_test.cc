@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -70,7 +73,7 @@ TEST(MessageTest, FrameRoundTrip) {
 }
 
 TEST(MessageTest, EmptyFrameRoundTrip) {
-  auto decoded = DecodeFrame(EncodeFrame({}));
+  auto decoded = DecodeFrame(EncodeFrame(std::vector<Message>{}));
   ASSERT_TRUE(decoded.ok());
   EXPECT_TRUE(decoded->empty());
 }
@@ -250,7 +253,7 @@ TEST_F(SchedulerTest, CompressionShrinksCompressiblePayloads) {
   loop_.Run();
   ASSERT_EQ(received_.size(), 1u);
   // Receiver sees the decompressed payload.
-  EXPECT_EQ(StringFromBytes(received_[0].payload), text);
+  EXPECT_EQ(received_[0].payload.ToString(), text);
   const auto& stats = mobile_->scheduler()->stats();
   EXPECT_LT(stats.payload_bytes_sent, stats.payload_bytes_original / 4);
 }
@@ -388,6 +391,173 @@ TEST_F(SchedulerTest, CancelBeforeTransmissionWithdrawsMessage) {
   loop_.Run();
   EXPECT_TRUE(received_.empty());
   EXPECT_GT(mobile_->scheduler()->stats().payload_bytes_cancelled, 0u);
+}
+
+// --- Indexed-scheduler semantics: cancel / supersede-withdraw / rebind /
+// shed interleavings. CancelMessage is the primitive the QRPC layer's
+// supersede-withdraw uses, so mid-queue tombstones, shedding around them,
+// and rebinding over them must all compose without drifting the index.
+TEST(SchedulerIndexTest, CancelRebindShedInterleavings) {
+  EventLoop loop;
+  Network net(&loop);
+  std::vector<IntervalConnectivity::Interval> up = {
+      {TimePoint::Epoch() + Duration::Seconds(60),
+       TimePoint::Epoch() + Duration::Seconds(1e6)}};
+  net.Connect("mobile", "s1", LinkProfile::Ethernet10(),
+              std::make_unique<IntervalConnectivity>(up));
+  net.Connect("mobile", "s2", LinkProfile::Ethernet10(),
+              std::make_unique<IntervalConnectivity>(up));
+  SchedulerOptions opts;
+  opts.max_queued_messages = 6;
+  TransportManager mobile(&loop, net.FindHost("mobile"), opts);
+  TransportManager s1(&loop, net.FindHost("s1"));
+  TransportManager s2(&loop, net.FindHost("s2"));
+  std::vector<uint64_t> s1_ids, s2_ids;
+  s1.SetHandler(MessageType::kRequest,
+                [&](const Message& m) { s1_ids.push_back(m.header.message_id); });
+  s2.SetHandler(MessageType::kRequest,
+                [&](const Message& m) { s2_ids.push_back(m.header.message_id); });
+  NetworkScheduler* sched = mobile.scheduler();
+
+  auto enqueue = [&](const std::string& dst, uint64_t id, Priority prio) {
+    Message m = MakeMessage(dst, 32, prio);
+    m.header.src = "mobile";
+    m.header.message_id = id;
+    sched->Enqueue(std::move(m));
+  };
+  enqueue("s1", 1, Priority::kDefault);
+  enqueue("s1", 2, Priority::kDefault);
+  enqueue("s1", 3, Priority::kDefault);
+  enqueue("s1", 4, Priority::kDefault);
+  enqueue("s2", 5, Priority::kBackground);
+  enqueue("s2", 6, Priority::kBackground);
+  ASSERT_EQ(sched->TotalQueueDepth(), 6u);
+
+  // Over-budget default enqueue sheds the NEWEST background (id 6).
+  enqueue("s2", 7, Priority::kDefault);
+  EXPECT_EQ(sched->stats().messages_shed, 1u);
+  EXPECT_EQ(sched->QueueDepthFor("s2"), 2u);
+
+  // Mid-queue withdraw (the supersede path): tombstones entry 2 in place.
+  EXPECT_TRUE(sched->CancelMessage("s1", 2));
+  EXPECT_FALSE(sched->CancelMessage("s1", 2));  // already gone
+  EXPECT_EQ(sched->QueueDepthFor("s1"), 3u);
+
+  // Rebind everything still queued for s1 over to s2, order preserved.
+  const std::vector<uint64_t> moved = sched->RebindDestination("s1", "s2");
+  EXPECT_EQ(moved, (std::vector<uint64_t>{1, 3, 4}));
+  EXPECT_EQ(sched->QueueDepthFor("s1"), 0u);
+  EXPECT_EQ(sched->QueueDepthFor("s2"), 5u);
+
+  // The index must have moved with the messages: cancellable at s2, not s1.
+  EXPECT_FALSE(sched->CancelMessage("s1", 3));
+  EXPECT_TRUE(sched->CancelMessage("s2", 3));
+
+  const SchedulerQueueAudit audit = sched->AuditQueues();
+  EXPECT_TRUE(audit.per_dest_consistent);
+  EXPECT_EQ(audit.messages, sched->TotalQueueDepth());
+  EXPECT_EQ(audit.payload_bytes, sched->QueuedPayloadBytes());
+
+  loop.Run();
+  EXPECT_TRUE(s1_ids.empty());
+  // Priority order within s2: defaults in arrival order (7 was enqueued
+  // before the rebind appended 1 and 4), then background 5.
+  EXPECT_EQ(s2_ids, (std::vector<uint64_t>{7, 1, 4, 5}));
+  EXPECT_EQ(sched->TotalQueueDepth(), 0u);
+  EXPECT_TRUE(sched->AuditQueues().per_dest_consistent);
+}
+
+// Property test: after a long random interleaving of enqueue / cancel /
+// rebind against disconnected destinations, the per-destination indexes and
+// the incremental counters must agree exactly with a model kept on the side
+// -- and with 10k messages queued the whole run must stay fast (nothing in
+// the cancel/rebind path may scan queues).
+TEST(SchedulerIndexTest, SeededRandomOpsKeepIndexAndCountsConsistent) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  EventLoop loop;
+  Network net(&loop);
+  const std::vector<std::string> dests = {"d0", "d1", "d2", "d3", "d4"};
+  for (const std::string& d : dests) {
+    net.Connect("mobile", d, LinkProfile::WaveLan2(),
+                std::make_unique<PeriodicConnectivity>(
+                    Duration::Seconds(1e6), Duration::Zero(),
+                    TimePoint::Epoch() + Duration::Seconds(1e6)));
+  }
+  TransportManager mobile(&loop, net.FindHost("mobile"));
+  NetworkScheduler* sched = mobile.scheduler();
+
+  Rng rng(20260808);
+  std::map<std::string, std::set<uint64_t>> model;
+  uint64_t next_id = 1;
+  const size_t kTarget = 10000;
+  size_t cancels = 0, rebinds = 0;
+  size_t queued = 0;
+  while (queued < kTarget) {
+    const uint64_t roll = rng.NextBelow(100);
+    if (roll < 80 || queued < 10) {
+      const std::string& d = dests[rng.NextBelow(dests.size())];
+      Message m = MakeMessage(d, 1 + rng.NextBelow(64),
+                              static_cast<Priority>(rng.NextBelow(3)));
+      m.header.src = "mobile";
+      m.header.message_id = next_id;
+      sched->Enqueue(std::move(m));
+      model[d].insert(next_id);
+      ++next_id;
+      ++queued;
+    } else if (roll < 95) {
+      // Cancel a random live message.
+      const std::string& d = dests[rng.NextBelow(dests.size())];
+      auto& ids = model[d];
+      if (!ids.empty()) {
+        auto it = ids.begin();
+        std::advance(it, rng.NextBelow(ids.size()));
+        ASSERT_TRUE(sched->CancelMessage(d, *it));
+        ids.erase(it);
+        --queued;
+        ++cancels;
+      }
+    } else {
+      const std::string& from = dests[rng.NextBelow(dests.size())];
+      const std::string& to = dests[rng.NextBelow(dests.size())];
+      if (from == to) {
+        continue;
+      }
+      const std::vector<uint64_t> moved = sched->RebindDestination(from, to);
+      EXPECT_EQ(moved.size(), model[from].size());
+      model[to].insert(model[from].begin(), model[from].end());
+      model[from].clear();
+      ++rebinds;
+    }
+    if ((next_id & 0x3ff) == 0) {
+      ASSERT_TRUE(sched->AuditQueues().per_dest_consistent);
+    }
+  }
+  ASSERT_GT(cancels, 100u);
+  ASSERT_GT(rebinds, 10u);
+
+  size_t model_total = 0;
+  for (const std::string& d : dests) {
+    EXPECT_EQ(sched->QueueDepthFor(d), model[d].size()) << d;
+    model_total += model[d].size();
+  }
+  EXPECT_EQ(sched->TotalQueueDepth(), model_total);
+  const SchedulerQueueAudit audit = sched->AuditQueues();
+  EXPECT_TRUE(audit.per_dest_consistent);
+  EXPECT_EQ(audit.messages, model_total);
+  EXPECT_EQ(audit.payload_bytes, sched->QueuedPayloadBytes());
+
+  // Every surviving id is still individually cancellable (index intact).
+  for (const std::string& d : dests) {
+    for (uint64_t id : model[d]) {
+      ASSERT_TRUE(sched->CancelMessage(d, id));
+    }
+  }
+  EXPECT_EQ(sched->TotalQueueDepth(), 0u);
+  EXPECT_TRUE(sched->AuditQueues().per_dest_consistent);
+
+  const auto elapsed = std::chrono::steady_clock::now() - wall_start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 20)
+      << "index ops degraded to queue scans";
 }
 
 TEST(SmtpTest, RelayStoresAndForwards) {

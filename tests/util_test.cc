@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "src/util/buffer.h"
 #include "src/util/bytes.h"
 #include "src/util/compress.h"
 #include "src/util/crc32.h"
@@ -12,6 +13,132 @@
 
 namespace rover {
 namespace {
+
+
+TEST(BufferTest, AdoptFromRvalueBytesIsFree) {
+  const uint64_t before = PayloadCopyBytes();
+  Bytes raw{1, 2, 3, 4, 5};
+  const uint8_t* raw_ptr = raw.data();
+  Buffer buf(std::move(raw));
+  EXPECT_EQ(buf.size(), 5u);
+  EXPECT_EQ(buf.data(), raw_ptr);  // the vector's allocation was adopted
+  EXPECT_EQ(PayloadCopyBytes(), before);
+}
+
+TEST(BufferTest, CopyFromLvalueBytesIsCharged) {
+  const uint64_t before = PayloadCopyBytes();
+  const Bytes raw{1, 2, 3, 4, 5};
+  Buffer buf(raw);
+  EXPECT_EQ(buf, raw);
+  EXPECT_EQ(PayloadCopyBytes(), before + 5);
+}
+
+TEST(BufferTest, SliceAliasesStorage) {
+  Buffer whole(Bytes{10, 11, 12, 13, 14, 15});
+  const uint64_t before = PayloadCopyBytes();
+  Buffer mid = whole.Slice(2, 3);
+  EXPECT_EQ(PayloadCopyBytes(), before);  // slicing copies nothing
+  EXPECT_TRUE(mid.SharesStorageWith(whole));
+  EXPECT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.data(), whole.data() + 2);
+  EXPECT_EQ(mid, (Bytes{12, 13, 14}));
+  // Slicing a slice composes offsets.
+  Buffer inner = mid.Slice(1, 1);
+  EXPECT_EQ(inner, (Bytes{13}));
+  EXPECT_TRUE(inner.SharesStorageWith(whole));
+}
+
+TEST(BufferTest, SliceClampsToBounds) {
+  Buffer whole(Bytes{1, 2, 3, 4});
+  EXPECT_EQ(whole.Slice(2, 100).size(), 2u);   // length clamped
+  EXPECT_TRUE(whole.Slice(4, 1).empty());      // offset at end -> empty
+  EXPECT_TRUE(whole.Slice(99, 1).empty());     // offset past end -> empty
+  EXPECT_FALSE(whole.Slice(99, 1).SharesStorageWith(whole));
+}
+
+TEST(BufferTest, CopyIsRefcountNotMemcpy) {
+  Buffer a(Bytes{1, 2, 3});
+  const uint64_t before = PayloadCopyBytes();
+  Buffer b = a;   // copy-construct: bump refcount
+  Buffer c;
+  c = a;          // copy-assign: bump refcount
+  EXPECT_EQ(PayloadCopyBytes(), before);
+  EXPECT_TRUE(b.SharesStorageWith(a));
+  EXPECT_TRUE(c.SharesStorageWith(a));
+}
+
+TEST(BufferTest, MutableDataDetachesWhenShared) {
+  Buffer a(Bytes{1, 2, 3, 4});
+  Buffer b = a;
+  b.MutableData()[0] = 99;  // copy-on-write: a must not see the mutation
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(b[0], 99);
+  EXPECT_FALSE(a.SharesStorageWith(b));
+}
+
+TEST(BufferTest, MutableDataInPlaceWhenUniquelyOwned) {
+  Buffer a(Bytes{1, 2, 3, 4});
+  const uint8_t* before = a.data();
+  const uint64_t copies = PayloadCopyBytes();
+  a.MutableData()[0] = 99;
+  EXPECT_EQ(a.data(), before);  // sole whole-allocation owner: no detach
+  EXPECT_EQ(PayloadCopyBytes(), copies);
+  EXPECT_EQ(a[0], 99);
+}
+
+TEST(BufferTest, MutableDataOnSliceDetachesEvenWhenUnique) {
+  Buffer whole(Bytes{1, 2, 3, 4, 5, 6});
+  Buffer tail = whole.Slice(3, 3);
+  whole = Buffer();  // tail is now the sole owner, but of a partial view
+  tail.MutableData()[0] = 99;
+  EXPECT_EQ(tail, (Bytes{99, 5, 6}));
+  EXPECT_EQ(tail.size(), 3u);
+}
+
+TEST(BufferTest, CompactDropsBackingStorage) {
+  Buffer whole(Bytes(1000, 0xab));
+  Buffer header = whole.Slice(0, 8);
+  EXPECT_TRUE(header.SharesStorageWith(whole));  // pins all 1000 bytes
+  header.Compact();
+  EXPECT_FALSE(header.SharesStorageWith(whole));
+  EXPECT_EQ(header, Bytes(8, 0xab));
+  // Already-minimal buffers are untouched.
+  const uint8_t* before = header.data();
+  header.Compact();
+  EXPECT_EQ(header.data(), before);
+}
+
+TEST(BufferTest, CrcOverSliceMatchesCopiedRange) {
+  Bytes raw;
+  for (int i = 0; i < 256; ++i) {
+    raw.push_back(static_cast<uint8_t>(i * 7));
+  }
+  const Bytes expected_range(raw.begin() + 50, raw.begin() + 150);
+  Buffer whole(std::move(raw));
+  Buffer mid = whole.Slice(50, 100);
+  EXPECT_EQ(Crc32(mid.data(), mid.size()),
+            Crc32(expected_range.data(), expected_range.size()));
+}
+
+TEST(BufferTest, StringRoundTripAndView) {
+  Buffer b = Buffer::FromString("hello rover");
+  EXPECT_EQ(b.view(), "hello rover");
+  EXPECT_EQ(b.ToString(), "hello rover");
+  Buffer tail = b.Slice(6, 5);
+  EXPECT_EQ(tail.view(), "rover");
+}
+
+TEST(BufferTest, EmptyBufferBehaves) {
+  Buffer empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.data(), nullptr);
+  EXPECT_EQ(empty.MutableData(), nullptr);
+  EXPECT_EQ(empty, Buffer());
+  EXPECT_EQ(empty.ToBytes(), Bytes{});
+  Buffer from_empty_bytes{Bytes{}};
+  EXPECT_TRUE(from_empty_bytes.empty());
+}
+
 
 TEST(StatusTest, DefaultIsOk) {
   Status s;
