@@ -31,11 +31,14 @@
 
 #include "bench/bench_util.h"
 #include "src/core/toolkit.h"
+#include "src/obs/cpu_scope.h"
 #include "src/util/buffer.h"
 
 using namespace rover;
 
 namespace {
+
+constexpr size_t kNumZones = static_cast<size_t>(obs::CpuZone::kCount);
 
 struct Row {
   size_t clients = 0;
@@ -45,6 +48,11 @@ struct Row {
   double us_per_op = 0;
   double copy_bytes_per_op = 0;
   double peak_rss_mib = 0;
+  // Per-subsystem CPU attribution (exclusive seconds + scope entries);
+  // only filled for measured rows, not the recorded baseline.
+  bool has_breakdown = false;
+  double zone_seconds[kNumZones] = {};
+  uint64_t zone_enters[kNumZones] = {};
 };
 
 double ProcessCpuSeconds() {
@@ -89,6 +97,10 @@ Row Measure(size_t n_clients, int ops_per_client) {
   const std::string big(2048, 'Q');
   uint64_t issued = 0;
 
+  auto& attr = obs::CpuAttribution::Instance();
+  attr.CyclesPerSecond();  // calibrate outside the measured window
+  attr.set_enabled(true);
+  attr.Reset();
   const double cpu_before = ProcessCpuSeconds();
   const uint64_t copies_before = PayloadCopyBytes();
   for (size_t i = 0; i < n_clients; ++i) {
@@ -106,6 +118,14 @@ Row Measure(size_t n_clients, int ops_per_client) {
   bed.Run();
   const double cpu_after = ProcessCpuSeconds();
   const uint64_t copies_after = PayloadCopyBytes();
+  attr.set_enabled(false);
+  row.has_breakdown = true;
+  const double cps = attr.CyclesPerSecond();
+  for (size_t z = 0; z < kNumZones; ++z) {
+    const auto& t = attr.totals(static_cast<obs::CpuZone>(z));
+    row.zone_seconds[z] = static_cast<double>(t.cycles) / cps;
+    row.zone_enters[z] = t.enters;
+  }
 
   const uint64_t completed = bed.server()->qrpc()->stats().requests;
   row.ops = completed;
@@ -139,18 +159,29 @@ void AppendJsonRow(std::string* out, const Row& r, bool last) {
   std::snprintf(buf, sizeof(buf),
                 "    {\"clients\": %zu, \"ops\": %llu, \"cpu_seconds\": %.3f, "
                 "\"ops_per_cpu_sec\": %.0f, \"us_per_op\": %.2f, "
-                "\"copy_bytes_per_op\": %.0f, \"peak_rss_mib\": %.1f}%s\n",
+                "\"copy_bytes_per_op\": %.0f, \"peak_rss_mib\": %.1f",
                 r.clients, static_cast<unsigned long long>(r.ops), r.cpu_seconds,
-                r.ops_per_cpu_sec, r.us_per_op, r.copy_bytes_per_op, r.peak_rss_mib,
-                last ? "" : ",");
+                r.ops_per_cpu_sec, r.us_per_op, r.copy_bytes_per_op, r.peak_rss_mib);
   *out += buf;
+  if (r.has_breakdown) {
+    *out += ",\n     \"cpu_breakdown\": {";
+    for (size_t z = 0; z < kNumZones; ++z) {
+      std::snprintf(buf, sizeof(buf), "%s\"%s\": {\"seconds\": %.4f, \"enters\": %llu}",
+                    z == 0 ? "" : ", ",
+                    std::string(obs::CpuZoneName(static_cast<obs::CpuZone>(z))).c_str(),
+                    r.zone_seconds[z], static_cast<unsigned long long>(r.zone_enters[z]));
+      *out += buf;
+    }
+    *out += "}";
+  }
+  *out += last ? "}\n" : "},\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   int ops_per_client = 8;
-  std::vector<size_t> counts = {1000, 4000, 10000};
+  std::vector<size_t> counts = {1000, 4000, 10000, 25000};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       counts = {1000};
@@ -220,6 +251,19 @@ int main(int argc, char** argv) {
                   r.clients, speedup, copy_cut * 100.0,
                   (r.clients == 4000 && speedup < 3.0) ? "  [BELOW 3x TARGET]" : "");
     }
+  }
+  // Flat-profile gate: fan-in scaling is "flat" when 25k clients retain at
+  // least 0.6x the per-CPU-second throughput of 1k clients.
+  const Row* r1k = nullptr;
+  const Row* r25k = nullptr;
+  for (const Row& r : rows) {
+    if (r.clients == 1000) r1k = &r;
+    if (r.clients == 25000) r25k = &r;
+  }
+  if (r1k != nullptr && r25k != nullptr) {
+    const double flatness = r25k->ops_per_cpu_sec / r1k->ops_per_cpu_sec;
+    std::printf("flatness: 25k clients at %.2fx of 1k ops/cpu-sec%s\n", flatness,
+                flatness >= 0.6 ? " (meets 0.6x floor)" : "  [BELOW 0.6x FLOOR]");
   }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/cpu_scope.h"
 #include "src/util/compress.h"
 #include "src/util/crc32.h"
 
@@ -177,6 +178,7 @@ void StableLog::Flush(std::function<void()> done) {
 }
 
 void StableLog::FlushInternal(FlushCallback done) {
+  obs::CpuScope cpu(obs::CpuZone::kWalFlush);
   if (cost_model_.group_commit) {
     waiting_flushes_.push_back(std::move(done));
     if (!write_in_progress_) {

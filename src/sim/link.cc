@@ -130,6 +130,20 @@ std::string Link::PeerOf(const std::string& host) const {
 
 bool Link::IsUp() const { return !forced_down_ && schedule_->IsUp(loop_->now()); }
 
+void Link::ForceDown() {
+  if (forced_down_) {
+    return;
+  }
+  forced_down_ = true;
+  for (const auto& observer : state_observers_) {
+    observer();
+  }
+}
+
+void Link::AddStateObserver(std::function<void()> observer) {
+  state_observers_.push_back(std::move(observer));
+}
+
 TimePoint Link::NextUpTime() const {
   if (forced_down_) {
     return TimePoint::FromMicros(INT64_MAX);

@@ -107,9 +107,17 @@ class Link {
   // Administratively downs the link for good, overriding the connectivity
   // schedule -- models the interfaces of a host that died (failover kills).
   // Irreversible; frames already in transit complete or are lost per the
-  // schedule as it stood when they were sent.
-  void ForceDown() { forced_down_ = true; }
+  // schedule as it stood when they were sent. Notifies state observers.
+  void ForceDown();
   bool forced_down() const { return forced_down_; }
+
+  // True when the schedule keeps the link up at every t (and it has not
+  // been forced down). Basis for O(1) reachability indexes.
+  bool IsAlwaysUp() const { return !forced_down_ && schedule_->IsAlwaysUp(); }
+
+  // Observers fire on administrative state changes (currently: ForceDown).
+  // Hosts register one per endpoint to keep their peer indexes current.
+  void AddStateObserver(std::function<void()> observer);
 
   void SetFrameHandler(const std::string& receiving_host, FrameHandler handler);
 
@@ -136,6 +144,7 @@ class Link {
   LinkProfile profile_;
   std::unique_ptr<ConnectivitySchedule> schedule_;
   bool forced_down_ = false;
+  std::vector<std::function<void()>> state_observers_;
   Rng loss_rng_;
   obs::Registry own_metrics_;  // used until BindMetrics() points elsewhere
   obs::Counter* c_frames_sent_ = nullptr;

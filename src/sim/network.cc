@@ -1,22 +1,42 @@
 #include "src/sim/network.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace rover {
 
-std::vector<Link*> Host::LinksTo(const std::string& peer) const {
-  std::vector<Link*> out;
-  for (Link* link : links_) {
-    if (link->PeerOf(name_) == peer) {
-      out.push_back(link);
-    }
+namespace {
+uint64_t g_link_scan_steps = 0;
+const std::vector<Link*> kNoLinks;
+}  // namespace
+
+uint64_t HostLinkScanSteps() { return g_link_scan_steps; }
+void ResetHostLinkScanSteps() { g_link_scan_steps = 0; }
+
+const std::vector<Link*>& Host::LinksTo(const std::string& peer) const {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) {
+    ++g_link_scan_steps;
+    return kNoLinks;
   }
-  return out;
+  g_link_scan_steps += it->second.links.size();
+  return it->second.links;
 }
 
 bool Host::CanReach(const std::string& peer) const {
-  for (Link* link : links_) {
-    if (link->PeerOf(name_) == peer && link->IsUp()) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) {
+    ++g_link_scan_steps;
+    return false;
+  }
+  if (it->second.always_up > 0) {
+    ++g_link_scan_steps;
+    return true;
+  }
+  // No always-up link: consult this peer's (few) scheduled links.
+  for (Link* link : it->second.links) {
+    ++g_link_scan_steps;
+    if (link->IsUp()) {
       return true;
     }
   }
@@ -47,14 +67,61 @@ void Host::ClearLinkChangeListener(const void* owner) {
   }
 }
 
-void Host::Attach(Link* link) {
-  links_.push_back(link);
-  link->SetFrameHandler(name_, [this](Bytes frame, const std::string& from) {
-    HandleFrame(std::move(frame), from);
-  });
+void Host::AddPeerObserver(const std::string& peer, std::function<void()> observer,
+                           const void* owner) {
+  peers_[peer].observers.emplace_back(owner, std::move(observer));
+}
+
+void Host::RemovePeerObservers(const void* owner) {
+  for (auto& [peer, entry] : peers_) {
+    auto& obs = entry.observers;
+    obs.erase(std::remove_if(obs.begin(), obs.end(),
+                             [owner](const auto& o) { return o.first == owner; }),
+              obs.end());
+  }
+}
+
+void Host::NotifyPeerChange(PeerEntry& entry) {
+  // Copy: an observer may re-arm (append) while we iterate.
+  const auto observers = entry.observers;
+  for (const auto& [owner, fn] : observers) {
+    fn();
+  }
   if (link_change_listener_) {
     link_change_listener_();
   }
+}
+
+void Host::OnLinkForcedDown(const std::string& peer) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) {
+    return;
+  }
+  PeerEntry& entry = it->second;
+  // Recompute rather than decrement: ForceDown is rare and idempotence
+  // (plus future state kinds) is simpler to keep correct this way.
+  entry.always_up = 0;
+  for (Link* link : entry.links) {
+    if (link->IsAlwaysUp()) {
+      ++entry.always_up;
+    }
+  }
+  NotifyPeerChange(entry);
+}
+
+void Host::Attach(Link* link) {
+  links_.push_back(link);
+  const std::string peer = link->PeerOf(name_);
+  PeerEntry& entry = peers_[peer];
+  entry.links.push_back(link);
+  if (link->IsAlwaysUp()) {
+    ++entry.always_up;
+  }
+  link->AddStateObserver([this, peer] { OnLinkForcedDown(peer); });
+  link->SetFrameHandler(name_, [this](Bytes frame, const std::string& from) {
+    HandleFrame(std::move(frame), from);
+  });
+  NotifyPeerChange(entry);
 }
 
 void Host::HandleFrame(Bytes frame, const std::string& from) {

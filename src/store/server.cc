@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/obs/cpu_scope.h"
 #include "src/store/replication.h"
 #include "src/tclite/value.h"
 #include "src/util/delta.h"
@@ -751,30 +752,62 @@ void RoverServer::NotifySubscribers(const std::string& name, uint64_t version,
   if (!options_.send_invalidations) {
     return;
   }
-  auto it = subscribers_.find(name);
-  if (it == subscribers_.end()) {
+  if (subscribers_.find(name) == subscribers_.end()) {
     return;
   }
-  for (const std::string& host : it->second) {
-    if (host == except_host) {
-      continue;  // the exporter already knows
+  // Coalesce: several commits to one object at the same virtual instant
+  // produce one invalidation per subscriber, carrying the latest version.
+  PendingInvalidation& pending = pending_invalidations_[name];
+  pending.version = std::max(pending.version, version);
+  pending.except_host = except_host;
+  if (invalidation_flush_armed_) {
+    return;
+  }
+  invalidation_flush_armed_ = true;
+  loop_->ScheduleAfter(Duration::Zero(),
+                       [this, weak = std::weak_ptr<char>(alive_)] {
+                         if (weak.expired()) {
+                           return;  // server crashed before the flush ran
+                         }
+                         FlushInvalidations();
+                       });
+}
+
+void RoverServer::FlushInvalidations() {
+  obs::CpuScope cpu(obs::CpuZone::kInvalidationFanout);
+  invalidation_flush_armed_ = false;
+  // Swap out: a delivered callback (or re-entrant commit) may add new
+  // pending invalidations, which belong to the NEXT flush.
+  std::map<std::string, PendingInvalidation> batch;
+  batch.swap(pending_invalidations_);
+  for (const auto& [name, pending] : batch) {
+    auto it = subscribers_.find(name);
+    if (it == subscribers_.end()) {
+      continue;  // last subscriber left while the flush was queued
     }
-    Message msg;
-    msg.header.type = MessageType::kControl;
-    msg.header.priority = Priority::kBackground;
-    msg.header.dst = host;
-    msg.payload = EncodeInvalidation(name, version);
-    NetworkScheduler::DeliveredCallback delivered;
-    if (options_.invalidation_ttl > Duration::Zero()) {
-      delivered = [this, weak = std::weak_ptr<char>(alive_), host](const Status& status) {
-        if (weak.expired()) {
-          return;  // server crashed while the invalidation was queued
-        }
-        OnInvalidationDelivered(host, status);
-      };
+    // Encode once; every subscriber's message shares the storage.
+    const Buffer payload{EncodeInvalidation(name, pending.version)};
+    for (const std::string& host : it->second) {
+      if (host == pending.except_host) {
+        continue;  // the exporter already knows
+      }
+      Message msg;
+      msg.header.type = MessageType::kControl;
+      msg.header.priority = Priority::kBackground;
+      msg.header.dst = host;
+      msg.payload = payload;  // refcount bump, not a copy
+      NetworkScheduler::DeliveredCallback delivered;
+      if (options_.invalidation_ttl > Duration::Zero()) {
+        delivered = [this, weak = std::weak_ptr<char>(alive_), host](const Status& status) {
+          if (weak.expired()) {
+            return;  // server crashed while the invalidation was queued
+          }
+          OnInvalidationDelivered(host, status);
+        };
+      }
+      transport_->Send(std::move(msg), std::move(delivered), options_.invalidation_ttl);
+      ++stats_.invalidations_sent;
     }
-    transport_->Send(std::move(msg), std::move(delivered), options_.invalidation_ttl);
-    ++stats_.invalidations_sent;
   }
 }
 

@@ -184,6 +184,10 @@ class RoverServer {
   void DropInstance(const std::string& name);
   void NotifySubscribers(const std::string& name, uint64_t version,
                          const std::string& except_host);
+  // Drains pending_invalidations_: encodes each (name, latest version) ONCE
+  // into a refcounted Buffer and enqueues per-subscriber messages that
+  // share it -- N sends cost N refcount bumps, not N encodes + N copies.
+  void FlushInvalidations();
 
   EventLoop* loop_;
   TransportManager* transport_;
@@ -202,6 +206,16 @@ class RoverServer {
   std::map<std::pair<std::string, uint64_t>, std::vector<ReplayOp>> pending_ops_;
   // Consecutive expired invalidations per subscriber host.
   std::map<std::string, size_t> invalidation_failures_;
+  // Same-tick invalidation batching: commits occurring at one virtual
+  // instant are coalesced per object (latest version wins) and flushed by a
+  // single deferred event, so a burst of imports to one object does not
+  // fan out once per commit. Ordered map: flush order is deterministic.
+  struct PendingInvalidation {
+    uint64_t version = 0;
+    std::string except_host;
+  };
+  std::map<std::string, PendingInvalidation> pending_invalidations_;
+  bool invalidation_flush_armed_ = false;
   // True while RestoreFromRecovery replays the WAL: journal hooks must not
   // re-log the replayed mutations.
   bool replaying_ = false;

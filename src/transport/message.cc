@@ -1,5 +1,6 @@
 #include "src/transport/message.h"
 
+#include "src/obs/cpu_scope.h"
 #include "src/util/crc32.h"
 
 namespace rover {
@@ -122,6 +123,7 @@ namespace {
 
 template <typename Deref, typename T>
 Bytes EncodeFrameImpl(const std::vector<T>& messages, Deref deref) {
+  obs::CpuScope cpu(obs::CpuZone::kMarshal);
   WireWriter writer;
   size_t total = VarintSize(messages.size()) + 4;
   for (const T& msg : messages) {
@@ -153,6 +155,7 @@ Bytes EncodeFrame(const std::vector<const Message*>& messages) {
 }
 
 Result<std::vector<Message>> DecodeFrame(Bytes frame) {
+  obs::CpuScope cpu(obs::CpuZone::kMarshal);
   if (frame.size() < 4) {
     return DataLossError("frame too short for checksum");
   }

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/cpu_scope.h"
 #include "src/util/compress.h"
 #include "src/util/logging.h"
 
@@ -14,6 +15,13 @@ NetworkScheduler::NetworkScheduler(EventLoop* loop, Host* host, SchedulerOptions
     : loop_(loop), host_(host), options_(options),
       retry_budget_(options.retry_budget_capacity, options.retry_budget_refill_per_sec) {
   WireMetrics(&own_metrics_, "scheduler");
+}
+
+NetworkScheduler::~NetworkScheduler() {
+  // The alive_ token already neutralizes queued observer fires, but
+  // deregistering keeps a long-lived host's observer lists from
+  // accumulating dead entries across transport rebuilds.
+  host_->RemovePeerObservers(this);
 }
 
 NetworkScheduler::DestId NetworkScheduler::InternDest(const std::string& dest) {
@@ -163,6 +171,7 @@ void NetworkScheduler::TrimTombstones(DestQueue& q) {
 }
 
 void NetworkScheduler::Enqueue(Message msg, DeliveredCallback delivered, Duration ttl) {
+  obs::CpuScope cpu(obs::CpuZone::kSchedulerDispatch);
   c_payload_bytes_original_->Increment(msg.payload.size());
 
   // Compress once, at enqueue time, so retries do not repeat the work.
@@ -402,6 +411,7 @@ SchedulerQueueAudit NetworkScheduler::AuditQueues() const {
 }
 
 Link* NetworkScheduler::PickLink(const std::string& dest) const {
+  obs::CpuScope cpu(obs::CpuZone::kConnectivity);
   Link* best = nullptr;
   for (Link* link : host_->LinksTo(dest)) {
     if (!link->IsUp()) {
@@ -415,6 +425,7 @@ Link* NetworkScheduler::PickLink(const std::string& dest) const {
 }
 
 void NetworkScheduler::TryDrain(DestId id) {
+  obs::CpuScope cpu(obs::CpuZone::kSchedulerDispatch);
   DestQueue& q = dests_[id];
   if (q.in_flight || q.empty()) {
     return;
@@ -542,6 +553,7 @@ void NetworkScheduler::SendBatch(DestId id, Link* link) {
 
 void NetworkScheduler::HandleBatchOutcome(DestId id, std::vector<Pending> batch,
                                           const Status& status) {
+  obs::CpuScope cpu(obs::CpuZone::kSchedulerDispatch);
   DestQueue& q = dests_[id];
   q.in_flight = false;
 
@@ -625,15 +637,19 @@ void NetworkScheduler::HandleBatchOutcome(DestId id, std::vector<Pending> batch,
 
 bool NetworkScheduler::ArmUpWakeup(DestId id) {
   DestQueue& q = dests_[id];
+  // Any queue parking here cares about future link events for its peer:
+  // make sure the host tells us about them (attach, force-down) directly.
+  ArmPeerObserver(id);
   if (q.waiting_for_up) {
     return true;
   }
   // Find the link to `dest` that comes up soonest and schedule a wakeup.
   // The computation is only valid for the link set as it stands right now;
-  // ReevaluateWakeups() re-runs it when a link is attached later.
+  // the peer observer re-runs it when that set changes.
   Link* soonest = nullptr;
   bool has_link = false;
   TimePoint best = TimePoint::FromMicros(INT64_MAX);
+  obs::CpuScope cpu(obs::CpuZone::kConnectivity);
   for (Link* link : host_->LinksTo(q.name)) {
     has_link = true;
     const TimePoint up = link->NextUpTime();
@@ -669,6 +685,34 @@ bool NetworkScheduler::ArmUpWakeup(DestId id) {
         TryDrain(id);
       });
   return true;
+}
+
+void NetworkScheduler::ArmPeerObserver(DestId id) {
+  DestQueue& q = dests_[id];
+  if (q.peer_observer_armed) {
+    return;
+  }
+  q.peer_observer_armed = true;
+  host_->AddPeerObserver(
+      q.name,
+      [this, id, alive = std::weak_ptr<char>(alive_)] {
+        if (alive.expired()) {
+          return;  // scheduler torn down; host outlived it
+        }
+        DestQueue& dq = dests_[id];
+        if (dq.in_flight || dq.empty()) {
+          return;
+        }
+        // The link set toward this peer changed: any armed wakeup was
+        // computed against the old set, so recompute from scratch.
+        if (dq.waiting_for_up) {
+          loop_->Cancel(dq.up_wakeup_event);
+          dq.waiting_for_up = false;
+          dq.up_wakeup_event = kInvalidEventId;
+        }
+        TryDrain(id);
+      },
+      this);
 }
 
 void NetworkScheduler::ReevaluateWakeups() {

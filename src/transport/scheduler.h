@@ -110,6 +110,7 @@ class NetworkScheduler {
   using BreakerObserver = std::function<void(const std::string& dest, BreakerState state)>;
 
   NetworkScheduler(EventLoop* loop, Host* host, SchedulerOptions options = {});
+  ~NetworkScheduler();
 
   // Queues `msg` for delivery to msg.header.dst. Returns immediately;
   // `delivered` (may be null) fires when a link accepts the frame carrying
@@ -202,6 +203,11 @@ class NetworkScheduler {
     size_t background_count = 0;
     bool in_flight = false;
     bool waiting_for_up = false;
+    // A per-peer link-state observer is registered with the host the first
+    // time this queue parks with no usable link; it stays registered for
+    // the scheduler's lifetime (observer fires are rare: attach/force-down
+    // of a link to this one peer, never unrelated link events).
+    bool peer_observer_armed = false;
     EventId up_wakeup_event = kInvalidEventId;
     int consecutive_losses = 0;
     // Retry pacing and overload state (configured lazily in InternDest).
@@ -242,6 +248,10 @@ class NetworkScheduler {
   // Returns false when no wakeup could be armed because no link to `dest`
   // will ever come up again (dead destination).
   bool ArmUpWakeup(DestId id);
+  // Registers (once) a host peer-observer for this destination: fires when
+  // a link to the peer is attached or forced down, re-evaluating just this
+  // queue instead of every parked destination.
+  void ArmPeerObserver(DestId id);
   // Verdict for a destination with queued traffic, no up link, and no
   // scheduled reconnection: force the breaker open so observers (failover)
   // learn the destination is gone.

@@ -13,16 +13,16 @@ TransportManager::TransportManager(EventLoop* loop, Host* host, SchedulerOptions
   host_->SetReceiver([this](Bytes frame, const std::string& from) {
     HandleFrame(std::move(frame), from);
   }, this);
-  // A link attached after a queue parked itself (waiting for the wrong
-  // link, or having concluded no route exists) must re-trigger scheduling.
-  host_->SetLinkChangeListener([this] { scheduler_.ReevaluateWakeups(); }, this);
+  // Queues parked on "no usable link" register per-peer observers with the
+  // host (see NetworkScheduler::ArmPeerObserver); no global link-change
+  // listener is needed, so N parked destinations no longer all re-scan on
+  // every unrelated link event.
 }
 
 TransportManager::~TransportManager() {
   // Owner-scoped: a replacement transport registered since (crash-restart
   // builds the new node before the old one is torn down) keeps its hooks.
   host_->ClearReceiver(this);
-  host_->ClearLinkChangeListener(this);
 }
 
 void TransportManager::Send(Message msg, NetworkScheduler::DeliveredCallback delivered,

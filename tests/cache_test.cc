@@ -407,6 +407,34 @@ TEST_F(AccessManagerTest, SubscriptionInvalidatesStaleCache) {
   EXPECT_EQ(*a->access()->ReadData("counter"), "9");
 }
 
+TEST_F(AccessManagerTest, InvalidationFansOutOncePerSubscriberPerCommit) {
+  // The server's deferred fan-out flush must deliver exactly one
+  // invalidation (with the committed version) to every subscriber except
+  // the exporter, per commit -- batching must not drop or duplicate.
+  Testbed bed;
+  Seed(&bed);
+  ClientNodeOptions sub_opts;
+  sub_opts.access.subscribe_on_import = true;
+  RoverClientNode* a = bed.AddClient("a", LinkProfile::WaveLan2(), nullptr, sub_opts);
+  RoverClientNode* b = bed.AddClient("b", LinkProfile::WaveLan2(), nullptr, sub_opts);
+  RoverClientNode* c = bed.AddClient("c", LinkProfile::WaveLan2());
+
+  a->access()->Import("counter").Wait(bed.loop());
+  b->access()->Import("counter").Wait(bed.loop());
+  bed.Run();  // both subscriptions land
+  EXPECT_EQ(bed.server()->rover()->SubscriberCount("counter"), 2u);
+
+  c->access()->Import("counter").Wait(bed.loop());
+  c->access()->Invoke("counter", "add", {"5"}).Wait(bed.loop());
+  c->access()->Export("counter").Wait(bed.loop());
+  bed.Run();
+
+  EXPECT_EQ(bed.server()->rover()->stats().invalidations_sent, 2u);
+  EXPECT_EQ(a->access()->stats().invalidations_received, 1u);
+  EXPECT_EQ(b->access()->stats().invalidations_received, 1u);
+  EXPECT_EQ(c->access()->stats().invalidations_received, 0u);  // exporter
+}
+
 TEST_F(AccessManagerTest, SessionReadYourWritesAcrossEviction) {
   Testbed bed;
   Seed(&bed);

@@ -335,5 +335,150 @@ TEST(LinkTest, CorruptionDamagesFrameAndInformsSender) {
   EXPECT_EQ(link->stats().frames_corrupted, 1u);
 }
 
+// --- Timer wheel + tombstone bounds -----------------------------------------
+
+TEST(EventLoopTest, FarTimersParkInWheelAndCancelReclaimsImmediately) {
+  EventLoop loop;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(loop.ScheduleAfter(Duration::Seconds(60 + i), [] {}));
+  }
+  // Far timers live in the wheel, not the heap.
+  EXPECT_EQ(loop.wheel_resident_events(), 1000u);
+  EXPECT_EQ(loop.heap_physical_size(), 0u);
+  for (EventId id : ids) {
+    EXPECT_TRUE(loop.Cancel(id));
+  }
+  // O(1) cancel reclaims the entries: no tombstones anywhere.
+  EXPECT_EQ(loop.pending_events(), 0u);
+  EXPECT_EQ(loop.wheel_resident_events(), 0u);
+  EXPECT_EQ(loop.heap_physical_size(), 0u);
+  EXPECT_EQ(loop.Run(), 0u);
+}
+
+TEST(EventLoopTest, HeapTombstonesStayBoundedUnderArmCancelChurn) {
+  // The deadline-arm-then-cancel pattern (retries that succeed, TTLs that
+  // never fire) must not accumulate state: pending_events() reports zero
+  // and the physical heap is compacted, not grown, across 10k rounds.
+  EventLoop loop;
+  for (int round = 0; round < 10'000; ++round) {
+    EventId id =
+        loop.ScheduleAfter(Duration::Micros(1000 + (round % 97)), [] {});
+    EXPECT_TRUE(loop.Cancel(id));
+    EXPECT_FALSE(loop.Cancel(id));  // reclaim/tombstone is single-shot
+    ASSERT_EQ(loop.pending_events(), 0u);
+    ASSERT_LE(loop.heap_physical_size(), 200u);
+  }
+  EXPECT_EQ(loop.Run(), 0u);
+}
+
+TEST(EventLoopTest, WheelExecutionOrderMatchesHeapBitForBit) {
+  // Replay one pseudo-random schedule -- same-tick ties, near and far
+  // horizons, overflow-range timers, nested re-arms, and cancellations --
+  // against both storage backends. Event ids are allocated in schedule
+  // order, so identical execution order implies identical id streams and
+  // the cancels hit the same targets in both runs.
+  auto replay = [](bool wheel_on) {
+    EventLoop loop;
+    loop.set_timer_wheel_enabled(wheel_on);
+    std::vector<uint64_t> order;
+    uint64_t rng = 0x9e3779b97f4a7c15ull;
+    auto next = [&rng] {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      return rng >> 33;
+    };
+    std::vector<EventId> armed;
+    int spawned = 0;
+    std::function<void(uint64_t)> body = [&](uint64_t tag) {
+      order.push_back(tag);
+      if (spawned >= 3000) {
+        return;
+      }
+      static constexpr int64_t kDeltas[] = {
+          0, 1, 500, 16'383, 16'384, 250'000, 3'000'000,
+          90'000'000, 5'000'000'000, 400'000'000'000};
+      for (int k = 0; k < 3; ++k) {
+        const Duration d = Duration::Micros(kDeltas[next() % 10]);
+        const uint64_t child_tag = next();
+        ++spawned;
+        armed.push_back(
+            loop.ScheduleAfter(d, [&body, child_tag] { body(child_tag); }));
+      }
+      if (!armed.empty() && next() % 3 == 0) {
+        loop.Cancel(armed[next() % armed.size()]);
+      }
+    };
+    for (uint64_t i = 0; i < 8; ++i) {
+      loop.ScheduleAfter(Duration::Micros(static_cast<int64_t>(next() % 100)),
+                         [&body, i] { body(i); });
+    }
+    loop.Run();
+    return order;
+  };
+  const std::vector<uint64_t> with_wheel = replay(true);
+  const std::vector<uint64_t> heap_only = replay(false);
+  ASSERT_GT(with_wheel.size(), 1000u);
+  EXPECT_EQ(with_wheel, heap_only);
+}
+
+// --- Peer-indexed connectivity ----------------------------------------------
+
+TEST(NetworkTest, PeerLookupWorkIsFlatInAttachedLinkCount) {
+  // A server with 4096 attached client links must not pay more per lookup
+  // than one with 16: reachability and link selection are peer-indexed.
+  auto scans_per_op = [](int peers) -> uint64_t {
+    EventLoop loop;
+    Network net(&loop);
+    for (int i = 0; i < peers; ++i) {
+      net.Connect("server", "client-" + std::to_string(i), LinkProfile::Ethernet10());
+    }
+    Host* server = net.FindHost("server");
+    ResetHostLinkScanSteps();
+    constexpr uint64_t kOps = 64;
+    for (uint64_t i = 0; i < kOps; ++i) {
+      EXPECT_EQ(server->LinksTo("client-0").size(), 1u);
+      EXPECT_TRUE(server->CanReach("client-0"));
+    }
+    return HostLinkScanSteps() / kOps;
+  };
+  const uint64_t small = scans_per_op(16);
+  const uint64_t large = scans_per_op(4096);
+  EXPECT_EQ(small, large);
+  EXPECT_LE(large, 4u);
+}
+
+TEST(NetworkTest, PeerObserverFiresOnAttachAndForceDownForThatPeerOnly) {
+  EventLoop loop;
+  Network net(&loop);
+  net.Connect("server", "a", LinkProfile::Ethernet10());
+  Host* server = net.FindHost("server");
+  int a_fires = 0;
+  int owner = 0;
+  server->AddPeerObserver("a", [&] { ++a_fires; }, &owner);
+  server->AddPeerObserver("b", [&] { ADD_FAILURE() << "b observer fired"; }, &owner);
+
+  Link* second = net.Connect("server", "a", LinkProfile::WaveLan2());
+  EXPECT_EQ(a_fires, 1);  // attach of a link to "a"
+  net.Connect("server", "c", LinkProfile::Ethernet10());
+  EXPECT_EQ(a_fires, 1);  // unrelated peer: no fire
+  second->ForceDown();
+  EXPECT_EQ(a_fires, 2);  // force-down of a link to "a"
+  EXPECT_TRUE(server->CanReach("a"));  // first link still up
+
+  server->RemovePeerObservers(&owner);
+  net.Connect("server", "a", LinkProfile::Cslip144());
+  EXPECT_EQ(a_fires, 2);  // removed: no further fires
+}
+
+TEST(NetworkTest, ForceDownUpdatesCanReachFastPath) {
+  EventLoop loop;
+  Network net(&loop);
+  Link* only = net.Connect("server", "a", LinkProfile::Ethernet10());
+  Host* server = net.FindHost("server");
+  EXPECT_TRUE(server->CanReach("a"));
+  only->ForceDown();
+  EXPECT_FALSE(server->CanReach("a"));
+}
+
 }  // namespace
 }  // namespace rover

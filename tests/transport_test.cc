@@ -627,5 +627,60 @@ TEST(TransportTest, EnvelopeRoundTrip) {
   EXPECT_EQ(decoded->payload.size(), 33u);
 }
 
+TEST(SchedulerScaleTest, LinkLookupWorkPerSendIsFlatInAttachedLinks) {
+  // The fan-in pathology: a server host with one link per client used to
+  // re-scan ALL of them on every send (PickLink). With the peer index the
+  // scan work per send must be identical at 16 and 4096 attached peers.
+  auto scans_per_send = [](int peers) -> uint64_t {
+    EventLoop loop;
+    Network net(&loop);
+    for (int i = 0; i < peers; ++i) {
+      net.Connect("server", "c" + std::to_string(i), LinkProfile::Ethernet10());
+    }
+    TransportManager server(&loop, net.FindHost("server"));
+    constexpr uint64_t kSends = 64;
+    ResetHostLinkScanSteps();
+    for (uint64_t i = 0; i < kSends; ++i) {
+      Message m = MakeMessage("c0", 32);
+      m.header.src = "server";
+      m.header.message_id = i + 1;
+      server.scheduler()->Enqueue(std::move(m));
+      loop.Run();
+    }
+    EXPECT_EQ(server.scheduler()->stats().messages_delivered, kSends);
+    return HostLinkScanSteps() / kSends;
+  };
+  const uint64_t small = scans_per_send(16);
+  const uint64_t large = scans_per_send(4096);
+  EXPECT_EQ(small, large);
+}
+
+TEST(SchedulerScaleTest, ParkedQueueWakesViaPeerObserverOnLateAttach) {
+  // No link at all at enqueue time: the queue parks, registers a per-peer
+  // observer, and a link attached later -- with no global link-change
+  // listener in the picture -- triggers delivery.
+  EventLoop loop;
+  Network net(&loop);
+  Host* mobile = net.AddHost("mobile");
+  TransportManager transport(&loop, mobile);
+  TransportManager* server = nullptr;
+
+  Status delivered = InternalError("pending");
+  Message m = MakeMessage("server", 16);
+  m.header.src = "mobile";
+  m.header.message_id = 1;
+  transport.scheduler()->Enqueue(std::move(m),
+                                 [&](const Status& s) { delivered = s; });
+  loop.Run();
+  EXPECT_FALSE(delivered.ok());  // parked: nothing to send over
+
+  net.Connect("mobile", "server", LinkProfile::Ethernet10());
+  TransportManager server_transport(&loop, net.FindHost("server"));
+  server = &server_transport;
+  (void)server;
+  loop.Run();
+  EXPECT_TRUE(delivered.ok());
+}
+
 }  // namespace
 }  // namespace rover
